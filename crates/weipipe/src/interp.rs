@@ -1,0 +1,708 @@
+//! The schedule interpreter: executes a validated `wp-sched` schedule *for
+//! real* — every compute op runs actual `wp-nn` kernels, every message
+//! moves actual parameter/activation bytes through `wp-comm`.
+//!
+//! One interpreter covers every strategy, because the schedules already
+//! encode the strategy: GPipe/1F1B/ZB move activations between resident
+//! chunks, FSDP gathers shards, DDP all-reduces, and the WeiPipe variants
+//! circulate weight and gradient chunks around the ring. The same
+//! instruction streams the discrete-event simulator times are therefore
+//! proven numerically correct here against the single-process reference.
+//!
+//! State model (per rank):
+//!
+//! * **Weight slots** keyed `(chunk, flow)` — a chunk buffer is the
+//!   concatenation of its layers' flat parameter buffers. `Recv(Weights)`
+//!   fills a slot; compute ops resolve their slot through their `needs`
+//!   (falling back to the seeded/resident slot).
+//! * **Gradient accumulators** keyed by chunk. `Recv(WeightGrads)` adds
+//!   into the accumulator, `Send` drains it — which makes the circulating
+//!   `D_j` accumulation (§4.2.1) and local pipelined accumulation the same
+//!   code path.
+//! * **Activation stores**: chunk inputs per `(mb, chunk)`, saved forward
+//!   state (full ctxs, or inputs only under recomputation), output
+//!   gradients per `(mb, chunk)`, and per-microbatch head state.
+
+use crate::setup::TrainSetup;
+use std::collections::HashMap;
+use wp_comm::Communicator;
+use wp_nn::block::{
+    block_backward_data, block_backward_full, block_backward_recompute, block_backward_weight,
+    block_forward, BPassCtx, BlockCtx,
+};
+use wp_nn::config::ModelConfig;
+use wp_nn::embed::{embed_backward, embed_forward, head_forward, head_loss_backward, HeadCtx};
+use wp_nn::params::{init_block, init_embed, init_head, BlockLayout};
+use wp_optim::{MasterWeights, Optimizer};
+use wp_sched::{MsgKey, MsgKind, OpKind, Schedule, Strategy, NO_MB};
+use wp_tensor::ops::RopeTable;
+
+/// Flow tag for a rank's own resident copy (activation-passing pipelines,
+/// DDP replicas, FSDP gather targets).
+pub const RESIDENT: usize = NO_MB - 9;
+
+/// Re-exported flow tags from the builders.
+pub use wp_sched::builders::{weipipe_mb_owner, FLOW_BWD, FLOW_FWD};
+
+/// Encode a message key as a `wp-comm` tag (src/dst live in the channel).
+fn tag_of(k: &MsgKey) -> u64 {
+    let kind = match k.kind {
+        MsgKind::Weights => 0u64,
+        MsgKind::WeightGrads => 1,
+        MsgKind::Act => 2,
+        MsgKind::ActGrad => 3,
+    };
+    let mb = if k.mb >= NO_MB - 15 {
+        // Sentinel flow tags map into a reserved high band.
+        0xFFFF - (NO_MB - k.mb) as u64
+    } else {
+        assert!(k.mb < 0xFF00, "microbatch index too large for tag encoding");
+        k.mb as u64
+    };
+    let chunk = k.chunk as u64;
+    let round = k.round as u64;
+    assert!(chunk < 1 << 12, "chunk too large for tag encoding");
+    assert!(round < 1 << 18, "round too large for tag encoding");
+    (kind << 46) | (chunk << 34) | (mb << 18) | round
+}
+
+/// Saved forward state of one (microbatch × chunk).
+enum FwdSaved {
+    /// Full per-layer contexts (no recomputation).
+    Ctxs(Vec<BlockCtx>),
+    /// Per-layer inputs only (checkpointing).
+    Inputs(Vec<Vec<f32>>),
+}
+
+struct HeadSaved {
+    logits: Vec<f32>,
+    ctx: HeadCtx,
+}
+
+type OptState = (MasterWeights, Box<dyn Optimizer + Send>);
+
+/// Per-rank execution state, persistent across iterations.
+pub struct RankRuntime {
+    rank: usize,
+    chunks: usize,
+    /// Layers per chunk.
+    lpc: usize,
+    block_len: usize,
+    cfg: ModelConfig,
+    rope: RopeTable,
+    setup: TrainSetup,
+    strategy: Strategy,
+    comm: Communicator,
+
+    slots: HashMap<(usize, usize), Vec<f32>>,
+    shards: HashMap<usize, Vec<f32>>,
+    shard_len: usize,
+    embed: Vec<f32>,
+    head: Vec<f32>,
+
+    chunk_opt: HashMap<usize, OptState>,
+    shard_opt: HashMap<usize, OptState>,
+    embed_opt: Option<OptState>,
+    head_opt: Option<OptState>,
+
+    // Per-iteration state.
+    acts: HashMap<(usize, usize), Vec<f32>>,
+    fwd_saved: HashMap<(usize, usize), FwdSaved>,
+    bctx_saved: HashMap<(usize, usize), Vec<BPassCtx>>,
+    dy_out: HashMap<(usize, usize), Vec<f32>>,
+    heads_saved: HashMap<usize, HeadSaved>,
+    dgrads: HashMap<usize, Vec<f32>>,
+    shard_grads: HashMap<usize, Vec<f32>>,
+    embed_grads: Vec<f32>,
+    head_grads: Vec<f32>,
+    loss_sum: f64,
+    loss_count: usize,
+    iter: usize,
+}
+
+impl RankRuntime {
+    /// Initialise a rank: deterministic weights, strategy-specific seeding.
+    pub fn new(setup: &TrainSetup, schedule: &Schedule, comm: Communicator) -> Self {
+        let rank = comm.rank();
+        let p = comm.world_size();
+        let cfg = setup.model.clone();
+        let chunks = schedule.chunks;
+        let lpc = cfg.layers.div_ceil(chunks);
+        assert_eq!(lpc * chunks, cfg.layers, "layers must divide into chunks");
+        let block_len = BlockLayout::new(&cfg).len();
+        let chunk_buf = |c: usize| -> Vec<f32> {
+            let mut buf = Vec::with_capacity(lpc * block_len);
+            for l in 0..lpc {
+                buf.extend(init_block(&cfg, setup.seed, c * lpc + l));
+            }
+            buf
+        };
+
+        let mut slots = HashMap::new();
+        let mut shards = HashMap::new();
+        let shard_len = (lpc * block_len).div_ceil(p);
+        match schedule.strategy {
+            Strategy::WeiPipeInterleave | Strategy::WeiPipeNaive => {
+                // Forward-flow seed: chunk (P−w) mod P; backward-flow seed
+                // offset differs between the two variants (position algebra
+                // in the builders).
+                let fwd_chunk = (p - rank) % p;
+                slots.insert((fwd_chunk, FLOW_FWD), chunk_buf(fwd_chunk));
+                let bwd_chunk = if schedule.strategy == Strategy::WeiPipeInterleave {
+                    (rank + p - 1) % p
+                } else {
+                    (rank + p - 2) % p
+                };
+                slots.insert((bwd_chunk, FLOW_BWD), chunk_buf(bwd_chunk));
+            }
+            Strategy::Fsdp => {
+                for c in 0..chunks {
+                    let full = chunk_buf(c);
+                    let mut shard = vec![0.0f32; shard_len];
+                    let start = rank * shard_len;
+                    if start < full.len() {
+                        let end = (start + shard_len).min(full.len());
+                        shard[..end - start].copy_from_slice(&full[start..end]);
+                    }
+                    shards.insert(c, shard);
+                }
+            }
+            Strategy::Ddp => {
+                for c in 0..chunks {
+                    slots.insert((c, RESIDENT), chunk_buf(c));
+                }
+            }
+            _ => {
+                // Activation-passing pipelines: rank r owns chunk r.
+                slots.insert((rank, RESIDENT), chunk_buf(rank));
+            }
+        }
+
+        RankRuntime {
+            rank,
+            chunks,
+            lpc,
+            block_len,
+            rope: cfg.rope_table(),
+            embed: init_embed(&cfg, setup.seed),
+            head: init_head(&cfg, setup.seed),
+            cfg,
+            setup: setup.clone(),
+            strategy: schedule.strategy,
+            comm,
+            slots,
+            shards,
+            shard_len,
+            chunk_opt: HashMap::new(),
+            shard_opt: HashMap::new(),
+            embed_opt: None,
+            head_opt: None,
+            acts: HashMap::new(),
+            fwd_saved: HashMap::new(),
+            bctx_saved: HashMap::new(),
+            dy_out: HashMap::new(),
+            heads_saved: HashMap::new(),
+            dgrads: HashMap::new(),
+            shard_grads: HashMap::new(),
+            embed_grads: Vec::new(),
+            head_grads: Vec::new(),
+            loss_sum: 0.0,
+            loss_count: 0,
+            iter: 0,
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.setup.lr_at(self.iter)
+    }
+
+    /// Resolve the weight slot a compute op reads.
+    fn weight_slot_key(&self, needs: &[MsgKey], chunk: usize, prefer: usize) -> (usize, usize) {
+        for k in needs {
+            if k.kind == MsgKind::Weights {
+                assert_eq!(k.chunk, chunk, "weights dependency for the wrong chunk");
+                let flow = if k.src == k.dst { RESIDENT } else { k.mb };
+                return (chunk, flow);
+            }
+        }
+        for flow in [prefer, FLOW_FWD, FLOW_BWD, RESIDENT] {
+            if self.slots.contains_key(&(chunk, flow)) {
+                return (chunk, flow);
+            }
+        }
+        panic!(
+            "rank {}: no weight slot for chunk {chunk} (have {:?})",
+            self.rank,
+            self.slots.keys().collect::<Vec<_>>()
+        );
+    }
+
+    fn grad_scale(&self) -> f32 {
+        self.setup.loss_scale / self.setup.microbatches as f32
+    }
+
+    /// Divide a gradient buffer by the static loss scale before stepping.
+    fn unscale(&self, grads: &mut [f32]) {
+        if self.setup.loss_scale != 1.0 {
+            let inv = 1.0 / self.setup.loss_scale;
+            for g in grads {
+                *g *= inv;
+            }
+        }
+    }
+
+    // ---- compute ops -------------------------------------------------------
+
+    fn exec_fwd(&mut self, mb: usize, chunk: usize, needs: &[MsgKey], recompute: bool) {
+        let g = self.setup.microbatch;
+        let s = self.setup.seq;
+        // Input activations: embedding lookup for chunk 0, else the stored
+        // boundary (local chain or a received message).
+        let mut x = if chunk == 0 {
+            let (ids, _) = self.setup.batch_for(self.iter, mb);
+            embed_forward(&self.cfg, &self.embed, &ids)
+        } else {
+            self.acts
+                .remove(&(mb, chunk))
+                .unwrap_or_else(|| panic!("rank {}: missing input for Fwd({mb},{chunk})", self.rank))
+        };
+        let key = self.weight_slot_key(needs, chunk, FLOW_FWD);
+        let w = self.slots.get(&key).expect("slot resolved").clone();
+        let mut saved_ctxs = Vec::new();
+        let mut saved_inputs = Vec::new();
+        for l in 0..self.lpc {
+            let wl = &w[l * self.block_len..(l + 1) * self.block_len];
+            if recompute {
+                saved_inputs.push(x.clone());
+                let (y, _) = block_forward(&self.cfg, &self.rope, wl, &x, g, s);
+                x = y;
+            } else {
+                let (y, ctx) = block_forward(&self.cfg, &self.rope, wl, &x, g, s);
+                saved_ctxs.push(ctx);
+                x = y;
+            }
+        }
+        self.fwd_saved.insert(
+            (mb, chunk),
+            if recompute { FwdSaved::Inputs(saved_inputs) } else { FwdSaved::Ctxs(saved_ctxs) },
+        );
+        if chunk + 1 < self.chunks {
+            self.acts.insert((mb, chunk + 1), x);
+        } else {
+            // Last chunk: run the head, record the loss.
+            let (logits, ctx) = head_forward(&self.cfg, &self.head, &x);
+            let (_, targets) = self.setup.batch_for(self.iter, mb);
+            let loss = wp_tensor::ops::cross_entropy_loss(&logits, &targets, self.cfg.vocab);
+            self.loss_sum += loss as f64;
+            self.loss_count += 1;
+            self.heads_saved.insert(mb, HeadSaved { logits, ctx });
+        }
+    }
+
+    /// Upstream gradient entering the backward of (mb, chunk): the head
+    /// backward for the last chunk, else the stored boundary gradient.
+    fn upstream_dy(&mut self, mb: usize, chunk: usize) -> Vec<f32> {
+        if chunk + 1 == self.chunks {
+            let hs = self
+                .heads_saved
+                .remove(&mb)
+                .unwrap_or_else(|| panic!("rank {}: no head state for mb {mb}", self.rank));
+            if self.head_grads.is_empty() {
+                self.head_grads = vec![0.0; self.head.len()];
+            }
+            let (_, targets) = self.setup.batch_for(self.iter, mb);
+            let scale = self.grad_scale();
+            let (_, dx) = head_loss_backward(
+                &self.cfg,
+                &self.head,
+                &hs.ctx,
+                &hs.logits,
+                &targets,
+                &mut self.head_grads,
+                scale,
+            );
+            dx
+        } else {
+            self.dy_out
+                .remove(&(mb, chunk))
+                .unwrap_or_else(|| panic!("rank {}: missing dy for Bwd({mb},{chunk})", self.rank))
+        }
+    }
+
+    /// Finish a backward chain: route the input gradient onward (embedding
+    /// for chunk 0, boundary store otherwise).
+    fn downstream_dx(&mut self, mb: usize, chunk: usize, dx: Vec<f32>) {
+        if chunk == 0 {
+            let (ids, _) = self.setup.batch_for(self.iter, mb);
+            if self.embed_grads.is_empty() {
+                self.embed_grads = vec![0.0; self.embed.len()];
+            }
+            embed_backward(&self.cfg, &mut self.embed_grads, &dx, &ids);
+        } else {
+            self.dy_out.insert((mb, chunk - 1), dx);
+        }
+    }
+
+    fn exec_bwd_full(&mut self, mb: usize, chunk: usize, needs: &[MsgKey]) {
+        let g = self.setup.microbatch;
+        let s = self.setup.seq;
+        let mut dy = self.upstream_dy(mb, chunk);
+        let key = self.weight_slot_key(needs, chunk, FLOW_BWD);
+        let w = self.slots.get(&key).expect("slot resolved").clone();
+        let saved = self
+            .fwd_saved
+            .remove(&(mb, chunk))
+            .unwrap_or_else(|| panic!("rank {}: no fwd state for Bwd({mb},{chunk})", self.rank));
+        let mut dgrad = self
+            .dgrads
+            .remove(&chunk)
+            .unwrap_or_else(|| vec![0.0; self.lpc * self.block_len]);
+        for l in (0..self.lpc).rev() {
+            let wl = &w[l * self.block_len..(l + 1) * self.block_len];
+            let dgl = &mut dgrad[l * self.block_len..(l + 1) * self.block_len];
+            dy = match &saved {
+                FwdSaved::Inputs(inputs) => {
+                    block_backward_recompute(&self.cfg, &self.rope, wl, &inputs[l], &dy, dgl, g, s)
+                }
+                FwdSaved::Ctxs(ctxs) => {
+                    block_backward_full(&self.cfg, &self.rope, wl, &ctxs[l], &dy, dgl, g, s)
+                }
+            };
+        }
+        self.dgrads.insert(chunk, dgrad);
+        self.downstream_dx(mb, chunk, dy);
+    }
+
+    fn exec_bwd_data(&mut self, mb: usize, chunk: usize, needs: &[MsgKey]) {
+        let g = self.setup.microbatch;
+        let s = self.setup.seq;
+        let mut dy = self.upstream_dy(mb, chunk);
+        let key = self.weight_slot_key(needs, chunk, FLOW_BWD);
+        let w = self.slots.get(&key).expect("slot resolved").clone();
+        let saved = self
+            .fwd_saved
+            .get(&(mb, chunk))
+            .unwrap_or_else(|| panic!("rank {}: no fwd state for B({mb},{chunk})", self.rank));
+        let ctxs = match saved {
+            FwdSaved::Ctxs(c) => c,
+            FwdSaved::Inputs(_) => {
+                panic!("split backward requires saved contexts (no recomputation)")
+            }
+        };
+        let mut bctxs: Vec<Option<BPassCtx>> = (0..self.lpc).map(|_| None).collect();
+        for l in (0..self.lpc).rev() {
+            let wl = &w[l * self.block_len..(l + 1) * self.block_len];
+            let (dx, bctx) =
+                block_backward_data(&self.cfg, &self.rope, wl, &ctxs[l], &dy, g, s);
+            bctxs[l] = Some(bctx);
+            dy = dx;
+        }
+        self.bctx_saved
+            .insert((mb, chunk), bctxs.into_iter().map(|b| b.expect("filled")).collect());
+        self.downstream_dx(mb, chunk, dy);
+    }
+
+    fn exec_bwd_weight(&mut self, mb: usize, chunk: usize) {
+        let g = self.setup.microbatch;
+        let s = self.setup.seq;
+        let saved = self
+            .fwd_saved
+            .remove(&(mb, chunk))
+            .unwrap_or_else(|| panic!("rank {}: no fwd state for W({mb},{chunk})", self.rank));
+        let ctxs = match &saved {
+            FwdSaved::Ctxs(c) => c,
+            FwdSaved::Inputs(_) => unreachable!("checked in exec_bwd_data"),
+        };
+        let bctxs = self
+            .bctx_saved
+            .remove(&(mb, chunk))
+            .unwrap_or_else(|| panic!("rank {}: no B-ctx for W({mb},{chunk})", self.rank));
+        let mut dgrad = self
+            .dgrads
+            .remove(&chunk)
+            .unwrap_or_else(|| vec![0.0; self.lpc * self.block_len]);
+        for l in 0..self.lpc {
+            let dgl = &mut dgrad[l * self.block_len..(l + 1) * self.block_len];
+            block_backward_weight(&self.cfg, &ctxs[l], &bctxs[l], dgl, g, s);
+        }
+        self.dgrads.insert(chunk, dgrad);
+    }
+
+    fn exec_update(&mut self, chunk: usize) {
+        let lr = self.lr();
+        if self.strategy == Strategy::Fsdp {
+            let mut grads = self
+                .shard_grads
+                .remove(&chunk)
+                .unwrap_or_else(|| panic!("rank {}: no shard grads for chunk {chunk}", self.rank));
+            self.unscale(&mut grads);
+            let shard = self.shards.get_mut(&chunk).expect("FSDP shard");
+            let optim = &self.setup.optim;
+            let wire = self.setup.wire;
+            let (master, opt) = self.shard_opt.entry(chunk).or_insert_with(|| {
+                (MasterWeights::capture(shard, wire), optim.build(shard.len()))
+            });
+            master.step(opt.as_mut(), shard, &grads, lr);
+            return;
+        }
+        let key = self.weight_slot_key(&[], chunk, FLOW_FWD);
+        let mut grads = self
+            .dgrads
+            .remove(&chunk)
+            .unwrap_or_else(|| panic!("rank {}: no grads for Update({chunk})", self.rank));
+        self.unscale(&mut grads);
+        let slot = self.slots.get_mut(&key).expect("slot resolved");
+        let optim = &self.setup.optim;
+        let wire = self.setup.wire;
+        let (master, opt) = self.chunk_opt.entry(chunk).or_insert_with(|| {
+            (MasterWeights::capture(slot, wire), optim.build(slot.len()))
+        });
+        master.step(opt.as_mut(), slot, &grads, lr);
+    }
+
+    // ---- communication ops --------------------------------------------------
+
+    fn exec_send(&mut self, k: &MsgKey) {
+        let wire = self.setup.wire;
+        let tag = tag_of(k);
+        match k.kind {
+            MsgKind::Weights => {
+                let slot = self
+                    .slots
+                    .get(&(k.chunk, k.mb))
+                    .unwrap_or_else(|| {
+                        panic!("rank {}: sending unknown weight slot {:?}", self.rank, (k.chunk, k.mb))
+                    })
+                    .clone();
+                self.comm.send(k.dst, tag, &slot, wire);
+            }
+            MsgKind::WeightGrads => {
+                let buf = self
+                    .dgrads
+                    .remove(&k.chunk)
+                    .unwrap_or_else(|| vec![0.0; self.lpc * self.block_len]);
+                self.comm.send(k.dst, tag, &buf, wire);
+            }
+            MsgKind::Act => {
+                let buf = self
+                    .acts
+                    .remove(&(k.mb, k.chunk))
+                    .unwrap_or_else(|| panic!("rank {}: no activations to send {k:?}", self.rank));
+                self.comm.send(k.dst, tag, &buf, wire);
+            }
+            MsgKind::ActGrad => {
+                let buf = self
+                    .dy_out
+                    .remove(&(k.mb, k.chunk))
+                    .unwrap_or_else(|| panic!("rank {}: no act grads to send {k:?}", self.rank));
+                self.comm.send(k.dst, tag, &buf, wire);
+            }
+        }
+    }
+
+    fn exec_recv(&mut self, k: &MsgKey) {
+        let tag = tag_of(k);
+        let data = self.comm.recv(k.src, tag);
+        match k.kind {
+            MsgKind::Weights => {
+                self.slots.insert((k.chunk, k.mb), data);
+            }
+            MsgKind::WeightGrads => {
+                match self.dgrads.get_mut(&k.chunk) {
+                    Some(acc) => {
+                        for (a, b) in acc.iter_mut().zip(&data) {
+                            *a += b;
+                        }
+                    }
+                    None => {
+                        self.dgrads.insert(k.chunk, data);
+                    }
+                }
+            }
+            MsgKind::Act => {
+                self.acts.insert((k.mb, k.chunk), data);
+            }
+            MsgKind::ActGrad => {
+                self.dy_out.insert((k.mb, k.chunk), data);
+            }
+        }
+    }
+
+    fn exec_all_gather(&mut self, chunk: usize) {
+        let wire = self.setup.wire;
+        let shard = self.shards.get(&chunk).expect("FSDP shard").clone();
+        let mut full = self.comm.all_gather(&shard, wire);
+        full.truncate(self.lpc * self.block_len);
+        self.slots.insert((chunk, RESIDENT), full);
+    }
+
+    fn exec_reduce_scatter(&mut self, chunk: usize) {
+        let wire = self.setup.wire;
+        let mut grads = self
+            .dgrads
+            .remove(&chunk)
+            .unwrap_or_else(|| panic!("rank {}: no grads to reduce-scatter", self.rank));
+        grads.resize(self.shard_len * self.comm.world_size(), 0.0);
+        let own = self.comm.reduce_scatter_sum(&grads, wire);
+        match self.shard_grads.get_mut(&chunk) {
+            Some(acc) => {
+                for (a, b) in acc.iter_mut().zip(&own) {
+                    *a += b;
+                }
+            }
+            None => {
+                self.shard_grads.insert(chunk, own);
+            }
+        }
+        // The gathered full-weight buffer is stale after updates; drop it so
+        // the next iteration re-gathers.
+        self.slots.remove(&(chunk, RESIDENT));
+    }
+
+    fn exec_all_reduce(&mut self, chunk: usize) {
+        let wire = self.setup.wire;
+        let buf = self.dgrads.entry(chunk).or_insert_with(|| vec![0.0; 0]);
+        if buf.is_empty() {
+            *buf = vec![0.0; self.lpc * self.block_len];
+        }
+        let mut taken = std::mem::take(buf);
+        self.comm.all_reduce_sum(&mut taken, wire);
+        self.dgrads.insert(chunk, taken);
+    }
+
+    // ---- driver --------------------------------------------------------------
+
+    /// Execute one iteration of the schedule.
+    pub fn run_iteration(&mut self, schedule: &Schedule, iter: usize) -> f32 {
+        self.iter = iter;
+        self.acts.clear();
+        self.fwd_saved.clear();
+        self.bctx_saved.clear();
+        self.dy_out.clear();
+        self.heads_saved.clear();
+        self.loss_sum = 0.0;
+        self.loss_count = 0;
+
+        let ops = schedule.ops[self.rank].clone();
+        for op in &ops {
+            match &op.kind {
+                OpKind::Fwd { mb, chunk } => {
+                    self.exec_fwd(*mb, *chunk, &op.needs, schedule.recompute)
+                }
+                OpKind::BwdFull { mb, chunk } => self.exec_bwd_full(*mb, *chunk, &op.needs),
+                OpKind::BwdData { mb, chunk } => self.exec_bwd_data(*mb, *chunk, &op.needs),
+                OpKind::BwdWeight { mb, chunk } => self.exec_bwd_weight(*mb, *chunk),
+                OpKind::Update { chunk } => self.exec_update(*chunk),
+                OpKind::Send(k) => self.exec_send(k),
+                OpKind::Recv(k) => self.exec_recv(k),
+                OpKind::AllGatherW { chunk, .. } => self.exec_all_gather(*chunk),
+                OpKind::ReduceScatterD { chunk, .. } => self.exec_reduce_scatter(*chunk),
+                OpKind::AllReduceD { chunk, .. } => self.exec_all_reduce(*chunk),
+            }
+        }
+
+        // Iteration epilogue: replicated embedding/head — reduce gradients,
+        // update identically everywhere.
+        let wire = self.setup.wire;
+        if self.embed_grads.is_empty() {
+            self.embed_grads = vec![0.0; self.embed.len()];
+        }
+        if self.head_grads.is_empty() {
+            self.head_grads = vec![0.0; self.head.len()];
+        }
+        let mut eg = std::mem::take(&mut self.embed_grads);
+        let mut hg = std::mem::take(&mut self.head_grads);
+        self.comm.all_reduce_sum(&mut eg, wire);
+        self.comm.all_reduce_sum(&mut hg, wire);
+        self.unscale(&mut eg);
+        self.unscale(&mut hg);
+        let lr = self.lr();
+        let optim = &self.setup.optim;
+        let embed = &mut self.embed;
+        let (master, opt) = self.embed_opt.get_or_insert_with(|| {
+            (MasterWeights::capture(embed, wire), optim.build(embed.len()))
+        });
+        master.step(opt.as_mut(), embed, &eg, lr);
+        let head = &mut self.head;
+        let (master, opt) = self.head_opt.get_or_insert_with(|| {
+            (MasterWeights::capture(head, wire), optim.build(head.len()))
+        });
+        master.step(opt.as_mut(), head, &hg, lr);
+
+        // Mean loss across ranks.
+        let mut stats = [self.loss_sum as f32, self.loss_count as f32];
+        self.comm.all_reduce_sum(&mut stats, wp_tensor::DType::F32);
+        assert_eq!(
+            stats[1] as usize, self.setup.microbatches,
+            "every microbatch must contribute exactly one loss"
+        );
+        stats[0] / stats[1]
+    }
+
+    /// Re-seed the backward-flow weight copy for the next iteration: the
+    /// chunk owner ships its freshly updated weights to the rank that holds
+    /// the backward seed (O(P) messages per iteration boundary — the
+    /// amortized cost noted in the builder docs).
+    pub fn reseed_bwd_flow(&mut self, schedule: &Schedule, iter: usize) {
+        if !matches!(self.strategy, Strategy::WeiPipeInterleave | Strategy::WeiPipeNaive) {
+            return;
+        }
+        let p = self.comm.world_size();
+        let offset = if self.strategy == Strategy::WeiPipeInterleave { 1 } else { 2 };
+        let wire = self.setup.wire;
+        for chunk in 0..self.chunks {
+            let owner = schedule.initial_holder[chunk];
+            let holder = (chunk + offset) % p;
+            let tag = (1u64 << 40) | ((iter as u64) << 16) | chunk as u64;
+            if owner == holder {
+                if self.rank == owner {
+                    let fresh = self.slots.get(&(chunk, FLOW_FWD)).expect("owner slot").clone();
+                    self.slots.insert((chunk, FLOW_BWD), fresh);
+                }
+            } else if self.rank == owner {
+                let fresh = self.slots.get(&(chunk, FLOW_FWD)).expect("owner slot").clone();
+                self.comm.send(holder, tag, &fresh, wire);
+            } else if self.rank == holder {
+                let fresh = self.comm.recv(owner, tag);
+                self.slots.insert((chunk, FLOW_BWD), fresh);
+            }
+        }
+    }
+
+    /// Assemble the full updated model on every rank (broadcast from each
+    /// chunk's updater; all-gather for FSDP shards). Returns
+    /// `(embed, blocks, head)`.
+    pub fn assemble(&mut self, schedule: &Schedule) -> (Vec<f32>, Vec<Vec<f32>>, Vec<f32>) {
+        let wire = wp_tensor::DType::F32; // assembly is exact
+        let mut blocks = Vec::with_capacity(self.cfg.layers);
+        for chunk in 0..self.chunks {
+            let full = if self.strategy == Strategy::Fsdp {
+                let shard = self.shards.get(&chunk).expect("shard").clone();
+                let mut full = self.comm.all_gather(&shard, wire);
+                full.truncate(self.lpc * self.block_len);
+                full
+            } else {
+                let updater = schedule
+                    .ops
+                    .iter()
+                    .position(|ops| {
+                        ops.iter().any(|op| matches!(op.kind, OpKind::Update { chunk: c } if c == chunk))
+                    })
+                    .expect("every chunk has an updater");
+                let mut buf = if self.rank == updater {
+                    let key = self.weight_slot_key(&[], chunk, FLOW_FWD);
+                    self.slots.get(&key).expect("slot").clone()
+                } else {
+                    Vec::new()
+                };
+                self.comm.broadcast(updater, &mut buf, wire);
+                buf
+            };
+            for l in 0..self.lpc {
+                blocks.push(full[l * self.block_len..(l + 1) * self.block_len].to_vec());
+            }
+        }
+        (self.embed.clone(), blocks, self.head.clone())
+    }
+}
+

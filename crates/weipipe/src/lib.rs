@@ -1,0 +1,49 @@
+//! # weipipe
+//!
+//! The WeiPipe training runtime: real distributed training of a real
+//! transformer, one OS thread per rank, driven by the same validated
+//! schedules the performance simulator times.
+//!
+//! *WeiPipe: Weight Pipeline Parallelism for Communication-Effective
+//! Long-Context Large Model Training* (Lin et al., PPoPP '25) inverts
+//! classical pipeline parallelism: instead of keeping weights resident and
+//! shipping activations between stages, workers keep their microbatches'
+//! activations resident while the model's weight chunks — and the gradient
+//! chunks `D_j`, which accumulate in flight in place of an all-reduce —
+//! rotate around a ring. Per-link traffic becomes independent of microbatch
+//! size and sequence length, which is decisive for long-context training on
+//! commodity interconnects.
+//!
+//! This crate provides:
+//!
+//! * [`runner::run_distributed`] — train a [`setup::TrainSetup`] under any
+//!   runtime strategy: `WeiPipeNaive`, `WeiPipeInterleave`, and the
+//!   baselines `GPipe`, `OneFOneB` (1F1B), `Zb1`, `Zb2` (split-backward
+//!   zero-bubble), `Fsdp` (ZeRO-3-style), `Ddp`.
+//! * [`single::run_single`] — the single-process reference every strategy
+//!   must reproduce (the test suite asserts loss- and weight-equivalence).
+//! * [`interp::RankRuntime`] — the schedule interpreter that executes
+//!   `wp-sched` instruction streams against `wp-nn` compute and `wp-comm`
+//!   messaging.
+//!
+//! ```
+//! use weipipe::{run_distributed, run_single, TrainSetup};
+//! use wp_sched::Strategy;
+//!
+//! let setup = TrainSetup::tiny(2, 4); // 2 layers, 4 microbatches
+//! let reference = run_single(&setup);
+//! let wp = run_distributed(Strategy::WeiPipeInterleave, 2, &setup);
+//! assert!(wp.max_loss_diff(&reference) < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod runner;
+pub mod setup;
+pub mod single;
+
+pub use runner::{run, run_distributed, runtime_strategies};
+pub use setup::{DataSource, OptimKind, RunOutput, TrainSetup};
+pub use single::run_single;
+pub use wp_sched::Strategy;

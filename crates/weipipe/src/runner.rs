@@ -1,0 +1,156 @@
+//! Top-level entry: build a schedule, validate it, spawn a world of rank
+//! threads, train, and collect the result.
+
+use crate::interp::RankRuntime;
+use crate::setup::{RunOutput, TrainSetup};
+use crate::single::run_single;
+use wp_comm::World;
+use wp_sched::{build, validate, PipelineSpec, Strategy};
+
+/// Strategies the runtime executes (everything the builders produce except
+/// the conceptual WZB variants, which — as in the paper — exist only as
+/// schedules for the simulator).
+pub fn runtime_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::GPipe,
+        Strategy::OneFOneB,
+        Strategy::Zb1,
+        Strategy::Zb2,
+        Strategy::Fsdp,
+        Strategy::Ddp,
+        Strategy::WeiPipeNaive,
+        Strategy::WeiPipeInterleave,
+    ]
+}
+
+/// Train `setup` under `strategy` across `ranks` worker threads.
+///
+/// Returns the per-iteration mean losses and the final parameters, which
+/// must match [`run_single`] on the same setup (the equivalence the test
+/// suite enforces).
+///
+/// # Panics
+/// Panics if the configuration violates the strategy's constraints (layers
+/// divisible by ranks, microbatches a multiple of ranks for weight-passing
+/// and data-parallel strategies) or if the schedule fails validation.
+pub fn run_distributed(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> RunOutput {
+    assert!(
+        setup.model.layers.is_multiple_of(ranks),
+        "layers ({}) must divide evenly across ranks ({ranks})",
+        setup.model.layers
+    );
+    assert!(
+        !matches!(strategy, Strategy::Wzb1 | Strategy::Wzb2),
+        "WZB variants are simulator-only (as in the paper)"
+    );
+    let spec = if setup.recompute {
+        PipelineSpec::new(ranks, setup.microbatches)
+    } else {
+        PipelineSpec::new(ranks, setup.microbatches).without_recompute()
+    };
+    let schedule = build(strategy, spec);
+    validate(&schedule).expect("builder produced an invalid schedule");
+
+    let iters = setup.iters;
+    let (mut outs, meter) = World::run(ranks, setup.link, |comm| {
+        let mut rt = RankRuntime::new(setup, &schedule, comm);
+        let mut losses = Vec::with_capacity(iters);
+        let t0 = std::time::Instant::now();
+        for iter in 0..iters {
+            losses.push(rt.run_iteration(&schedule, iter));
+            if iter + 1 < iters {
+                rt.reseed_bwd_flow(&schedule, iter);
+            }
+        }
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let (embed, blocks, head) = rt.assemble(&schedule);
+        RunOutput { losses, embed, blocks, head, bytes_sent: 0, wall_seconds }
+    });
+    let mut out = outs.remove(0);
+    out.bytes_sent = meter.total_bytes();
+    out
+}
+
+/// Run a strategy, or the single-process reference when `ranks == 1`.
+pub fn run(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> RunOutput {
+    if ranks == 1 {
+        run_single(setup)
+    } else {
+        run_distributed(strategy, ranks, setup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Losses and final weights of every runtime strategy must match the
+    /// single-process reference within float-reduction tolerance.
+    fn assert_matches_reference(strategy: Strategy, ranks: usize, setup: &TrainSetup) {
+        let reference = run_single(setup);
+        let out = run_distributed(strategy, ranks, setup);
+        let loss_diff = out.max_loss_diff(&reference);
+        let param_diff = out.max_param_diff(&reference);
+        assert!(
+            loss_diff < 2e-4,
+            "{strategy:?} P={ranks}: loss diff {loss_diff} (got {:?}, want {:?})",
+            out.losses,
+            reference.losses
+        );
+        assert!(param_diff < 2e-3, "{strategy:?} P={ranks}: param diff {param_diff}");
+        assert!(out.bytes_sent > 0, "{strategy:?} must actually communicate");
+    }
+
+    #[test]
+    fn weipipe_interleave_matches_reference() {
+        assert_matches_reference(Strategy::WeiPipeInterleave, 2, &TrainSetup::tiny(2, 4));
+        assert_matches_reference(Strategy::WeiPipeInterleave, 4, &TrainSetup::tiny(4, 8));
+    }
+
+    #[test]
+    fn weipipe_naive_matches_reference() {
+        assert_matches_reference(Strategy::WeiPipeNaive, 2, &TrainSetup::tiny(2, 4));
+        assert_matches_reference(Strategy::WeiPipeNaive, 4, &TrainSetup::tiny(4, 8));
+    }
+
+    #[test]
+    fn one_f1b_matches_reference() {
+        assert_matches_reference(Strategy::OneFOneB, 2, &TrainSetup::tiny(2, 4));
+        assert_matches_reference(Strategy::OneFOneB, 4, &TrainSetup::tiny(4, 6));
+    }
+
+    #[test]
+    fn gpipe_matches_reference() {
+        assert_matches_reference(Strategy::GPipe, 2, &TrainSetup::tiny(2, 4));
+    }
+
+    #[test]
+    fn zb1_matches_reference() {
+        assert_matches_reference(Strategy::Zb1, 2, &TrainSetup::tiny(2, 4));
+        assert_matches_reference(Strategy::Zb1, 4, &TrainSetup::tiny(4, 6));
+    }
+
+    #[test]
+    fn zb2_matches_reference() {
+        assert_matches_reference(Strategy::Zb2, 4, &TrainSetup::tiny(4, 8));
+    }
+
+    #[test]
+    fn fsdp_matches_reference() {
+        assert_matches_reference(Strategy::Fsdp, 2, &TrainSetup::tiny(2, 4));
+        assert_matches_reference(Strategy::Fsdp, 4, &TrainSetup::tiny(4, 8));
+    }
+
+    #[test]
+    fn ddp_matches_reference() {
+        assert_matches_reference(Strategy::Ddp, 2, &TrainSetup::tiny(2, 4));
+    }
+
+    #[test]
+    fn recompute_changes_nothing_numerically() {
+        let mut setup = TrainSetup::tiny(2, 4);
+        setup.recompute = true;
+        assert_matches_reference(Strategy::WeiPipeInterleave, 2, &setup);
+        assert_matches_reference(Strategy::OneFOneB, 2, &setup);
+    }
+}

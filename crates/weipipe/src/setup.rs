@@ -1,0 +1,250 @@
+//! Run configuration and results.
+
+use wp_comm::LinkModel;
+use wp_nn::ModelConfig;
+use wp_optim::{AdamConfig, AdamW, LrSchedule, Optimizer, Sgd, SgdConfig};
+use wp_tensor::DType;
+
+/// Which optimizer trains the model.
+#[derive(Debug, Clone, Copy)]
+pub enum OptimKind {
+    /// Plain SGD at the given learning rate.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// AdamW with default betas at the given learning rate.
+    AdamW {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+impl OptimKind {
+    /// Instantiate the optimizer for a flat buffer of `n` parameters.
+    pub fn build(&self, n: usize) -> Box<dyn Optimizer + Send> {
+        match *self {
+            OptimKind::Sgd { lr } => {
+                Box::new(Sgd::new(n, SgdConfig { lr, ..Default::default() }))
+            }
+            OptimKind::AdamW { lr } => {
+                Box::new(AdamW::new(n, AdamConfig { lr, ..Default::default() }))
+            }
+        }
+    }
+}
+
+/// Where training batches come from. Every rank derives any (iteration,
+/// microbatch) pair deterministically and locally — no data-loader ranks,
+/// no shipping token ids.
+#[derive(Debug, Clone)]
+pub enum DataSource {
+    /// The synthetic arithmetic-sequence task of `wp_nn::data` (the default;
+    /// used by all correctness tests).
+    Synthetic,
+    /// Next-token prediction over a token corpus: microbatch windows are
+    /// sliced at deterministic offsets derived from (iteration, microbatch).
+    Corpus(std::sync::Arc<Vec<u32>>),
+}
+
+impl DataSource {
+    /// The (ids, targets) pair for microbatch `mb` of iteration `iter`.
+    pub fn batch(
+        &self,
+        vocab: usize,
+        batch: usize,
+        seq: usize,
+        iter: usize,
+        mb: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        match self {
+            DataSource::Synthetic => wp_nn::data::microbatch(vocab, batch, seq, iter, mb),
+            DataSource::Corpus(tokens) => {
+                assert!(
+                    tokens.len() > seq + 1,
+                    "corpus ({} tokens) shorter than one window ({seq}+1)",
+                    tokens.len()
+                );
+                let span = tokens.len() - seq - 1;
+                let mut ids = Vec::with_capacity(batch * seq);
+                let mut targets = Vec::with_capacity(batch * seq);
+                for g in 0..batch {
+                    // Deterministic pseudo-random window start per sample.
+                    let mix = (iter as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((mb as u64) << 20)
+                        .wrapping_add(g as u64)
+                        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    let start = (mix % span as u64) as usize;
+                    ids.extend_from_slice(&tokens[start..start + seq]);
+                    targets.extend_from_slice(&tokens[start + 1..start + seq + 1]);
+                }
+                for &t in ids.iter().chain(&targets) {
+                    debug_assert!((t as usize) < vocab, "corpus token out of vocab");
+                }
+                (ids, targets)
+            }
+        }
+    }
+}
+
+/// Everything a training run needs.
+#[derive(Debug, Clone)]
+pub struct TrainSetup {
+    /// Model architecture.
+    pub model: ModelConfig,
+    /// Weight-init and data seed.
+    pub seed: u64,
+    /// Microbatch size `G`.
+    pub microbatch: usize,
+    /// Sequence length `S`.
+    pub seq: usize,
+    /// Microbatches per iteration `N`.
+    pub microbatches: usize,
+    /// Training iterations.
+    pub iters: usize,
+    /// Optimizer.
+    pub optim: OptimKind,
+    /// Learning-rate schedule applied per iteration on top of the
+    /// optimizer's base LR.
+    pub lr_schedule: LrSchedule,
+    /// Static loss scale (§4.3 mixed precision): the loss gradient is
+    /// multiplied by this before backward and gradients are divided by it
+    /// before the optimizer step, keeping small fp16 gradients
+    /// representable. 1.0 disables scaling. Numerically transparent in f32.
+    pub loss_scale: f32,
+    /// Wire storage format for every message (use `F32` for exact
+    /// strategy-equivalence tests, `F16` for the paper's mixed-precision
+    /// configuration).
+    pub wire: DType,
+    /// Link pacing (instant for correctness runs).
+    pub link: LinkModel,
+    /// Activation checkpointing in pipelines.
+    pub recompute: bool,
+    /// Training data.
+    pub data: DataSource,
+}
+
+impl TrainSetup {
+    /// A tiny, fast setup for tests: `L`-layer tiny model, N microbatches.
+    pub fn tiny(layers: usize, microbatches: usize) -> Self {
+        let model = ModelConfig::tiny(layers);
+        TrainSetup {
+            model,
+            seed: 42,
+            microbatch: 2,
+            seq: 8,
+            microbatches,
+            iters: 2,
+            optim: OptimKind::Sgd { lr: 0.2 },
+            lr_schedule: LrSchedule::Constant,
+            loss_scale: 1.0,
+            wire: DType::F32,
+            link: LinkModel::instant(),
+            recompute: false,
+            data: DataSource::Synthetic,
+        }
+    }
+
+    /// The (ids, targets) pair for microbatch `mb` of iteration `iter`.
+    pub fn batch_for(&self, iter: usize, mb: usize) -> (Vec<u32>, Vec<u32>) {
+        self.data.batch(self.model.vocab, self.microbatch, self.seq, iter, mb)
+    }
+
+    /// Base learning rate of the configured optimizer.
+    pub fn base_lr(&self) -> f32 {
+        match self.optim {
+            OptimKind::Sgd { lr } | OptimKind::AdamW { lr } => lr,
+        }
+    }
+
+    /// Scheduled learning rate at iteration `iter`.
+    pub fn lr_at(&self, iter: usize) -> f32 {
+        self.lr_schedule.lr_at(self.base_lr(), iter as u64)
+    }
+
+    /// Tokens processed per iteration.
+    pub fn tokens_per_iter(&self) -> usize {
+        self.microbatch * self.seq * self.microbatches
+    }
+}
+
+/// The outcome of a run: per-iteration mean loss and the final parameters
+/// (assembled on every rank, returned from rank 0).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Mean training loss per iteration.
+    pub losses: Vec<f32>,
+    /// Final embedding table.
+    pub embed: Vec<f32>,
+    /// Final per-layer flat parameter buffers.
+    pub blocks: Vec<Vec<f32>>,
+    /// Final head buffer.
+    pub head: Vec<f32>,
+    /// Total bytes sent across all ranks (from the traffic meter).
+    pub bytes_sent: u64,
+    /// Wall-clock seconds of the training loop (excludes setup/assembly).
+    pub wall_seconds: f64,
+}
+
+impl RunOutput {
+    /// Tokens per second across the whole run.
+    pub fn tokens_per_second(&self, setup: &TrainSetup) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        (setup.tokens_per_iter() * self.losses.len()) as f64 / self.wall_seconds
+    }
+}
+
+impl RunOutput {
+    /// Largest absolute parameter difference against another run.
+    pub fn max_param_diff(&self, other: &RunOutput) -> f32 {
+        let mut m = 0.0f32;
+        for (a, b) in self.embed.iter().zip(&other.embed) {
+            m = m.max((a - b).abs());
+        }
+        for (ba, bb) in self.blocks.iter().zip(&other.blocks) {
+            for (a, b) in ba.iter().zip(bb) {
+                m = m.max((a - b).abs());
+            }
+        }
+        for (a, b) in self.head.iter().zip(&other.head) {
+            m = m.max((a - b).abs());
+        }
+        m
+    }
+
+    /// Largest absolute per-iteration loss difference against another run.
+    pub fn max_loss_diff(&self, other: &RunOutput) -> f32 {
+        assert_eq!(self.losses.len(), other.losses.len(), "iteration counts differ");
+        self.losses
+            .iter()
+            .zip(&other.losses)
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_setup_is_consistent() {
+        let s = TrainSetup::tiny(4, 8);
+        assert_eq!(s.model.layers, 4);
+        assert_eq!(s.tokens_per_iter(), 2 * 8 * 8);
+    }
+
+    #[test]
+    fn optim_kinds_build() {
+        let mut p = vec![1.0f32];
+        let g = vec![1.0f32];
+        let mut o = OptimKind::Sgd { lr: 0.5 }.build(1);
+        o.step(&mut p, &g);
+        assert_eq!(p[0], 0.5);
+        let mut o2 = OptimKind::AdamW { lr: 0.5 }.build(1);
+        o2.step(&mut p, &g);
+        assert!(p[0] < 0.5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks for the compute kernels underlying every
+//! strategy: matmul layouts, attention variants, block forward/backward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wp_nn::attention::{naive_forward, streaming_forward, AttnDims};
+use wp_nn::block::{block_backward_full, block_forward};
+use wp_nn::config::ModelConfig;
+use wp_nn::params::init_block;
+use wp_tensor::ops::{matmul_nn, matmul_nt, matmul_tn};
+use wp_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn([n * n], 1.0, 1).into_vec();
+        let b = Tensor::randn([n * n], 1.0, 2).into_vec();
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, &n| {
+            let mut out = vec![0.0f32; n * n];
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_nn(black_box(&mut out), black_box(&a), black_box(&b), n, n, n);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, &n| {
+            let mut out = vec![0.0f32; n * n];
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_nt(black_box(&mut out), black_box(&a), black_box(&b), n, n, n);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, &n| {
+            let mut out = vec![0.0f32; n * n];
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_tn(black_box(&mut out), black_box(&a), black_box(&b), n, n, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    for &seq in &[64usize, 256] {
+        let dims = AttnDims::mha(1, seq, 4, 16);
+        let n = seq * 64;
+        let q = Tensor::randn([n], 0.5, 3).into_vec();
+        let k = Tensor::randn([n], 0.5, 4).into_vec();
+        let v = Tensor::randn([n], 0.5, 5).into_vec();
+        group.bench_with_input(BenchmarkId::new("naive", seq), &seq, |bench, _| {
+            let mut o = vec![0.0f32; n];
+            bench.iter(|| naive_forward(black_box(&mut o), &q, &k, &v, dims));
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", seq), &seq, |bench, _| {
+            let mut o = vec![0.0f32; n];
+            bench.iter(|| streaming_forward(black_box(&mut o), &q, &k, &v, dims));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let cfg = ModelConfig::llama_like(64, 4, 1, 64, 128);
+    let rope = cfg.rope_table();
+    let w = init_block(&cfg, 1, 0);
+    let (batch, seq) = (2, 64);
+    let x = Tensor::randn([batch * seq * cfg.hidden], 0.5, 6).into_vec();
+    let dy = Tensor::randn([batch * seq * cfg.hidden], 1.0, 7).into_vec();
+
+    let mut group = c.benchmark_group("block");
+    group.bench_function("forward", |bench| {
+        bench.iter(|| block_forward(&cfg, &rope, black_box(&w), black_box(&x), batch, seq));
+    });
+    group.bench_function("backward_full", |bench| {
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let mut dw = vec![0.0f32; w.len()];
+        bench.iter(|| {
+            dw.fill(0.0);
+            block_backward_full(&cfg, &rope, &w, &ctx, black_box(&dy), &mut dw, batch, seq)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_attention, bench_block);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark of the experiment harness itself: schedule builders,
+//! the discrete-event engine, and one full table cell — the costs of
+//! regenerating the paper's tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wp_sched::{build, PipelineSpec, Strategy};
+use wp_sim::experiments::{run_cell, RowConfig};
+use wp_sim::{simulate, ClusterSpec, CostModel, GpuSpec, ModelDims, SimOptions};
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_build");
+    for &(p, n) in &[(8usize, 64usize), (16, 128), (32, 256)] {
+        group.bench_with_input(
+            BenchmarkId::new("weipipe_interleave", format!("p{p}_n{n}")),
+            &(p, n),
+            |b, &(p, n)| b.iter(|| black_box(build(Strategy::WeiPipeInterleave, PipelineSpec::new(p, n)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("1f1b", format!("p{p}_n{n}")),
+            &(p, n),
+            |b, &(p, n)| b.iter(|| black_box(build(Strategy::OneFOneB, PipelineSpec::new(p, n)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_engine");
+    for &(p, n) in &[(16usize, 128usize), (32, 256)] {
+        let sched = build(Strategy::WeiPipeInterleave, PipelineSpec::new(p, n));
+        let dims = ModelDims::paper(2048, 32, 8192, 8);
+        let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
+        let cluster = ClusterSpec::scaling(p, 8);
+        group.bench_with_input(
+            BenchmarkId::new("weipipe", format!("p{p}_n{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        simulate(&sched, &cost, &cluster, SimOptions::default()).expect("ok"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_cell");
+    group.sample_size(10);
+    let row = RowConfig { hidden: 2048, seq: 8192, microbatch: 8 };
+    let cluster = ClusterSpec::nvlink_16();
+    group.bench_function("weipipe_16gpu", |b| {
+        b.iter(|| {
+            black_box(run_cell(Strategy::WeiPipeInterleave, row, 32, &cluster, 8 * 16 * 8))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_engine, bench_table_cell);
+criterion_main!(benches);

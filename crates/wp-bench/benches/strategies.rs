@@ -1,0 +1,38 @@
+//! Criterion benchmark of the *real runtime*: wall-clock per training
+//! iteration for each strategy on the thread world (tiny model, so this
+//! measures orchestration + messaging overhead, not GEMM throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use weipipe::{run_distributed, run_single, Strategy, TrainSetup};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut setup = TrainSetup::tiny(4, 8);
+    setup.iters = 1;
+    let mut group = c.benchmark_group("runtime_iteration");
+    group.sample_size(10);
+    group.bench_function("single_reference", |b| {
+        b.iter(|| black_box(run_single(&setup)));
+    });
+    for strategy in [
+        Strategy::GPipe,
+        Strategy::OneFOneB,
+        Strategy::Zb1,
+        Strategy::Fsdp,
+        Strategy::Ddp,
+        Strategy::WeiPipeNaive,
+        Strategy::WeiPipeInterleave,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("p4", strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| black_box(run_distributed(s, 4, &setup)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

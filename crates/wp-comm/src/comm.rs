@@ -1,0 +1,670 @@
+//! The communicator: NCCL-flavoured point-to-point and ring collectives
+//! over OS threads.
+//!
+//! One [`Communicator`] per rank; each ordered pair of ranks gets its own
+//! unbounded channel, so per-source FIFO ordering holds (the guarantee NCCL
+//! P2P gives within a stream) and sends never block (the runtime's analogue
+//! of buffered `isend`). Tag matching with a per-source reorder buffer lets
+//! a rank post receives out of arrival order, which the interleaved WeiPipe
+//! schedules rely on.
+//!
+//! Collectives are built on the ring algorithms NCCL uses in the paper's
+//! setting ("tree algorithms were not adopted"): all-reduce is
+//! reduce-scatter + all-gather around the ring, each rank sending
+//! `2·(P−1)/P · n` bytes — the byte count the FSDP cost model charges.
+
+use crate::link::LinkModel;
+use crate::meter::{TrafficClass, TrafficMeter};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use wp_tensor::dtype::quantize_slice;
+use wp_tensor::DType;
+
+/// How long a blocking receive waits before declaring the job deadlocked.
+/// Generous enough for the heaviest test, short enough that a schedule bug
+/// fails the suite instead of hanging it.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Tags ≥ this value are reserved for collectives.
+const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+#[derive(Debug)]
+struct Msg {
+    tag: u64,
+    data: Vec<f32>,
+    /// Earliest wall-clock instant the receiver may consume this message
+    /// (link-model pacing). `None` when the link is instant.
+    deliver_at: Option<Instant>,
+}
+
+/// Per-rank endpoint of a [`World`].
+///
+/// Not `Clone`: exactly one thread owns each rank, mirroring one process per
+/// GPU.
+#[derive(Debug)]
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    /// `outbox[dst]` sends into dst's `inbox[self.rank]`.
+    outbox: Vec<Sender<Msg>>,
+    /// `inbox[src]` receives messages sent by `src`.
+    inbox: Vec<Receiver<Msg>>,
+    /// Tag-mismatched messages parked per source.
+    pending: Vec<VecDeque<Msg>>,
+    link: LinkModel,
+    meter: TrafficMeter,
+    /// Sequence number for collectives; advances identically on every rank
+    /// because collectives are bulk-synchronous SPMD calls.
+    coll_seq: u64,
+}
+
+/// Handle returned by [`Communicator::irecv`]; redeem with
+/// [`Communicator::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an irecv that is never waited on receives nothing"]
+pub struct RecvHandle {
+    src: usize,
+    tag: u64,
+}
+
+impl Communicator {
+    /// This rank's id in `0..world_size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Rank of the next worker on the ring.
+    #[inline]
+    pub fn next_rank(&self) -> usize {
+        (self.rank + 1) % self.world
+    }
+
+    /// Rank of the previous worker on the ring.
+    #[inline]
+    pub fn prev_rank(&self) -> usize {
+        (self.rank + self.world - 1) % self.world
+    }
+
+    /// The traffic meter shared by the whole world.
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// Send `data` to `dst` with a user `tag`, charged (and quantized) at
+    /// the given wire dtype. Never blocks.
+    ///
+    /// # Panics
+    /// Panics on a reserved tag or if `dst` is out of range.
+    pub fn send(&self, dst: usize, tag: u64, data: &[f32], dtype: DType) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} is reserved for collectives");
+        self.send_internal(dst, tag, data, dtype, TrafficClass::P2p);
+    }
+
+    fn send_internal(&self, dst: usize, tag: u64, data: &[f32], dtype: DType, class: TrafficClass) {
+        assert!(dst < self.world, "dst {dst} out of range");
+        assert_ne!(dst, self.rank, "self-send is not supported");
+        let mut payload = data.to_vec();
+        // Quantize through the wire format: what a GPU casting to fp16 for
+        // the transfer would do to the values.
+        quantize_slice(&mut payload, dtype);
+        let bytes = (payload.len() * dtype.size_bytes()) as u64;
+        self.meter.record_send(self.rank, bytes, class);
+        let deliver_at = if self.link.is_instant() {
+            None
+        } else {
+            Some(Instant::now() + self.link.transfer_duration(bytes as usize))
+        };
+        // Unbounded channel: failure means the peer thread is gone, which is
+        // a crashed job — surface it.
+        self.outbox[dst]
+            .send(Msg { tag, data: payload, deliver_at })
+            .unwrap_or_else(|_| panic!("rank {} send to dead rank {dst}", self.rank));
+    }
+
+    /// Post a receive for `(src, tag)` without blocking; redeem with
+    /// [`wait`](Self::wait). (Matching happens at `wait`; the handle exists
+    /// to make prefetching schedules read like their `batch_isend_irecv`
+    /// originals.)
+    pub fn irecv(&self, src: usize, tag: u64) -> RecvHandle {
+        assert!(src < self.world, "src {src} out of range");
+        RecvHandle { src, tag }
+    }
+
+    /// Block until the handle's message arrives and return its payload.
+    pub fn wait(&mut self, h: RecvHandle) -> Vec<f32> {
+        self.recv(h.src, h.tag)
+    }
+
+    /// Blocking receive of the message with `tag` from `src`.
+    ///
+    /// Messages from `src` with other tags are parked and delivered to later
+    /// matching receives in FIFO order.
+    ///
+    /// # Panics
+    /// Panics after the 120 s receive timeout (treats the job as deadlocked), or if
+    /// the sending rank has exited.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f32> {
+        // Check the reorder buffer first.
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            let msg = self.pending[src].remove(pos).expect("position just found");
+            Self::pace(&msg);
+            return msg.data;
+        }
+        let deadline = Instant::now() + RECV_TIMEOUT;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "rank {} timed out waiting for tag {tag} from rank {src} \
+                         (pending tags: {:?})",
+                        self.rank,
+                        self.pending[src].iter().map(|m| m.tag).collect::<Vec<_>>()
+                    )
+                });
+            let msg = self.inbox[src]
+                .recv_timeout(remaining)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "rank {} recv(src={src}, tag={tag}) failed: {e} \
+                         (pending tags: {:?})",
+                        self.rank,
+                        self.pending[src].iter().map(|m| m.tag).collect::<Vec<_>>()
+                    )
+                });
+            if msg.tag == tag {
+                Self::pace(&msg);
+                return msg.data;
+            }
+            self.pending[src].push_back(msg);
+        }
+    }
+
+    /// Sleep until the link model says the message has fully arrived.
+    fn pace(msg: &Msg) {
+        if let Some(at) = msg.deliver_at {
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+        }
+    }
+
+    /// Simultaneously send `data` to the next rank on the ring and receive
+    /// the previous rank's message with the same `tag` — the WeiPipe weight
+    /// circulation primitive.
+    pub fn ring_exchange(&mut self, tag: u64, data: &[f32], dtype: DType) -> Vec<f32> {
+        let next = self.next_rank();
+        let prev = self.prev_rank();
+        self.send(next, tag, data, dtype);
+        self.recv(prev, tag)
+    }
+
+    /// Post a batch of sends and receives at once, then complete every
+    /// receive — the shape of PyTorch's `batch_isend_irecv`, which the
+    /// paper's implementation uses to prefetch `W`s and `D`s (§4.3).
+    ///
+    /// All sends are issued (non-blocking) before any receive completes, so
+    /// a symmetric exchange posted by every rank cannot deadlock. Returned
+    /// payloads are ordered like `recvs`.
+    pub fn batch_isend_irecv(
+        &mut self,
+        sends: &[(usize, u64, &[f32])],
+        recvs: &[(usize, u64)],
+        dtype: DType,
+    ) -> Vec<Vec<f32>> {
+        for &(dst, tag, data) in sends {
+            self.send(dst, tag, data, dtype);
+        }
+        let handles: Vec<RecvHandle> =
+            recvs.iter().map(|&(src, tag)| self.irecv(src, tag)).collect();
+        handles.into_iter().map(|h| self.wait(h)).collect()
+    }
+
+    // ---- Collectives (ring algorithms) ------------------------------------
+
+    fn next_coll_tag(&mut self) -> u64 {
+        let t = COLLECTIVE_TAG_BASE + self.coll_seq;
+        self.coll_seq += 1;
+        t
+    }
+
+    /// Chunk boundaries splitting `n` elements into `world` near-equal parts.
+    fn chunk_range(n: usize, world: usize, i: usize) -> std::ops::Range<usize> {
+        let base = n / world;
+        let rem = n % world;
+        let start = i * base + i.min(rem);
+        let len = base + usize::from(i < rem);
+        start..start + len
+    }
+
+    /// In-place ring all-reduce (sum) over `buf`, replicated on every rank.
+    ///
+    /// Reduce-scatter then all-gather; each rank sends `2·(P−1)` chunks of
+    /// `n/P` elements.
+    pub fn all_reduce_sum(&mut self, buf: &mut [f32], dtype: DType) {
+        if self.world == 1 {
+            return;
+        }
+        let tag = self.next_coll_tag();
+        let n = buf.len();
+        let p = self.world;
+        let next = self.next_rank();
+        // Phase 1: reduce-scatter. After step s, this rank holds the partial
+        // sum of s+1 ranks' data in chunk (rank - s - 1 + p) % p... following
+        // the standard ring: at step s we send chunk (rank - s) and reduce
+        // into chunk (rank - s - 1).
+        for s in 0..p - 1 {
+            let send_idx = (self.rank + p - s) % p;
+            let recv_idx = (self.rank + p - s - 1) % p;
+            let sr = Self::chunk_range(n, p, send_idx);
+            self.send_internal(next, tag + (s as u64) * 2, &buf[sr], dtype, TrafficClass::Collective);
+            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2);
+            let rr = Self::chunk_range(n, p, recv_idx);
+            for (b, x) in buf[rr].iter_mut().zip(&incoming) {
+                *b += x;
+            }
+        }
+        // Phase 2: all-gather the fully reduced chunks.
+        for s in 0..p - 1 {
+            let send_idx = (self.rank + 1 + p - s) % p;
+            let recv_idx = (self.rank + p - s) % p;
+            let sr = Self::chunk_range(n, p, send_idx);
+            self.send_internal(next, tag + (s as u64) * 2 + 1, &buf[sr], dtype, TrafficClass::Collective);
+            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2 + 1);
+            let rr = Self::chunk_range(n, p, recv_idx);
+            buf[rr].copy_from_slice(&incoming);
+        }
+    }
+
+    /// Ring reduce-scatter (sum): every rank contributes `buf` (full length)
+    /// and receives the reduced chunk it owns (`chunk_range(n, P, rank)`).
+    pub fn reduce_scatter_sum(&mut self, buf: &[f32], dtype: DType) -> Vec<f32> {
+        let n = buf.len();
+        let p = self.world;
+        if p == 1 {
+            return buf.to_vec();
+        }
+        let tag = self.next_coll_tag();
+        let next = self.next_rank();
+        let mut work = buf.to_vec();
+        // Start one chunk earlier than the all-reduce phase so the final
+        // reduction lands in this rank's own chunk.
+        for s in 0..p - 1 {
+            let send_idx = (self.rank + 2 * p - s - 1) % p;
+            let recv_idx = (self.rank + 2 * p - s - 2) % p;
+            let sr = Self::chunk_range(n, p, send_idx);
+            self.send_internal(next, tag + s as u64, &work[sr], dtype, TrafficClass::Collective);
+            let incoming = self.recv(self.prev_rank(), tag + s as u64);
+            let rr = Self::chunk_range(n, p, recv_idx);
+            for (b, x) in work[rr].iter_mut().zip(&incoming) {
+                *b += x;
+            }
+        }
+        work[Self::chunk_range(n, p, self.rank)].to_vec()
+    }
+
+    /// Ring all-gather: every rank contributes `chunk` (equal lengths
+    /// required) and receives the concatenation ordered by rank.
+    pub fn all_gather(&mut self, chunk: &[f32], dtype: DType) -> Vec<f32> {
+        let p = self.world;
+        if p == 1 {
+            return chunk.to_vec();
+        }
+        let tag = self.next_coll_tag();
+        let next = self.next_rank();
+        let m = chunk.len();
+        let mut out = vec![0.0f32; m * p];
+        out[self.rank * m..(self.rank + 1) * m].copy_from_slice(chunk);
+        // At step s, forward the chunk originated by (rank - s).
+        for s in 0..p - 1 {
+            let send_idx = (self.rank + p - s) % p;
+            let recv_idx = (self.rank + p - s - 1) % p;
+            let send_copy = out[send_idx * m..(send_idx + 1) * m].to_vec();
+            self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective);
+            let incoming = self.recv(self.prev_rank(), tag + s as u64);
+            assert_eq!(incoming.len(), m, "all_gather requires equal chunk sizes");
+            out[recv_idx * m..(recv_idx + 1) * m].copy_from_slice(&incoming);
+        }
+        out
+    }
+
+    /// Broadcast `buf` from `root` to every rank (ring pass-along).
+    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>, dtype: DType) {
+        let p = self.world;
+        if p == 1 {
+            return;
+        }
+        let tag = self.next_coll_tag();
+        let dist = (self.rank + p - root) % p;
+        if dist > 0 {
+            *buf = self.recv(self.prev_rank(), tag);
+        }
+        if dist < p - 1 {
+            self.send_internal(self.next_rank(), tag, buf, dtype, TrafficClass::Collective);
+        }
+    }
+
+    /// Synchronise all ranks: no rank returns before every rank has entered.
+    pub fn barrier(&mut self) {
+        let mut token = [0.0f32];
+        self.all_reduce_sum(&mut token, DType::F32);
+    }
+}
+
+/// Builder for a world of communicating ranks.
+#[derive(Debug)]
+pub struct World;
+
+impl World {
+    /// Create `p` communicators over instant links.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(p: usize) -> Vec<Communicator> {
+        Self::with_links(p, LinkModel::instant())
+    }
+
+    /// Create `p` communicators whose deliveries are paced by `link`.
+    pub fn with_links(p: usize, link: LinkModel) -> Vec<Communicator> {
+        assert!(p >= 1, "world size must be at least 1");
+        let meter = TrafficMeter::new(p);
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        for src in 0..p {
+            for dst in 0..p {
+                if src == dst {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                senders[src][dst] = Some(tx);
+                // dst's inbox, indexed by src.
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        let mut comms = Vec::with_capacity(p);
+        for (rank, (outs, ins)) in senders.into_iter().zip(receivers).enumerate() {
+            // Self-channels are never used; fill with a dummy pair so
+            // indexing stays direct.
+            let outbox = outs
+                .into_iter()
+                .map(|o| o.unwrap_or_else(|| unbounded().0))
+                .collect();
+            let inbox = ins
+                .into_iter()
+                .map(|i| i.unwrap_or_else(|| unbounded().1))
+                .collect();
+            comms.push(Communicator {
+                rank,
+                world: p,
+                outbox,
+                inbox,
+                pending: (0..p).map(|_| VecDeque::new()).collect(),
+                link,
+                meter: meter.clone(),
+                coll_seq: 0,
+            });
+        }
+        comms
+    }
+
+    /// Run one closure per rank on its own OS thread and collect the results
+    /// in rank order. Panics in any rank propagate.
+    pub fn run<T, F>(p: usize, link: LinkModel, f: F) -> (Vec<T>, TrafficMeter)
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        let comms = Self::with_links(p, link);
+        let meter = comms[0].meter().clone();
+        let f = &f;
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| s.spawn(move || f(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect::<Vec<T>>()
+        });
+        (results, meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_roundtrip() {
+        let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 7, &[1.0, 2.0, 3.0], DType::F32);
+                0.0
+            } else {
+                c.recv(0, 7).iter().sum::<f32>()
+            }
+        });
+        assert_eq!(vals[1], 6.0);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[10.0], DType::F32);
+                c.send(1, 2, &[20.0], DType::F32);
+                c.send(1, 3, &[30.0], DType::F32);
+                vec![]
+            } else {
+                // Receive in reverse tag order.
+                let a = c.recv(0, 3);
+                let b = c.recv(0, 2);
+                let d = c.recv(0, 1);
+                vec![a[0], b[0], d[0]]
+            }
+        });
+        assert_eq!(vals[1], vec![30.0, 20.0, 10.0]);
+    }
+
+    #[test]
+    fn fp16_wire_quantizes() {
+        let (vals, meter) = World::run(2, LinkModel::instant(), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &[1.0 + 2f32.powi(-13)], DType::F16);
+                0.0
+            } else {
+                c.recv(0, 0)[0]
+            }
+        });
+        assert_eq!(vals[1], 1.0, "payload must round-trip through fp16");
+        assert_eq!(meter.rank(0).p2p_bytes, 2, "1 element × 2 bytes");
+    }
+
+    #[test]
+    fn ring_exchange_rotates() {
+        let (vals, _) = World::run(4, LinkModel::instant(), |mut c| {
+            let mine = [c.rank() as f32];
+            c.ring_exchange(9, &mine, DType::F32)[0]
+        });
+        assert_eq!(vals, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_reduce_sums_everywhere() {
+        for p in [1usize, 2, 3, 4, 7] {
+            let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
+                let mut buf: Vec<f32> =
+                    (0..10).map(|i| (c.rank() * 10 + i) as f32).collect();
+                c.all_reduce_sum(&mut buf, DType::F32);
+                buf
+            });
+            let expect: Vec<f32> = (0..10)
+                .map(|i| (0..p).map(|r| (r * 10 + i) as f32).sum())
+                .collect();
+            for (r, v) in vals.iter().enumerate() {
+                assert_eq!(v, &expect, "p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_uneven_length() {
+        // n not divisible by p exercises the uneven chunking.
+        let p = 4;
+        let n = 13;
+        let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
+            let mut buf = vec![(c.rank() + 1) as f32; n];
+            c.all_reduce_sum(&mut buf, DType::F32);
+            buf
+        });
+        for v in &vals {
+            assert_eq!(v, &vec![10.0; n]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_owned_chunk() {
+        let p = 3;
+        let n = 7;
+        let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
+            let buf: Vec<f32> = (0..n).map(|i| (i * (c.rank() + 1)) as f32).collect();
+            c.reduce_scatter_sum(&buf, DType::F32)
+        });
+        // Sum over ranks of i*(r+1) = i * 6.
+        let full: Vec<f32> = (0..n).map(|i| (i * 6) as f32).collect();
+        assert_eq!(vals[0], full[0..3].to_vec());
+        assert_eq!(vals[1], full[3..5].to_vec());
+        assert_eq!(vals[2], full[5..7].to_vec());
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let p = 4;
+        let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
+            let chunk = vec![c.rank() as f32; 3];
+            c.all_gather(&chunk, DType::F32)
+        });
+        let expect = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        for v in &vals {
+            assert_eq!(v, &expect);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let (vals, _) = World::run(5, LinkModel::instant(), |mut c| {
+            let mut buf = if c.rank() == 2 { vec![42.0, 7.0] } else { vec![] };
+            c.broadcast(2, &mut buf, DType::F32);
+            buf
+        });
+        for v in &vals {
+            assert_eq!(v, &vec![42.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_traffic_matches_ring_formula() {
+        let p = 4;
+        let n = 1024; // divisible by p
+        let (_, meter) = World::run(p, LinkModel::instant(), |mut c| {
+            let mut buf = vec![1.0f32; n];
+            c.all_reduce_sum(&mut buf, DType::F32);
+        });
+        // Each rank sends 2·(P−1) chunks of n/P f32 elements.
+        let expect = (2 * (p - 1) * (n / p) * 4) as u64;
+        for r in 0..p {
+            assert_eq!(meter.rank(r).collective_bytes, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn link_pacing_delays_delivery() {
+        // 1 MB over a 100 MB/s link ≈ 10 ms.
+        let slow = LinkModel { bandwidth_bps: 100e6, latency_s: 0.0 };
+        let start = Instant::now();
+        let (_, _) = World::run(2, slow, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &vec![0.0f32; 250_000], DType::F32);
+            } else {
+                c.recv(0, 0);
+            }
+        });
+        assert!(
+            start.elapsed() >= Duration::from_millis(9),
+            "paced delivery should take ≈10ms, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn barrier_orders_effects() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let violated = AtomicUsize::new(0);
+        World::run(4, LinkModel::instant(), |mut c| {
+            before.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            if before.load(Ordering::SeqCst) != 4 {
+                violated.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violated.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn irecv_wait_pairs_with_send() {
+        let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 5, &[8.0], DType::F32);
+                0.0
+            } else {
+                let h = c.irecv(0, 5);
+                // ... compute would overlap here ...
+                c.wait(h)[0]
+            }
+        });
+        assert_eq!(vals[1], 8.0);
+    }
+
+    #[test]
+    fn batch_isend_irecv_symmetric_exchange() {
+        // Every rank simultaneously ships two payloads around the ring in
+        // both directions; the batched form must complete without deadlock
+        // and deliver in posting order.
+        let p = 4;
+        let (outs, _) = World::run(p, LinkModel::instant(), |mut c| {
+            let r = c.rank() as f32;
+            let fwd = [r];
+            let bwd = [r + 100.0];
+            let next = c.next_rank();
+            let prev = c.prev_rank();
+            let got = c.batch_isend_irecv(
+                &[(next, 1, &fwd), (prev, 2, &bwd)],
+                &[(prev, 1), (next, 2)],
+                DType::F32,
+            );
+            (got[0][0], got[1][0])
+        });
+        for (r, &(from_prev, from_next)) in outs.iter().enumerate() {
+            assert_eq!(from_prev, ((r + p - 1) % p) as f32);
+            assert_eq!(from_next, ((r + 1) % p) as f32 + 100.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for collectives")]
+    fn reserved_tags_rejected() {
+        let mut comms = World::new(2);
+        let c = comms.remove(0);
+        c.send(1, COLLECTIVE_TAG_BASE, &[0.0], DType::F32);
+    }
+}

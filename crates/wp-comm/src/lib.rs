@@ -1,0 +1,38 @@
+//! # wp-comm
+//!
+//! A thread-based stand-in for NCCL: the communication substrate the WeiPipe
+//! runtime trains over.
+//!
+//! The paper's cluster is ranks connected by NVLink inside a server and
+//! PCIe / 10 Gb Ethernet between servers, exchanging fp16/bf16 buffers via
+//! NCCL P2P (`batch_isend_irecv`) and ring collectives. Here each rank is an
+//! OS thread, each directed rank pair an unbounded channel, and each message
+//! is quantized through its declared wire dtype and charged byte-exactly to
+//! a shared [`TrafficMeter`]. A [`LinkModel`] reproduces the bandwidth and
+//! latency of the paper's three interconnects and can pace deliveries in
+//! real time, so communication-constrained behaviour is observable even in
+//! the real (non-simulated) runtime.
+//!
+//! ```
+//! use wp_comm::{World, LinkModel};
+//! use wp_tensor::DType;
+//!
+//! // Sum a vector across 4 ranks with the ring all-reduce.
+//! let (results, meter) = World::run(4, LinkModel::instant(), |mut comm| {
+//!     let mut buf = vec![comm.rank() as f32; 8];
+//!     comm.all_reduce_sum(&mut buf, DType::F32);
+//!     buf[0]
+//! });
+//! assert!(results.iter().all(|&x| x == 6.0)); // 0+1+2+3
+//! assert!(meter.total_bytes() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod link;
+pub mod meter;
+
+pub use comm::{Communicator, RecvHandle, World};
+pub use link::LinkModel;
+pub use meter::{RankTraffic, TrafficClass, TrafficMeter};

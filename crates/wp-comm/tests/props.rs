@@ -1,0 +1,125 @@
+//! Property-based tests for the collectives: ring algorithms must equal
+//! their serial definitions for arbitrary world sizes and payloads.
+
+use proptest::prelude::*;
+use wp_comm::{LinkModel, World};
+use wp_tensor::DType;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_reduce_equals_serial_sum(
+        p in 2usize..6,
+        n in 1usize..40,
+        seed in 0u64..1000
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|r| {
+                (0..n)
+                    .map(|i| ((seed + r as u64 * 31 + i as u64 * 7) % 97) as f32 - 48.0)
+                    .collect()
+            })
+            .collect();
+        let expect: Vec<f32> =
+            (0..n).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+        let inputs_ref = &inputs;
+        let (outs, _) = World::run(p, LinkModel::instant(), move |mut c| {
+            let mut buf = inputs_ref[c.rank()].clone();
+            c.all_reduce_sum(&mut buf, DType::F32);
+            buf
+        });
+        for (r, out) in outs.iter().enumerate() {
+            for (a, b) in out.iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-3, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce(
+        p in 2usize..6,
+        chunks in 1usize..6,
+        seed in 0u64..1000
+    ) {
+        // Equal-size chunks so all_gather applies directly.
+        let n = p * chunks;
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|r| (0..n).map(|i| ((seed + r as u64 + i as u64 * 13) % 53) as f32).collect())
+            .collect();
+        let inputs_ref = &inputs;
+        let (outs, _) = World::run(p, LinkModel::instant(), move |mut c| {
+            let mine = inputs_ref[c.rank()].clone();
+            let shard = c.reduce_scatter_sum(&mine, DType::F32);
+            let gathered = c.all_gather(&shard, DType::F32);
+            let mut reduced = inputs_ref[c.rank()].clone();
+            c.all_reduce_sum(&mut reduced, DType::F32);
+            (gathered, reduced)
+        });
+        for (gathered, reduced) in outs {
+            for (a, b) in gathered.iter().zip(&reduced) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates_any_root(
+        p in 2usize..6,
+        root in 0usize..6,
+        n in 1usize..20,
+        seed in 0u64..1000
+    ) {
+        let root = root % p;
+        let payload: Vec<f32> = (0..n).map(|i| (seed as f32) + i as f32).collect();
+        let payload_ref = &payload;
+        let (outs, _) = World::run(p, LinkModel::instant(), move |mut c| {
+            let mut buf = if c.rank() == root { payload_ref.clone() } else { Vec::new() };
+            c.broadcast(root, &mut buf, DType::F32);
+            buf
+        });
+        for out in outs {
+            prop_assert_eq!(&out, payload_ref);
+        }
+    }
+
+    #[test]
+    fn ring_exchange_is_a_rotation(p in 2usize..7, seed in 0u64..1000) {
+        let (outs, _) = World::run(p, LinkModel::instant(), move |mut c| {
+            let mine = [c.rank() as f32 + seed as f32];
+            c.ring_exchange(11, &mine, DType::F32)[0]
+        });
+        for (r, v) in outs.iter().enumerate() {
+            let prev = (r + p - 1) % p;
+            prop_assert_eq!(*v, prev as f32 + seed as f32);
+        }
+    }
+
+    #[test]
+    fn tag_matching_is_order_independent(
+        perm_seed in 0u64..1000
+    ) {
+        // Rank 0 sends 6 tagged messages; rank 1 receives them in a
+        // shuffled order and must get the right payloads.
+        let mut order: Vec<u64> = (0..6).collect();
+        // Cheap deterministic shuffle.
+        for i in (1..order.len()).rev() {
+            let j = ((perm_seed.wrapping_mul(2654435761).wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let order_ref = &order;
+        let (outs, _) = World::run(2, LinkModel::instant(), move |mut c| {
+            if c.rank() == 0 {
+                for t in 0..6u64 {
+                    c.send(1, t, &[t as f32 * 10.0], DType::F32);
+                }
+                vec![]
+            } else {
+                order_ref.iter().map(|&t| c.recv(0, t)[0]).collect()
+            }
+        });
+        for (i, &t) in order.iter().enumerate() {
+            prop_assert_eq!(outs[1][i], t as f32 * 10.0);
+        }
+    }
+}

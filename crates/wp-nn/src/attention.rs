@@ -1,0 +1,466 @@
+//! Causal multi-head self-attention: a naive kernel that materialises the
+//! probability matrix, and a streaming kernel in the FlashAttention style.
+//!
+//! Inputs `q`, `k`, `v` are `[G·S, H]` buffers (already RoPE-rotated), where
+//! head `h` of token `(g, s)` lives at `((g·S + s)·H + h·d)..+d`. The
+//! streaming kernel keeps one score row alive at a time and saves only the
+//! per-row log-sum-exp for backward, so attention activation memory is
+//! `O(G·S·H)` instead of `O(G·heads·S²)` — the memory behaviour that lets
+//! the paper run large microbatches and makes FFN activations (not
+//! attention) the dominant term in its §3.4 memory analysis.
+
+/// Saved state the backward pass needs, depending on the kernel.
+#[derive(Debug, Clone)]
+pub enum AttnCtx {
+    /// Naive: the full probability tensor `[G, heads, S, S]`.
+    Naive {
+        /// Softmax probabilities, causal-masked.
+        probs: Vec<f32>,
+    },
+    /// Streaming: per-row log-sum-exp `[G, heads, S]`.
+    Streaming {
+        /// `log Σ exp(scores)` per query row, for backward recomputation.
+        lse: Vec<f32>,
+    },
+}
+
+impl AttnCtx {
+    /// Elements retained for backward — the number the memory ledger charges.
+    pub fn saved_elems(&self) -> usize {
+        match self {
+            AttnCtx::Naive { probs } => probs.len(),
+            AttnCtx::Streaming { lse } => lse.len(),
+        }
+    }
+}
+
+/// Dimensions bundle shared by the kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct AttnDims {
+    /// Microbatch size `G`.
+    pub batch: usize,
+    /// Sequence length `S`.
+    pub seq: usize,
+    /// Query head count.
+    pub heads: usize,
+    /// Key/value head count (grouped-query attention when `< heads`;
+    /// must divide `heads`).
+    pub kv_heads: usize,
+    /// Per-head dimension `d = H / heads`.
+    pub head_dim: usize,
+}
+
+impl AttnDims {
+    /// Multi-head dims (`kv_heads = heads`).
+    pub fn mha(batch: usize, seq: usize, heads: usize, head_dim: usize) -> Self {
+        AttnDims { batch, seq, heads, kv_heads: heads, head_dim }
+    }
+
+    #[inline]
+    fn hidden(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// Width of the k/v buffers per token.
+    #[inline]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim
+    }
+
+    /// The k/v head serving query head `h`.
+    #[inline]
+    fn kv_of(&self, h: usize) -> usize {
+        h / (self.heads / self.kv_heads)
+    }
+
+    /// Offset of token `(g, s)` query head `h` in a `[G·S, H]` buffer.
+    #[inline]
+    fn off(&self, g: usize, s: usize, h: usize) -> usize {
+        (g * self.seq + s) * self.hidden() + h * self.head_dim
+    }
+
+    /// Offset of token `(g, s)` for query head `h`'s k/v group in a
+    /// `[G·S, kv_dim]` buffer.
+    #[inline]
+    fn kv_off(&self, g: usize, s: usize, h: usize) -> usize {
+        (g * self.seq + s) * self.kv_dim() + self.kv_of(h) * self.head_dim
+    }
+
+    #[inline]
+    fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+
+    fn check(&self) {
+        assert!(self.kv_heads >= 1 && self.heads.is_multiple_of(self.kv_heads),
+            "kv_heads must divide heads");
+    }
+}
+
+/// Causal attention forward with the full probability matrix retained.
+pub fn naive_forward(o: &mut [f32], q: &[f32], k: &[f32], v: &[f32], dims: AttnDims) -> AttnCtx {
+    dims.check();
+    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let n = batch * seq * dims.hidden();
+    let nkv = batch * seq * dims.kv_dim();
+    assert_eq!(q.len(), n);
+    assert_eq!(k.len(), nkv);
+    assert_eq!(v.len(), nkv);
+    assert_eq!(o.len(), n);
+    let scale = dims.scale();
+    let mut probs = vec![0.0f32; batch * heads * seq * seq];
+    for g in 0..batch {
+        for h in 0..heads {
+            let pbase = ((g * heads) + h) * seq * seq;
+            for i in 0..seq {
+                let qi = &q[dims.off(g, i, h)..dims.off(g, i, h) + head_dim];
+                let prow = &mut probs[pbase + i * seq..pbase + (i + 1) * seq];
+                // Scores for j ≤ i.
+                let mut max = f32::NEG_INFINITY;
+                for (j, pj) in prow.iter_mut().enumerate().take(i + 1) {
+                    let kj = &k[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
+                    let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    *pj = s;
+                    max = max.max(s);
+                }
+                let mut sum = 0.0f32;
+                for pj in prow.iter_mut().take(i + 1) {
+                    *pj = (*pj - max).exp();
+                    sum += *pj;
+                }
+                let inv = 1.0 / sum;
+                for pj in prow.iter_mut().take(i + 1) {
+                    *pj *= inv;
+                }
+                // o_i = Σ_j p_ij v_j
+                let ooff = dims.off(g, i, h);
+                let orow = &mut o[ooff..ooff + head_dim];
+                orow.fill(0.0);
+                for j in 0..=i {
+                    let p = prow[j];
+                    let vj = &v[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
+                    for (od, vd) in orow.iter_mut().zip(vj) {
+                        *od += p * vd;
+                    }
+                }
+            }
+        }
+    }
+    AttnCtx::Naive { probs }
+}
+
+/// Backward of [`naive_forward`]. Accumulates into `dq`, `dk`, `dv`.
+#[allow(clippy::too_many_arguments)]
+pub fn naive_backward(
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    dout: &[f32],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    ctx: &AttnCtx,
+    dims: AttnDims,
+) {
+    dims.check();
+    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let probs = match ctx {
+        AttnCtx::Naive { probs } => probs,
+        _ => panic!("naive_backward needs a Naive ctx"),
+    };
+    let scale = dims.scale();
+    let mut ds = vec![0.0f32; seq]; // one score-gradient row at a time
+    for g in 0..batch {
+        for h in 0..heads {
+            let pbase = ((g * heads) + h) * seq * seq;
+            for i in 0..seq {
+                let qoff = dims.off(g, i, h);
+                let doi = &dout[qoff..qoff + head_dim];
+                let prow = &probs[pbase + i * seq..pbase + (i + 1) * seq];
+                // dp_ij = do_i · v_j ; softmax backward: ds = p ⊙ (dp − Σ p·dp)
+                let mut dot = 0.0f32;
+                for (j, dsj) in ds.iter_mut().enumerate().take(i + 1) {
+                    let voff = dims.kv_off(g, j, h);
+                    let dp: f32 = doi
+                        .iter()
+                        .zip(&v[voff..voff + head_dim])
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    *dsj = dp;
+                    dot += prow[j] * dp;
+                }
+                for (j, dsj) in ds.iter_mut().enumerate().take(i + 1) {
+                    *dsj = prow[j] * (*dsj - dot);
+                }
+                // dv_j += p_ij · do_i ; dq_i += scale·Σ ds_ij k_j ; dk_j += scale·ds_ij q_i
+                for j in 0..=i {
+                    let koff = dims.kv_off(g, j, h);
+                    let p = prow[j];
+                    let dsj = ds[j] * scale;
+                    for d in 0..head_dim {
+                        dv[koff + d] += p * doi[d];
+                        dq[qoff + d] += dsj * k[koff + d];
+                        dk[koff + d] += dsj * q[qoff + d];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming (online-softmax) causal attention forward.
+///
+/// One score row is alive at a time; saves only per-row log-sum-exp.
+pub fn streaming_forward(
+    o: &mut [f32],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    dims: AttnDims,
+) -> AttnCtx {
+    dims.check();
+    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let n = batch * seq * dims.hidden();
+    let nkv = batch * seq * dims.kv_dim();
+    assert_eq!(q.len(), n);
+    assert_eq!(k.len(), nkv);
+    assert_eq!(v.len(), nkv);
+    assert_eq!(o.len(), n);
+    let scale = dims.scale();
+    let mut lse = vec![0.0f32; batch * heads * seq];
+    let mut row = vec![0.0f32; seq];
+    for g in 0..batch {
+        for h in 0..heads {
+            for i in 0..seq {
+                let qi = &q[dims.off(g, i, h)..dims.off(g, i, h) + head_dim];
+                let mut max = f32::NEG_INFINITY;
+                for (j, rj) in row.iter_mut().enumerate().take(i + 1) {
+                    let kj = &k[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
+                    let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    *rj = s;
+                    max = max.max(s);
+                }
+                let mut sum = 0.0f32;
+                for rj in row.iter_mut().take(i + 1) {
+                    *rj = (*rj - max).exp();
+                    sum += *rj;
+                }
+                lse[(g * heads + h) * seq + i] = max + sum.ln();
+                let inv = 1.0 / sum;
+                let ooff = dims.off(g, i, h);
+                let orow = &mut o[ooff..ooff + head_dim];
+                orow.fill(0.0);
+                for j in 0..=i {
+                    let p = row[j] * inv;
+                    let vj = &v[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
+                    for (od, vd) in orow.iter_mut().zip(vj) {
+                        *od += p * vd;
+                    }
+                }
+            }
+        }
+    }
+    AttnCtx::Streaming { lse }
+}
+
+/// Backward of [`streaming_forward`]: recomputes probability rows from `q`,
+/// `k` and the saved log-sum-exp (the FlashAttention backward recipe).
+/// Accumulates into `dq`, `dk`, `dv`.
+#[allow(clippy::too_many_arguments)]
+pub fn streaming_backward(
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    dout: &[f32],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    o: &[f32],
+    ctx: &AttnCtx,
+    dims: AttnDims,
+) {
+    dims.check();
+    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let lse = match ctx {
+        AttnCtx::Streaming { lse } => lse,
+        _ => panic!("streaming_backward needs a Streaming ctx"),
+    };
+    let scale = dims.scale();
+    let mut prow = vec![0.0f32; seq];
+    #[allow(clippy::needless_range_loop)]
+    for g in 0..batch {
+        for h in 0..heads {
+            for i in 0..seq {
+                let qoff = dims.off(g, i, h);
+                let qi = &q[qoff..qoff + head_dim];
+                let doi = &dout[qoff..qoff + head_dim];
+                let oi = &o[qoff..qoff + head_dim];
+                // D_i = do_i · o_i (the softmax-backward dot, since
+                // Σ_j p_ij dp_ij = do_i · Σ_j p_ij v_j = do_i · o_i).
+                let dterm: f32 = doi.iter().zip(oi).map(|(a, b)| a * b).sum();
+                let l = lse[(g * heads + h) * seq + i];
+                for (j, pj) in prow.iter_mut().enumerate().take(i + 1) {
+                    let koff = dims.kv_off(g, j, h);
+                    let kj = &k[koff..koff + head_dim];
+                    let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    *pj = (s - l).exp();
+                }
+                for j in 0..=i {
+                    let koff = dims.kv_off(g, j, h);
+                    let p = prow[j];
+                    // dp_ij = do_i · v_j
+                    let dp: f32 = doi
+                        .iter()
+                        .zip(&v[koff..koff + head_dim])
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    let dsj = p * (dp - dterm) * scale;
+                    for d in 0..head_dim {
+                        dv[koff + d] += p * doi[d];
+                        dq[qoff + d] += dsj * k[koff + d];
+                        dk[koff + d] += dsj * q[qoff + d];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_tensor::Tensor;
+
+    fn dims() -> AttnDims {
+        AttnDims::mha(2, 5, 2, 4)
+    }
+
+    fn rand_qkv(dims: AttnDims, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let n = dims.batch * dims.seq * dims.heads * dims.head_dim;
+        (
+            Tensor::randn([n], 0.5, seed).into_vec(),
+            Tensor::randn([n], 0.5, seed + 1).into_vec(),
+            Tensor::randn([n], 0.5, seed + 2).into_vec(),
+        )
+    }
+
+    #[test]
+    fn streaming_matches_naive_forward() {
+        let d = dims();
+        let (q, k, v) = rand_qkv(d, 50);
+        let n = q.len();
+        let mut o1 = vec![0.0; n];
+        let mut o2 = vec![0.0; n];
+        naive_forward(&mut o1, &q, &k, &v, d);
+        streaming_forward(&mut o2, &q, &k, &v, d);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn causality_future_tokens_have_no_influence() {
+        let d = AttnDims::mha(1, 4, 1, 4);
+        let (q, k, v) = rand_qkv(d, 51);
+        let n = q.len();
+        let mut o1 = vec![0.0; n];
+        streaming_forward(&mut o1, &q, &k, &v, d);
+        // Perturb the last token's k and v: outputs of earlier tokens must
+        // not change.
+        let mut k2 = k.clone();
+        let mut v2 = v.clone();
+        for x in &mut k2[3 * 4..] {
+            *x += 10.0;
+        }
+        for x in &mut v2[3 * 4..] {
+            *x -= 5.0;
+        }
+        let mut o2 = vec![0.0; n];
+        streaming_forward(&mut o2, &q, &k2, &v2, d);
+        assert_eq!(&o1[..3 * 4], &o2[..3 * 4], "earlier rows changed");
+        assert_ne!(&o1[3 * 4..], &o2[3 * 4..], "last row should change");
+    }
+
+    #[test]
+    fn first_token_attends_only_itself() {
+        let d = AttnDims::mha(1, 3, 1, 2);
+        let q = vec![1.0; 6];
+        let k = vec![1.0; 6];
+        let v = vec![7.0, 8.0, 1.0, 2.0, 3.0, 4.0];
+        let mut o = vec![0.0; 6];
+        streaming_forward(&mut o, &q, &k, &v, d);
+        assert!((o[0] - 7.0).abs() < 1e-6 && (o[1] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streaming_backward_matches_numeric() {
+        let d = AttnDims::mha(1, 4, 2, 2);
+        let (q, k, v) = rand_qkv(d, 52);
+        let n = q.len();
+        let dout = Tensor::randn([n], 1.0, 53).into_vec();
+        let loss = |q: &[f32], k: &[f32], v: &[f32]| -> f32 {
+            let mut o = vec![0.0; n];
+            streaming_forward(&mut o, q, k, v, d);
+            o.iter().zip(&dout).map(|(a, b)| a * b).sum()
+        };
+        let mut o = vec![0.0; n];
+        let ctx = streaming_forward(&mut o, &q, &k, &v, d);
+        let (mut dq, mut dk, mut dv) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        streaming_backward(&mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, d);
+        let h = 1e-2;
+        for i in 0..n {
+            let mut qp = q.clone();
+            qp[i] += h;
+            let mut qm = q.clone();
+            qm[i] -= h;
+            let num = (loss(&qp, &k, &v) - loss(&qm, &k, &v)) / (2.0 * h);
+            assert!((dq[i] - num).abs() < 2e-2, "dq[{i}]: {} vs {num}", dq[i]);
+
+            let mut kp = k.clone();
+            kp[i] += h;
+            let mut km = k.clone();
+            km[i] -= h;
+            let num = (loss(&q, &kp, &v) - loss(&q, &km, &v)) / (2.0 * h);
+            assert!((dk[i] - num).abs() < 2e-2, "dk[{i}]: {} vs {num}", dk[i]);
+
+            let mut vp = v.clone();
+            vp[i] += h;
+            let mut vm = v.clone();
+            vm[i] -= h;
+            let num = (loss(&q, &k, &vp) - loss(&q, &k, &vm)) / (2.0 * h);
+            assert!((dv[i] - num).abs() < 2e-2, "dv[{i}]: {} vs {num}", dv[i]);
+        }
+    }
+
+    #[test]
+    fn naive_and_streaming_backwards_agree() {
+        let d = dims();
+        let (q, k, v) = rand_qkv(d, 55);
+        let n = q.len();
+        let dout = Tensor::randn([n], 1.0, 56).into_vec();
+        let mut o = vec![0.0; n];
+        let nctx = naive_forward(&mut o, &q, &k, &v, d);
+        let (mut dq1, mut dk1, mut dv1) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        naive_backward(&mut dq1, &mut dk1, &mut dv1, &dout, &q, &k, &v, &nctx, d);
+        let sctx = streaming_forward(&mut o, &q, &k, &v, d);
+        let (mut dq2, mut dk2, mut dv2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        streaming_backward(&mut dq2, &mut dk2, &mut dv2, &dout, &q, &k, &v, &o, &sctx, d);
+        for i in 0..n {
+            assert!((dq1[i] - dq2[i]).abs() < 1e-4, "dq[{i}]");
+            assert!((dk1[i] - dk2[i]).abs() < 1e-4, "dk[{i}]");
+            assert!((dv1[i] - dv2[i]).abs() < 1e-4, "dv[{i}]");
+        }
+    }
+
+    #[test]
+    fn ctx_memory_footprints() {
+        let d = dims();
+        let (q, k, v) = rand_qkv(d, 54);
+        let mut o = vec![0.0; q.len()];
+        let naive = naive_forward(&mut o, &q, &k, &v, d);
+        let streaming = streaming_forward(&mut o, &q, &k, &v, d);
+        assert_eq!(naive.saved_elems(), d.batch * d.heads * d.seq * d.seq);
+        assert_eq!(streaming.saved_elems(), d.batch * d.heads * d.seq);
+        assert!(streaming.saved_elems() < naive.saved_elems());
+    }
+}

@@ -1,0 +1,193 @@
+//! Embedding input layer and the output head (final RMSNorm + projection +
+//! fused cross-entropy).
+//!
+//! In WeiPipe these two are *replicated* on every worker (each worker runs
+//! whole microbatches end to end) with their small gradients all-reduced
+//! once per iteration; in activation-passing pipelines they live on the
+//! first and last stage respectively. Both runtimes use the functions here.
+
+use crate::config::ModelConfig;
+use crate::params::HeadLayout;
+use wp_tensor::ops::{
+    cross_entropy_forward_backward, embedding_backward, embedding_forward, matmul_nn, matmul_nt,
+    matmul_tn, rmsnorm_backward, rmsnorm_forward,
+};
+
+/// Look up token embeddings: `[tokens] -> [tokens, H]`.
+pub fn embed_forward(cfg: &ModelConfig, embed_w: &[f32], ids: &[u32]) -> Vec<f32> {
+    let mut x = vec![0.0f32; ids.len() * cfg.hidden];
+    embedding_forward(&mut x, embed_w, ids, cfg.vocab, cfg.hidden);
+    x
+}
+
+/// Accumulate embedding gradients from `dx` (`[tokens, H]`).
+pub fn embed_backward(cfg: &ModelConfig, dembed: &mut [f32], dx: &[f32], ids: &[u32]) {
+    embedding_backward(dembed, dx, ids, cfg.vocab, cfg.hidden);
+}
+
+/// Saved state for the head backward.
+#[derive(Debug, Clone)]
+pub struct HeadCtx {
+    /// Head input (last block's output).
+    x: Vec<f32>,
+    xn: Vec<f32>,
+    inv_rms: Vec<f32>,
+}
+
+impl HeadCtx {
+    /// Saved f32 elements.
+    pub fn saved_elems(&self) -> usize {
+        self.x.len() + self.xn.len() + self.inv_rms.len()
+    }
+}
+
+/// Head forward: final RMSNorm then projection to logits `[tokens, vocab]`.
+pub fn head_forward(cfg: &ModelConfig, head_w: &[f32], x: &[f32]) -> (Vec<f32>, HeadCtx) {
+    let h = cfg.hidden;
+    let tokens = x.len() / h;
+    assert_eq!(x.len(), tokens * h);
+    let lay = HeadLayout::new(cfg);
+    assert_eq!(head_w.len(), lay.len());
+    let mut xn = vec![0.0f32; tokens * h];
+    let mut inv_rms = vec![0.0f32; tokens];
+    rmsnorm_forward(&mut xn, Some(&mut inv_rms), x, &head_w[lay.norm()], tokens, h, cfg.eps);
+    let mut logits = vec![0.0f32; tokens * cfg.vocab];
+    matmul_nt(&mut logits, &xn, &head_w[lay.wout()], tokens, h, cfg.vocab);
+    (logits, HeadCtx { x: x.to_vec(), xn, inv_rms })
+}
+
+/// Fused loss + head backward.
+///
+/// Computes the mean cross-entropy of `logits` against `targets`, then
+/// back-propagates through the projection and final norm. `grad_scale`
+/// multiplies the logits gradient — callers use it for `1/N` microbatch
+/// averaging and for fp16 loss scaling. Gradients accumulate into `dhead`;
+/// returns `(loss, ∂L/∂x)`.
+pub fn head_loss_backward(
+    cfg: &ModelConfig,
+    head_w: &[f32],
+    ctx: &HeadCtx,
+    logits: &[f32],
+    targets: &[u32],
+    dhead: &mut [f32],
+    grad_scale: f32,
+) -> (f32, Vec<f32>) {
+    let h = cfg.hidden;
+    let v = cfg.vocab;
+    let tokens = targets.len();
+    assert_eq!(logits.len(), tokens * v);
+    let lay = HeadLayout::new(cfg);
+    assert_eq!(dhead.len(), lay.len());
+
+    let mut dlogits = vec![0.0f32; tokens * v];
+    let loss = cross_entropy_forward_backward(&mut dlogits, logits, targets, v);
+    if grad_scale != 1.0 {
+        for d in &mut dlogits {
+            *d *= grad_scale;
+        }
+    }
+
+    matmul_tn(&mut dhead[lay.wout()], &dlogits, &ctx.xn, v, tokens, h);
+    let mut dxn = vec![0.0f32; tokens * h];
+    matmul_nn(&mut dxn, &dlogits, &head_w[lay.wout()], tokens, v, h);
+
+    let mut dx = vec![0.0f32; tokens * h];
+    // Split dhead to satisfy the borrow checker: norm gain grads live at the
+    // front of the buffer.
+    let (norm_grad, _) = dhead.split_at_mut(lay.norm().end);
+    rmsnorm_backward(
+        &mut dx,
+        norm_grad,
+        &dxn,
+        &ctx.x,
+        &head_w[lay.norm()],
+        &ctx.inv_rms,
+        tokens,
+        h,
+    );
+    (loss, dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{init_embed, init_head};
+    use wp_tensor::ops::cross_entropy_loss;
+    use wp_tensor::Tensor;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::tiny(1)
+    }
+
+    #[test]
+    fn embed_roundtrip_shapes() {
+        let c = cfg();
+        let w = init_embed(&c, 1);
+        let ids = [0u32, 3, 10, 3];
+        let x = embed_forward(&c, &w, &ids);
+        assert_eq!(x.len(), 4 * c.hidden);
+        // Rows for equal ids are equal.
+        assert_eq!(&x[c.hidden..2 * c.hidden], &x[3 * c.hidden..4 * c.hidden]);
+        let mut d = vec![0.0; w.len()];
+        embed_backward(&c, &mut d, &x, &ids);
+        assert!(d.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn head_gradcheck() {
+        let c = cfg();
+        let hw = init_head(&c, 2);
+        let tokens = 3;
+        let x = Tensor::randn([tokens * c.hidden], 0.5, 71).into_vec();
+        let targets = [1u32, 5, 9];
+
+        let loss_fn = |hw: &[f32], x: &[f32]| -> f32 {
+            let (logits, _) = head_forward(&c, hw, x);
+            cross_entropy_loss(&logits, &targets, c.vocab)
+        };
+
+        let (logits, ctx) = head_forward(&c, &hw, &x);
+        let mut dhead = vec![0.0f32; hw.len()];
+        let (loss, dx) =
+            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut dhead, 1.0);
+        assert!((loss - loss_fn(&hw, &x)).abs() < 1e-5);
+
+        let step = 5e-3;
+        for i in (0..hw.len()).step_by(hw.len() / 17) {
+            let mut wp = hw.clone();
+            wp[i] += step;
+            let mut wm = hw.clone();
+            wm[i] -= step;
+            let num = (loss_fn(&wp, &x) - loss_fn(&wm, &x)) / (2.0 * step);
+            assert!((dhead[i] - num).abs() < 2e-2, "dhead[{i}] {} vs {num}", dhead[i]);
+        }
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp[i] += step;
+            let mut xm = x.clone();
+            xm[i] -= step;
+            let num = (loss_fn(&hw, &xp) - loss_fn(&hw, &xm)) / (2.0 * step);
+            assert!((dx[i] - num).abs() < 2e-2, "dx[{i}] {} vs {num}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn grad_scale_scales_gradients_not_loss() {
+        let c = cfg();
+        let hw = init_head(&c, 3);
+        let x = Tensor::randn([2 * c.hidden], 0.5, 72).into_vec();
+        let targets = [0u32, 4];
+        let (logits, ctx) = head_forward(&c, &hw, &x);
+        let mut d1 = vec![0.0f32; hw.len()];
+        let (l1, dx1) = head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d1, 1.0);
+        let mut d2 = vec![0.0f32; hw.len()];
+        let (l2, dx2) = head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d2, 0.5);
+        assert_eq!(l1, l2);
+        for i in 0..hw.len() {
+            assert!((d2[i] - 0.5 * d1[i]).abs() < 1e-6);
+        }
+        for i in 0..dx1.len() {
+            assert!((dx2[i] - 0.5 * dx1[i]).abs() < 1e-6);
+        }
+    }
+}

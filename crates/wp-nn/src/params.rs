@@ -1,0 +1,223 @@
+//! Flat parameter buffers and their layouts.
+//!
+//! WeiPipe's unit of communication is "one layer's weights" (`W_j`) or "one
+//! layer's weight gradients" (`D_j`). Both are stored as a single contiguous
+//! `Vec<f32>` described by [`BlockLayout`], so shipping a layer is one
+//! message and accumulating circulating gradients is one `axpy`.
+
+use crate::config::ModelConfig;
+use std::ops::Range;
+use wp_tensor::Tensor;
+
+/// Byte-offset map of one transformer block's flat parameter buffer.
+///
+/// Order: `attn_norm_gain | Wq | Wk | Wv | Wo | ffn_norm_gain | Wg | Wu | Wd`.
+/// All projection matrices are `[out, in]` row-major (PyTorch convention),
+/// so forward is `matmul_nt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    h: usize,
+    f: usize,
+    kv: usize,
+}
+
+impl BlockLayout {
+    /// Layout for a config's dimensions.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        BlockLayout { h: cfg.hidden, f: cfg.ffn, kv: cfg.kv_dim() }
+    }
+
+    /// Total element count of the flat buffer.
+    pub fn len(&self) -> usize {
+        2 * self.h * self.h + 2 * self.kv * self.h + 3 * self.h * self.f + 2 * self.h
+    }
+
+    /// True iff the layout is degenerate (never for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// RMSNorm gain before attention, length `H`.
+    pub fn attn_norm(&self) -> Range<usize> {
+        0..self.h
+    }
+
+    /// Query projection `[H, H]`.
+    pub fn wq(&self) -> Range<usize> {
+        let s = self.h;
+        s..s + self.h * self.h
+    }
+
+    /// Key projection `[kv_dim, H]`.
+    pub fn wk(&self) -> Range<usize> {
+        let s = self.wq().end;
+        s..s + self.kv * self.h
+    }
+
+    /// Value projection `[kv_dim, H]`.
+    pub fn wv(&self) -> Range<usize> {
+        let s = self.wk().end;
+        s..s + self.kv * self.h
+    }
+
+    /// Output projection `[H, H]`.
+    pub fn wo(&self) -> Range<usize> {
+        let s = self.wv().end;
+        s..s + self.h * self.h
+    }
+
+    /// RMSNorm gain before the FFN, length `H`.
+    pub fn ffn_norm(&self) -> Range<usize> {
+        let s = self.wo().end;
+        s..s + self.h
+    }
+
+    /// Gate projection `[F, H]`.
+    pub fn wg(&self) -> Range<usize> {
+        let s = self.ffn_norm().end;
+        s..s + self.f * self.h
+    }
+
+    /// Up projection `[F, H]`.
+    pub fn wu(&self) -> Range<usize> {
+        let s = self.wg().end;
+        s..s + self.f * self.h
+    }
+
+    /// Down projection `[H, F]`.
+    pub fn wd(&self) -> Range<usize> {
+        let s = self.wu().end;
+        s..s + self.h * self.f
+    }
+}
+
+/// Initialise one block's flat parameter buffer.
+///
+/// Projections get N(0, 0.02²) (GPT-2-style), norm gains get 1.0. The seed
+/// is derived from `(base_seed, layer)` so every rank materialises identical
+/// weights without communication.
+pub fn init_block(cfg: &ModelConfig, base_seed: u64, layer: usize) -> Vec<f32> {
+    let lay = BlockLayout::new(cfg);
+    let mut w = vec![0.0f32; lay.len()];
+    let seed = base_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(layer as u64 + 1);
+    let gauss = Tensor::randn([lay.len()], 0.02, seed).into_vec();
+    w.copy_from_slice(&gauss);
+    w[lay.attn_norm()].fill(1.0);
+    w[lay.ffn_norm()].fill(1.0);
+    w
+}
+
+/// Embedding table parameters (`[vocab, H]`, N(0, 0.02²)).
+pub fn init_embed(cfg: &ModelConfig, base_seed: u64) -> Vec<f32> {
+    Tensor::randn([cfg.embed_params()], 0.02, base_seed.wrapping_add(0xE3BD)).into_vec()
+}
+
+/// Output head: `final_norm_gain (H) | W_out [vocab, H]`.
+pub fn init_head(cfg: &ModelConfig, base_seed: u64) -> Vec<f32> {
+    let mut w =
+        Tensor::randn([cfg.head_params()], 0.02, base_seed.wrapping_add(0x4EAD)).into_vec();
+    w[..cfg.hidden].fill(1.0);
+    w
+}
+
+/// Offset map of the head buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadLayout {
+    h: usize,
+    vocab: usize,
+}
+
+impl HeadLayout {
+    /// Layout for a config.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        HeadLayout { h: cfg.hidden, vocab: cfg.vocab }
+    }
+
+    /// Final RMSNorm gain.
+    pub fn norm(&self) -> Range<usize> {
+        0..self.h
+    }
+
+    /// Output projection `[vocab, H]`.
+    pub fn wout(&self) -> Range<usize> {
+        self.h..self.h + self.vocab * self.h
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.h + self.vocab * self.h
+    }
+
+    /// True iff degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::tiny(2)
+    }
+
+    #[test]
+    fn ranges_tile_the_buffer_exactly() {
+        let lay = BlockLayout::new(&cfg());
+        let ranges = [
+            lay.attn_norm(),
+            lay.wq(),
+            lay.wk(),
+            lay.wv(),
+            lay.wo(),
+            lay.ffn_norm(),
+            lay.wg(),
+            lay.wu(),
+            lay.wd(),
+        ];
+        let mut cursor = 0;
+        for r in &ranges {
+            assert_eq!(r.start, cursor, "gap before {r:?}");
+            cursor = r.end;
+        }
+        assert_eq!(cursor, lay.len(), "ranges must cover the whole buffer");
+        assert_eq!(lay.len(), cfg().block_params());
+    }
+
+    #[test]
+    fn init_is_deterministic_and_layer_dependent() {
+        let c = cfg();
+        let a = init_block(&c, 7, 0);
+        let b = init_block(&c, 7, 0);
+        assert_eq!(a, b);
+        let other_layer = init_block(&c, 7, 1);
+        assert_ne!(a, other_layer);
+        let other_seed = init_block(&c, 8, 0);
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn norm_gains_start_at_one() {
+        let c = cfg();
+        let lay = BlockLayout::new(&c);
+        let w = init_block(&c, 1, 3);
+        assert!(w[lay.attn_norm()].iter().all(|&x| x == 1.0));
+        assert!(w[lay.ffn_norm()].iter().all(|&x| x == 1.0));
+        let head = init_head(&c, 1);
+        assert!(head[..c.hidden].iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn head_layout_consistent() {
+        let c = cfg();
+        let hl = HeadLayout::new(&c);
+        assert_eq!(hl.len(), c.head_params());
+        assert_eq!(hl.norm().end, hl.wout().start);
+        assert_eq!(hl.wout().end, hl.len());
+        assert_eq!(init_head(&c, 0).len(), hl.len());
+        assert_eq!(init_embed(&c, 0).len(), c.embed_params());
+    }
+}

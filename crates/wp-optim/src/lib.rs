@@ -1,0 +1,43 @@
+//! # wp-optim
+//!
+//! Optimizers and mixed-precision machinery for the WeiPipe stack:
+//! SGD(+momentum) and Adam(W) over flat `&mut [f32]` buffers, fp32
+//! [`MasterWeights`] for fp16 working copies, a dynamic [`GradScaler`], and
+//! LR [`schedule::LrSchedule`]s.
+//!
+//! Everything operates on flat slices because the distributed runtimes keep
+//! parameters in flat per-layer buffers: in WeiPipe each worker owns the
+//! optimizer state *only for the layers it owns* (§4.2.1 — state never
+//! travels the ring), so one optimizer instance per owned layer is exactly
+//! the right granularity.
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod master;
+pub mod scaler;
+pub mod schedule;
+pub mod sgd;
+
+pub use adam::{AdamConfig, AdamW};
+pub use master::MasterWeights;
+pub use scaler::GradScaler;
+pub use schedule::LrSchedule;
+pub use sgd::{Sgd, SgdConfig};
+
+/// A first-order optimizer over a flat parameter buffer.
+pub trait Optimizer {
+    /// Apply one update with an explicit learning rate (scheduling hook).
+    fn step_with_lr(&mut self, params: &mut [f32], grads: &[f32], lr: f32);
+
+    /// Apply one update at the optimizer's base learning rate.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        self.step_with_lr(params, grads, self.lr());
+    }
+
+    /// Base learning rate.
+    fn lr(&self) -> f32;
+
+    /// Optimizer state size in f32 elements (for the memory ledger).
+    fn state_elems(&self) -> usize;
+}

@@ -1,0 +1,144 @@
+//! Dynamic loss scaling for fp16 training.
+//!
+//! fp16 gradients underflow below ~6·10⁻⁸; multiplying the loss by a large
+//! scale before backward and dividing gradients by it before the optimizer
+//! step keeps small gradients representable. The scale adapts: halve on
+//! overflow (inf/NaN gradients, step skipped), double after a window of
+//! clean steps — the scheme `torch.cuda.amp.GradScaler` implements.
+
+/// Dynamic gradient scaler.
+#[derive(Debug, Clone)]
+pub struct GradScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+    skipped: u64,
+}
+
+impl GradScaler {
+    /// Scaler with PyTorch-default dynamics (`2¹⁶`, ×2 every 2000 clean
+    /// steps, ÷2 on overflow).
+    pub fn new() -> Self {
+        Self::with_scale(65536.0)
+    }
+
+    /// Scaler with a chosen initial scale.
+    pub fn with_scale(scale: f32) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        GradScaler {
+            scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 2000,
+            good_steps: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Current loss scale: multiply the loss gradient by this before
+    /// backward.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Number of optimizer steps skipped due to overflow.
+    pub fn skipped_steps(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Divide gradients by the scale in place, reporting whether they are
+    /// finite. Returns `true` if the step may proceed.
+    pub fn unscale(&self, grads: &mut [f32]) -> bool {
+        let inv = 1.0 / self.scale;
+        let mut finite = true;
+        for g in grads.iter_mut() {
+            *g *= inv;
+            finite &= g.is_finite();
+        }
+        finite
+    }
+
+    /// Report the outcome of a step: `found_overflow = true` skips the step
+    /// and backs the scale off; otherwise the clean-step counter advances
+    /// (growing the scale at the interval). Returns `true` if the optimizer
+    /// step should be applied.
+    pub fn update(&mut self, found_overflow: bool) -> bool {
+        if found_overflow {
+            self.scale = (self.scale * self.backoff_factor).max(1.0);
+            self.good_steps = 0;
+            self.skipped += 1;
+            false
+        } else {
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale *= self.growth_factor;
+                self.good_steps = 0;
+            }
+            true
+        }
+    }
+}
+
+impl Default for GradScaler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscale_divides_and_detects_overflow() {
+        let s = GradScaler::with_scale(4.0);
+        let mut g = vec![8.0f32, -2.0];
+        assert!(s.unscale(&mut g));
+        assert_eq!(g, vec![2.0, -0.5]);
+        let mut bad = vec![1.0f32, f32::INFINITY];
+        assert!(!s.unscale(&mut bad));
+    }
+
+    #[test]
+    fn overflow_halves_scale_and_skips() {
+        let mut s = GradScaler::with_scale(1024.0);
+        assert!(!s.update(true));
+        assert_eq!(s.scale(), 512.0);
+        assert_eq!(s.skipped_steps(), 1);
+    }
+
+    #[test]
+    fn growth_after_interval() {
+        let mut s = GradScaler::with_scale(2.0);
+        s.growth_interval = 3;
+        assert!(s.update(false));
+        assert!(s.update(false));
+        assert_eq!(s.scale(), 2.0);
+        assert!(s.update(false));
+        assert_eq!(s.scale(), 4.0, "third clean step doubles");
+    }
+
+    #[test]
+    fn overflow_resets_growth_counter() {
+        let mut s = GradScaler::with_scale(2.0);
+        s.growth_interval = 2;
+        s.update(false);
+        s.update(true); // resets counter, halves
+        assert_eq!(s.scale(), 1.0);
+        s.update(false);
+        assert_eq!(s.scale(), 1.0, "counter restarted");
+        s.update(false);
+        assert_eq!(s.scale(), 2.0);
+    }
+
+    #[test]
+    fn scale_never_drops_below_one() {
+        let mut s = GradScaler::with_scale(1.5);
+        for _ in 0..10 {
+            s.update(true);
+        }
+        assert!(s.scale() >= 1.0);
+    }
+}

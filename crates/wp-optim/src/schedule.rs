@@ -1,0 +1,98 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps step index to a multiplier on the base LR.
+#[derive(Debug, Clone, Copy)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Linear warmup over `warmup` steps, then constant.
+    Warmup {
+        /// Steps of linear ramp from 0 to 1.
+        warmup: u64,
+    },
+    /// Linear warmup then cosine decay to `min_ratio` at `total` steps.
+    WarmupCosine {
+        /// Steps of linear ramp.
+        warmup: u64,
+        /// Total steps of the schedule.
+        total: u64,
+        /// Final multiplier.
+        min_ratio: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || step >= warmup {
+                    1.0
+                } else {
+                    (step + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::WarmupCosine { warmup, total, min_ratio } => {
+                if warmup > 0 && step < warmup {
+                    return (step + 1) as f32 / warmup as f32;
+                }
+                let total = total.max(warmup + 1);
+                let progress =
+                    ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                min_ratio + (1.0 - min_ratio) * cos
+            }
+        }
+    }
+
+    /// Learning rate at `step` given a base LR.
+    pub fn lr_at(&self, base_lr: f32, step: u64) -> f32 {
+        base_lr * self.multiplier(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.multiplier(0), 1.0);
+        assert_eq!(LrSchedule::Constant.multiplier(10_000), 1.0);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.multiplier(0), 0.25);
+        assert_eq!(s.multiplier(1), 0.5);
+        assert_eq!(s.multiplier(3), 1.0);
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_min() {
+        let s = LrSchedule::WarmupCosine { warmup: 2, total: 12, min_ratio: 0.1 };
+        assert!(s.multiplier(0) < s.multiplier(1));
+        let peak = s.multiplier(2);
+        assert!((peak - 1.0).abs() < 1e-6);
+        let end = s.multiplier(12);
+        assert!((end - 0.1).abs() < 1e-6);
+        // Monotone decreasing after warmup.
+        let mut prev = peak;
+        for step in 3..=12 {
+            let m = s.multiplier(step);
+            assert!(m <= prev + 1e-6, "not monotone at {step}");
+            prev = m;
+        }
+        // Clamped past the end.
+        assert!((s.multiplier(1000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lr_at_scales_base() {
+        let s = LrSchedule::Warmup { warmup: 2 };
+        assert_eq!(s.lr_at(0.2, 0), 0.1);
+    }
+}

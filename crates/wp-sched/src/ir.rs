@@ -1,0 +1,438 @@
+//! The schedule intermediate representation.
+//!
+//! A [`Schedule`] is one instruction stream per rank describing a whole
+//! training iteration: compute ops (forward, the fused or split backward
+//! passes, optimizer updates), point-to-point messages, and collectives.
+//! Every strategy — WeiPipe variants and baselines alike — compiles to this
+//! IR; the discrete-event simulator executes it, the validator checks its
+//! physical consistency, and the analyses count its bytes.
+//!
+//! ## Execution semantics (what the simulator implements)
+//!
+//! * Compute ops on a rank serialize in program order on that rank's
+//!   compute engine. A compute op additionally waits for the *arrival* of
+//!   every message in its `needs` list.
+//! * `Send` is non-blocking: it is issued once its `needs` have arrived and
+//!   (if `after_compute`) the latest preceding compute op in program order
+//!   has finished. Transfers serialize on the directed link they use.
+//! * `Recv` is a non-blocking posting: it completes at message arrival and
+//!   gates nothing by itself — consumers name the message in `needs`. It
+//!   exists for validation (every arrival must be expected) and for memory
+//!   accounting (buffers appear at arrival).
+//! * Collectives rendezvous: all ranks' instances of the same collective
+//!   start together (at the latest participant) and complete together.
+//!
+//! This models a rank as one compute stream plus full-duplex DMA — the
+//! `batch_isend_irecv`-style overlap the paper's implementation uses (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel microbatch index for ops that aren't tied to a microbatch.
+pub const NO_MB: usize = usize::MAX;
+
+/// Sentinel chunk index for the replicated embedding+head parameters.
+pub const EMBED_HEAD: usize = usize::MAX;
+
+/// What a point-to-point message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// A chunk of model weights (`W_j` in the paper).
+    Weights,
+    /// A chunk of weight gradients (`D_j`).
+    WeightGrads,
+    /// Boundary activations of a microbatch (`A_j^i`).
+    Act,
+    /// Boundary activation gradients (`B_j^i`).
+    ActGrad,
+}
+
+/// Unique identity of one point-to-point message.
+///
+/// `round` disambiguates repeated transfers of the same logical payload
+/// (e.g. `W_0` hops every turn of the WeiPipe ring); builders typically use
+/// the turn or microbatch-group index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MsgKey {
+    /// Payload type.
+    pub kind: MsgKind,
+    /// Model chunk (group of contiguous layers) or [`EMBED_HEAD`].
+    pub chunk: usize,
+    /// Microbatch, or [`NO_MB`] for weight traffic.
+    pub mb: usize,
+    /// Transfer-instance disambiguator.
+    pub round: usize,
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+}
+
+/// Memory pools the ledger tracks. Ops carry signed deltas in these units;
+/// the cost model converts a unit to bytes for a concrete (H, S, G, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemUnit {
+    /// Saved forward activations of (one microbatch × one chunk).
+    FwdCtx,
+    /// Checkpointed input only (recompute mode) for (microbatch × chunk).
+    CkptInput,
+    /// B-pass context handed to a deferred W pass (microbatch × chunk).
+    BCtx,
+    /// One chunk's weight buffer (in transit or resident beyond the owned
+    /// shard).
+    WeightChunk,
+    /// One chunk's weight-gradient buffer.
+    GradChunk,
+    /// Boundary activations of one microbatch (activation-passing pipes).
+    ActBoundary,
+    /// Boundary activation gradients of one microbatch.
+    ActGradBoundary,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward one microbatch through one chunk.
+    Fwd {
+        /// Microbatch index.
+        mb: usize,
+        /// Chunk index.
+        chunk: usize,
+    },
+    /// Fused backward (data + weight gradients).
+    BwdFull {
+        /// Microbatch index.
+        mb: usize,
+        /// Chunk index.
+        chunk: usize,
+    },
+    /// *B pass*: data gradients only.
+    BwdData {
+        /// Microbatch index.
+        mb: usize,
+        /// Chunk index.
+        chunk: usize,
+    },
+    /// *W pass*: weight gradients only.
+    BwdWeight {
+        /// Microbatch index.
+        mb: usize,
+        /// Chunk index.
+        chunk: usize,
+    },
+    /// Optimizer step for a chunk this rank owns.
+    Update {
+        /// Chunk index (or [`EMBED_HEAD`]).
+        chunk: usize,
+    },
+    /// Non-blocking point-to-point send (this rank must be `key.src`).
+    Send(MsgKey),
+    /// Non-blocking point-to-point receive posting (this rank is `key.dst`).
+    Recv(MsgKey),
+    /// Ring all-gather of a weight chunk (FSDP).
+    AllGatherW {
+        /// Chunk index.
+        chunk: usize,
+        /// Instance disambiguator.
+        round: usize,
+    },
+    /// Ring reduce-scatter of a gradient chunk (FSDP).
+    ReduceScatterD {
+        /// Chunk index.
+        chunk: usize,
+        /// Instance disambiguator.
+        round: usize,
+    },
+    /// Ring all-reduce of a gradient chunk (DDP, or embed/head grads).
+    AllReduceD {
+        /// Chunk index (or [`EMBED_HEAD`]).
+        chunk: usize,
+        /// Instance disambiguator.
+        round: usize,
+    },
+}
+
+impl OpKind {
+    /// True for ops that occupy the compute engine.
+    pub fn is_compute(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Fwd { .. }
+                | OpKind::BwdFull { .. }
+                | OpKind::BwdData { .. }
+                | OpKind::BwdWeight { .. }
+                | OpKind::Update { .. }
+        )
+    }
+
+    /// True for collective ops.
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            OpKind::AllGatherW { .. } | OpKind::ReduceScatterD { .. } | OpKind::AllReduceD { .. }
+        )
+    }
+}
+
+/// One scheduled instruction with its dependencies and memory effects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// The instruction.
+    pub kind: OpKind,
+    /// Message arrivals that must precede the start of this op.
+    pub needs: Vec<MsgKey>,
+    /// For `Send`: also wait for the latest preceding compute op on this
+    /// rank (the payload is produced locally). Pure forwarding sends (ring
+    /// weight hops) clear this so forwarding overlaps local compute.
+    pub after_compute: bool,
+    /// Rank-local memory deltas applied when the op completes.
+    pub mem: Vec<(MemUnit, i64)>,
+}
+
+impl Op {
+    /// A compute op with no message dependencies.
+    pub fn compute(kind: OpKind) -> Self {
+        debug_assert!(kind.is_compute());
+        Op { kind, needs: Vec::new(), after_compute: false, mem: Vec::new() }
+    }
+
+    /// A send that waits for the preceding compute op (locally produced
+    /// payload).
+    pub fn send(key: MsgKey) -> Self {
+        Op { kind: OpKind::Send(key), needs: Vec::new(), after_compute: true, mem: Vec::new() }
+    }
+
+    /// A forwarding send: fires as soon as `arrived` is in, regardless of
+    /// local compute.
+    pub fn forward_send(key: MsgKey, arrived: MsgKey) -> Self {
+        Op { kind: OpKind::Send(key), needs: vec![arrived], after_compute: false, mem: Vec::new() }
+    }
+
+    /// A receive posting.
+    pub fn recv(key: MsgKey) -> Self {
+        Op { kind: OpKind::Recv(key), needs: Vec::new(), after_compute: false, mem: Vec::new() }
+    }
+
+    /// A collective op. It gates on the latest preceding compute op (the
+    /// payload it contributes is produced locally) but runs on the comm
+    /// engine so later compute overlaps it.
+    pub fn compute_collective(kind: OpKind) -> Self {
+        debug_assert!(kind.is_collective());
+        Op { kind, needs: Vec::new(), after_compute: true, mem: Vec::new() }
+    }
+
+    /// Add a message dependency.
+    pub fn needs(mut self, key: MsgKey) -> Self {
+        self.needs.push(key);
+        self
+    }
+
+    /// Add a memory delta.
+    pub fn mem(mut self, unit: MemUnit, delta: i64) -> Self {
+        self.mem.push((unit, delta));
+        self
+    }
+}
+
+/// Which training strategy a schedule encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// All-forward-then-all-backward pipeline.
+    GPipe,
+    /// One-forward-one-backward pipeline (Dapple / Megatron default).
+    OneFOneB,
+    /// Zero-bubble variant 1 (split B/W, ~1F1B memory).
+    Zb1,
+    /// Zero-bubble variant 2 (split B/W, more in-flight microbatches).
+    Zb2,
+    /// Fully sharded data parallelism (ZeRO-3 style).
+    Fsdp,
+    /// Replicated data parallelism with a gradient all-reduce.
+    Ddp,
+    /// Weight-passing pipeline, naive schedule (paper §4.2.1).
+    WeiPipeNaive,
+    /// Weight-passing pipeline with forward/backward interleaving (§4.2.2).
+    WeiPipeInterleave,
+    /// Weight-passing zero-bubble 1 (§4.2.3.1).
+    Wzb1,
+    /// Weight-passing zero-bubble 2 (§4.2.3.2).
+    Wzb2,
+}
+
+impl Strategy {
+    /// Display name used in tables (matches the paper's column headings).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::GPipe => "GPipe",
+            Strategy::OneFOneB => "1F1B",
+            Strategy::Zb1 => "ZB1",
+            Strategy::Zb2 => "ZB2",
+            Strategy::Fsdp => "FSDP",
+            Strategy::Ddp => "DDP",
+            Strategy::WeiPipeNaive => "WeiPipe-Naive",
+            Strategy::WeiPipeInterleave => "WeiPipe",
+            Strategy::Wzb1 => "WZB1",
+            Strategy::Wzb2 => "WZB2",
+        }
+    }
+
+    /// True for strategies whose pipeline currency is weights (the paper's
+    /// contribution family).
+    pub fn is_weight_passing(&self) -> bool {
+        matches!(
+            self,
+            Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave | Strategy::Wzb1 | Strategy::Wzb2
+        )
+    }
+}
+
+/// A complete per-rank instruction schedule for one (or more) iterations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Strategy that produced this schedule.
+    pub strategy: Strategy,
+    /// World size `P`.
+    pub ranks: usize,
+    /// Number of model chunks the strategy partitions the model into.
+    pub chunks: usize,
+    /// Microbatches per iteration `N`.
+    pub microbatches: usize,
+    /// One instruction stream per rank.
+    pub ops: Vec<Vec<Op>>,
+    /// `initial_holder[chunk]` — which rank holds (and owns optimizer state
+    /// for) each chunk at iteration start.
+    pub initial_holder: Vec<usize>,
+    /// Whether activation checkpointing is assumed by the memory deltas.
+    pub recompute: bool,
+}
+
+/// Aggregate op counts of a schedule (see [`Schedule::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Forward ops.
+    pub fwd: usize,
+    /// Fused backward ops.
+    pub bwd_full: usize,
+    /// Split B-pass ops.
+    pub bwd_data: usize,
+    /// Split W-pass ops.
+    pub bwd_weight: usize,
+    /// Optimizer updates.
+    pub updates: usize,
+    /// Point-to-point sends.
+    pub sends: usize,
+    /// Receive postings.
+    pub recvs: usize,
+    /// Collective ops (all kinds).
+    pub collectives: usize,
+}
+
+impl Schedule {
+    /// Total op count across all ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate over `(rank, op)` pairs.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (usize, &Op)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .flat_map(|(r, ops)| ops.iter().map(move |op| (r, op)))
+    }
+
+    /// Count ops by kind across all ranks.
+    pub fn stats(&self) -> ScheduleStats {
+        let mut s = ScheduleStats::default();
+        for (_, op) in self.iter_ops() {
+            match op.kind {
+                OpKind::Fwd { .. } => s.fwd += 1,
+                OpKind::BwdFull { .. } => s.bwd_full += 1,
+                OpKind::BwdData { .. } => s.bwd_data += 1,
+                OpKind::BwdWeight { .. } => s.bwd_weight += 1,
+                OpKind::Update { .. } => s.updates += 1,
+                OpKind::Send(_) => s.sends += 1,
+                OpKind::Recv(_) => s.recvs += 1,
+                _ => s.collectives += 1,
+            }
+        }
+        s
+    }
+
+    /// Per-rank compute-op counts — how evenly the strategy spreads work.
+    pub fn compute_balance(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .map(|ops| ops.iter().filter(|op| op.kind.is_compute()).count())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> MsgKey {
+        MsgKey { kind: MsgKind::Weights, chunk: 0, mb: NO_MB, round: 3, src: 0, dst: 1 }
+    }
+
+    #[test]
+    fn op_builders_set_flags() {
+        let c = Op::compute(OpKind::Fwd { mb: 0, chunk: 1 });
+        assert!(c.kind.is_compute());
+        assert!(!c.after_compute);
+
+        let s = Op::send(key());
+        assert!(s.after_compute, "locally-produced sends gate on compute");
+
+        let f = Op::forward_send(key(), key());
+        assert!(!f.after_compute, "forwarding sends must not gate on compute");
+        assert_eq!(f.needs.len(), 1);
+
+        let r = Op::recv(key());
+        assert!(!r.kind.is_compute());
+        assert!(matches!(r.kind, OpKind::Recv(_)));
+    }
+
+    #[test]
+    fn mem_deltas_chain() {
+        let op = Op::compute(OpKind::Fwd { mb: 0, chunk: 0 })
+            .mem(MemUnit::FwdCtx, 1)
+            .mem(MemUnit::ActBoundary, -1);
+        assert_eq!(op.mem.len(), 2);
+    }
+
+    #[test]
+    fn strategy_labels_match_paper() {
+        assert_eq!(Strategy::OneFOneB.label(), "1F1B");
+        assert_eq!(Strategy::WeiPipeInterleave.label(), "WeiPipe");
+        assert!(Strategy::WeiPipeNaive.is_weight_passing());
+        assert!(!Strategy::Fsdp.is_weight_passing());
+    }
+
+    #[test]
+    fn stats_and_balance() {
+        let s = crate::builders::build(
+            Strategy::WeiPipeInterleave,
+            crate::builders::PipelineSpec::new(4, 8),
+        );
+        let st = s.stats();
+        assert_eq!(st.fwd, 32);
+        assert_eq!(st.bwd_full, 32);
+        assert_eq!(st.updates, 4);
+        assert_eq!(st.sends, st.recvs, "every send has a matching recv");
+        assert_eq!(st.collectives, 0);
+        let balance = s.compute_balance();
+        assert_eq!(balance.len(), 4);
+        // Microbatch-per-worker design: compute is evenly spread.
+        let min = balance.iter().min().copied().expect("ranks");
+        let max = balance.iter().max().copied().expect("ranks");
+        assert!(max - min <= 1, "WeiPipe compute should balance: {balance:?}");
+    }
+
+    #[test]
+    fn collective_classification() {
+        assert!(OpKind::AllGatherW { chunk: 0, round: 0 }.is_collective());
+        assert!(!OpKind::Send(key()).is_collective());
+        assert!(OpKind::Update { chunk: 2 }.is_compute());
+    }
+}

@@ -1,0 +1,34 @@
+//! # wp-sched
+//!
+//! Pipeline schedules as data.
+//!
+//! Every training strategy in this workspace — the paper's WeiPipe variants
+//! and every baseline it compares against — compiles to the same typed
+//! instruction streams ([`ir::Schedule`]): per-rank sequences of forward /
+//! backward / update compute ops, point-to-point messages and collectives,
+//! each annotated with explicit data dependencies and symbolic memory
+//! deltas. Downstream:
+//!
+//! * `wp-sim` executes the IR against a hardware cost model (throughput,
+//!   bubble ratio, peak memory, per-link traffic → the paper's tables and
+//!   figures);
+//! * [`validate::validate`] proves schedules physically consistent
+//!   (matched messages, full compute coverage, balanced buffers, deadlock
+//!   freedom);
+//! * [`analysis`] counts bytes and carries the paper's §3 closed forms
+//!   (crossover ratio, 36H² per turn, 2·M_A per microbatch).
+//!
+//! The builders ([`builders`]) encode the schedules themselves — including
+//! the ring position algebra of weight circulation, which is documented in
+//! `builders::weipipe`.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builders;
+pub mod ir;
+pub mod validate;
+
+pub use builders::{build, PipelineSpec, ALL_STRATEGIES};
+pub use ir::{MemUnit, MsgKey, MsgKind, Op, OpKind, Schedule, Strategy, EMBED_HEAD, NO_MB};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,117 @@
+//! Property-based tests over the schedule builders: validity and the
+//! paper's traffic invariants must hold for arbitrary (strategy, P, N).
+
+use proptest::prelude::*;
+use wp_sched::analysis::{total_traffic, ByteModel};
+use wp_sched::{build, validate, PipelineSpec, Strategy as Strat, ALL_STRATEGIES};
+
+fn arb_strategy() -> impl Strategy<Value = Strat> {
+    prop::sample::select(ALL_STRATEGIES.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_builder_validates_everywhere(
+        strategy in arb_strategy(),
+        p in 2usize..7,
+        mult in 1usize..4,
+        recompute in any::<bool>()
+    ) {
+        // WZB1 needs even P; round up.
+        let p = if strategy == Strat::Wzb1 { p + p % 2 } else { p };
+        let n = 2 * p * mult; // satisfies every builder's divisibility rule
+        let spec = if recompute {
+            PipelineSpec::new(p, n)
+        } else {
+            PipelineSpec::new(p, n).without_recompute()
+        };
+        let s = build(strategy, spec);
+        prop_assert!(validate(&s).is_ok(), "{:?} P={} N={}", strategy, p, n);
+        prop_assert_eq!(s.ranks, p);
+        prop_assert_eq!(s.microbatches, n);
+    }
+
+    #[test]
+    fn weight_passing_traffic_ignores_activation_payload(
+        p in 2usize..6,
+        mult in 1usize..4,
+        act in 1u64..1_000_000,
+        weight in 1u64..1_000_000
+    ) {
+        let n = 2 * p * mult;
+        for strategy in [Strat::WeiPipeNaive, Strat::WeiPipeInterleave, Strat::Wzb2] {
+            let s = build(strategy, PipelineSpec::new(p, n));
+            let t1 = total_traffic(&s, &ByteModel {
+                weight_chunk: weight, grad_chunk: weight,
+                act_boundary: 1, act_grad_boundary: 1,
+            });
+            let t2 = total_traffic(&s, &ByteModel {
+                weight_chunk: weight, grad_chunk: weight,
+                act_boundary: act, act_grad_boundary: act,
+            });
+            prop_assert_eq!(t1, t2, "{:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn act_passing_traffic_ignores_weight_payload(
+        p in 2usize..6,
+        mult in 1usize..4,
+        weight in 1u64..1_000_000
+    ) {
+        let n = p * mult;
+        for strategy in [Strat::GPipe, Strat::OneFOneB, Strat::Zb1, Strat::Zb2] {
+            let s = build(strategy, PipelineSpec::new(p, n));
+            let t1 = total_traffic(&s, &ByteModel {
+                weight_chunk: 1, grad_chunk: 1,
+                act_boundary: 777, act_grad_boundary: 777,
+            });
+            let t2 = total_traffic(&s, &ByteModel {
+                weight_chunk: weight, grad_chunk: weight,
+                act_boundary: 777, act_grad_boundary: 777,
+            });
+            prop_assert_eq!(t1, t2, "{:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn act_passing_traffic_scales_linearly_with_microbatches(
+        p in 2usize..6,
+        mult in 1usize..4
+    ) {
+        let bm = ByteModel { weight_chunk: 0, grad_chunk: 0, act_boundary: 100, act_grad_boundary: 100 };
+        let n1 = p * mult;
+        let n2 = 2 * n1;
+        let t1 = total_traffic(&build(Strat::OneFOneB, PipelineSpec::new(p, n1)), &bm);
+        let t2 = total_traffic(&build(Strat::OneFOneB, PipelineSpec::new(p, n2)), &bm);
+        prop_assert_eq!(t2, 2 * t1, "activation traffic is linear in N");
+    }
+
+    #[test]
+    fn compute_work_identical_across_strategies(
+        p in 2usize..6,
+        mult in 1usize..4
+    ) {
+        // Every strategy performs exactly N×C forward chunk-ops and the
+        // backward-equivalent — the work is invariant; only the schedule
+        // differs. (DDP/FSDP count once per mb too: their ranks split N.)
+        let n = 2 * p * mult;
+        let mut counts = Vec::new();
+        for &strategy in ALL_STRATEGIES {
+            if strategy == Strat::Wzb1 && p % 2 == 1 {
+                continue;
+            }
+            let s = build(strategy, PipelineSpec::new(p, n));
+            let fwd = s
+                .iter_ops()
+                .filter(|(_, op)| matches!(op.kind, wp_sched::OpKind::Fwd { .. }))
+                .count();
+            counts.push((strategy, fwd));
+        }
+        for (strategy, fwd) in counts {
+            prop_assert_eq!(fwd, n * p, "{:?}", strategy);
+        }
+    }
+}

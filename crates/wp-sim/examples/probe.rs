@@ -1,0 +1,12 @@
+use wp_sim::experiments::*;
+fn main() {
+    for (name, table) in [("TABLE2 nvlink16", table2()), ("TABLE3 eth16", table3()), ("TABLE4 nvlink8", table4())] {
+        println!("=== {name} ===");
+        println!("{:>5} {:>6} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | mem(GiB) 1F1B/ZB1/ZB2/FSDP/WP", "H","S","G","1F1B","ZB1","ZB2","FSDP","WeiPipe");
+        for (row, cells) in table {
+            let t: Vec<String> = cells.iter().map(|c| c.throughput_str()).collect();
+            let m: Vec<String> = cells.iter().map(|c| format!("{:.1}", c.mem_gib)).collect();
+            println!("{:>5} {:>6} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | {}", row.hidden, row.seq, row.microbatch, t[0],t[1],t[2],t[3],t[4], m.join("/"));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Cluster topology: which link connects each pair of ring neighbours.
+
+/// A point-to-point link's performance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Sustained bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-message latency, seconds.
+    pub latency: f64,
+}
+
+impl Link {
+    /// A800 NVLink (cut to 400 GB/s — the paper's point in §5.4).
+    pub const fn nvlink_a800() -> Self {
+        Link { bandwidth: 400e9, latency: 5e-6 }
+    }
+
+    /// PCIe 4.0 ×16 effective.
+    pub const fn pcie4() -> Self {
+        Link { bandwidth: 32e9, latency: 10e-6 }
+    }
+
+    /// 10 Gb Ethernet.
+    pub const fn ethernet_10g() -> Self {
+        Link { bandwidth: 1.25e9, latency: 50e-6 }
+    }
+
+    /// Seconds to move `bytes` over this link.
+    pub fn transfer_s(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// A homogeneous-node cluster: `ranks` GPUs grouped into nodes of
+/// `node_size`, fast links inside a node, slower links between nodes.
+/// Ranks are ring-ordered so exactly `ranks / node_size` ring hops cross
+/// node boundaries — the layout the paper's ring-based NCCL setting uses.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Total GPUs.
+    pub ranks: usize,
+    /// GPUs per node.
+    pub node_size: usize,
+    /// Link within a node.
+    pub intra: Link,
+    /// Link between nodes.
+    pub inter: Link,
+}
+
+impl ClusterSpec {
+    /// The paper's 16-GPU environment 1 (Table 2): "NVLink connections
+    /// *within* clusters" — two 8-GPU NVLink clusters, commodity Ethernet
+    /// between them (the paper never claims a fast inter-cluster link, and
+    /// its FSDP/WeiPipe absolute numbers are consistent with ~10 GbE
+    /// between the two halves).
+    pub fn nvlink_16() -> Self {
+        ClusterSpec { ranks: 16, node_size: 8, intra: Link::nvlink_a800(), inter: Link::ethernet_10g() }
+    }
+
+    /// A fully NVLinked island of `ranks` GPUs (no slow hop anywhere).
+    pub fn nvlink_island(ranks: usize) -> Self {
+        ClusterSpec { ranks, node_size: ranks, intra: Link::nvlink_a800(), inter: Link::nvlink_a800() }
+    }
+
+    /// The paper's 8-GPU NVLink environment (Table 4).
+    pub fn nvlink_8() -> Self {
+        ClusterSpec { ranks: 8, node_size: 8, intra: Link::nvlink_a800(), inter: Link::nvlink_a800() }
+    }
+
+    /// The paper's PCIe + Ethernet environment: NVLink-class PCIe inside
+    /// each cluster, 10 Gb Ethernet between clusters (Table 3: 16 GPUs in
+    /// 4-GPU groups).
+    pub fn ethernet_16() -> Self {
+        ClusterSpec { ranks: 16, node_size: 4, intra: Link::pcie4(), inter: Link::ethernet_10g() }
+    }
+
+    /// Scaling-figure clusters: `ranks` GPUs, `node_size` per server, NVLink
+    /// inside, Ethernet between (Figs 6–9).
+    pub fn scaling(ranks: usize, node_size: usize) -> Self {
+        ClusterSpec { ranks, node_size, intra: Link::nvlink_a800(), inter: Link::ethernet_10g() }
+    }
+
+    /// The link a ring hop from `src` to `(src+1) % ranks` rides.
+    pub fn ring_link(&self, src: usize) -> Link {
+        let dst = (src + 1) % self.ranks;
+        if src / self.node_size == dst / self.node_size {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+
+    /// The slowest link on the ring — the collective bottleneck.
+    pub fn bottleneck(&self) -> Link {
+        if self.ranks > self.node_size {
+            self.inter
+        } else {
+            self.intra
+        }
+    }
+
+    /// Ring all-reduce time for `bytes` (NCCL ring algorithm: `2(P−1)`
+    /// chunk hops of `bytes/P`, paced by the bottleneck link).
+    pub fn all_reduce_s(&self, bytes: u64) -> f64 {
+        let p = self.ranks as f64;
+        let link = self.bottleneck();
+        2.0 * (p - 1.0) * (bytes as f64 / p / link.bandwidth + link.latency)
+    }
+
+    /// Ring all-gather / reduce-scatter time for `bytes` total payload.
+    pub fn gather_scatter_s(&self, bytes: u64) -> f64 {
+        let p = self.ranks as f64;
+        let link = self.bottleneck();
+        (p - 1.0) * (bytes as f64 / p / link.bandwidth + link.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_links_cross_node_boundaries() {
+        let c = ClusterSpec::ethernet_16();
+        // node_size 4: hops 3→4, 7→8, 11→12, 15→0 cross nodes.
+        assert_eq!(c.ring_link(0), Link::pcie4());
+        assert_eq!(c.ring_link(3), Link::ethernet_10g());
+        assert_eq!(c.ring_link(7), Link::ethernet_10g());
+        assert_eq!(c.ring_link(15), Link::ethernet_10g());
+        let crossings = (0..16).filter(|&r| c.ring_link(r) == Link::ethernet_10g()).count();
+        assert_eq!(crossings, 4);
+    }
+
+    #[test]
+    fn single_node_is_all_fast() {
+        let c = ClusterSpec::nvlink_island(16);
+        assert!((0..16).all(|r| c.ring_link(r) == Link::nvlink_a800()));
+        assert_eq!(c.bottleneck(), Link::nvlink_a800());
+    }
+
+    #[test]
+    fn bottleneck_is_ethernet_when_multi_node() {
+        assert_eq!(ClusterSpec::ethernet_16().bottleneck(), Link::ethernet_10g());
+        assert_eq!(ClusterSpec::nvlink_16().bottleneck(), Link::ethernet_10g());
+        assert_eq!(ClusterSpec::scaling(8, 4).bottleneck(), Link::ethernet_10g());
+        assert_eq!(ClusterSpec::scaling(4, 4).bottleneck(), Link::nvlink_a800());
+    }
+
+    #[test]
+    fn collective_times_scale_with_bytes_and_slowest_link() {
+        let fast = ClusterSpec::nvlink_island(16);
+        let slow = ClusterSpec::ethernet_16();
+        let b = 100 << 20;
+        assert!(slow.all_reduce_s(b) > 50.0 * fast.all_reduce_s(b));
+        assert!(fast.all_reduce_s(b) > fast.gather_scatter_s(b));
+    }
+
+    #[test]
+    fn transfer_time_formula() {
+        let l = Link { bandwidth: 1e9, latency: 1e-3 };
+        assert!((l.transfer_s(1_000_000_000) - 1.001).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Schedule timeline rendering: ASCII Gantt charts (and SVG) of simulated
+//! schedules — the reproduction of the paper's Figures 1–4.
+
+use crate::engine::SimResult;
+
+/// Render an ASCII Gantt chart of the compute timeline, one row per rank.
+///
+/// `width` is the number of character columns the makespan is binned into.
+/// Each cell shows the op class occupying most of that time bin:
+/// `F` forward, `B` fused backward, `b` B pass, `w` W pass, `U` update,
+/// `·` idle.
+pub fn ascii_timeline(result: &SimResult, width: usize) -> String {
+    let width = width.max(8);
+    let span = result.makespan.max(f64::MIN_POSITIVE);
+    let dt = span / width as f64;
+    let mut out = String::new();
+    for (r, ops) in result.timeline.iter().enumerate() {
+        let mut row = vec!['·'; width];
+        for op in ops {
+            let c0 = ((op.start / dt) as usize).min(width - 1);
+            let c1 = ((op.end / dt).ceil() as usize).clamp(c0 + 1, width);
+            for cell in row.iter_mut().take(c1).skip(c0) {
+                *cell = op.class;
+            }
+        }
+        out.push_str(&format!("rank {r:>2} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{}bubble ratio = {:.1}%  makespan = {:.3} ms\n",
+        " ".repeat(8),
+        result.bubble_ratio * 100.0,
+        result.makespan * 1e3
+    ));
+    out
+}
+
+/// Render the timeline as a standalone SVG document. Colours: forward
+/// green, backward red family, update grey.
+pub fn svg_timeline(result: &SimResult, width_px: usize) -> String {
+    let row_h = 22.0;
+    let pad = 40.0;
+    let p = result.timeline.len();
+    let span = result.makespan.max(f64::MIN_POSITIVE);
+    let scale = (width_px as f64 - pad - 10.0) / span;
+    let height = p as f64 * row_h + 30.0;
+    let mut svg = format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height:.0}" font-family="monospace" font-size="11">"##
+    );
+    for (r, ops) in result.timeline.iter().enumerate() {
+        let y = r as f64 * row_h + 10.0;
+        svg.push_str(&format!(
+            r##"<text x="2" y="{:.1}">r{r}</text>"##,
+            y + row_h * 0.55
+        ));
+        for op in ops {
+            let x = pad + op.start * scale;
+            let w = ((op.end - op.start) * scale).max(0.5);
+            let (fill, label) = match op.class {
+                'F' => ("#4c9f70", "F"),
+                'B' => ("#c05b5b", "B"),
+                'b' => ("#d98e6a", "b"),
+                'w' => ("#7a6fb0", "w"),
+                _ => ("#999999", "U"),
+            };
+            svg.push_str(&format!(
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{:.1}" fill="{fill}" stroke="#333" stroke-width="0.3"/>"##,
+                row_h - 4.0
+            ));
+            if w > 14.0 && op.mb != usize::MAX {
+                svg.push_str(&format!(
+                    r##"<text x="{:.1}" y="{:.1}" fill="#fff">{label}{}</text>"##,
+                    x + 2.0,
+                    y + row_h * 0.55,
+                    op.mb
+                ));
+            }
+        }
+    }
+    svg.push_str(&format!(
+        r##"<text x="{pad}" y="{:.1}">bubble {:.1}%  makespan {:.3} ms</text>"##,
+        p as f64 * row_h + 22.0,
+        result.bubble_ratio * 100.0,
+        result.makespan * 1e3
+    ));
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::cost::{CostModel, GpuSpec, ModelDims};
+    use crate::engine::{simulate, SimOptions};
+    use wp_sched::{build, PipelineSpec, Strategy};
+
+    fn result() -> SimResult {
+        let sched = build(Strategy::WeiPipeInterleave, PipelineSpec::new(4, 8));
+        let cost =
+            CostModel::for_schedule(ModelDims::paper(1024, 32, 4096, 4), GpuSpec::a800(), &sched);
+        let cluster = ClusterSpec { ranks: 4, node_size: 4, ..ClusterSpec::nvlink_16() };
+        simulate(&sched, &cost, &cluster, SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_rank_plus_footer() {
+        let r = result();
+        let art = ascii_timeline(&r, 80);
+        let lines: Vec<_> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("rank  0 |"));
+        assert!(art.contains('F') && art.contains('B'));
+        assert!(lines[4].contains("bubble ratio"));
+    }
+
+    #[test]
+    fn rows_have_uniform_width() {
+        let art = ascii_timeline(&result(), 64);
+        let widths: Vec<usize> = art
+            .lines()
+            .filter(|l| l.starts_with("rank"))
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = svg_timeline(&result(), 900);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.matches("<rect").count() > 10);
+    }
+}

@@ -1,0 +1,155 @@
+//! Elementwise activation functions and their derivatives.
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// SiLU (a.k.a. swish): `x * sigmoid(x)`. The activation in Llama's FFN.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x * sigmoid(x)
+}
+
+/// Derivative of SiLU with respect to its input.
+#[inline]
+pub fn silu_grad(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 + x * (1.0 - s))
+}
+
+/// `out[i] = silu(x[i])`.
+pub fn silu_forward(out: &mut [f32], x: &[f32]) {
+    assert_eq!(out.len(), x.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = silu(v);
+    }
+}
+
+/// `dx[i] += dy[i] * silu'(x[i])`.
+pub fn silu_backward(dx: &mut [f32], dy: &[f32], x: &[f32]) {
+    assert_eq!(dx.len(), dy.len());
+    assert_eq!(dx.len(), x.len());
+    for ((g, &d), &v) in dx.iter_mut().zip(dy).zip(x) {
+        *g += d * silu_grad(v);
+    }
+}
+
+/// SwiGLU gating: `out = silu(gate) * up`, the elementwise half of Llama's
+/// FFN between the two input projections and the down projection.
+pub fn swiglu_forward(out: &mut [f32], gate: &[f32], up: &[f32]) {
+    assert_eq!(out.len(), gate.len());
+    assert_eq!(out.len(), up.len());
+    for ((o, &g), &u) in out.iter_mut().zip(gate).zip(up) {
+        *o = silu(g) * u;
+    }
+}
+
+/// Backward of [`swiglu_forward`]: accumulates into `dgate` and `dup`.
+pub fn swiglu_backward(
+    dgate: &mut [f32],
+    dup: &mut [f32],
+    dy: &[f32],
+    gate: &[f32],
+    up: &[f32],
+) {
+    let n = dy.len();
+    assert_eq!(dgate.len(), n);
+    assert_eq!(dup.len(), n);
+    assert_eq!(gate.len(), n);
+    assert_eq!(up.len(), n);
+    for i in 0..n {
+        dgate[i] += dy[i] * up[i] * silu_grad(gate[i]);
+        dup[i] += dy[i] * silu(gate[i]);
+    }
+}
+
+/// Hadamard product `out[i] = a[i] * b[i]`.
+pub fn mul(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// `out[i] = a[i] + b[i]` (residual connections).
+pub fn add(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(f: impl Fn(f32) -> f32, x: f32) -> f32 {
+        let h = 1e-3;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        // Stability: no NaN at extremes.
+        assert!(sigmoid(-1e4).is_finite() && sigmoid(1e4).is_finite());
+    }
+
+    #[test]
+    fn silu_grad_matches_numeric() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let g = silu_grad(x);
+            let num = numeric_grad(silu, x);
+            assert!((g - num).abs() < 1e-3, "silu'({x}): {g} vs {num}");
+        }
+    }
+
+    #[test]
+    fn swiglu_backward_matches_numeric() {
+        let gate = [0.3f32, -1.2, 2.0];
+        let up = [1.5f32, 0.7, -0.4];
+        let dy = [1.0f32, 1.0, 1.0];
+        let mut dgate = [0.0f32; 3];
+        let mut dup = [0.0f32; 3];
+        swiglu_backward(&mut dgate, &mut dup, &dy, &gate, &up);
+        for i in 0..3 {
+            let u = up[i];
+            let ng = numeric_grad(|g| silu(g) * u, gate[i]);
+            assert!((dgate[i] - ng).abs() < 1e-3, "dgate[{i}]");
+            let g = gate[i];
+            let nu = numeric_grad(|uu| silu(g) * uu, up[i]);
+            assert!((dup[i] - nu).abs() < 1e-3, "dup[{i}]");
+        }
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let x = [1.0f32];
+        let dy = [2.0f32];
+        let mut dx = [10.0f32];
+        silu_backward(&mut dx, &dy, &x);
+        assert!((dx[0] - (10.0 + 2.0 * silu_grad(1.0))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut o = [0.0f32; 2];
+        add(&mut o, &a, &b);
+        assert_eq!(o, [4.0, 6.0]);
+        mul(&mut o, &a, &b);
+        assert_eq!(o, [3.0, 8.0]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Token embedding lookup and its backward scatter-add.
+
+/// Gather rows of an embedding table: `out[t, :] = table[ids[t], :]`.
+///
+/// `table` is `[vocab, h]`, `out` is `[tokens, h]`.
+pub fn embedding_forward(out: &mut [f32], table: &[f32], ids: &[u32], vocab: usize, h: usize) {
+    assert_eq!(table.len(), vocab * h);
+    assert_eq!(out.len(), ids.len() * h);
+    for (t, &id) in ids.iter().enumerate() {
+        let id = id as usize;
+        assert!(id < vocab, "token id {id} out of vocab {vocab}");
+        out[t * h..(t + 1) * h].copy_from_slice(&table[id * h..(id + 1) * h]);
+    }
+}
+
+/// Backward of the lookup: `dtable[ids[t], :] += dy[t, :]`.
+pub fn embedding_backward(dtable: &mut [f32], dy: &[f32], ids: &[u32], vocab: usize, h: usize) {
+    assert_eq!(dtable.len(), vocab * h);
+    assert_eq!(dy.len(), ids.len() * h);
+    for (t, &id) in ids.iter().enumerate() {
+        let id = id as usize;
+        assert!(id < vocab, "token id {id} out of vocab {vocab}");
+        let dst = &mut dtable[id * h..(id + 1) * h];
+        let src = &dy[t * h..(t + 1) * h];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_rows() {
+        let table = vec![
+            0.0, 0.1, //
+            1.0, 1.1, //
+            2.0, 2.1,
+        ];
+        let ids = [2u32, 0, 2];
+        let mut out = vec![0.0; 6];
+        embedding_forward(&mut out, &table, &ids, 3, 2);
+        assert_eq!(out, vec![2.0, 2.1, 0.0, 0.1, 2.0, 2.1]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_repeats() {
+        let ids = [1u32, 1, 0];
+        let dy = vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0];
+        let mut dtable = vec![0.0; 4];
+        embedding_backward(&mut dtable, &dy, &ids, 2, 2);
+        assert_eq!(dtable, vec![100.0, 200.0, 11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn out_of_vocab_panics() {
+        let table = vec![0.0; 4];
+        let mut out = vec![0.0; 2];
+        embedding_forward(&mut out, &table, &[5], 2, 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fused softmax + cross-entropy loss for next-token prediction.
+
+/// Mean cross-entropy over tokens, with the gradient w.r.t. logits computed
+/// in the same pass.
+///
+/// * `logits`: `[tokens, vocab]` — consumed read-only.
+/// * `targets`: `[tokens]` class indices; an index of `u32::MAX` marks a
+///   padded position that contributes neither loss nor gradient.
+/// * `dlogits`: `[tokens, vocab]` — *overwritten* with `∂(mean CE)/∂logits`.
+///
+/// Returns the mean loss over non-ignored tokens (0 if all are ignored).
+pub fn cross_entropy_forward_backward(
+    dlogits: &mut [f32],
+    logits: &[f32],
+    targets: &[u32],
+    vocab: usize,
+) -> f32 {
+    let tokens = targets.len();
+    assert_eq!(logits.len(), tokens * vocab);
+    assert_eq!(dlogits.len(), tokens * vocab);
+    let active = targets.iter().filter(|&&t| t != u32::MAX).count();
+    if active == 0 {
+        dlogits.fill(0.0);
+        return 0.0;
+    }
+    let inv_n = 1.0 / active as f32;
+    let mut total = 0.0f64;
+    for (t, &tgt) in targets.iter().enumerate() {
+        let row = &logits[t * vocab..(t + 1) * vocab];
+        let drow = &mut dlogits[t * vocab..(t + 1) * vocab];
+        if tgt == u32::MAX {
+            drow.fill(0.0);
+            continue;
+        }
+        let tgt = tgt as usize;
+        assert!(tgt < vocab, "target {tgt} out of vocab {vocab}");
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for (d, &v) in drow.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv_sum = 1.0 / sum;
+        for d in drow.iter_mut() {
+            *d *= inv_sum * inv_n;
+        }
+        // p_tgt before the subtraction: recover from the scaled value.
+        let p_tgt = drow[tgt] / inv_n;
+        drow[tgt] -= inv_n;
+        total += -(p_tgt.max(1e-30).ln()) as f64;
+    }
+    (total / active as f64) as f32
+}
+
+/// Loss only (no gradient); used for evaluation loops.
+pub fn cross_entropy_loss(logits: &[f32], targets: &[u32], vocab: usize) -> f32 {
+    let tokens = targets.len();
+    assert_eq!(logits.len(), tokens * vocab);
+    let mut total = 0.0f64;
+    let mut active = 0usize;
+    for (t, &tgt) in targets.iter().enumerate() {
+        if tgt == u32::MAX {
+            continue;
+        }
+        active += 1;
+        let tgt = tgt as usize;
+        let row = &logits[t * vocab..(t + 1) * vocab];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        total += (lse - row[tgt]) as f64;
+    }
+    if active == 0 {
+        0.0
+    } else {
+        (total / active as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn uniform_logits_give_log_vocab() {
+        let vocab = 8;
+        let logits = vec![0.0; 2 * vocab];
+        let targets = [3u32, 5];
+        let mut d = vec![0.0; logits.len()];
+        let loss = cross_entropy_forward_backward(&mut d, &logits, &targets, vocab);
+        assert!((loss - (vocab as f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_near_zero_loss() {
+        let vocab = 4;
+        let mut logits = vec![0.0; vocab];
+        logits[2] = 50.0;
+        let mut d = vec![0.0; vocab];
+        let loss = cross_entropy_forward_backward(&mut d, &logits, &[2], vocab);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let vocab = 6;
+        let tokens = 3;
+        let logits = Tensor::randn([tokens * vocab], 1.0, 41).into_vec();
+        let targets = [1u32, 4, 0];
+        let mut d = vec![0.0; logits.len()];
+        cross_entropy_forward_backward(&mut d, &logits, &targets, vocab);
+        let h = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp[i] += h;
+            let mut lm = logits.clone();
+            lm[i] -= h;
+            let num = (cross_entropy_loss(&lp, &targets, vocab)
+                - cross_entropy_loss(&lm, &targets, vocab))
+                / (2.0 * h);
+            assert!((d[i] - num).abs() < 1e-3, "d[{i}] {} vs {num}", d[i]);
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let vocab = 5;
+        let logits = Tensor::randn([2 * vocab], 1.0, 42).into_vec();
+        let mut d = vec![0.0; logits.len()];
+        cross_entropy_forward_backward(&mut d, &logits, &[0, 3], vocab);
+        for row in d.chunks(vocab) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6, "softmax-CE grad rows must sum to 0, got {s}");
+        }
+    }
+
+    #[test]
+    fn ignored_tokens_contribute_nothing() {
+        let vocab = 4;
+        let logits = Tensor::randn([2 * vocab], 1.0, 43).into_vec();
+        let mut d_all = vec![0.0; logits.len()];
+        let loss_one =
+            cross_entropy_forward_backward(&mut d_all, &logits, &[1, u32::MAX], vocab);
+        // Same as computing over only the first token.
+        let mut d_first = vec![0.0; vocab];
+        let loss_first =
+            cross_entropy_forward_backward(&mut d_first, &logits[..vocab], &[1], vocab);
+        assert!((loss_one - loss_first).abs() < 1e-6);
+        assert_eq!(&d_all[vocab..], &vec![0.0; vocab][..]);
+    }
+
+    #[test]
+    fn all_ignored_is_zero() {
+        let vocab = 4;
+        let logits = vec![1.0; vocab];
+        let mut d = vec![9.0; vocab];
+        let loss = cross_entropy_forward_backward(&mut d, &logits, &[u32::MAX], vocab);
+        assert_eq!(loss, 0.0);
+        assert_eq!(d, vec![0.0; vocab]);
+    }
+}

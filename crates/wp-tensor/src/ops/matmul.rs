@@ -1,0 +1,245 @@
+//! Cache-blocked matrix multiplication kernels.
+//!
+//! Three layouts cover the whole training stack: for a linear layer
+//! `Y = X·Wᵀ` the forward pass is [`matmul_nt`], the data-gradient pass
+//! `dX = dY·W` is [`matmul_nn`], and the weight-gradient pass `dW = dYᵀ·X`
+//! is [`matmul_tn`]. Keeping the three as separate kernels avoids
+//! materialising any transposed copies.
+//!
+//! All kernels *accumulate* into `c` (`C += A·B`), which is what backward
+//! passes want (gradient accumulation across microbatches) and makes the
+//! zero-initialised forward case a trivial caller-side `fill(0.0)`.
+//!
+//! Parallelism: rows of `C` are independent, so the kernels split `C` (and
+//! the matching rows of `A`) across the rayon pool with `par_chunks_mut`.
+//! Results are bit-identical to the sequential loop because each output row
+//! is produced by exactly one task in the same arithmetic order.
+
+use rayon::prelude::*;
+
+/// Rows-per-task granularity for rayon. Chosen so a task is a few hundred
+/// microseconds of work on typical sizes; small matrices stay sequential.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// Inner blocking over `k` keeps a panel of `b` in cache.
+const KC: usize = 256;
+
+/// `C[m,n] += A[m,k] · B[k,n]` (both operands row-major, untransposed).
+///
+/// # Panics
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matmul_nn(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    let run_row = |row_c: &mut [f32], row_a: &[f32]| {
+        // ikj order: stream over B rows, accumulate into the C row. The
+        // inner loop is a saxpy the compiler vectorises.
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for kk in k0..k1 {
+                let aik = row_a[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for (cj, bj) in row_c.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    };
+    if 2 * m * n * k >= PAR_MIN_FLOPS && m > 1 {
+        c.par_chunks_mut(n)
+            .zip(a.par_chunks(k))
+            .for_each(|(row_c, row_a)| run_row(row_c, row_a));
+    } else {
+        for (row_c, row_a) in c.chunks_mut(n).zip(a.chunks(k)) {
+            run_row(row_c, row_a);
+        }
+    }
+}
+
+/// `C[m,n] += A[m,k] · B[n,k]ᵀ` — `B` is stored row-major as `[n, k]`.
+///
+/// This is the forward shape for `Y = X·Wᵀ` with PyTorch-style `W: [out, in]`.
+pub fn matmul_nt(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), n * k, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    let run_row = |row_c: &mut [f32], row_a: &[f32]| {
+        for (j, cj) in row_c.iter_mut().enumerate() {
+            let brow = &b[j * k..j * k + k];
+            // Dot product of two contiguous rows: unrolled by the compiler.
+            let mut acc = 0.0f32;
+            for (x, y) in row_a.iter().zip(brow) {
+                acc += x * y;
+            }
+            *cj += acc;
+        }
+    };
+    if 2 * m * n * k >= PAR_MIN_FLOPS && m > 1 {
+        c.par_chunks_mut(n)
+            .zip(a.par_chunks(k))
+            .for_each(|(row_c, row_a)| run_row(row_c, row_a));
+    } else {
+        for (row_c, row_a) in c.chunks_mut(n).zip(a.chunks(k)) {
+            run_row(row_c, row_a);
+        }
+    }
+}
+
+/// `C[m,n] += A[k,m]ᵀ · B[k,n]` — `A` is stored row-major as `[k, m]`.
+///
+/// This is the weight-gradient shape `dW = dYᵀ·X` (with `dY: [k, m]`,
+/// `X: [k, n]`): exactly the *W pass* of zero-bubble schedules.
+pub fn matmul_tn(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    let run_rows = |c_chunk: &mut [f32], i0: usize| {
+        let rows = c_chunk.len() / n;
+        for kk in 0..k {
+            let arow = &a[kk * m..kk * m + m];
+            let brow = &b[kk * n..kk * n + n];
+            for r in 0..rows {
+                let aik = arow[i0 + r];
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut c_chunk[r * n..r * n + n];
+                for (cj, bj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    };
+    if 2 * m * n * k >= PAR_MIN_FLOPS && m > 1 {
+        // Split output rows into contiguous bands; each band re-streams A and
+        // B but owns its C rows exclusively.
+        let band = (m / rayon::current_num_threads().max(1)).max(1);
+        c.par_chunks_mut(band * n)
+            .enumerate()
+            .for_each(|(bi, c_chunk)| run_rows(c_chunk, bi * band));
+    } else {
+        run_rows(c, 0);
+    }
+}
+
+/// Reference (naive triple-loop) multiply, used by tests and benches as the
+/// ground truth: `C[m,n] += A[m,k]·B[k,n]`.
+pub fn matmul_naive(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn naive_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        matmul_naive(&mut c, a, b, m, k, n);
+        c
+    }
+
+    fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        let mut t = vec![0.0; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                t[j * rows + i] = x[i * cols + j];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn nn_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (16, 32, 8), (33, 17, 65)] {
+            let a = Tensor::randn([m * k], 1.0, 1).into_vec();
+            let b = Tensor::randn([k * n], 1.0, 2).into_vec();
+            let mut c = vec![0.0; m * n];
+            matmul_nn(&mut c, &a, &b, m, k, n);
+            let r = naive_ref(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&r) {
+                assert!((x - y).abs() < 1e-4, "nn mismatch at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive_with_transpose() {
+        for &(m, k, n) in &[(2, 3, 4), (16, 64, 16), (5, 31, 9)] {
+            let a = Tensor::randn([m * k], 1.0, 3).into_vec();
+            let bt = Tensor::randn([n * k], 1.0, 4).into_vec(); // B as [n,k]
+            let b = transpose(&bt, n, k); // [k,n]
+            let mut c = vec![0.0; m * n];
+            matmul_nt(&mut c, &a, &bt, m, k, n);
+            let r = naive_ref(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&r) {
+                assert!((x - y).abs() < 1e-4, "nt mismatch at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_naive_with_transpose() {
+        for &(m, k, n) in &[(2, 3, 4), (16, 64, 16), (7, 29, 13)] {
+            let at = Tensor::randn([k * m], 1.0, 5).into_vec(); // A as [k,m]
+            let b = Tensor::randn([k * n], 1.0, 6).into_vec();
+            let a = transpose(&at, k, m); // [m,k]
+            let mut c = vec![0.0; m * n];
+            matmul_tn(&mut c, &at, &b, m, k, n);
+            let r = naive_ref(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&r) {
+                assert!((x - y).abs() < 1e-4, "tn mismatch at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_rather_than_overwrites() {
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![100.0; 4];
+        matmul_nn(&mut c, &a, &b, 2, 2, 2);
+        assert_eq!(c, vec![105.0, 106.0, 107.0, 108.0]);
+    }
+
+    #[test]
+    fn parallel_path_bit_identical_to_sequential() {
+        // Force the parallel path with a size above PAR_MIN_FLOPS and check
+        // it is bit-identical to a size-agnostic sequential naive pass done
+        // in the same per-row order (ikj ordering differs from naive ijk, so
+        // compare against a sequential run of the same kernel instead).
+        let (m, k, n) = (128, 128, 64);
+        let a = Tensor::randn([m * k], 1.0, 7).into_vec();
+        let b = Tensor::randn([k * n], 1.0, 8).into_vec();
+        let mut c_par = vec![0.0; m * n];
+        matmul_nn(&mut c_par, &a, &b, m, k, n);
+        // Sequential same-order reference.
+        let mut c_seq = vec![0.0; m * n];
+        for i in 0..m {
+            let row_a = &a[i * k..(i + 1) * k];
+            let row_c = &mut c_seq[i * n..(i + 1) * n];
+            for k0 in (0..k).step_by(super::KC) {
+                let k1 = (k0 + super::KC).min(k);
+                for kk in k0..k1 {
+                    let aik = row_a[kk];
+                    for (cj, bj) in row_c.iter_mut().zip(&b[kk * n..kk * n + n]) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        }
+        assert_eq!(c_par, c_seq, "rayon path must not change results");
+    }
+}

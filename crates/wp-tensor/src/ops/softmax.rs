@@ -1,0 +1,115 @@
+//! Row softmax and its backward pass.
+
+/// In-place, numerically stable softmax over each row of an `[rows, cols]`
+/// matrix.
+pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols);
+    for row in x.chunks_mut(cols) {
+        softmax_row(row);
+    }
+}
+
+/// In-place softmax of a single row.
+#[inline]
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    if !max.is_finite() {
+        // All -inf (fully masked row): define softmax as uniform-zero to keep
+        // downstream math finite; the caller masks the contribution anyway.
+        row.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Backward of row softmax: given `y = softmax(x)` and `dy`, accumulate
+/// `dx += y ⊙ (dy − (dy·y))` row by row.
+pub fn softmax_rows_backward(dx: &mut [f32], dy: &[f32], y: &[f32], rows: usize, cols: usize) {
+    assert_eq!(dx.len(), rows * cols);
+    assert_eq!(dy.len(), rows * cols);
+    assert_eq!(y.len(), rows * cols);
+    for r in 0..rows {
+        let o = r * cols;
+        let yr = &y[o..o + cols];
+        let dyr = &dy[o..o + cols];
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        let dxr = &mut dx[o..o + cols];
+        for j in 0..cols {
+            dxr[j] += yr[j] * (dyr[j] - dot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut x, 2, 3);
+        for row in x.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let mut x = vec![1e4f32, 1e4 + 1.0];
+        softmax_rows(&mut x, 1, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!(x[1] > x[0]);
+    }
+
+    #[test]
+    fn fully_masked_row_is_zero() {
+        let mut x = vec![f32::NEG_INFINITY; 4];
+        softmax_rows(&mut x, 1, 4);
+        assert_eq!(x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn invariant_to_shift() {
+        let mut a = vec![0.3f32, -1.0, 2.5];
+        let mut b: Vec<f32> = a.iter().map(|v| v + 123.0).collect();
+        softmax_rows(&mut a, 1, 3);
+        softmax_rows(&mut b, 1, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_numeric() {
+        let x0 = [0.5f32, -0.3, 1.2, 0.0];
+        let dy = [0.7f32, -0.2, 0.1, 0.9];
+        let loss = |x: &[f32]| -> f32 {
+            let mut y = x.to_vec();
+            softmax_rows(&mut y, 1, 4);
+            y.iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        let mut y = x0.to_vec();
+        softmax_rows(&mut y, 1, 4);
+        let mut dx = vec![0.0f32; 4];
+        softmax_rows_backward(&mut dx, &dy, &y, 1, 4);
+        let h = 1e-3;
+        for i in 0..4 {
+            let mut xp = x0.to_vec();
+            xp[i] += h;
+            let mut xm = x0.to_vec();
+            xm[i] -= h;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * h);
+            assert!((dx[i] - num).abs() < 1e-3, "dx[{i}]: {} vs {num}", dx[i]);
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! This library target exists only so the example binaries can live at the
+//! package root (`examples/quickstart.rs` etc.), matching the workspace
+//! layout described in the README.

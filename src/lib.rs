@@ -1,0 +1,10 @@
+//! Umbrella crate: re-exports the workspace crates so the root `tests/`
+//! directory can exercise the whole stack through one dependency.
+
+pub use weipipe as runtime;
+pub use wp_comm as comm;
+pub use wp_nn as nn;
+pub use wp_optim as optim;
+pub use wp_sched as sched;
+pub use wp_sim as sim;
+pub use wp_tensor as tensor;

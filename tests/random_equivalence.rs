@@ -1,0 +1,52 @@
+//! Randomized cross-strategy equivalence: for arbitrary small
+//! configurations, any runtime strategy must reproduce the single-process
+//! reference. This is the fuzzer over the whole stack — builders,
+//! interpreter, comm, kernels, optimizers at once.
+
+use proptest::prelude::*;
+use weipipe::{run_distributed, run_single, OptimKind, TrainSetup};
+use wp_sched::Strategy as Strat;
+
+fn arb_runtime_strategy() -> impl Strategy<Value = Strat> {
+    prop::sample::select(weipipe::runtime_strategies())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_strategy_any_shape_matches_reference(
+        strategy in arb_runtime_strategy(),
+        p_pick in 0usize..2,
+        lpc in 1usize..3,
+        n_mult in 1usize..3,
+        adam in any::<bool>(),
+        recompute in any::<bool>(),
+        seed in 0u64..1000
+    ) {
+        let p = [2usize, 4][p_pick];
+        let mut setup = TrainSetup::tiny(p * lpc, p * n_mult);
+        setup.seed = seed;
+        setup.iters = 2;
+        setup.recompute = recompute;
+        setup.optim = if adam {
+            OptimKind::AdamW { lr: 2e-3 }
+        } else {
+            OptimKind::Sgd { lr: 0.1 }
+        };
+        let reference = run_single(&setup);
+        let out = run_distributed(strategy, p, &setup);
+        let dl = out.max_loss_diff(&reference);
+        let dp = out.max_param_diff(&reference);
+        prop_assert!(
+            dl < 5e-4,
+            "{:?} P={} L={} N={} seed={}: loss diff {}",
+            strategy, p, p * lpc, p * n_mult, seed, dl
+        );
+        prop_assert!(
+            dp < 5e-3,
+            "{:?} P={} L={} N={} seed={}: param diff {}",
+            strategy, p, p * lpc, p * n_mult, seed, dp
+        );
+    }
+}
