@@ -25,7 +25,7 @@
 
 use crate::setup::TrainSetup;
 use std::collections::HashMap;
-use wp_comm::Communicator;
+use wp_comm::{CommError, Communicator};
 use wp_nn::block::{
     block_backward_data, block_backward_full, block_backward_recompute, block_backward_weight,
     block_forward, BPassCtx, BlockCtx,
@@ -36,6 +36,9 @@ use wp_nn::params::{init_block, init_embed, init_head, BlockLayout};
 use wp_optim::{MasterWeights, Optimizer};
 use wp_sched::{MsgKey, MsgKind, OpKind, Schedule, Strategy, NO_MB};
 use wp_tensor::ops::RopeTable;
+
+/// A fully assembled model: `(embed, per-layer blocks, head)`.
+pub type AssembledModel = (Vec<f32>, Vec<Vec<f32>>, Vec<f32>);
 
 /// Flow tag for a rank's own resident copy (activation-passing pipelines,
 /// DDP replicas, FSDP gather targets).
@@ -462,7 +465,7 @@ impl RankRuntime {
 
     // ---- communication ops --------------------------------------------------
 
-    fn exec_send(&mut self, k: &MsgKey) {
+    fn exec_send(&mut self, k: &MsgKey) -> Result<(), CommError> {
         let wire = self.setup.wire;
         let tag = tag_of(k);
         match k.kind {
@@ -474,35 +477,36 @@ impl RankRuntime {
                         panic!("rank {}: sending unknown weight slot {:?}", self.rank, (k.chunk, k.mb))
                     })
                     .clone();
-                self.comm.send(k.dst, tag, &slot, wire);
+                self.comm.send(k.dst, tag, &slot, wire)?;
             }
             MsgKind::WeightGrads => {
                 let buf = self
                     .dgrads
                     .remove(&k.chunk)
                     .unwrap_or_else(|| vec![0.0; self.lpc * self.block_len]);
-                self.comm.send(k.dst, tag, &buf, wire);
+                self.comm.send(k.dst, tag, &buf, wire)?;
             }
             MsgKind::Act => {
                 let buf = self
                     .acts
                     .remove(&(k.mb, k.chunk))
                     .unwrap_or_else(|| panic!("rank {}: no activations to send {k:?}", self.rank));
-                self.comm.send(k.dst, tag, &buf, wire);
+                self.comm.send(k.dst, tag, &buf, wire)?;
             }
             MsgKind::ActGrad => {
                 let buf = self
                     .dy_out
                     .remove(&(k.mb, k.chunk))
                     .unwrap_or_else(|| panic!("rank {}: no act grads to send {k:?}", self.rank));
-                self.comm.send(k.dst, tag, &buf, wire);
+                self.comm.send(k.dst, tag, &buf, wire)?;
             }
         }
+        Ok(())
     }
 
-    fn exec_recv(&mut self, k: &MsgKey) {
+    fn exec_recv(&mut self, k: &MsgKey) -> Result<(), CommError> {
         let tag = tag_of(k);
-        let data = self.comm.recv(k.src, tag);
+        let data = self.comm.recv(k.src, tag)?;
         match k.kind {
             MsgKind::Weights => {
                 self.slots.insert((k.chunk, k.mb), data);
@@ -526,24 +530,26 @@ impl RankRuntime {
                 self.dy_out.insert((k.mb, k.chunk), data);
             }
         }
+        Ok(())
     }
 
-    fn exec_all_gather(&mut self, chunk: usize) {
+    fn exec_all_gather(&mut self, chunk: usize) -> Result<(), CommError> {
         let wire = self.setup.wire;
         let shard = self.shards.get(&chunk).expect("FSDP shard").clone();
-        let mut full = self.comm.all_gather(&shard, wire);
+        let mut full = self.comm.all_gather(&shard, wire)?;
         full.truncate(self.lpc * self.block_len);
         self.slots.insert((chunk, RESIDENT), full);
+        Ok(())
     }
 
-    fn exec_reduce_scatter(&mut self, chunk: usize) {
+    fn exec_reduce_scatter(&mut self, chunk: usize) -> Result<(), CommError> {
         let wire = self.setup.wire;
         let mut grads = self
             .dgrads
             .remove(&chunk)
             .unwrap_or_else(|| panic!("rank {}: no grads to reduce-scatter", self.rank));
         grads.resize(self.shard_len * self.comm.world_size(), 0.0);
-        let own = self.comm.reduce_scatter_sum(&grads, wire);
+        let own = self.comm.reduce_scatter_sum(&grads, wire)?;
         match self.shard_grads.get_mut(&chunk) {
             Some(acc) => {
                 for (a, b) in acc.iter_mut().zip(&own) {
@@ -557,23 +563,29 @@ impl RankRuntime {
         // The gathered full-weight buffer is stale after updates; drop it so
         // the next iteration re-gathers.
         self.slots.remove(&(chunk, RESIDENT));
+        Ok(())
     }
 
-    fn exec_all_reduce(&mut self, chunk: usize) {
+    fn exec_all_reduce(&mut self, chunk: usize) -> Result<(), CommError> {
         let wire = self.setup.wire;
         let buf = self.dgrads.entry(chunk).or_insert_with(|| vec![0.0; 0]);
         if buf.is_empty() {
             *buf = vec![0.0; self.lpc * self.block_len];
         }
         let mut taken = std::mem::take(buf);
-        self.comm.all_reduce_sum(&mut taken, wire);
+        self.comm.all_reduce_sum(&mut taken, wire)?;
         self.dgrads.insert(chunk, taken);
+        Ok(())
     }
 
     // ---- driver --------------------------------------------------------------
 
     /// Execute one iteration of the schedule.
-    pub fn run_iteration(&mut self, schedule: &Schedule, iter: usize) -> f32 {
+    ///
+    /// # Errors
+    /// Propagates the first [`CommError`] hit by any communication op; the
+    /// iteration's state is then unusable and the caller should unwind.
+    pub fn run_iteration(&mut self, schedule: &Schedule, iter: usize) -> Result<f32, CommError> {
         self.iter = iter;
         self.acts.clear();
         self.fwd_saved.clear();
@@ -593,11 +605,11 @@ impl RankRuntime {
                 OpKind::BwdData { mb, chunk } => self.exec_bwd_data(*mb, *chunk, &op.needs),
                 OpKind::BwdWeight { mb, chunk } => self.exec_bwd_weight(*mb, *chunk),
                 OpKind::Update { chunk } => self.exec_update(*chunk),
-                OpKind::Send(k) => self.exec_send(k),
-                OpKind::Recv(k) => self.exec_recv(k),
-                OpKind::AllGatherW { chunk, .. } => self.exec_all_gather(*chunk),
-                OpKind::ReduceScatterD { chunk, .. } => self.exec_reduce_scatter(*chunk),
-                OpKind::AllReduceD { chunk, .. } => self.exec_all_reduce(*chunk),
+                OpKind::Send(k) => self.exec_send(k)?,
+                OpKind::Recv(k) => self.exec_recv(k)?,
+                OpKind::AllGatherW { chunk, .. } => self.exec_all_gather(*chunk)?,
+                OpKind::ReduceScatterD { chunk, .. } => self.exec_reduce_scatter(*chunk)?,
+                OpKind::AllReduceD { chunk, .. } => self.exec_all_reduce(*chunk)?,
             }
         }
 
@@ -612,8 +624,8 @@ impl RankRuntime {
         }
         let mut eg = std::mem::take(&mut self.embed_grads);
         let mut hg = std::mem::take(&mut self.head_grads);
-        self.comm.all_reduce_sum(&mut eg, wire);
-        self.comm.all_reduce_sum(&mut hg, wire);
+        self.comm.all_reduce_sum(&mut eg, wire)?;
+        self.comm.all_reduce_sum(&mut hg, wire)?;
         self.unscale(&mut eg);
         self.unscale(&mut hg);
         let lr = self.lr();
@@ -631,21 +643,24 @@ impl RankRuntime {
 
         // Mean loss across ranks.
         let mut stats = [self.loss_sum as f32, self.loss_count as f32];
-        self.comm.all_reduce_sum(&mut stats, wp_tensor::DType::F32);
+        self.comm.all_reduce_sum(&mut stats, wp_tensor::DType::F32)?;
         assert_eq!(
             stats[1] as usize, self.setup.microbatches,
             "every microbatch must contribute exactly one loss"
         );
-        stats[0] / stats[1]
+        Ok(stats[0] / stats[1])
     }
 
     /// Re-seed the backward-flow weight copy for the next iteration: the
     /// chunk owner ships its freshly updated weights to the rank that holds
     /// the backward seed (O(P) messages per iteration boundary — the
     /// amortized cost noted in the builder docs).
-    pub fn reseed_bwd_flow(&mut self, schedule: &Schedule, iter: usize) {
+    ///
+    /// # Errors
+    /// Propagates any [`CommError`] from the reseed exchange.
+    pub fn reseed_bwd_flow(&mut self, schedule: &Schedule, iter: usize) -> Result<(), CommError> {
         if !matches!(self.strategy, Strategy::WeiPipeInterleave | Strategy::WeiPipeNaive) {
-            return;
+            return Ok(());
         }
         let p = self.comm.world_size();
         let offset = if self.strategy == Strategy::WeiPipeInterleave { 1 } else { 2 };
@@ -661,24 +676,31 @@ impl RankRuntime {
                 }
             } else if self.rank == owner {
                 let fresh = self.slots.get(&(chunk, FLOW_FWD)).expect("owner slot").clone();
-                self.comm.send(holder, tag, &fresh, wire);
+                self.comm.send(holder, tag, &fresh, wire)?;
             } else if self.rank == holder {
-                let fresh = self.comm.recv(owner, tag);
+                let fresh = self.comm.recv(owner, tag)?;
                 self.slots.insert((chunk, FLOW_BWD), fresh);
             }
         }
+        Ok(())
     }
 
     /// Assemble the full updated model on every rank (broadcast from each
     /// chunk's updater; all-gather for FSDP shards). Returns
     /// `(embed, blocks, head)`.
-    pub fn assemble(&mut self, schedule: &Schedule) -> (Vec<f32>, Vec<Vec<f32>>, Vec<f32>) {
+    ///
+    /// # Errors
+    /// Propagates any [`CommError`] from the assembly collectives.
+    pub fn assemble(
+        &mut self,
+        schedule: &Schedule,
+    ) -> Result<AssembledModel, CommError> {
         let wire = wp_tensor::DType::F32; // assembly is exact
         let mut blocks = Vec::with_capacity(self.cfg.layers);
         for chunk in 0..self.chunks {
             let full = if self.strategy == Strategy::Fsdp {
                 let shard = self.shards.get(&chunk).expect("shard").clone();
-                let mut full = self.comm.all_gather(&shard, wire);
+                let mut full = self.comm.all_gather(&shard, wire)?;
                 full.truncate(self.lpc * self.block_len);
                 full
             } else {
@@ -695,14 +717,14 @@ impl RankRuntime {
                 } else {
                     Vec::new()
                 };
-                self.comm.broadcast(updater, &mut buf, wire);
+                self.comm.broadcast(updater, &mut buf, wire)?;
                 buf
             };
             for l in 0..self.lpc {
                 blocks.push(full[l * self.block_len..(l + 1) * self.block_len].to_vec());
             }
         }
-        (self.embed.clone(), blocks, self.head.clone())
+        Ok((self.embed.clone(), blocks, self.head.clone()))
     }
 }
 

@@ -32,9 +32,16 @@
 //!
 //! let setup = TrainSetup::tiny(2, 4); // 2 layers, 4 microbatches
 //! let reference = run_single(&setup);
-//! let wp = run_distributed(Strategy::WeiPipeInterleave, 2, &setup);
+//! let wp = run_distributed(Strategy::WeiPipeInterleave, 2, &setup)
+//!     .expect("healthy world");
 //! assert!(wp.max_loss_diff(&reference) < 1e-3);
 //! ```
+//!
+//! Training is fault-aware: a [`TrainSetup`] can carry a seeded
+//! [`FaultPlan`] for the communication ring and a [`CommConfig`]
+//! timeout/retry policy. Delay-only plans never change the result;
+//! destructive plans surface as typed [`CommError`]s on every rank instead
+//! of hangs.
 
 #![warn(missing_docs)]
 
@@ -43,7 +50,8 @@ pub mod runner;
 pub mod setup;
 pub mod single;
 
-pub use runner::{run, run_distributed, runtime_strategies};
+pub use runner::{run, run_distributed, run_distributed_per_rank, runtime_strategies};
 pub use setup::{DataSource, OptimKind, RunOutput, TrainSetup};
 pub use single::run_single;
+pub use wp_comm::{CommConfig, CommError, FaultPlan};
 pub use wp_sched::Strategy;

@@ -4,7 +4,7 @@
 use crate::interp::RankRuntime;
 use crate::setup::{RunOutput, TrainSetup};
 use crate::single::run_single;
-use wp_comm::World;
+use wp_comm::{CommError, World};
 use wp_sched::{build, validate, PipelineSpec, Strategy};
 
 /// Strategies the runtime executes (everything the builders produce except
@@ -23,17 +23,21 @@ pub fn runtime_strategies() -> Vec<Strategy> {
     ]
 }
 
-/// Train `setup` under `strategy` across `ranks` worker threads.
-///
-/// Returns the per-iteration mean losses and the final parameters, which
-/// must match [`run_single`] on the same setup (the equivalence the test
-/// suite enforces).
+/// Train `setup` under `strategy` across `ranks` worker threads, returning
+/// every rank's outcome (rank order). A healthy world yields `Ok` on every
+/// rank; under a destructive fault plan each rank reports the typed
+/// [`CommError`] it unwound with — the per-rank view watchdog tests assert
+/// against.
 ///
 /// # Panics
 /// Panics if the configuration violates the strategy's constraints (layers
 /// divisible by ranks, microbatches a multiple of ranks for weight-passing
 /// and data-parallel strategies) or if the schedule fails validation.
-pub fn run_distributed(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> RunOutput {
+pub fn run_distributed_per_rank(
+    strategy: Strategy,
+    ranks: usize,
+    setup: &TrainSetup,
+) -> Vec<Result<RunOutput, CommError>> {
     assert!(
         setup.model.layers.is_multiple_of(ranks),
         "layers ({}) must divide evenly across ranks ({ranks})",
@@ -52,29 +56,69 @@ pub fn run_distributed(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> 
     validate(&schedule).expect("builder produced an invalid schedule");
 
     let iters = setup.iters;
-    let (mut outs, meter) = World::run(ranks, setup.link, |comm| {
-        let mut rt = RankRuntime::new(setup, &schedule, comm);
-        let mut losses = Vec::with_capacity(iters);
-        let t0 = std::time::Instant::now();
-        for iter in 0..iters {
-            losses.push(rt.run_iteration(&schedule, iter));
-            if iter + 1 < iters {
-                rt.reseed_bwd_flow(&schedule, iter);
+    let (outs, meter) = World::builder(ranks)
+        .link(setup.link)
+        .config(setup.comm)
+        .maybe_faults(setup.faults.clone())
+        .try_run(|comm| {
+            let mut rt = RankRuntime::new(setup, &schedule, comm);
+            let mut losses = Vec::with_capacity(iters);
+            let t0 = std::time::Instant::now();
+            for iter in 0..iters {
+                losses.push(rt.run_iteration(&schedule, iter)?);
+                if iter + 1 < iters {
+                    rt.reseed_bwd_flow(&schedule, iter)?;
+                }
             }
-        }
-        let wall_seconds = t0.elapsed().as_secs_f64();
-        let (embed, blocks, head) = rt.assemble(&schedule);
-        RunOutput { losses, embed, blocks, head, bytes_sent: 0, wall_seconds }
-    });
-    let mut out = outs.remove(0);
-    out.bytes_sent = meter.total_bytes();
-    out
+            let wall_seconds = t0.elapsed().as_secs_f64();
+            let (embed, blocks, head) = rt.assemble(&schedule)?;
+            Ok(RunOutput { losses, embed, blocks, head, bytes_sent: 0, wall_seconds })
+        });
+    let bytes = meter.total_bytes();
+    outs.into_iter()
+        .map(|r| {
+            r.map(|mut out| {
+                out.bytes_sent = bytes;
+                out
+            })
+        })
+        .collect()
+}
+
+/// Train `setup` under `strategy` across `ranks` worker threads.
+///
+/// Returns the per-iteration mean losses and the final parameters (from
+/// rank 0), which must match [`run_single`] on the same setup — the
+/// equivalence the test suite enforces, including under delay-only fault
+/// plans.
+///
+/// # Errors
+/// The first failing rank's [`CommError`] (rank order) when the world
+/// failed — e.g. [`CommError::PeerDead`] under a dead-rank fault plan.
+///
+/// # Panics
+/// Same configuration panics as [`run_distributed_per_rank`].
+pub fn run_distributed(
+    strategy: Strategy,
+    ranks: usize,
+    setup: &TrainSetup,
+) -> Result<RunOutput, CommError> {
+    let mut results = run_distributed_per_rank(strategy, ranks, setup);
+    // Any failed rank fails the run: a training job with a dead rank has no
+    // trustworthy result even if rank 0 limped to the end.
+    if let Some(pos) = results.iter().position(|r| r.is_err()) {
+        return Err(results.swap_remove(pos).unwrap_err());
+    }
+    Ok(results.swap_remove(0).expect("checked above"))
 }
 
 /// Run a strategy, or the single-process reference when `ranks == 1`.
-pub fn run(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> RunOutput {
+///
+/// # Errors
+/// Same as [`run_distributed`] (the single-process path cannot fail).
+pub fn run(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> Result<RunOutput, CommError> {
     if ranks == 1 {
-        run_single(setup)
+        Ok(run_single(setup))
     } else {
         run_distributed(strategy, ranks, setup)
     }
@@ -88,7 +132,7 @@ mod tests {
     /// single-process reference within float-reduction tolerance.
     fn assert_matches_reference(strategy: Strategy, ranks: usize, setup: &TrainSetup) {
         let reference = run_single(setup);
-        let out = run_distributed(strategy, ranks, setup);
+        let out = run_distributed(strategy, ranks, setup).expect("healthy world must train");
         let loss_diff = out.max_loss_diff(&reference);
         let param_diff = out.max_param_diff(&reference);
         assert!(

@@ -1,6 +1,6 @@
 //! Run configuration and results.
 
-use wp_comm::LinkModel;
+use wp_comm::{CommConfig, FaultPlan, LinkModel};
 use wp_nn::ModelConfig;
 use wp_optim::{AdamConfig, AdamW, LrSchedule, Optimizer, Sgd, SgdConfig};
 use wp_tensor::DType;
@@ -123,6 +123,12 @@ pub struct TrainSetup {
     pub recompute: bool,
     /// Training data.
     pub data: DataSource,
+    /// Deterministic fault plan injected into the communication ring
+    /// (`None` for a healthy world). Delay-only plans must not change the
+    /// training result; destructive plans surface as `CommError`s.
+    pub faults: Option<FaultPlan>,
+    /// Timeout/retry policy for blocking receives.
+    pub comm: CommConfig,
 }
 
 impl TrainSetup {
@@ -143,6 +149,8 @@ impl TrainSetup {
             link: LinkModel::instant(),
             recompute: false,
             data: DataSource::Synthetic,
+            faults: None,
+            comm: CommConfig::default(),
         }
     }
 

@@ -12,30 +12,160 @@
 //! setting ("tree algorithms were not adopted"): all-reduce is
 //! reduce-scatter + all-gather around the ring, each rank sending
 //! `2·(P−1)/P · n` bytes — the byte count the FSDP cost model charges.
+//!
+//! # Failure semantics
+//!
+//! Every operation that can fail returns a [`CommError`] instead of
+//! panicking. A fatal error on any rank trips a world-wide *abort cell*
+//! (the poison pill): every other rank's next — or currently blocking —
+//! operation observes the cell within one poll interval and unwinds with
+//! the propagated cause, so one dead rank tears the world down in
+//! milliseconds instead of deadlocking it for the full receive timeout.
+//! [`CommError::PeerDead`] propagates verbatim (every survivor learns *who*
+//! died); other causes surface on bystanders as [`CommError::Aborted`]
+//! naming the origin rank. Payloads are checksummed at send time and
+//! verified on arrival, turning wire corruption (real or injected) into
+//! [`CommError::Corrupt`].
+//!
+//! Faults themselves are injected by an optional [`FaultPlan`] attached via
+//! [`World::builder`]; see [`crate::fault`] for the fault classes and their
+//! determinism guarantees.
 
+use crate::error::CommError;
+use crate::fault::{FaultPlan, RankInjector};
 use crate::link::LinkModel;
 use crate::meter::{TrafficClass, TrafficMeter};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wp_tensor::dtype::quantize_slice;
 use wp_tensor::DType;
 
-/// How long a blocking receive waits before declaring the job deadlocked.
-/// Generous enough for the heaviest test, short enough that a schedule bug
-/// fails the suite instead of hanging it.
-const RECV_TIMEOUT: Duration = Duration::from_secs(120);
-
 /// Tags ≥ this value are reserved for collectives.
-const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+/// Timeout, retry, and polling policy for blocking receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommConfig {
+    /// How long one receive attempt waits before it is declared timed out.
+    /// Generous by default so a healthy-but-slow world never trips it; chaos
+    /// tests shrink it to fail fast.
+    pub recv_timeout: Duration,
+    /// Granularity at which a blocking receive re-checks the abort cell. The
+    /// worst-case latency between a remote failure and this rank unwinding.
+    pub poll_interval: Duration,
+    /// Extra receive attempts after the first window times out.
+    pub retries: u32,
+    /// Multiplier applied to the timeout window on each retry.
+    pub backoff: f64,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            recv_timeout: Duration::from_secs(120),
+            poll_interval: Duration::from_millis(2),
+            retries: 0,
+            backoff: 2.0,
+        }
+    }
+}
+
+impl CommConfig {
+    /// A fail-fast config for tests: small timeout, fine-grained polling.
+    pub fn fail_fast(recv_timeout: Duration) -> Self {
+        CommConfig {
+            recv_timeout,
+            poll_interval: Duration::from_millis(1).min(recv_timeout / 4).max(Duration::from_micros(100)),
+            retries: 0,
+            backoff: 2.0,
+        }
+    }
+
+    /// Total wall-clock budget a receive may consume across every retry
+    /// window (the bound watchdog tests assert against).
+    pub fn total_recv_budget(&self) -> Duration {
+        let mut total = self.recv_timeout;
+        let mut window = self.recv_timeout;
+        for _ in 0..self.retries {
+            window = window.mul_f64(self.backoff.max(1.0));
+            total += window;
+        }
+        total
+    }
+}
+
+/// FNV-1a over the payload's f32 bit patterns.
+fn checksum_of(data: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in data {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
 
 #[derive(Debug)]
 struct Msg {
     tag: u64,
     data: Vec<f32>,
     /// Earliest wall-clock instant the receiver may consume this message
-    /// (link-model pacing). `None` when the link is instant.
+    /// (link-model pacing plus injected delay). `None` when instant.
     deliver_at: Option<Instant>,
+    /// FNV-1a over the payload bits, computed at send time (before any
+    /// injected corruption).
+    checksum: u64,
+}
+
+impl Msg {
+    fn verify(&self) -> bool {
+        checksum_of(&self.data) == self.checksum
+    }
+}
+
+/// The world-wide poison pill: the first fatal error trips the flag and
+/// records `(origin, cause)`; every rank polls the flag from its blocking
+/// operations and unwinds with the propagated cause.
+#[derive(Debug, Default)]
+struct AbortCell {
+    tripped: AtomicBool,
+    cause: Mutex<Option<(usize, CommError)>>,
+}
+
+impl AbortCell {
+    /// Record a fatal failure. First cause wins; later trips are no-ops.
+    fn trip(&self, origin: usize, cause: CommError) {
+        let mut guard = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some((origin, cause));
+        }
+        drop(guard);
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// The error rank `me` should unwind with. The origin rank gets its own
+    /// error back; `PeerDead` propagates verbatim so every survivor learns
+    /// who died; anything else surfaces as `Aborted` naming the origin.
+    fn cause_for(&self, me: usize) -> CommError {
+        let guard = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+        match &*guard {
+            Some((origin, e)) if *origin == me => e.clone(),
+            Some((_, e @ CommError::PeerDead { .. })) => e.clone(),
+            Some((_, e @ CommError::Aborted { .. })) => e.clone(),
+            Some((origin, e)) => {
+                CommError::Aborted { origin: *origin, reason: e.to_string() }
+            }
+            None => CommError::Aborted { origin: me, reason: "world aborted".into() },
+        }
+    }
 }
 
 /// Per-rank endpoint of a [`World`].
@@ -57,6 +187,12 @@ pub struct Communicator {
     /// Sequence number for collectives; advances identically on every rank
     /// because collectives are bulk-synchronous SPMD calls.
     coll_seq: u64,
+    config: CommConfig,
+    abort: Arc<AbortCell>,
+    faults: Option<RankInjector>,
+    /// One-slot reorder buffer per destination: a held message is delivered
+    /// after the *next* message on the same link (see [`crate::fault`]).
+    held: Vec<Option<Msg>>,
 }
 
 /// Handle returned by [`Communicator::irecv`]; redeem with
@@ -98,35 +234,135 @@ impl Communicator {
         &self.meter
     }
 
+    /// The timeout/retry policy this rank operates under.
+    pub fn config(&self) -> &CommConfig {
+        &self.config
+    }
+
+    /// Record a fatal failure: poison the world so every other rank unwinds.
+    fn fail(&self, e: &CommError) {
+        if e.is_fatal() {
+            self.abort.trip(self.rank, e.clone());
+        }
+    }
+
+    /// Gate every communication operation: first honour a standing abort,
+    /// then let the fault plan kill this rank at its scheduled operation.
+    fn precheck(&mut self) -> Result<(), CommError> {
+        if self.abort.is_tripped() {
+            return Err(self.abort.cause_for(self.rank));
+        }
+        if let Some(inj) = self.faults.as_mut() {
+            if inj.op_kills_rank() {
+                let e = CommError::PeerDead { rank: self.rank };
+                self.meter.record_faults(self.rank, 1);
+                self.fail(&e);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
     /// Send `data` to `dst` with a user `tag`, charged (and quantized) at
     /// the given wire dtype. Never blocks.
     ///
+    /// # Errors
+    /// [`CommError::InvalidTag`] for tags reserved for collectives;
+    /// [`CommError::PeerDead`] if `dst`'s endpoint is gone (or a fault plan
+    /// killed this rank); a propagated abort error if the world already
+    /// failed.
+    ///
     /// # Panics
-    /// Panics on a reserved tag or if `dst` is out of range.
-    pub fn send(&self, dst: usize, tag: u64, data: &[f32], dtype: DType) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} is reserved for collectives");
-        self.send_internal(dst, tag, data, dtype, TrafficClass::P2p);
+    /// Panics if `dst` is out of range or equals this rank (API misuse).
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[f32], dtype: DType) -> Result<(), CommError> {
+        if tag >= COLLECTIVE_TAG_BASE {
+            return Err(CommError::InvalidTag { tag });
+        }
+        self.send_internal(dst, tag, data, dtype, TrafficClass::P2p)
     }
 
-    fn send_internal(&self, dst: usize, tag: u64, data: &[f32], dtype: DType, class: TrafficClass) {
+    fn send_internal(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[f32],
+        dtype: DType,
+        class: TrafficClass,
+    ) -> Result<(), CommError> {
         assert!(dst < self.world, "dst {dst} out of range");
         assert_ne!(dst, self.rank, "self-send is not supported");
+        self.precheck()?;
         let mut payload = data.to_vec();
         // Quantize through the wire format: what a GPU casting to fp16 for
         // the transfer would do to the values.
         quantize_slice(&mut payload, dtype);
         let bytes = (payload.len() * dtype.size_bytes()) as u64;
         self.meter.record_send(self.rank, bytes, class);
-        let deliver_at = if self.link.is_instant() {
+        let mut deliver_at = if self.link.is_instant() {
             None
         } else {
             Some(Instant::now() + self.link.transfer_duration(bytes as usize))
         };
-        // Unbounded channel: failure means the peer thread is gone, which is
-        // a crashed job — surface it.
-        self.outbox[dst]
-            .send(Msg { tag, data: payload, deliver_at })
-            .unwrap_or_else(|_| panic!("rank {} send to dead rank {dst}", self.rank));
+        let mut hold = false;
+        let mut corrupt = false;
+        if let Some(inj) = self.faults.as_mut() {
+            let f = inj.on_send(dst);
+            if f.injected > 0 {
+                self.meter.record_faults(self.rank, f.injected);
+            }
+            if !f.extra_delay.is_zero() {
+                deliver_at = Some(deliver_at.unwrap_or_else(Instant::now) + f.extra_delay);
+            }
+            hold = f.hold;
+            corrupt = f.corrupt;
+        }
+        // Checksum the honest payload, then corrupt — the receiver must see
+        // the mismatch.
+        let mut msg = Msg { tag, checksum: checksum_of(&payload), data: payload, deliver_at };
+        if corrupt {
+            match msg.data.first_mut() {
+                Some(x) => *x = f32::from_bits(x.to_bits() ^ 1),
+                None => msg.checksum ^= 1,
+            }
+        }
+        if hold && self.held[dst].is_none() {
+            self.held[dst] = Some(msg);
+            return Ok(());
+        }
+        self.wire_send(dst, msg)?;
+        // Flushing after the newer message is what performs the swap.
+        if let Some(h) = self.held[dst].take() {
+            self.wire_send(dst, h)?;
+        }
+        Ok(())
+    }
+
+    /// Put one message on the wire; a closed channel means the peer's
+    /// thread is gone.
+    fn wire_send(&mut self, dst: usize, msg: Msg) -> Result<(), CommError> {
+        if self.outbox[dst].send(msg).is_ok() {
+            return Ok(());
+        }
+        if self.abort.is_tripped() {
+            // The peer exited because the world is unwinding; report the
+            // root cause rather than a secondary symptom.
+            return Err(self.abort.cause_for(self.rank));
+        }
+        let e = CommError::PeerDead { rank: dst };
+        self.fail(&e);
+        Err(e)
+    }
+
+    /// Deliver every held (reorder-delayed) message. Must run before this
+    /// rank blocks in a receive so an injected hold can delay but never
+    /// deadlock a delivery.
+    fn flush_held(&mut self) -> Result<(), CommError> {
+        for dst in 0..self.world {
+            if let Some(m) = self.held[dst].take() {
+                self.wire_send(dst, m)?;
+            }
+        }
+        Ok(())
     }
 
     /// Post a receive for `(src, tag)` without blocking; redeem with
@@ -139,7 +375,10 @@ impl Communicator {
     }
 
     /// Block until the handle's message arrives and return its payload.
-    pub fn wait(&mut self, h: RecvHandle) -> Vec<f32> {
+    ///
+    /// # Errors
+    /// Same as [`recv`](Self::recv).
+    pub fn wait(&mut self, h: RecvHandle) -> Result<Vec<f32>, CommError> {
         self.recv(h.src, h.tag)
     }
 
@@ -148,43 +387,73 @@ impl Communicator {
     /// Messages from `src` with other tags are parked and delivered to later
     /// matching receives in FIFO order.
     ///
-    /// # Panics
-    /// Panics after the 120 s receive timeout (treats the job as deadlocked), or if
-    /// the sending rank has exited.
-    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f32> {
+    /// # Errors
+    /// [`CommError::Timeout`] when the configured window (including retries
+    /// and backoff) elapses with no match; [`CommError::PeerDead`] when
+    /// `src`'s endpoint closed; [`CommError::Corrupt`] when an arriving
+    /// payload fails its checksum; a propagated abort error when another
+    /// rank failed first.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
+        assert!(src < self.world, "src {src} out of range");
+        assert_ne!(src, self.rank, "self-recv is not supported");
+        self.precheck()?;
+        self.flush_held()?;
         // Check the reorder buffer first.
         if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
             let msg = self.pending[src].remove(pos).expect("position just found");
             Self::pace(&msg);
-            return msg.data;
+            return Ok(msg.data);
         }
-        let deadline = Instant::now() + RECV_TIMEOUT;
+        let started = Instant::now();
+        let mut window = self.config.recv_timeout;
+        let mut attempt = 0u32;
         loop {
-            let remaining = deadline
-                .checked_duration_since(Instant::now())
-                .unwrap_or_else(|| {
-                    panic!(
-                        "rank {} timed out waiting for tag {tag} from rank {src} \
-                         (pending tags: {:?})",
-                        self.rank,
-                        self.pending[src].iter().map(|m| m.tag).collect::<Vec<_>>()
-                    )
-                });
-            let msg = self.inbox[src]
-                .recv_timeout(remaining)
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "rank {} recv(src={src}, tag={tag}) failed: {e} \
-                         (pending tags: {:?})",
-                        self.rank,
-                        self.pending[src].iter().map(|m| m.tag).collect::<Vec<_>>()
-                    )
-                });
-            if msg.tag == tag {
-                Self::pace(&msg);
-                return msg.data;
+            // One timeout window, polled in small slices so a world abort
+            // interrupts the wait within `poll_interval`.
+            let deadline = Instant::now() + window;
+            loop {
+                if self.abort.is_tripped() {
+                    return Err(self.abort.cause_for(self.rank));
+                }
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let slice = remaining.min(self.config.poll_interval);
+                match self.inbox[src].recv_timeout(slice) {
+                    Ok(msg) => {
+                        if !msg.verify() {
+                            let e = CommError::Corrupt { src, tag: msg.tag };
+                            self.fail(&e);
+                            return Err(e);
+                        }
+                        if msg.tag == tag {
+                            Self::pace(&msg);
+                            return Ok(msg.data);
+                        }
+                        self.pending[src].push_back(msg);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        if self.abort.is_tripped() {
+                            return Err(self.abort.cause_for(self.rank));
+                        }
+                        let e = CommError::PeerDead { rank: src };
+                        self.fail(&e);
+                        return Err(e);
+                    }
+                }
             }
-            self.pending[src].push_back(msg);
+            if attempt >= self.config.retries {
+                let e = CommError::Timeout {
+                    src,
+                    tag,
+                    waited_ms: started.elapsed().as_millis() as u64,
+                };
+                self.fail(&e);
+                return Err(e);
+            }
+            attempt += 1;
+            window = window.mul_f64(self.config.backoff.max(1.0));
         }
     }
 
@@ -201,10 +470,14 @@ impl Communicator {
     /// Simultaneously send `data` to the next rank on the ring and receive
     /// the previous rank's message with the same `tag` — the WeiPipe weight
     /// circulation primitive.
-    pub fn ring_exchange(&mut self, tag: u64, data: &[f32], dtype: DType) -> Vec<f32> {
+    ///
+    /// # Errors
+    /// Any error from the underlying [`send`](Self::send) or
+    /// [`recv`](Self::recv).
+    pub fn ring_exchange(&mut self, tag: u64, data: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
         let next = self.next_rank();
         let prev = self.prev_rank();
-        self.send(next, tag, data, dtype);
+        self.send(next, tag, data, dtype)?;
         self.recv(prev, tag)
     }
 
@@ -215,14 +488,18 @@ impl Communicator {
     /// All sends are issued (non-blocking) before any receive completes, so
     /// a symmetric exchange posted by every rank cannot deadlock. Returned
     /// payloads are ordered like `recvs`.
+    ///
+    /// # Errors
+    /// Any error from the underlying sends or receives; the first failure
+    /// aborts the rest of the batch.
     pub fn batch_isend_irecv(
         &mut self,
         sends: &[(usize, u64, &[f32])],
         recvs: &[(usize, u64)],
         dtype: DType,
-    ) -> Vec<Vec<f32>> {
+    ) -> Result<Vec<Vec<f32>>, CommError> {
         for &(dst, tag, data) in sends {
-            self.send(dst, tag, data, dtype);
+            self.send(dst, tag, data, dtype)?;
         }
         let handles: Vec<RecvHandle> =
             recvs.iter().map(|&(src, tag)| self.irecv(src, tag)).collect();
@@ -250,24 +527,26 @@ impl Communicator {
     ///
     /// Reduce-scatter then all-gather; each rank sends `2·(P−1)` chunks of
     /// `n/P` elements.
-    pub fn all_reduce_sum(&mut self, buf: &mut [f32], dtype: DType) {
+    ///
+    /// # Errors
+    /// Any error from the underlying ring sends/receives.
+    pub fn all_reduce_sum(&mut self, buf: &mut [f32], dtype: DType) -> Result<(), CommError> {
         if self.world == 1 {
-            return;
+            return Ok(());
         }
         let tag = self.next_coll_tag();
         let n = buf.len();
         let p = self.world;
         let next = self.next_rank();
-        // Phase 1: reduce-scatter. After step s, this rank holds the partial
-        // sum of s+1 ranks' data in chunk (rank - s - 1 + p) % p... following
-        // the standard ring: at step s we send chunk (rank - s) and reduce
-        // into chunk (rank - s - 1).
+        // Phase 1: reduce-scatter. At step s we send chunk (rank - s) and
+        // reduce into chunk (rank - s - 1).
         for s in 0..p - 1 {
             let send_idx = (self.rank + p - s) % p;
             let recv_idx = (self.rank + p - s - 1) % p;
             let sr = Self::chunk_range(n, p, send_idx);
-            self.send_internal(next, tag + (s as u64) * 2, &buf[sr], dtype, TrafficClass::Collective);
-            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2);
+            let send_copy = buf[sr].to_vec();
+            self.send_internal(next, tag + (s as u64) * 2, &send_copy, dtype, TrafficClass::Collective)?;
+            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             for (b, x) in buf[rr].iter_mut().zip(&incoming) {
                 *b += x;
@@ -278,20 +557,25 @@ impl Communicator {
             let send_idx = (self.rank + 1 + p - s) % p;
             let recv_idx = (self.rank + p - s) % p;
             let sr = Self::chunk_range(n, p, send_idx);
-            self.send_internal(next, tag + (s as u64) * 2 + 1, &buf[sr], dtype, TrafficClass::Collective);
-            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2 + 1);
+            let send_copy = buf[sr].to_vec();
+            self.send_internal(next, tag + (s as u64) * 2 + 1, &send_copy, dtype, TrafficClass::Collective)?;
+            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2 + 1)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             buf[rr].copy_from_slice(&incoming);
         }
+        Ok(())
     }
 
     /// Ring reduce-scatter (sum): every rank contributes `buf` (full length)
     /// and receives the reduced chunk it owns (`chunk_range(n, P, rank)`).
-    pub fn reduce_scatter_sum(&mut self, buf: &[f32], dtype: DType) -> Vec<f32> {
+    ///
+    /// # Errors
+    /// Any error from the underlying ring sends/receives.
+    pub fn reduce_scatter_sum(&mut self, buf: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
         let n = buf.len();
         let p = self.world;
         if p == 1 {
-            return buf.to_vec();
+            return Ok(buf.to_vec());
         }
         let tag = self.next_coll_tag();
         let next = self.next_rank();
@@ -302,22 +586,26 @@ impl Communicator {
             let send_idx = (self.rank + 2 * p - s - 1) % p;
             let recv_idx = (self.rank + 2 * p - s - 2) % p;
             let sr = Self::chunk_range(n, p, send_idx);
-            self.send_internal(next, tag + s as u64, &work[sr], dtype, TrafficClass::Collective);
-            let incoming = self.recv(self.prev_rank(), tag + s as u64);
+            let send_copy = work[sr].to_vec();
+            self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective)?;
+            let incoming = self.recv(self.prev_rank(), tag + s as u64)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             for (b, x) in work[rr].iter_mut().zip(&incoming) {
                 *b += x;
             }
         }
-        work[Self::chunk_range(n, p, self.rank)].to_vec()
+        Ok(work[Self::chunk_range(n, p, self.rank)].to_vec())
     }
 
     /// Ring all-gather: every rank contributes `chunk` (equal lengths
     /// required) and receives the concatenation ordered by rank.
-    pub fn all_gather(&mut self, chunk: &[f32], dtype: DType) -> Vec<f32> {
+    ///
+    /// # Errors
+    /// Any error from the underlying ring sends/receives.
+    pub fn all_gather(&mut self, chunk: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
         let p = self.world;
         if p == 1 {
-            return chunk.to_vec();
+            return Ok(chunk.to_vec());
         }
         let tag = self.next_coll_tag();
         let next = self.next_rank();
@@ -329,34 +617,67 @@ impl Communicator {
             let send_idx = (self.rank + p - s) % p;
             let recv_idx = (self.rank + p - s - 1) % p;
             let send_copy = out[send_idx * m..(send_idx + 1) * m].to_vec();
-            self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective);
-            let incoming = self.recv(self.prev_rank(), tag + s as u64);
+            self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective)?;
+            let incoming = self.recv(self.prev_rank(), tag + s as u64)?;
             assert_eq!(incoming.len(), m, "all_gather requires equal chunk sizes");
             out[recv_idx * m..(recv_idx + 1) * m].copy_from_slice(&incoming);
         }
-        out
+        Ok(out)
     }
 
     /// Broadcast `buf` from `root` to every rank (ring pass-along).
-    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>, dtype: DType) {
+    ///
+    /// # Errors
+    /// Any error from the underlying ring sends/receives.
+    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>, dtype: DType) -> Result<(), CommError> {
         let p = self.world;
         if p == 1 {
-            return;
+            return Ok(());
         }
         let tag = self.next_coll_tag();
         let dist = (self.rank + p - root) % p;
         if dist > 0 {
-            *buf = self.recv(self.prev_rank(), tag);
+            *buf = self.recv(self.prev_rank(), tag)?;
         }
         if dist < p - 1 {
-            self.send_internal(self.next_rank(), tag, buf, dtype, TrafficClass::Collective);
+            let out = buf.clone();
+            self.send_internal(self.next_rank(), tag, &out, dtype, TrafficClass::Collective)?;
         }
+        Ok(())
     }
 
     /// Synchronise all ranks: no rank returns before every rank has entered.
-    pub fn barrier(&mut self) {
+    ///
+    /// # Errors
+    /// Any error from the underlying all-reduce.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
         let mut token = [0.0f32];
-        self.all_reduce_sum(&mut token, DType::F32);
+        self.all_reduce_sum(&mut token, DType::F32)
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        // A held (reorder-delayed) message must still reach its receiver
+        // even if this rank finishes without another operation on that
+        // link. Errors are moot here: a closed channel means the receiver
+        // is already gone.
+        for dst in 0..self.world {
+            if let Some(m) = self.held[dst].take() {
+                let _ = self.outbox[dst].send(m);
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_reason(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked".to_string()
     }
 }
 
@@ -364,26 +685,74 @@ impl Communicator {
 #[derive(Debug)]
 pub struct World;
 
-impl World {
-    /// Create `p` communicators over instant links.
-    #[allow(clippy::new_ret_no_self)]
-    pub fn new(p: usize) -> Vec<Communicator> {
-        Self::with_links(p, LinkModel::instant())
+/// Configures and launches a world: link model, timeout policy, fault plan.
+///
+/// ```
+/// use wp_comm::{World, CommConfig, FaultPlan};
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new(42).with_reorder(0.25);
+/// let (results, _meter) = World::builder(2)
+///     .config(CommConfig::fail_fast(Duration::from_secs(5)))
+///     .faults(plan)
+///     .try_run(|mut c| {
+///         let peer = 1 - c.rank();
+///         c.send(peer, 0, &[c.rank() as f32], wp_tensor::DType::F32)?;
+///         c.recv(peer, 0)
+///     });
+/// assert_eq!(results[0].as_ref().unwrap(), &vec![1.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    p: usize,
+    link: LinkModel,
+    config: CommConfig,
+    faults: Option<FaultPlan>,
+}
+
+impl WorldBuilder {
+    /// Pace deliveries with `link`.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
     }
 
-    /// Create `p` communicators whose deliveries are paced by `link`.
-    pub fn with_links(p: usize, link: LinkModel) -> Vec<Communicator> {
+    /// Use the given timeout/retry policy.
+    pub fn config(mut self, config: CommConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Inject the given fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Inject a fault plan if one is provided (convenience for callers
+    /// holding an `Option`).
+    pub fn maybe_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Materialise the communicators without running anything.
+    pub fn build(self) -> Vec<Communicator> {
+        let p = self.p;
         assert!(p >= 1, "world size must be at least 1");
         let meter = TrafficMeter::new(p);
+        let abort = Arc::new(AbortCell::default());
         // channels[src][dst]
-        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for src in 0..p {
             for dst in 0..p {
                 if src == dst {
                     continue;
                 }
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[src][dst] = Some(tx);
                 // dst's inbox, indexed by src.
                 receivers[dst][src] = Some(rx);
@@ -393,26 +762,124 @@ impl World {
         for (rank, (outs, ins)) in senders.into_iter().zip(receivers).enumerate() {
             // Self-channels are never used; fill with a dummy pair so
             // indexing stays direct.
-            let outbox = outs
-                .into_iter()
-                .map(|o| o.unwrap_or_else(|| unbounded().0))
-                .collect();
-            let inbox = ins
-                .into_iter()
-                .map(|i| i.unwrap_or_else(|| unbounded().1))
-                .collect();
+            let outbox: Vec<Sender<Msg>> =
+                outs.into_iter().map(|o| o.unwrap_or_else(|| channel().0)).collect();
+            let inbox: Vec<Receiver<Msg>> =
+                ins.into_iter().map(|i| i.unwrap_or_else(|| channel().1)).collect();
             comms.push(Communicator {
                 rank,
                 world: p,
                 outbox,
                 inbox,
                 pending: (0..p).map(|_| VecDeque::new()).collect(),
-                link,
+                link: self.link,
                 meter: meter.clone(),
                 coll_seq: 0,
+                config: self.config,
+                abort: abort.clone(),
+                faults: self.faults.clone().map(|plan| RankInjector::new(plan, rank, p)),
+                held: (0..p).map(|_| None).collect(),
             });
         }
         comms
+    }
+
+    /// Run one fallible closure per rank on its own OS thread and collect
+    /// per-rank results in rank order. A rank that panics is converted to
+    /// `Err(CommError::Aborted)` and poisons the world, so surviving ranks
+    /// return errors instead of hanging.
+    pub fn try_run<T, F>(self, f: F) -> (Vec<Result<T, CommError>>, TrafficMeter)
+    where
+        T: Send,
+        F: Fn(Communicator) -> Result<T, CommError> + Send + Sync,
+    {
+        let comms = self.build();
+        let meter = comms[0].meter().clone();
+        let f = &f;
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| {
+                    let abort = c.abort.clone();
+                    let rank = c.rank;
+                    s.spawn(move || {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(c))) {
+                            Ok(r) => r,
+                            Err(p) => {
+                                let reason = panic_reason(p.as_ref());
+                                let e = CommError::Aborted { origin: rank, reason };
+                                abort.trip(rank, e.clone());
+                                Err(e)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked outside catch_unwind"))
+                .collect::<Vec<Result<T, CommError>>>()
+        });
+        (results, meter)
+    }
+
+    /// Run one infallible closure per rank; panics in any rank propagate
+    /// (after poisoning the world so peers unwind promptly too).
+    pub fn run<T, F>(self, f: F) -> (Vec<T>, TrafficMeter)
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        let comms = self.build();
+        let meter = comms[0].meter().clone();
+        let f = &f;
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| {
+                    let abort = c.abort.clone();
+                    let rank = c.rank;
+                    s.spawn(move || {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(c))) {
+                            Ok(v) => v,
+                            Err(p) => {
+                                let reason = panic_reason(p.as_ref());
+                                abort.trip(rank, CommError::Aborted { origin: rank, reason });
+                                std::panic::resume_unwind(p)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect::<Vec<T>>()
+        });
+        (results, meter)
+    }
+}
+
+impl World {
+    /// Start configuring a world of `p` ranks.
+    pub fn builder(p: usize) -> WorldBuilder {
+        WorldBuilder {
+            p,
+            link: LinkModel::instant(),
+            config: CommConfig::default(),
+            faults: None,
+        }
+    }
+
+    /// Create `p` communicators over instant links.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(p: usize) -> Vec<Communicator> {
+        Self::builder(p).build()
+    }
+
+    /// Create `p` communicators whose deliveries are paced by `link`.
+    pub fn with_links(p: usize, link: LinkModel) -> Vec<Communicator> {
+        Self::builder(p).link(link).build()
     }
 
     /// Run one closure per rank on its own OS thread and collect the results
@@ -422,20 +889,7 @@ impl World {
         T: Send,
         F: Fn(Communicator) -> T + Send + Sync,
     {
-        let comms = Self::with_links(p, link);
-        let meter = comms[0].meter().clone();
-        let f = &f;
-        let results = std::thread::scope(|s| {
-            let handles: Vec<_> = comms
-                .into_iter()
-                .map(|c| s.spawn(move || f(c)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect::<Vec<T>>()
-        });
-        (results, meter)
+        Self::builder(p).link(link).run(f)
     }
 }
 
@@ -447,10 +901,10 @@ mod tests {
     fn p2p_roundtrip() {
         let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
             if c.rank() == 0 {
-                c.send(1, 7, &[1.0, 2.0, 3.0], DType::F32);
+                c.send(1, 7, &[1.0, 2.0, 3.0], DType::F32).unwrap();
                 0.0
             } else {
-                c.recv(0, 7).iter().sum::<f32>()
+                c.recv(0, 7).unwrap().iter().sum::<f32>()
             }
         });
         assert_eq!(vals[1], 6.0);
@@ -460,15 +914,15 @@ mod tests {
     fn tag_matching_out_of_order() {
         let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
             if c.rank() == 0 {
-                c.send(1, 1, &[10.0], DType::F32);
-                c.send(1, 2, &[20.0], DType::F32);
-                c.send(1, 3, &[30.0], DType::F32);
+                c.send(1, 1, &[10.0], DType::F32).unwrap();
+                c.send(1, 2, &[20.0], DType::F32).unwrap();
+                c.send(1, 3, &[30.0], DType::F32).unwrap();
                 vec![]
             } else {
                 // Receive in reverse tag order.
-                let a = c.recv(0, 3);
-                let b = c.recv(0, 2);
-                let d = c.recv(0, 1);
+                let a = c.recv(0, 3).unwrap();
+                let b = c.recv(0, 2).unwrap();
+                let d = c.recv(0, 1).unwrap();
                 vec![a[0], b[0], d[0]]
             }
         });
@@ -479,10 +933,10 @@ mod tests {
     fn fp16_wire_quantizes() {
         let (vals, meter) = World::run(2, LinkModel::instant(), |mut c| {
             if c.rank() == 0 {
-                c.send(1, 0, &[1.0 + 2f32.powi(-13)], DType::F16);
+                c.send(1, 0, &[1.0 + 2f32.powi(-13)], DType::F16).unwrap();
                 0.0
             } else {
-                c.recv(0, 0)[0]
+                c.recv(0, 0).unwrap()[0]
             }
         });
         assert_eq!(vals[1], 1.0, "payload must round-trip through fp16");
@@ -493,7 +947,7 @@ mod tests {
     fn ring_exchange_rotates() {
         let (vals, _) = World::run(4, LinkModel::instant(), |mut c| {
             let mine = [c.rank() as f32];
-            c.ring_exchange(9, &mine, DType::F32)[0]
+            c.ring_exchange(9, &mine, DType::F32).unwrap()[0]
         });
         assert_eq!(vals, vec![3.0, 0.0, 1.0, 2.0]);
     }
@@ -504,7 +958,7 @@ mod tests {
             let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
                 let mut buf: Vec<f32> =
                     (0..10).map(|i| (c.rank() * 10 + i) as f32).collect();
-                c.all_reduce_sum(&mut buf, DType::F32);
+                c.all_reduce_sum(&mut buf, DType::F32).unwrap();
                 buf
             });
             let expect: Vec<f32> = (0..10)
@@ -523,7 +977,7 @@ mod tests {
         let n = 13;
         let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
             let mut buf = vec![(c.rank() + 1) as f32; n];
-            c.all_reduce_sum(&mut buf, DType::F32);
+            c.all_reduce_sum(&mut buf, DType::F32).unwrap();
             buf
         });
         for v in &vals {
@@ -537,7 +991,7 @@ mod tests {
         let n = 7;
         let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
             let buf: Vec<f32> = (0..n).map(|i| (i * (c.rank() + 1)) as f32).collect();
-            c.reduce_scatter_sum(&buf, DType::F32)
+            c.reduce_scatter_sum(&buf, DType::F32).unwrap()
         });
         // Sum over ranks of i*(r+1) = i * 6.
         let full: Vec<f32> = (0..n).map(|i| (i * 6) as f32).collect();
@@ -551,7 +1005,7 @@ mod tests {
         let p = 4;
         let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
             let chunk = vec![c.rank() as f32; 3];
-            c.all_gather(&chunk, DType::F32)
+            c.all_gather(&chunk, DType::F32).unwrap()
         });
         let expect = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0];
         for v in &vals {
@@ -563,7 +1017,7 @@ mod tests {
     fn broadcast_from_nonzero_root() {
         let (vals, _) = World::run(5, LinkModel::instant(), |mut c| {
             let mut buf = if c.rank() == 2 { vec![42.0, 7.0] } else { vec![] };
-            c.broadcast(2, &mut buf, DType::F32);
+            c.broadcast(2, &mut buf, DType::F32).unwrap();
             buf
         });
         for v in &vals {
@@ -577,7 +1031,7 @@ mod tests {
         let n = 1024; // divisible by p
         let (_, meter) = World::run(p, LinkModel::instant(), |mut c| {
             let mut buf = vec![1.0f32; n];
-            c.all_reduce_sum(&mut buf, DType::F32);
+            c.all_reduce_sum(&mut buf, DType::F32).unwrap();
         });
         // Each rank sends 2·(P−1) chunks of n/P f32 elements.
         let expect = (2 * (p - 1) * (n / p) * 4) as u64;
@@ -593,9 +1047,9 @@ mod tests {
         let start = Instant::now();
         let (_, _) = World::run(2, slow, |mut c| {
             if c.rank() == 0 {
-                c.send(1, 0, &vec![0.0f32; 250_000], DType::F32);
+                c.send(1, 0, &vec![0.0f32; 250_000], DType::F32).unwrap();
             } else {
-                c.recv(0, 0);
+                c.recv(0, 0).unwrap();
             }
         });
         assert!(
@@ -612,7 +1066,7 @@ mod tests {
         let violated = AtomicUsize::new(0);
         World::run(4, LinkModel::instant(), |mut c| {
             before.fetch_add(1, Ordering::SeqCst);
-            c.barrier();
+            c.barrier().unwrap();
             if before.load(Ordering::SeqCst) != 4 {
                 violated.fetch_add(1, Ordering::SeqCst);
             }
@@ -624,12 +1078,12 @@ mod tests {
     fn irecv_wait_pairs_with_send() {
         let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
             if c.rank() == 0 {
-                c.send(1, 5, &[8.0], DType::F32);
+                c.send(1, 5, &[8.0], DType::F32).unwrap();
                 0.0
             } else {
                 let h = c.irecv(0, 5);
                 // ... compute would overlap here ...
-                c.wait(h)[0]
+                c.wait(h).unwrap()[0]
             }
         });
         assert_eq!(vals[1], 8.0);
@@ -647,11 +1101,13 @@ mod tests {
             let bwd = [r + 100.0];
             let next = c.next_rank();
             let prev = c.prev_rank();
-            let got = c.batch_isend_irecv(
-                &[(next, 1, &fwd), (prev, 2, &bwd)],
-                &[(prev, 1), (next, 2)],
-                DType::F32,
-            );
+            let got = c
+                .batch_isend_irecv(
+                    &[(next, 1, &fwd), (prev, 2, &bwd)],
+                    &[(prev, 1), (next, 2)],
+                    DType::F32,
+                )
+                .unwrap();
             (got[0][0], got[1][0])
         });
         for (r, &(from_prev, from_next)) in outs.iter().enumerate() {
@@ -661,10 +1117,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "reserved for collectives")]
     fn reserved_tags_rejected() {
         let mut comms = World::new(2);
-        let c = comms.remove(0);
-        c.send(1, COLLECTIVE_TAG_BASE, &[0.0], DType::F32);
+        let mut c = comms.remove(0);
+        let err = c.send(1, COLLECTIVE_TAG_BASE, &[0.0], DType::F32).unwrap_err();
+        assert_eq!(err, CommError::InvalidTag { tag: COLLECTIVE_TAG_BASE });
+        assert!(!err.is_fatal(), "API misuse must not poison the world");
+    }
+
+    #[test]
+    fn checksums_accept_honest_payloads() {
+        assert_eq!(checksum_of(&[]), checksum_of(&[]));
+        assert_ne!(checksum_of(&[1.0]), checksum_of(&[1.0000001]));
+        // -0.0 and 0.0 have different bit patterns and must hash apart.
+        assert_ne!(checksum_of(&[0.0]), checksum_of(&[-0.0]));
+    }
+
+    #[test]
+    fn abort_cell_first_cause_wins() {
+        let cell = AbortCell::default();
+        assert!(!cell.is_tripped());
+        cell.trip(2, CommError::PeerDead { rank: 2 });
+        cell.trip(3, CommError::Timeout { src: 0, tag: 1, waited_ms: 5 });
+        assert!(cell.is_tripped());
+        // PeerDead propagates verbatim to every rank.
+        assert_eq!(cell.cause_for(0), CommError::PeerDead { rank: 2 });
+        assert_eq!(cell.cause_for(2), CommError::PeerDead { rank: 2 });
+    }
+
+    #[test]
+    fn abort_cell_wraps_local_causes_for_bystanders() {
+        let cell = AbortCell::default();
+        let corrupt = CommError::Corrupt { src: 1, tag: 4 };
+        cell.trip(0, corrupt.clone());
+        // The origin gets its own error back.
+        assert_eq!(cell.cause_for(0), corrupt);
+        // Bystanders see an abort naming the origin.
+        match cell.cause_for(3) {
+            CommError::Aborted { origin, reason } => {
+                assert_eq!(origin, 0);
+                assert!(reason.contains("checksum"));
+            }
+            other => panic!("expected Aborted, got {other:?}"),
+        }
     }
 }

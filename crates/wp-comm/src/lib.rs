@@ -20,7 +20,7 @@
 //! // Sum a vector across 4 ranks with the ring all-reduce.
 //! let (results, meter) = World::run(4, LinkModel::instant(), |mut comm| {
 //!     let mut buf = vec![comm.rank() as f32; 8];
-//!     comm.all_reduce_sum(&mut buf, DType::F32);
+//!     comm.all_reduce_sum(&mut buf, DType::F32).unwrap();
 //!     buf[0]
 //! });
 //! assert!(results.iter().all(|&x| x == 6.0)); // 0+1+2+3
@@ -30,9 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod error;
+pub mod fault;
 pub mod link;
 pub mod meter;
 
-pub use comm::{Communicator, RecvHandle, World};
+pub use comm::{CommConfig, Communicator, RecvHandle, World, WorldBuilder};
+pub use error::CommError;
+pub use fault::FaultPlan;
 pub use link::LinkModel;
 pub use meter::{RankTraffic, TrafficClass, TrafficMeter};

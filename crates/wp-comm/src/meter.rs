@@ -23,6 +23,7 @@ struct RankCounters {
     p2p_msgs: AtomicU64,
     coll_bytes: AtomicU64,
     coll_msgs: AtomicU64,
+    faults: AtomicU64,
 }
 
 /// Shared, lock-free per-rank traffic counters.
@@ -42,6 +43,11 @@ pub struct RankTraffic {
     pub collective_bytes: u64,
     /// Collective message hops sent.
     pub collective_msgs: u64,
+    /// Fault events injected into this rank's traffic by a fault plan
+    /// (jitter, holds, stalls, corruptions, scheduled deaths). Faults never
+    /// change the byte counters — a delayed or corrupted message still
+    /// crossed the wire once.
+    pub faults_injected: u64,
 }
 
 impl RankTraffic {
@@ -74,6 +80,11 @@ impl TrafficMeter {
         }
     }
 
+    /// Record `n` injected fault events charged to `rank`.
+    pub fn record_faults(&self, rank: usize, n: u64) {
+        self.ranks[rank].faults.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Snapshot of one rank.
     pub fn rank(&self, rank: usize) -> RankTraffic {
         let c = &self.ranks[rank];
@@ -82,6 +93,7 @@ impl TrafficMeter {
             p2p_msgs: c.p2p_msgs.load(Ordering::Relaxed),
             collective_bytes: c.coll_bytes.load(Ordering::Relaxed),
             collective_msgs: c.coll_msgs.load(Ordering::Relaxed),
+            faults_injected: c.faults.load(Ordering::Relaxed),
         }
     }
 
@@ -102,7 +114,13 @@ impl TrafficMeter {
             c.p2p_msgs.store(0, Ordering::Relaxed);
             c.coll_bytes.store(0, Ordering::Relaxed);
             c.coll_msgs.store(0, Ordering::Relaxed);
+            c.faults.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Total fault events injected across all ranks.
+    pub fn total_faults(&self) -> u64 {
+        self.all().iter().map(|r| r.faults_injected).sum()
     }
 
     /// World size this meter covers.
@@ -133,8 +151,18 @@ mod tests {
     fn reset_zeroes_everything() {
         let m = TrafficMeter::new(1);
         m.record_send(0, 10, TrafficClass::P2p);
+        m.record_faults(0, 3);
         m.reset();
         assert_eq!(m.rank(0), RankTraffic::default());
+    }
+
+    #[test]
+    fn fault_counter_is_separate_from_bytes() {
+        let m = TrafficMeter::new(2);
+        m.record_faults(1, 2);
+        assert_eq!(m.rank(1).faults_injected, 2);
+        assert_eq!(m.rank(1).total_bytes(), 0);
+        assert_eq!(m.total_faults(), 2);
     }
 
     #[test]

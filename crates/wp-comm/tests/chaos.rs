@@ -1,0 +1,265 @@
+//! Chaos tests for the communicator: seeded fault plans must produce the
+//! typed errors they promise, within the configured time bounds, on every
+//! affected rank — no hangs, no panics.
+
+use std::time::{Duration, Instant};
+use wp_comm::{CommConfig, CommError, FaultPlan, World};
+use wp_tensor::DType;
+
+/// A short fail-fast policy for tests that expect errors.
+fn fast() -> CommConfig {
+    CommConfig::fail_fast(Duration::from_millis(250))
+}
+
+/// Every rank all-reduces in a loop — the simplest workload where every
+/// rank keeps talking to every other rank via the ring.
+fn ring_workload(iters: usize) -> impl Fn(wp_comm::Communicator) -> Result<f32, CommError> + Send + Sync {
+    move |mut c| {
+        let mut acc = 0.0f32;
+        for i in 0..iters {
+            let mut buf = vec![c.rank() as f32 + i as f32; 8];
+            c.all_reduce_sum(&mut buf, DType::F32)?;
+            acc += buf[0];
+        }
+        Ok(acc)
+    }
+}
+
+#[test]
+fn dead_rank_fails_every_survivor_with_peer_dead() {
+    let p = 4;
+    let victim = 2;
+    // The victim dies after 6 communication operations — mid-collective.
+    let plan = FaultPlan::new(11).with_dead_rank(victim, 6);
+    let config = fast();
+    let budget = config.total_recv_budget() + Duration::from_secs(2);
+    let started = Instant::now();
+    let (results, _) = World::builder(p)
+        .config(config)
+        .faults(plan)
+        .try_run(ring_workload(50));
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < budget,
+        "world must tear down within the configured budget ({budget:?}), took {elapsed:?}"
+    );
+    for (rank, r) in results.iter().enumerate() {
+        match r {
+            Err(CommError::PeerDead { rank: dead }) => {
+                assert_eq!(*dead, victim, "rank {rank} must learn who died");
+            }
+            other => panic!("rank {rank}: expected Err(PeerDead {{ rank: {victim} }}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dead_rank_at_op_zero_kills_the_world_immediately() {
+    let plan = FaultPlan::new(0).with_dead_rank(0, 0);
+    let (results, _) = World::builder(3).config(fast()).faults(plan).try_run(ring_workload(5));
+    for (rank, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().unwrap_err(),
+            &CommError::PeerDead { rank: 0 },
+            "rank {rank}"
+        );
+    }
+}
+
+#[test]
+fn recv_from_silent_peer_times_out_with_typed_error() {
+    // Rank 1 waits for a message rank 0 never sends. Rank 0 idles past the
+    // timeout so its endpoint stays open — this must surface as Timeout,
+    // not PeerDead.
+    let config = CommConfig::fail_fast(Duration::from_millis(120));
+    let (results, _) = World::builder(2).config(config).try_run(|mut c| {
+        if c.rank() == 1 {
+            c.recv(0, 42).map(|_| ())
+        } else {
+            std::thread::sleep(Duration::from_millis(400));
+            Ok(())
+        }
+    });
+    match results[1].as_ref().unwrap_err() {
+        CommError::Timeout { src, tag, waited_ms } => {
+            assert_eq!(*src, 0);
+            assert_eq!(*tag, 42);
+            assert!(*waited_ms >= 100, "must wait out the window, waited {waited_ms} ms");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn retries_extend_the_deadline_with_backoff() {
+    // One retry with 2x backoff: a message arriving after the first window
+    // but inside the second must still be delivered.
+    let config = CommConfig {
+        recv_timeout: Duration::from_millis(80),
+        poll_interval: Duration::from_millis(1),
+        retries: 1,
+        backoff: 2.0,
+    };
+    assert_eq!(config.total_recv_budget(), Duration::from_millis(80 + 160));
+    let (results, _) = World::builder(2).config(config).try_run(|mut c| {
+        if c.rank() == 0 {
+            std::thread::sleep(Duration::from_millis(140));
+            c.send(1, 5, &[3.0], DType::F32)?;
+            Ok(0.0)
+        } else {
+            Ok(c.recv(0, 5)?[0])
+        }
+    });
+    assert_eq!(results[1].as_ref().unwrap(), &3.0);
+}
+
+#[test]
+fn corrupted_payload_is_detected_by_checksum() {
+    // Corrupt the 3rd message on link 0→1 of a ring all-reduce.
+    let plan = FaultPlan::new(3).with_corruption(0, 1, 2);
+    let (results, _) = World::builder(2).config(fast()).faults(plan).try_run(ring_workload(10));
+    // Rank 1 detects the corruption on arrival.
+    match results[1].as_ref().unwrap_err() {
+        CommError::Corrupt { src, .. } => assert_eq!(*src, 0),
+        other => panic!("expected Corrupt on the receiver, got {other:?}"),
+    }
+    // Rank 0 is unwound by the abort protocol, naming the detector.
+    match results[0].as_ref().unwrap_err() {
+        CommError::Corrupt { .. } => {} // rank 0 may also hit its own error path first
+        CommError::Aborted { origin, reason } => {
+            assert_eq!(*origin, 1);
+            assert!(reason.contains("checksum"), "reason: {reason}");
+        }
+        other => panic!("expected Aborted/Corrupt on the sender, got {other:?}"),
+    }
+}
+
+#[test]
+fn stall_delays_but_does_not_change_results() {
+    let stalled = FaultPlan::new(9).with_stall(0, 1, 0, 4, Duration::from_millis(30));
+    let started = Instant::now();
+    let (results, _) = World::builder(2)
+        .config(CommConfig::default())
+        .faults(stalled)
+        .try_run(ring_workload(4));
+    let vals: Vec<f32> = results.into_iter().map(|r| r.unwrap()).collect();
+    let (clean, _) = World::builder(2).try_run(ring_workload(4));
+    let clean: Vec<f32> = clean.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(vals, clean, "a stall may slow the run, never change it");
+    assert!(
+        started.elapsed() >= Duration::from_millis(30),
+        "the stall must actually delay delivery"
+    );
+}
+
+#[test]
+fn reorder_heavy_plan_preserves_results_across_world_sizes() {
+    for p in [2usize, 3, 5] {
+        let (clean, _) = World::builder(p).try_run(ring_workload(6));
+        let clean: Vec<f32> = clean.into_iter().map(|r| r.unwrap()).collect();
+        for seed in [1u64, 77, 4096] {
+            let plan = FaultPlan::new(seed)
+                .with_reorder(0.5)
+                .with_delay_jitter(Duration::from_micros(80));
+            assert!(plan.is_delay_only());
+            let (faulty, meter) = World::builder(p)
+                .config(fast())
+                .faults(plan)
+                .try_run(ring_workload(6));
+            let faulty: Vec<f32> = faulty.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(clean, faulty, "p={p} seed={seed}");
+            assert!(meter.total_faults() > 0, "plan must have injected something");
+        }
+    }
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let plan = FaultPlan::new(seed).with_reorder(0.3).with_delay_jitter(Duration::from_micros(40));
+        let (results, meter) = World::builder(3).config(fast()).faults(plan).try_run(ring_workload(8));
+        let vals: Vec<f32> = results.into_iter().map(|r| r.unwrap()).collect();
+        let faults: Vec<u64> = meter.all().iter().map(|m| m.faults_injected).collect();
+        (vals, faults)
+    };
+    let (v1, f1) = run(123);
+    let (v2, f2) = run(123);
+    assert_eq!(v1, v2);
+    assert_eq!(f1, f2, "same seed must inject the same fault count per rank");
+    let (_, f3) = run(124);
+    assert_ne!(f1, f3, "different seeds should differ (holds for these seeds)");
+}
+
+#[test]
+fn panicking_rank_aborts_survivors_instead_of_hanging() {
+    let started = Instant::now();
+    let (results, _) = World::builder(3).config(fast()).try_run(|mut c| {
+        if c.rank() == 1 {
+            panic!("injected panic");
+        }
+        let mut buf = vec![1.0f32; 4];
+        c.all_reduce_sum(&mut buf, DType::F32)?;
+        Ok(buf[0])
+    });
+    assert!(started.elapsed() < Duration::from_secs(5), "survivors must not hang");
+    match results[1].as_ref().unwrap_err() {
+        CommError::Aborted { origin, reason } => {
+            assert_eq!(*origin, 1);
+            assert!(reason.contains("injected panic"));
+        }
+        other => panic!("expected Aborted for the panicking rank, got {other:?}"),
+    }
+    for rank in [0, 2] {
+        let err = results[rank].as_ref().unwrap_err();
+        match err {
+            CommError::Aborted { origin, .. } => assert_eq!(*origin, 1, "rank {rank}"),
+            CommError::PeerDead { rank: dead } => assert_eq!(*dead, 1, "rank {rank}"),
+            other => panic!("rank {rank}: expected Aborted or PeerDead, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn send_to_dead_rank_reports_peer_dead() {
+    // Rank 1 exits immediately; rank 0 keeps sending until the channel
+    // closes under it.
+    let (results, _) = World::builder(2).config(fast()).try_run(|mut c| {
+        if c.rank() == 1 {
+            return Ok(());
+        }
+        for i in 0..1000 {
+            c.send(1, i, &[0.0], DType::F32)?;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    });
+    assert!(results[1].is_ok());
+    match results[0].as_ref().unwrap_err() {
+        CommError::PeerDead { rank } => assert_eq!(*rank, 1),
+        other => panic!("expected PeerDead, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_poisons_subsequent_operations() {
+    // After the world aborts, every later operation on any rank fails
+    // immediately instead of attempting fresh communication.
+    let plan = FaultPlan::new(4).with_dead_rank(1, 0);
+    let (results, _) = World::builder(2).config(fast()).faults(plan).try_run(|mut c| {
+        let mut buf = vec![0.0f32; 2];
+        let first = c.all_reduce_sum(&mut buf, DType::F32);
+        assert!(first.is_err(), "rank {} first op must fail", c.rank());
+        let started = Instant::now();
+        let second = c.all_reduce_sum(&mut buf, DType::F32);
+        assert!(second.is_err());
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "poisoned ops must fail fast, took {:?}",
+            started.elapsed()
+        );
+        second.map(|_| 0.0)
+    });
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap_err(), &CommError::PeerDead { rank: 1 });
+    }
+}

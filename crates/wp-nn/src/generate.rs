@@ -120,7 +120,10 @@ mod tests {
         let (ids, tg) = microbatch(cfg.vocab, 2, 8, 999, 0);
         let fresh = Model::new(&cfg, 11);
         let acc0 = next_token_accuracy(&fresh, &ids, &tg, 2, 8);
-        let trained = train_tiny(30);
+        // ~100 iterations is where this configuration reliably crosses the
+        // descent plateau (30 leaves it mid-dip, below the fresh model's
+        // lucky-guess baseline on this probe).
+        let trained = train_tiny(100);
         let acc1 = next_token_accuracy(&trained, &ids, &tg, 2, 8);
         assert!(
             acc1 > acc0 + 0.2,

@@ -1,0 +1,738 @@
+//! Schedule builders: every strategy compiled to the [`crate::ir`] IR.
+//!
+//! The WeiPipe family (naive, interleaved, WZB1/WZB2) is built on one ring
+//! algebra, documented in [`weipipe`]; the activation-passing baselines
+//! (GPipe, 1F1B, ZB1, ZB2) share one stage-pipeline skeleton; FSDP and DDP
+//! are collective-based. Builders only decide *what happens in which order
+//! on which rank* — byte counts, timing and memory sizing live in
+//! `wp-sim` / `analysis`.
+
+use crate::ir::{MemUnit, MsgKey, MsgKind, Op, OpKind, Schedule, Strategy, NO_MB};
+
+pub use weipipe::{weipipe_mb_owner, FLOW_BWD, FLOW_FWD};
+
+/// Every strategy the builders know, in the order the paper tables use.
+pub const ALL_STRATEGIES: &[Strategy] = &[
+    Strategy::GPipe,
+    Strategy::OneFOneB,
+    Strategy::Zb1,
+    Strategy::Zb2,
+    Strategy::Fsdp,
+    Strategy::Ddp,
+    Strategy::WeiPipeNaive,
+    Strategy::WeiPipeInterleave,
+    Strategy::Wzb1,
+    Strategy::Wzb2,
+];
+
+/// What every builder needs to know about the run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineSpec {
+    /// World size `P`. Chunk count equals `P` for every strategy.
+    pub ranks: usize,
+    /// Microbatches per iteration `N`.
+    pub microbatches: usize,
+    /// Activation checkpointing: save only chunk inputs and recompute in
+    /// backward. Split-backward strategies (ZB/WZB) force this off — the
+    /// deferred W pass needs the full forward context.
+    pub recompute: bool,
+}
+
+impl PipelineSpec {
+    /// A spec with activation checkpointing on (the paper's long-context
+    /// default).
+    pub fn new(ranks: usize, microbatches: usize) -> Self {
+        PipelineSpec { ranks, microbatches, recompute: true }
+    }
+
+    /// The same spec with activation checkpointing off.
+    pub fn without_recompute(mut self) -> Self {
+        self.recompute = false;
+        self
+    }
+}
+
+/// Build the schedule for `strategy` under `spec`.
+///
+/// # Panics
+/// Panics when the strategy's divisibility constraints are violated
+/// (weight-passing, FSDP and DDP need `N % P == 0`; WZB1 needs even `P`).
+pub fn build(strategy: Strategy, spec: PipelineSpec) -> Schedule {
+    match strategy {
+        Strategy::WeiPipeNaive
+        | Strategy::WeiPipeInterleave
+        | Strategy::Wzb1
+        | Strategy::Wzb2 => weipipe::build_ring(strategy, spec),
+        Strategy::GPipe | Strategy::OneFOneB | Strategy::Zb1 | Strategy::Zb2 => {
+            build_act_pipe(strategy, spec)
+        }
+        Strategy::Fsdp => build_fsdp(spec),
+        Strategy::Ddp => build_ddp(spec),
+    }
+}
+
+/// `x mod p` for possibly-negative `x`.
+fn wrap(x: isize, p: usize) -> usize {
+    x.rem_euclid(p as isize) as usize
+}
+
+/// The WeiPipe ring algebra (paper §4.2).
+///
+/// Two weight flows circulate rank `r → r+1` in lockstep, one ring hop per
+/// *turn* `t`:
+///
+/// * **Forward flow** (`mb = `[`FLOW_FWD`]): at turn `t` rank `r` holds
+///   chunk `wrap(t - r)`. Seeded so rank `r` starts with chunk
+///   `(P - r) % P`; after `hf = (N/P + 1)·P` hops every chunk is back at
+///   its owner `(P - c) % P`, which runs its optimizer update.
+/// * **Backward flow** (`mb = `[`FLOW_BWD`]): at turn `t` rank `r` holds
+///   chunk `wrap(r - offset - t)`, where `offset` is 1 for the interleaved
+///   schedule (backward trails forward by one pipeline depth) and 2 for the
+///   naive schedule (backward starts only after all forwards). The chunk's
+///   gradient buffer `D` travels alongside and is drained into the ring on
+///   every hop.
+///
+/// Rank `r` computes on whatever the flows deliver: microbatch groups are
+/// assigned so `r` always works on microbatches `mb ≡ r (mod P)` — see
+/// [`weipipe_mb_owner`] — which is what makes compute perfectly balanced
+/// and the traffic independent of sequence length and microbatch size.
+pub mod weipipe {
+    use super::*;
+
+    /// Sentinel microbatch index marking forward-flow weight messages.
+    pub const FLOW_FWD: usize = NO_MB - 1;
+    /// Sentinel microbatch index marking backward-flow weight messages.
+    pub const FLOW_BWD: usize = NO_MB - 2;
+
+    /// Which rank computes microbatch `mb` in a WeiPipe schedule.
+    pub fn weipipe_mb_owner(ranks: usize, mb: usize) -> usize {
+        mb % ranks
+    }
+
+    /// Shared ring builder for all four weight-passing schedules.
+    pub(super) fn build_ring(strategy: Strategy, spec: PipelineSpec) -> Schedule {
+        let p = spec.ranks;
+        let n = spec.microbatches;
+        assert!(p >= 2, "weight-passing ring needs at least 2 ranks");
+        assert!(
+            n.is_multiple_of(p),
+            "WeiPipe needs microbatches ({n}) divisible by ranks ({p})"
+        );
+        let nl = n / p; // microbatch groups ("loops" of the ring)
+        let naive = strategy == Strategy::WeiPipeNaive;
+        let split = matches!(strategy, Strategy::Wzb1 | Strategy::Wzb2);
+        if strategy == Strategy::Wzb1 {
+            assert!(p.is_multiple_of(2), "WZB1 requires even P by construction");
+        }
+        let offset = if naive { 2 } else { 1 };
+        // Split-backward keeps full forward contexts for the W pass.
+        let recompute = spec.recompute && !split;
+        let ctx = if recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+
+        // Ring horizon: forward flow runs hf hops (back to its owner);
+        // backward flow runs hb hops (gradients land one rank short of the
+        // owner and are delivered point-to-point at the end).
+        let hf = (nl + 1) * p;
+        let hb = if naive { 2 * (nl + 1) * p - 3 } else { (nl + 2) * p - 2 };
+
+        // Chunk held by rank r at turn t, per flow.
+        let wf = |r: usize, t: usize| wrap(t as isize - r as isize, p);
+        let wb = |r: usize, t: usize| wrap(r as isize - offset as isize - t as isize, p);
+
+        let mut ops: Vec<Vec<Op>> = vec![Vec::new(); p];
+        for (r, stream) in ops.iter_mut().enumerate() {
+            let prev = wrap(r as isize - 1, p);
+            let next = wrap(r as isize + 1, p);
+            // WZB deferred W passes waiting to run on this rank.
+            let mut w_queue: std::collections::VecDeque<(usize, usize)> =
+                std::collections::VecDeque::new();
+            for t in 0..=hb {
+                let fwd_in = MsgKey {
+                    kind: MsgKind::Weights,
+                    chunk: wf(r, t),
+                    mb: FLOW_FWD,
+                    round: t.wrapping_sub(1),
+                    src: prev,
+                    dst: r,
+                };
+                let bwd_in = MsgKey {
+                    kind: MsgKind::Weights,
+                    chunk: wb(r, t),
+                    mb: FLOW_BWD,
+                    round: t.wrapping_sub(1),
+                    src: prev,
+                    dst: r,
+                };
+                let d_in = MsgKey { kind: MsgKind::WeightGrads, mb: NO_MB, ..bwd_in };
+
+                // 1. Post this turn's ring arrivals.
+                if t >= 1 {
+                    if t <= hf {
+                        stream.push(Op::recv(fwd_in));
+                    }
+                    stream.push(Op::recv(bwd_in));
+                    stream.push(Op::recv(d_in));
+                }
+
+                // 2. Forward compute: group g of this rank's microbatches
+                //    meets chunk c on turn t = r + g·P + c.
+                if t >= r {
+                    let k = t - r;
+                    if k < nl * p {
+                        let mb = (k / p) * p + r;
+                        let chunk = k % p;
+                        debug_assert_eq!(chunk, wf(r, t));
+                        let mut op =
+                            Op::compute(OpKind::Fwd { mb, chunk }).mem(ctx, 1);
+                        if t >= 1 {
+                            op = op.needs(fwd_in);
+                        }
+                        stream.push(op);
+                    }
+                }
+
+                // 3. Backward compute on the trailing flow.
+                let bk = if naive {
+                    (t as isize) - (r as isize + ((nl + 1) * p) as isize - 1)
+                } else {
+                    (t as isize) - (r as isize + p as isize)
+                };
+                if bk >= 0 && (bk as usize) < nl * p {
+                    let k = bk as usize;
+                    let mb = (k / p) * p + r;
+                    let chunk = p - 1 - (k % p);
+                    debug_assert_eq!(chunk, wb(r, t));
+                    let kind = if split {
+                        OpKind::BwdData { mb, chunk }
+                    } else {
+                        OpKind::BwdFull { mb, chunk }
+                    };
+                    let mut op = Op::compute(kind).needs(bwd_in);
+                    op = if split { op.mem(MemUnit::BCtx, 1) } else { op.mem(ctx, -1) };
+                    stream.push(op);
+                    if split {
+                        w_queue.push_back((mb, chunk));
+                        // WZB1 bounds in-flight B contexts at P/2; WZB2
+                        // defers every W pass to the end of the iteration.
+                        if strategy == Strategy::Wzb1 && w_queue.len() > p / 2 {
+                            let (wmb, wchunk) = w_queue.pop_front().expect("non-empty");
+                            stream.push(
+                                Op::compute(OpKind::BwdWeight { mb: wmb, chunk: wchunk })
+                                    .mem(MemUnit::FwdCtx, -1)
+                                    .mem(MemUnit::BCtx, -1),
+                            );
+                        }
+                    }
+                }
+
+                // 4. Ring departures for this turn.
+                if t < hf {
+                    let out = MsgKey {
+                        kind: MsgKind::Weights,
+                        chunk: wf(r, t),
+                        mb: FLOW_FWD,
+                        round: t,
+                        src: r,
+                        dst: next,
+                    };
+                    if t == 0 {
+                        // Seeded chunk: nothing to wait for.
+                        stream.push(Op {
+                            kind: OpKind::Send(out),
+                            needs: Vec::new(),
+                            after_compute: false,
+                            mem: Vec::new(),
+                        });
+                    } else {
+                        // Round-synchronous relay: a chunk received in round
+                        // t−1 departs in round t's batched isend — after this
+                        // rank's compute for the turn (§4.3). This hop-per-
+                        // round pacing is what gives the ring its fill/drain
+                        // bubble.
+                        stream.push(Op::send(out).needs(fwd_in));
+                    }
+                }
+                if t < hb {
+                    let w_out = MsgKey {
+                        kind: MsgKind::Weights,
+                        chunk: wb(r, t),
+                        mb: FLOW_BWD,
+                        round: t,
+                        src: r,
+                        dst: next,
+                    };
+                    if t == 0 {
+                        stream.push(Op {
+                            kind: OpKind::Send(w_out),
+                            needs: Vec::new(),
+                            after_compute: false,
+                            mem: Vec::new(),
+                        });
+                    } else {
+                        // Backward weights relay one hop per round as well;
+                        // what the interleaved schedule removes vs naive is
+                        // the second full circulation (hb is ~half as many
+                        // rounds), not the per-hop pacing (§4.2.2).
+                        stream.push(Op::send(w_out).needs(bwd_in));
+                    }
+                    // Gradients leave only after the local backward that
+                    // accumulated into them (every variant).
+                    let d_out = MsgKey { kind: MsgKind::WeightGrads, mb: NO_MB, ..w_out };
+                    let mut op = Op::send(d_out);
+                    if t >= 1 {
+                        op = op.needs(d_in);
+                    }
+                    stream.push(op);
+                }
+            }
+
+            // WZB2: flush every deferred W pass.
+            for (wmb, wchunk) in w_queue.drain(..) {
+                stream.push(
+                    Op::compute(OpKind::BwdWeight { mb: wmb, chunk: wchunk })
+                        .mem(MemUnit::FwdCtx, -1)
+                        .mem(MemUnit::BCtx, -1),
+                );
+            }
+
+            // Gradient delivery: after hb hops, chunk c's gradients sit at
+            // rank (c - 1) % P; ship them to the updating rank.
+            let holder = |c: usize| wrap(c as isize + offset as isize + hb as isize, p);
+            let updater = |c: usize| {
+                if strategy == Strategy::Wzb2 {
+                    p - 1 // WZB2 parks all optimizer state on the last rank
+                } else {
+                    wrap(-(c as isize), p)
+                }
+            };
+            let d_at_hb = |c: usize, at: usize| MsgKey {
+                kind: MsgKind::WeightGrads,
+                chunk: c,
+                mb: NO_MB,
+                round: hb - 1,
+                src: wrap(at as isize - 1, p),
+                dst: at,
+            };
+            for c in 0..p {
+                if holder(c) == r && updater(c) != r {
+                    debug_assert_eq!(holder(c), wrap(c as isize - 1, p));
+                    stream.push(
+                        Op::send(MsgKey {
+                            kind: MsgKind::WeightGrads,
+                            chunk: c,
+                            mb: NO_MB,
+                            round: hb,
+                            src: r,
+                            dst: updater(c),
+                        })
+                        .needs(d_at_hb(c, r)),
+                    );
+                }
+            }
+            for c in 0..p {
+                if updater(c) != r {
+                    continue;
+                }
+                let grads_ready = if holder(c) == r {
+                    d_at_hb(c, r)
+                } else {
+                    let delivery = MsgKey {
+                        kind: MsgKind::WeightGrads,
+                        chunk: c,
+                        mb: NO_MB,
+                        round: hb,
+                        src: holder(c),
+                        dst: r,
+                    };
+                    stream.push(Op::recv(delivery));
+                    delivery
+                };
+                let mut op = Op::compute(OpKind::Update { chunk: c }).needs(grads_ready);
+                if strategy != Strategy::Wzb2 {
+                    // The forward flow returned this chunk's weights home on
+                    // its final hop; the update mutates that buffer.
+                    op = op.needs(MsgKey {
+                        kind: MsgKind::Weights,
+                        chunk: c,
+                        mb: FLOW_FWD,
+                        round: hf - 1,
+                        src: prev,
+                        dst: r,
+                    });
+                }
+                stream.push(op);
+            }
+        }
+
+        Schedule {
+            strategy,
+            ranks: p,
+            chunks: p,
+            microbatches: n,
+            ops,
+            initial_holder: (0..p).map(|c| (p - c) % p).collect(),
+            recompute,
+        }
+    }
+}
+
+/// Activation-passing stage pipelines: rank `r` owns chunk `r` for the
+/// whole run; microbatches flow down the stages as activations and back up
+/// as activation gradients.
+fn build_act_pipe(strategy: Strategy, spec: PipelineSpec) -> Schedule {
+    let p = spec.ranks;
+    let n = spec.microbatches;
+    assert!(p >= 1, "need at least one stage");
+    let split = matches!(strategy, Strategy::Zb1 | Strategy::Zb2);
+    let recompute = spec.recompute && !split;
+    let ctx = if recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+
+    let act_in = |r: usize, mb: usize| MsgKey {
+        kind: MsgKind::Act,
+        chunk: r,
+        mb,
+        round: 0,
+        src: r - 1,
+        dst: r,
+    };
+    let ag_in = |r: usize, mb: usize| MsgKey {
+        kind: MsgKind::ActGrad,
+        chunk: r,
+        mb,
+        round: 0,
+        src: r + 1,
+        dst: r,
+    };
+
+    let mut ops: Vec<Vec<Op>> = vec![Vec::new(); p];
+    for (r, stream) in ops.iter_mut().enumerate() {
+        let push_fwd = |stream: &mut Vec<Op>, mb: usize| {
+            if r > 0 {
+                stream.push(Op::recv(act_in(r, mb)).mem(MemUnit::ActBoundary, 1));
+            }
+            let mut op = Op::compute(OpKind::Fwd { mb, chunk: r }).mem(ctx, 1);
+            if r > 0 {
+                op = op.needs(act_in(r, mb)).mem(MemUnit::ActBoundary, -1);
+            }
+            if r < p - 1 {
+                op = op.mem(MemUnit::ActBoundary, 1);
+            }
+            stream.push(op);
+            if r < p - 1 {
+                stream.push(Op::send(act_in(r + 1, mb)).mem(MemUnit::ActBoundary, -1));
+            }
+        };
+        let push_bwd = |stream: &mut Vec<Op>, mb: usize| {
+            if r < p - 1 {
+                stream.push(Op::recv(ag_in(r, mb)).mem(MemUnit::ActGradBoundary, 1));
+            }
+            let kind = if split {
+                OpKind::BwdData { mb, chunk: r }
+            } else {
+                OpKind::BwdFull { mb, chunk: r }
+            };
+            let mut op = Op::compute(kind);
+            if r < p - 1 {
+                op = op.needs(ag_in(r, mb)).mem(MemUnit::ActGradBoundary, -1);
+            }
+            op = if split { op.mem(MemUnit::BCtx, 1) } else { op.mem(ctx, -1) };
+            if r > 0 {
+                op = op.mem(MemUnit::ActGradBoundary, 1);
+            }
+            stream.push(op);
+            if r > 0 {
+                stream.push(Op::send(ag_in(r - 1, mb)).mem(MemUnit::ActGradBoundary, -1));
+            }
+        };
+        let push_w = |stream: &mut Vec<Op>, mb: usize| {
+            stream.push(
+                Op::compute(OpKind::BwdWeight { mb, chunk: r })
+                    .mem(MemUnit::FwdCtx, -1)
+                    .mem(MemUnit::BCtx, -1),
+            );
+        };
+
+        match strategy {
+            Strategy::GPipe => {
+                for mb in 0..n {
+                    push_fwd(stream, mb);
+                }
+                for mb in 0..n {
+                    push_bwd(stream, mb);
+                }
+            }
+            Strategy::OneFOneB => {
+                let warm = (p - 1 - r).min(n);
+                for mb in 0..warm {
+                    push_fwd(stream, mb);
+                }
+                for i in 0..n - warm {
+                    push_fwd(stream, warm + i);
+                    push_bwd(stream, i);
+                }
+                for mb in n - warm..n {
+                    push_bwd(stream, mb);
+                }
+            }
+            Strategy::Zb1 => {
+                // 1F1B shape with W passes lagging their B passes by a
+                // couple of slots (ZB-H1): the activation-gradient send
+                // leaves after only the B-pass latency, and the deferred W
+                // passes fill what would otherwise be bubble — at the price
+                // of holding the full forward ctx and B ctx of the lagged
+                // microbatches, the memory blow-up Table 2 charges ZB for.
+                const W_LAG: usize = 2;
+                let warm = (p - 1 - r).min(n);
+                let mut w_queue = std::collections::VecDeque::new();
+                for mb in 0..warm {
+                    push_fwd(stream, mb);
+                }
+                for i in 0..n - warm {
+                    push_fwd(stream, warm + i);
+                    push_bwd(stream, i);
+                    w_queue.push_back(i);
+                    if w_queue.len() > W_LAG {
+                        push_w(stream, w_queue.pop_front().expect("non-empty"));
+                    }
+                }
+                for mb in n - warm..n {
+                    push_bwd(stream, mb);
+                    w_queue.push_back(mb);
+                    if w_queue.len() > W_LAG {
+                        push_w(stream, w_queue.pop_front().expect("non-empty"));
+                    }
+                }
+                for mb in w_queue.drain(..) {
+                    push_w(stream, mb);
+                }
+            }
+            Strategy::Zb2 => {
+                // Deeper warmup fills the bubble with extra forwards; every
+                // W pass is deferred to the end of the iteration.
+                let warm = (2 * (p - r) - 1).min(n);
+                for mb in 0..warm {
+                    push_fwd(stream, mb);
+                }
+                for i in 0..n - warm {
+                    push_fwd(stream, warm + i);
+                    push_bwd(stream, i);
+                }
+                for mb in n - warm..n {
+                    push_bwd(stream, mb);
+                }
+                for mb in 0..n {
+                    push_w(stream, mb);
+                }
+            }
+            _ => unreachable!("not an activation pipeline"),
+        }
+        stream.push(Op::compute(OpKind::Update { chunk: r }));
+    }
+
+    Schedule {
+        strategy,
+        ranks: p,
+        chunks: p,
+        microbatches: n,
+        ops,
+        initial_holder: (0..p).collect(),
+        recompute,
+    }
+}
+
+/// FSDP (ZeRO-3): every rank holds a 1/P shard of every chunk and runs its
+/// 1/P of the microbatches as plain data parallelism — all-gathering each
+/// chunk's full weights just before use (once for the forward, again for
+/// the backward) and freeing them right after, then reduce-scattering that
+/// microbatch's gradient chunk back to shards. This per-microbatch
+/// re-gather is what keeps sharded memory flat and what multiplies ZeRO-3's
+/// communication volume by the gradient-accumulation depth — the cost the
+/// paper's slow-interconnect columns expose (§6.1).
+fn build_fsdp(spec: PipelineSpec) -> Schedule {
+    let p = spec.ranks;
+    let n = spec.microbatches;
+    assert!(
+        n.is_multiple_of(p),
+        "FSDP needs microbatches ({n}) divisible by ranks ({p})"
+    );
+    let ctx = if spec.recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+    let pseudo = |kind: MsgKind, c: usize, round: usize, r: usize| MsgKey {
+        kind,
+        chunk: c,
+        mb: NO_MB,
+        round,
+        src: r,
+        dst: r,
+    };
+
+    let local = n / p;
+    let mut ops: Vec<Vec<Op>> = vec![Vec::new(); p];
+    for (r, stream) in ops.iter_mut().enumerate() {
+        for i in 0..local {
+            let mb = i * p + r;
+            for c in 0..p {
+                stream.push(
+                    Op::compute_collective(OpKind::AllGatherW { chunk: c, round: 2 * i })
+                        .mem(MemUnit::WeightChunk, 1),
+                );
+                stream.push(
+                    Op::compute(OpKind::Fwd { mb, chunk: c })
+                        .needs(pseudo(MsgKind::Weights, c, 2 * i, r))
+                        .mem(ctx, 1)
+                        .mem(MemUnit::WeightChunk, -1),
+                );
+            }
+            for c in (0..p).rev() {
+                stream.push(
+                    Op::compute_collective(OpKind::AllGatherW { chunk: c, round: 2 * i + 1 })
+                        .mem(MemUnit::WeightChunk, 1),
+                );
+                stream.push(
+                    Op::compute(OpKind::BwdFull { mb, chunk: c })
+                        .needs(pseudo(MsgKind::Weights, c, 2 * i + 1, r))
+                        .mem(ctx, -1)
+                        .mem(MemUnit::WeightChunk, -1)
+                        .mem(MemUnit::GradChunk, 1),
+                );
+                stream.push(
+                    Op::compute_collective(OpKind::ReduceScatterD { chunk: c, round: i })
+                        .mem(MemUnit::GradChunk, -1),
+                );
+            }
+        }
+        for c in 0..p {
+            stream.push(
+                Op::compute(OpKind::Update { chunk: c })
+                    .needs(pseudo(MsgKind::WeightGrads, c, local - 1, r)),
+            );
+        }
+    }
+
+    Schedule {
+        strategy: Strategy::Fsdp,
+        ranks: p,
+        chunks: p,
+        microbatches: n,
+        ops,
+        initial_holder: (0..p).collect(),
+        recompute: spec.recompute,
+    }
+}
+
+/// DDP: the model is replicated; each rank trains its 1/P of the
+/// microbatches locally and all-reduces gradients before a replicated
+/// update.
+fn build_ddp(spec: PipelineSpec) -> Schedule {
+    let p = spec.ranks;
+    let n = spec.microbatches;
+    assert!(
+        n.is_multiple_of(p),
+        "DDP needs microbatches ({n}) divisible by ranks ({p})"
+    );
+    let ctx = if spec.recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+
+    let mut ops: Vec<Vec<Op>> = vec![Vec::new(); p];
+    for (r, stream) in ops.iter_mut().enumerate() {
+        for mb in (r..n).step_by(p) {
+            for c in 0..p {
+                stream.push(Op::compute(OpKind::Fwd { mb, chunk: c }).mem(ctx, 1));
+            }
+            for c in (0..p).rev() {
+                stream.push(Op::compute(OpKind::BwdFull { mb, chunk: c }).mem(ctx, -1));
+            }
+        }
+        for c in 0..p {
+            stream.push(Op::compute_collective(OpKind::AllReduceD { chunk: c, round: 0 }));
+        }
+        for c in 0..p {
+            stream.push(Op::compute(OpKind::Update { chunk: c }).needs(MsgKey {
+                kind: MsgKind::WeightGrads,
+                chunk: c,
+                mb: NO_MB,
+                round: 0,
+                src: r,
+                dst: r,
+            }));
+        }
+    }
+
+    Schedule {
+        strategy: Strategy::Ddp,
+        ranks: p,
+        chunks: p,
+        microbatches: n,
+        ops,
+        initial_holder: (0..p).collect(),
+        recompute: spec.recompute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_send_census_matches_ring_algebra() {
+        // P=4, N=8 (nl=2): hf=12 fwd hops, hb=14 bwd/grad hops per rank,
+        // plus one end-of-iteration gradient delivery per rank.
+        let s = build(Strategy::WeiPipeInterleave, PipelineSpec::new(4, 8));
+        let st = s.stats();
+        assert_eq!(st.sends, 4 * (12 + 14 + 14) + 4);
+        assert_eq!(st.recvs, st.sends);
+    }
+
+    #[test]
+    fn weipipe_updates_land_on_the_weight_owner() {
+        let s = build(Strategy::WeiPipeInterleave, PipelineSpec::new(4, 8));
+        for (r, op) in s.iter_ops() {
+            if let OpKind::Update { chunk } = op.kind {
+                assert_eq!(r, (4 - chunk) % 4, "chunk {chunk} updated off-owner");
+                assert_eq!(s.initial_holder[chunk], r);
+            }
+        }
+    }
+
+    #[test]
+    fn microbatch_ownership_is_mod_p() {
+        for strat in [Strategy::WeiPipeNaive, Strategy::WeiPipeInterleave] {
+            let s = build(strat, PipelineSpec::new(4, 8));
+            for (r, op) in s.iter_ops() {
+                if let OpKind::Fwd { mb, .. }
+                | OpKind::BwdFull { mb, .. }
+                | OpKind::BwdData { mb, .. }
+                | OpKind::BwdWeight { mb, .. } = op.kind
+                {
+                    assert_eq!(weipipe_mb_owner(4, mb), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_strategies_force_recompute_off() {
+        for strat in [Strategy::Zb1, Strategy::Zb2, Strategy::Wzb1, Strategy::Wzb2] {
+            let s = build(strat, PipelineSpec::new(4, 8));
+            assert!(!s.recompute, "{strat:?} cannot checkpoint");
+            let st = s.stats();
+            assert_eq!(st.bwd_full, 0);
+            assert_eq!(st.bwd_data, st.bwd_weight);
+        }
+    }
+
+    #[test]
+    fn fsdp_and_ddp_are_collective_only() {
+        for strat in [Strategy::Fsdp, Strategy::Ddp] {
+            let s = build(strat, PipelineSpec::new(4, 8));
+            let st = s.stats();
+            assert_eq!(st.sends, 0, "{strat:?}");
+            assert_eq!(st.recvs, 0, "{strat:?}");
+            assert!(st.collectives > 0, "{strat:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn weipipe_rejects_ragged_microbatches() {
+        build(Strategy::WeiPipeInterleave, PipelineSpec::new(4, 6));
+    }
+}

@@ -1,12 +1,47 @@
+use wp_sched::Strategy;
 use wp_sim::experiments::*;
+use wp_sim::ClusterSpec;
+
 fn main() {
-    for (name, table) in [("TABLE2 nvlink16", table2()), ("TABLE3 eth16", table3()), ("TABLE4 nvlink8", table4())] {
+    for (name, table) in [
+        ("TABLE2 nvlink16", table2()),
+        ("TABLE3 eth16", table3()),
+        ("TABLE4 nvlink8", table4()),
+    ] {
         println!("=== {name} ===");
-        println!("{:>5} {:>6} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | mem(GiB) 1F1B/ZB1/ZB2/FSDP/WP", "H","S","G","1F1B","ZB1","ZB2","FSDP","WeiPipe");
+        println!(
+            "{:>5} {:>6} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | mem(GiB) 1F1B/ZB1/ZB2/FSDP/WP",
+            "H", "S", "G", "1F1B", "ZB1", "ZB2", "FSDP", "WeiPipe"
+        );
         for (row, cells) in table {
             let t: Vec<String> = cells.iter().map(|c| c.throughput_str()).collect();
             let m: Vec<String> = cells.iter().map(|c| format!("{:.1}", c.mem_gib)).collect();
-            println!("{:>5} {:>6} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | {}", row.hidden, row.seq, row.microbatch, t[0],t[1],t[2],t[3],t[4], m.join("/"));
+            println!(
+                "{:>5} {:>6} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | {}",
+                row.hidden, row.seq, row.microbatch, t[0], t[1], t[2], t[3], t[4],
+                m.join("/")
+            );
         }
     }
+    for (name, pts) in [
+        ("FIG6 weak small", fig6_weak_small()),
+        ("FIG7 weak large", fig7_weak_large()),
+        ("FIG9 strong large", fig9_strong_large()),
+    ] {
+        println!("=== {name} ===");
+        for p in pts {
+            let cells: Vec<String> = p
+                .cells
+                .iter()
+                .map(|c| format!("{:?}={}", c.strategy, c.throughput_str()))
+                .collect();
+            println!("  gpus={:>2} batch={:>3}: {}", p.gpus, p.batch, cells.join("  "));
+        }
+    }
+    println!("=== WZB2 bubble ===");
+    let row = RowConfig { hidden: 2048, seq: 8192, microbatch: 8 };
+    let cluster = ClusterSpec::nvlink_island(8);
+    let wp = run_cell(Strategy::WeiPipeInterleave, row, 32, &cluster, 8 * 8 * 8);
+    let wzb2 = run_cell(Strategy::Wzb2, row, 32, &cluster, 8 * 8 * 8);
+    println!("  WP bubble={:.5}  WZB2 bubble={:.5}", wp.bubble_ratio, wzb2.bubble_ratio);
 }

@@ -335,10 +335,10 @@ impl CostModel {
                 chunk_w + chunk_g + opt_per_chunk
             }
             Strategy::Fsdp => {
-                // Everything sharded 1/P; plus two gathered chunk buffers
-                // (current + prefetch) and one reduce-scatter staging buffer.
-                let sharded = (total_chunks * (chunk_w + chunk_g + opt_per_chunk)) / ranks as u64;
-                sharded + 2 * chunk_w + chunk_g
+                // Everything sharded 1/P. The transient gathered-chunk and
+                // reduce-scatter staging buffers are charged dynamically by
+                // the schedule's per-microbatch gather/free ops.
+                (total_chunks * (chunk_w + chunk_g + opt_per_chunk)) / ranks as u64
             }
             Strategy::Ddp => total_chunks * (chunk_w + chunk_g + opt_per_chunk),
             Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave => {

@@ -77,10 +77,12 @@ fn main() {
         link: LinkModel::instant(),
         recompute: false,
         data: DataSource::Corpus(tokens.clone()),
+        faults: None,
+        comm: wp_comm::CommConfig::default(),
     };
 
     println!("training {} params on 4 ranks with WeiPipe-Interleave…", model.total_params());
-    let out = run_distributed(Strategy::WeiPipeInterleave, 4, &setup);
+    let out = run_distributed(Strategy::WeiPipeInterleave, 4, &setup).expect("healthy world");
     for (i, l) in out.losses.iter().enumerate() {
         if i % 10 == 0 || i + 1 == out.losses.len() {
             println!("  iter {i:>3}: loss {l:.4}");

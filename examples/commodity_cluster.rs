@@ -61,10 +61,12 @@ fn main() {
         link: LinkModel { bandwidth_bps: 60e6, latency_s: 2e-4 },
         recompute: false,
         data: weipipe::DataSource::Synthetic,
+        faults: None,
+        comm: wp_comm::CommConfig::default(),
     };
     for strategy in [Strategy::OneFOneB, Strategy::WeiPipeInterleave] {
         let t0 = Instant::now();
-        let out = run_distributed(strategy, 4, &setup);
+        let out = run_distributed(strategy, 4, &setup).expect("healthy world");
         println!(
             "{:<18} wall {:>6.2?}  bytes {:>10}  final loss {:.4}",
             strategy.label(),

@@ -29,8 +29,10 @@ fn traffic_for(seq: usize, strategy: Strategy) -> u64 {
         link: LinkModel::instant(),
         recompute: false,
         data: weipipe::DataSource::Synthetic,
+        faults: None,
+        comm: wp_comm::CommConfig::default(),
     };
-    run_distributed(strategy, 4, &setup).bytes_sent
+    run_distributed(strategy, 4, &setup).expect("healthy world").bytes_sent
 }
 
 fn main() {

@@ -30,10 +30,12 @@ fn main() {
         link: LinkModel::instant(),
         recompute: false,
         data: weipipe::DataSource::Synthetic,
+        faults: None,
+        comm: wp_comm::CommConfig::default(),
     };
 
     println!("training 4-layer model on 4 ranks with WeiPipe-Interleave…\n");
-    let wp = run_distributed(Strategy::WeiPipeInterleave, 4, &setup);
+    let wp = run_distributed(Strategy::WeiPipeInterleave, 4, &setup).expect("healthy world");
     let reference = run_single(&setup);
 
     println!("iter |  WeiPipe loss | single-process loss");

@@ -12,7 +12,7 @@ fn arb_runtime_strategy() -> impl Strategy<Value = Strat> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     #[test]
     fn any_strategy_any_shape_matches_reference(
@@ -35,7 +35,7 @@ proptest! {
             OptimKind::Sgd { lr: 0.1 }
         };
         let reference = run_single(&setup);
-        let out = run_distributed(strategy, p, &setup);
+        let out = run_distributed(strategy, p, &setup).expect("healthy world");
         let dl = out.max_loss_diff(&reference);
         let dp = out.max_param_diff(&reference);
         prop_assert!(

@@ -7,7 +7,7 @@ use wp_tensor::DType;
 
 fn check(strategy: Strategy, ranks: usize, setup: &TrainSetup, tol_loss: f32, tol_param: f32) {
     let reference = run_single(setup);
-    let out = run_distributed(strategy, ranks, setup);
+    let out = run_distributed(strategy, ranks, setup).expect("healthy world");
     let dl = out.max_loss_diff(&reference);
     let dp = out.max_param_diff(&reference);
     assert!(
@@ -91,7 +91,7 @@ fn fp16_wire_training_converges() {
     let mut setup = TrainSetup::tiny(2, 4);
     setup.wire = DType::F16;
     setup.iters = 6;
-    let out = run_distributed(Strategy::WeiPipeInterleave, 2, &setup);
+    let out = run_distributed(Strategy::WeiPipeInterleave, 2, &setup).expect("healthy world");
     assert!(
         out.losses.last().expect("ran") < out.losses.first().expect("ran"),
         "fp16-wire training must still reduce loss: {:?}",
@@ -100,7 +100,7 @@ fn fp16_wire_training_converges() {
     // And stay close to the f32 trajectory.
     let mut setup32 = setup.clone();
     setup32.wire = DType::F32;
-    let ref32 = run_distributed(Strategy::WeiPipeInterleave, 2, &setup32);
+    let ref32 = run_distributed(Strategy::WeiPipeInterleave, 2, &setup32).expect("healthy world");
     assert!(
         out.max_loss_diff(&ref32) < 0.05,
         "fp16 drift too large: {:?} vs {:?}",
@@ -114,8 +114,8 @@ fn weipipe_variants_agree_with_each_other_exactly_in_shape() {
     // Naive and Interleave execute the same math in different orders; their
     // trajectories must agree to reduction-order noise.
     let setup = TrainSetup::tiny(4, 8);
-    let a = run_distributed(Strategy::WeiPipeNaive, 4, &setup);
-    let b = run_distributed(Strategy::WeiPipeInterleave, 4, &setup);
+    let a = run_distributed(Strategy::WeiPipeNaive, 4, &setup).expect("healthy world");
+    let b = run_distributed(Strategy::WeiPipeInterleave, 4, &setup).expect("healthy world");
     assert!(a.max_loss_diff(&b) < 2e-4);
     assert!(a.max_param_diff(&b) < 2e-3);
     // Naive moves strictly more bytes (its documented flaw).
@@ -192,7 +192,7 @@ fn losses_actually_decrease_under_weipipe() {
     let mut setup = TrainSetup::tiny(2, 8);
     setup.iters = 8;
     setup.optim = OptimKind::AdamW { lr: 3e-3 };
-    let out = run_distributed(Strategy::WeiPipeInterleave, 2, &setup);
+    let out = run_distributed(Strategy::WeiPipeInterleave, 2, &setup).expect("healthy world");
     let first = out.losses.first().expect("ran");
     let last = out.losses.last().expect("ran");
     assert!(last < first, "no learning: {:?}", out.losses);

@@ -22,9 +22,12 @@ fn setup_with(seq: usize, microbatch: usize, layers: usize, n: usize) -> TrainSe
 
 #[test]
 fn weipipe_bytes_independent_of_context_and_microbatch() {
-    let base = run_distributed(Strategy::WeiPipeInterleave, 4, &setup_with(8, 1, 4, 8));
-    let long = run_distributed(Strategy::WeiPipeInterleave, 4, &setup_with(32, 1, 4, 8));
-    let fat = run_distributed(Strategy::WeiPipeInterleave, 4, &setup_with(8, 4, 4, 8));
+    let run = |setup: &TrainSetup| {
+        run_distributed(Strategy::WeiPipeInterleave, 4, setup).expect("healthy world")
+    };
+    let base = run(&setup_with(8, 1, 4, 8));
+    let long = run(&setup_with(32, 1, 4, 8));
+    let fat = run(&setup_with(8, 4, 4, 8));
     assert_eq!(
         base.bytes_sent, long.bytes_sent,
         "4× context must not change WeiPipe traffic"
@@ -37,8 +40,8 @@ fn weipipe_bytes_independent_of_context_and_microbatch() {
 
 #[test]
 fn act_passing_bytes_scale_with_context() {
-    let base = run_distributed(Strategy::OneFOneB, 4, &setup_with(8, 2, 4, 8));
-    let long = run_distributed(Strategy::OneFOneB, 4, &setup_with(32, 2, 4, 8));
+    let base = run_distributed(Strategy::OneFOneB, 4, &setup_with(8, 2, 4, 8)).expect("healthy world");
+    let long = run_distributed(Strategy::OneFOneB, 4, &setup_with(32, 2, 4, 8)).expect("healthy world");
     // Boundary activations quadruple; embed/head all-reduce is unchanged, so
     // expect strictly more but not exactly 4×.
     assert!(
@@ -76,15 +79,15 @@ fn simulated_traffic_equals_measured_traffic() {
         };
         let predicted: u64 = traffic(&sched, &bytes).iter().map(|r| r.p2p).sum();
 
-        let out = run_distributed(strategy, p, &setup);
+        let out = run_distributed(strategy, p, &setup).expect("healthy world");
         // The meter also counts collective traffic (embed/head all-reduce,
         // final assembly); compare P2P only via the prediction being a lower
         // bound that must be contained. We re-run to get the split.
         // run_distributed returns total; recompute the split directly:
         let (outs, meter) = wp_comm::World::run(p, setup.link, |comm| {
             let mut rt = weipipe::interp::RankRuntime::new(&setup, &sched, comm);
-            rt.run_iteration(&sched, 0);
-            rt.assemble(&sched);
+            rt.run_iteration(&sched, 0).expect("healthy world");
+            rt.assemble(&sched).expect("healthy world");
         });
         drop(outs);
         let measured_p2p: u64 = (0..p).map(|r| meter.rank(r).p2p_bytes).sum();
@@ -104,7 +107,7 @@ fn interleave_traffic_is_three_chunks_per_turn_steady_state() {
     let p = 4;
     let n = 32; // 8 rounds: steady state dominates
     let setup = setup_with(8, 1, 4, n);
-    let out = run_distributed(Strategy::WeiPipeInterleave, p, &setup);
+    let out = run_distributed(Strategy::WeiPipeInterleave, p, &setup).expect("healthy world");
     let block_len = wp_nn::params::BlockLayout::new(&setup.model).len() as u64;
     let chunk_bytes = block_len * 4; // lpc = 1, f32 wire
     let turns = ((n / p) + 2) * p;

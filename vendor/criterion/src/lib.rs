@@ -1,0 +1,197 @@
+//! Offline workalike for the subset of `criterion` this workspace's benches
+//! use: groups, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`.
+//!
+//! Measurement is deliberately simple — warm up once, time `sample_size`
+//! iterations, report mean wall-clock per iteration — because these benches
+//! exist to show relative movement between strategies, not to be a
+//! statistics engine. Under `cargo test` (which passes `--test` to
+//! `harness = false` targets) benches are skipped entirely.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` for call sites that import it from
+/// criterion.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    skip: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, harness=false bench binaries receive `--test`;
+        // run nothing (matches real criterion's behaviour).
+        let skip = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion { skip }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            skip: self.skip,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 20,
+            skip: self.skip,
+            _marker: std::marker::PhantomData,
+        };
+        g.bench_function(name, f);
+        self
+    }
+}
+
+/// Identifier for a parameterised benchmark, `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("matmul", 256)` → `matmul/256`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    skip: bool,
+    // Tie the group's lifetime to the Criterion borrow like upstream does.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+// Separate constructor site uses the struct literal without the marker;
+// provide it via Default-ish shorthand.
+#[allow(clippy::needless_update)]
+impl<'a> BenchmarkGroup<'a> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.skip {
+            return self;
+        }
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed_ns: 0.0, ran: 0 };
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            format!("{id}")
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if b.ran > 0 {
+            println!("{label:<40} {:>12.0} ns/iter", b.elapsed_ns / b.ran as f64);
+        }
+        self
+    }
+
+    /// Run `f(bencher, input)` as a benchmark named by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (upstream flushes reports here; we have none).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+    ran: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called `sample_size` times after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns += t0.elapsed().as_nanos() as f64;
+        self.ran += self.iters;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs_closures() {
+        let mut c = Criterion { skip: false };
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("mm", 64).to_string(), "mm/64");
+    }
+}

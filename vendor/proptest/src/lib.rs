@@ -1,0 +1,394 @@
+//! Offline, deterministic workalike for the subset of `proptest` this
+//! workspace uses.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn name(x in strat, ..) { .. } }`
+//! * `prop_assert!` / `prop_assert_eq!` (non-shrinking: they are `assert!`s)
+//! * strategies: integer/float ranges, `sample::select`, `any::<bool>()`,
+//!   `Just`
+//! * `ProptestConfig::default()`, `::with_cases(n)`, struct-literal update
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** A failing case reports the case index; with a fixed
+//!   seed per `(test name, case index)`, re-running reproduces it exactly.
+//! * **Deterministic by construction.** The RNG for case `k` of test `t` is
+//!   `SplitMix64(hash(t) ^ k)`, so a green run is reproducible on any
+//!   machine — the property the chaos suite's determinism claims sit on.
+//!   Set `PROPTEST_SEED` to perturb every stream at once.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (the subset of `proptest::test_runner::Config`
+/// this workspace touches).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case RNG: SplitMix64 keyed by test name and case index.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the property named `name`.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        // FNV-1a over the test path, xored with the case index and the
+        // optional environment seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let env = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ env }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty draw");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // `impl Strategy for Strategy` references: allow sampling through a
+    // borrow so helper fns can return `impl Strategy`.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl strategy::Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl strategy::Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl strategy::Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl strategy::Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// `prop::sample`-style strategies.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy drawing uniformly from a fixed set of options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly select one of `options` (mirrors `prop::sample::select`).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// `prop::num`-style numeric class strategies.
+pub mod num {
+    /// Strategies over `f32` bit-pattern classes (mirrors
+    /// `proptest::num::f32`'s class constants, combinable with `|`).
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+
+        /// A union of float classes; sampling picks one class uniformly.
+        #[derive(Debug, Clone, Copy)]
+        pub struct FloatClasses(u8);
+
+        const C_NORMAL: u8 = 1;
+        const C_ZERO: u8 = 2;
+        const C_SUBNORMAL: u8 = 4;
+
+        /// Normal (non-zero, non-subnormal, finite) values of either sign.
+        pub const NORMAL: FloatClasses = FloatClasses(C_NORMAL);
+        /// Positive and negative zero.
+        pub const ZERO: FloatClasses = FloatClasses(C_ZERO);
+        /// Subnormal values of either sign.
+        pub const SUBNORMAL: FloatClasses = FloatClasses(C_SUBNORMAL);
+
+        impl std::ops::BitOr for FloatClasses {
+            type Output = FloatClasses;
+            fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                FloatClasses(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for FloatClasses {
+            type Value = f32;
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                let classes: Vec<u8> = [C_NORMAL, C_ZERO, C_SUBNORMAL]
+                    .into_iter()
+                    .filter(|c| self.0 & c != 0)
+                    .collect();
+                assert!(!classes.is_empty(), "empty float class union");
+                let class = classes[rng.below(classes.len() as u64) as usize];
+                let sign = (rng.next_u64() & 1) << 31;
+                let bits = match class {
+                    C_NORMAL => {
+                        // Exponent in [1, 254], any mantissa: finite normals.
+                        let exp = 1 + rng.below(254) as u32;
+                        let mant = (rng.next_u64() as u32) & 0x007f_ffff;
+                        (exp << 23) | mant
+                    }
+                    C_ZERO => 0,
+                    _ => 1 + rng.below(0x007f_ffff - 1) as u32, // subnormal
+                };
+                f32::from_bits(sign as u32 | bits)
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Everything a property-test file imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+    /// Namespaced module tree (mirrors `proptest::prelude::prop`).
+    pub mod prop {
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Non-shrinking `prop_assert!`: asserts, annotated with the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Non-shrinking `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// The `proptest!` block: expands each property into a plain `#[test]` that
+/// loops `config.cases` times over deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_properties! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_properties! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_properties {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_properties! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a: Vec<u64> =
+            (0..4).map(|c| crate::TestRng::deterministic("t", c).next_u64()).collect();
+        let b: Vec<u64> =
+            (0..4).map(|c| crate::TestRng::deterministic("t", c).next_u64()).collect();
+        let c: Vec<u64> =
+            (0..4).map(|c| crate::TestRng::deterministic("u", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 1u64..=4, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn select_and_any_work(pick in prop::sample::select(vec![10, 20, 30]), b in any::<bool>()) {
+            prop_assert!(pick % 10 == 0);
+            prop_assert!(b == (b as u8 == 1)); // any::<bool> yields a valid bool
+        }
+
+        #[test]
+        fn just_yields_payload(v in Just(7)) {
+            prop_assert_eq!(v, 7);
+        }
+    }
+
+    proptest! {
+        // Default config path (no inner attribute).
+        #[test]
+        fn default_config_runs(x in 0usize..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

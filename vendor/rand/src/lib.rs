@@ -1,0 +1,203 @@
+//! Offline workalike for the subset of `rand` 0.9 this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::random_range`, and
+//! `distr::{Distribution, Uniform}`.
+//!
+//! The generator is SplitMix64, not ChaCha12, so streams differ from the
+//! real `rand` crate — but they are deterministic functions of the seed,
+//! which is all the workspace's seeded-init and synthetic-data paths need.
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose whole stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: a SplitMix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One mixing round so nearby seeds diverge immediately.
+            let mut r = StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 };
+            let _ = r.next_u64();
+            r
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Ranges `Rng::random_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one value in the range from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// One value uniformly drawn from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distributions, mirroring `rand::distr`.
+pub mod distr {
+    use super::{RngCore, SampleRange};
+
+    /// Error from constructing a distribution with an invalid range.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Error;
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "invalid distribution parameters")
+        }
+    }
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl Uniform<f32> {
+        /// Uniform over `[low, high)`; errors when the range is empty.
+        pub fn new(low: f32, high: f32) -> Result<Self, Error> {
+            if low < high {
+                Ok(Uniform { low, high })
+            } else {
+                Err(Error)
+            }
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (self.low..self.high).sample_from(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distr::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u32> = (0..8).map(|_| a.random_range(0..1000u32)).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.random_range(0..1000u32)).collect();
+        let zs: Vec<u32> = (0..8).map(|_| c.random_range(0..1000u32)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.random_range(3..10u32);
+            assert!((3..10).contains(&v));
+            let w = r.random_range(1..=2u32);
+            assert!((1..=2).contains(&w));
+            let f = r.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_covers_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        let u = Uniform::new(f32::EPSILON, 1.0).unwrap();
+        let mut min = 1.0f32;
+        let mut max = 0.0f32;
+        for _ in 0..10_000 {
+            let v = u.sample(&mut r);
+            assert!(v > 0.0 && v < 1.0);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < 0.05 && max > 0.95, "min={min} max={max}");
+    }
+
+    #[test]
+    fn uniform_rejects_empty_range() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline workalike for the subset of `rayon` this workspace uses:
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` and
+//! `current_num_threads()`.
+//!
+//! Parallelism is real (scoped OS threads, chunks dealt round-robin), just
+//! without rayon's work-stealing pool: each call spins up at most
+//! `current_num_threads()` scoped threads. That is the right trade for this
+//! workspace, whose only data-parallel site is a coarse-banded matmul.
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The traits user code imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Parallel slice operations, mirroring `rayon::slice`.
+pub mod slice {
+    use super::current_num_threads;
+
+    /// Extension trait adding `par_chunks_mut` to mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into mutable chunks of at most `chunk_size` elements that
+        /// downstream adapters process in parallel.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+        }
+    }
+
+    /// Extension trait adding `par_chunks` to shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Split into shared chunks of at most `chunk_size` elements that
+        /// downstream adapters process in parallel.
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks { chunks: self.chunks(chunk_size).collect() }
+        }
+    }
+
+    /// Parallel iterator over shared chunks.
+    pub struct ParChunks<'a, T> {
+        chunks: Vec<&'a [T]>,
+    }
+
+    /// Parallel iterator over mutable chunks.
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pair each chunk with its index.
+        pub fn enumerate(self) -> EnumeratedChunks<'a, T> {
+            EnumeratedChunks { chunks: self.chunks }
+        }
+
+        /// Pair each mutable chunk with the matching shared chunk
+        /// (truncating to the shorter side, like `Iterator::zip`).
+        pub fn zip<'b, U: Sync>(self, other: ParChunks<'b, U>) -> ZippedChunks<'a, 'b, T, U> {
+            ZippedChunks {
+                pairs: self.chunks.into_iter().zip(other.chunks).collect(),
+            }
+        }
+
+        /// Apply `f` to every chunk in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Send + Sync,
+        {
+            self.enumerate().for_each(move |(_, c)| f(c));
+        }
+    }
+
+    /// Mutable chunks zipped with shared chunks.
+    pub struct ZippedChunks<'a, 'b, T, U> {
+        pairs: Vec<(&'a mut [T], &'b [U])>,
+    }
+
+    impl<'a, 'b, T: Send, U: Sync> ZippedChunks<'a, 'b, T, U> {
+        /// Apply `f` to every `(mutable chunk, shared chunk)` pair in
+        /// parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((&'a mut [T], &'b [U])) + Send + Sync,
+        {
+            let workers = current_num_threads().min(self.pairs.len()).max(1);
+            if workers <= 1 {
+                for pair in self.pairs {
+                    f(pair);
+                }
+                return;
+            }
+            let mut buckets: Vec<Vec<(&'a mut [T], &'b [U])>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, pair) in self.pairs.into_iter().enumerate() {
+                buckets[i % workers].push(pair);
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                for bucket in buckets {
+                    s.spawn(move || {
+                        for pair in bucket {
+                            f(pair);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Enumerated parallel iterator over mutable chunks.
+    pub struct EnumeratedChunks<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> EnumeratedChunks<'a, T> {
+        /// Apply `f` to every `(index, chunk)` pair in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Send + Sync,
+        {
+            let items: Vec<(usize, &'a mut [T])> =
+                self.chunks.into_iter().enumerate().collect();
+            let workers = current_num_threads().min(items.len()).max(1);
+            if workers <= 1 {
+                for item in items {
+                    f(item);
+                }
+                return;
+            }
+            // Deal chunks round-robin so band `i` always lands on worker
+            // `i % workers` — deterministic assignment, disjoint buffers.
+            let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, item) in items.into_iter().enumerate() {
+                buckets[i % workers].push(item);
+            }
+            let f = &f;
+            std::thread::scope(|s| {
+                for bucket in buckets {
+                    s.spawn(move || {
+                        for item in bucket {
+                            f(item);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut v = vec![0u64; 1003];
+        v.par_chunks_mut(17).enumerate().for_each(|(_i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += 1; // write once per element
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerate_indices_match_offsets() {
+        let mut v: Vec<usize> = vec![0; 100];
+        v.par_chunks_mut(9).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        for (pos, &idx) in v.iter().enumerate() {
+            assert_eq!(idx, pos / 9);
+        }
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn zip_pairs_matching_chunks() {
+        let src: Vec<u64> = (0..100).collect();
+        let mut dst = vec![0u64; 100];
+        dst.par_chunks_mut(7).zip(src.par_chunks(7)).for_each(|(d, s)| {
+            for (x, y) in d.iter_mut().zip(s) {
+                *x = *y * 2;
+            }
+        });
+        assert!(dst.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline workalike for the `serde` facade.
+//!
+//! The workspace annotates its schedule IR with `#[derive(Serialize,
+//! Deserialize)]` for forward compatibility, but nothing serializes through
+//! serde yet. This stub supplies marker traits and no-op derives so those
+//! annotations compile without a registry. Replace with real serde when one
+//! is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (type namespace; the derive
+/// macro of the same name lives in the macro namespace).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

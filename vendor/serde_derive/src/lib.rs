@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` stub.
+//!
+//! Nothing in the workspace serializes through serde yet — the derives exist
+//! so type definitions keep their upstream-compatible annotations. Each
+//! derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
