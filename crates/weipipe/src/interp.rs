@@ -36,6 +36,7 @@ use wp_nn::params::{init_block, init_embed, init_head, BlockLayout};
 use wp_optim::{MasterWeights, Optimizer};
 use wp_sched::{MsgKey, MsgKind, OpKind, Schedule, Strategy, NO_MB};
 use wp_tensor::ops::RopeTable;
+use wp_trace::{RankTracer, SpanKind, NO_ID};
 
 /// A fully assembled model: `(embed, per-layer blocks, head)`.
 pub type AssembledModel = (Vec<f32>, Vec<Vec<f32>>, Vec<f32>);
@@ -433,6 +434,7 @@ impl RankRuntime {
 
     fn exec_update(&mut self, chunk: usize) {
         let lr = self.lr();
+        let tracer = self.comm.tracer().cloned();
         if self.strategy == Strategy::Fsdp {
             let mut grads = self
                 .shard_grads
@@ -445,7 +447,7 @@ impl RankRuntime {
             let (master, opt) = self.shard_opt.entry(chunk).or_insert_with(|| {
                 (MasterWeights::capture(shard, wire), optim.build(shard.len()))
             });
-            master.step(opt.as_mut(), shard, &grads, lr);
+            master.step_traced(opt.as_mut(), shard, &grads, lr, tracer.as_ref());
             return;
         }
         let key = self.weight_slot_key(&[], chunk, FLOW_FWD);
@@ -460,7 +462,7 @@ impl RankRuntime {
         let (master, opt) = self.chunk_opt.entry(chunk).or_insert_with(|| {
             (MasterWeights::capture(slot, wire), optim.build(slot.len()))
         });
-        master.step(opt.as_mut(), slot, &grads, lr);
+        master.step_traced(opt.as_mut(), slot, &grads, lr, tracer.as_ref());
     }
 
     // ---- communication ops --------------------------------------------------
@@ -580,6 +582,20 @@ impl RankRuntime {
 
     // ---- driver --------------------------------------------------------------
 
+    /// Close a compute span on this rank's track (no-op when untraced).
+    fn trace_compute(
+        tracer: &Option<RankTracer>,
+        kind: SpanKind,
+        t0: Option<u64>,
+        mb: usize,
+        chunk: usize,
+    ) {
+        if let (Some(tr), Some(start)) = (tracer.as_ref(), t0) {
+            let mb = if mb >= NO_MB - 15 { NO_ID } else { mb as u32 };
+            tr.end_span(kind, start, mb, chunk as u32, 0, 0);
+        }
+    }
+
     /// Execute one iteration of the schedule.
     ///
     /// # Errors
@@ -595,16 +611,35 @@ impl RankRuntime {
         self.loss_sum = 0.0;
         self.loss_count = 0;
 
+        // One cheap clone of the rank's tracer handle up front: compute ops
+        // close their spans here, comm ops record inside wp-comm.
+        let tracer = self.comm.tracer().cloned();
+        let iter_t0 = tracer.as_ref().map(|t| t.now_ns());
+
         let ops = schedule.ops[self.rank].clone();
         for op in &ops {
+            let t0 = tracer.as_ref().map(|t| t.now_ns());
             match &op.kind {
                 OpKind::Fwd { mb, chunk } => {
-                    self.exec_fwd(*mb, *chunk, &op.needs, schedule.recompute)
+                    self.exec_fwd(*mb, *chunk, &op.needs, schedule.recompute);
+                    Self::trace_compute(&tracer, SpanKind::Fwd, t0, *mb, *chunk);
                 }
-                OpKind::BwdFull { mb, chunk } => self.exec_bwd_full(*mb, *chunk, &op.needs),
-                OpKind::BwdData { mb, chunk } => self.exec_bwd_data(*mb, *chunk, &op.needs),
-                OpKind::BwdWeight { mb, chunk } => self.exec_bwd_weight(*mb, *chunk),
-                OpKind::Update { chunk } => self.exec_update(*chunk),
+                OpKind::BwdFull { mb, chunk } => {
+                    self.exec_bwd_full(*mb, *chunk, &op.needs);
+                    Self::trace_compute(&tracer, SpanKind::BwdFull, t0, *mb, *chunk);
+                }
+                OpKind::BwdData { mb, chunk } => {
+                    self.exec_bwd_data(*mb, *chunk, &op.needs);
+                    Self::trace_compute(&tracer, SpanKind::BwdData, t0, *mb, *chunk);
+                }
+                OpKind::BwdWeight { mb, chunk } => {
+                    self.exec_bwd_weight(*mb, *chunk);
+                    Self::trace_compute(&tracer, SpanKind::BwdWeight, t0, *mb, *chunk);
+                }
+                OpKind::Update { chunk } => {
+                    self.exec_update(*chunk);
+                    Self::trace_compute(&tracer, SpanKind::Update, t0, NO_MB, *chunk);
+                }
                 OpKind::Send(k) => self.exec_send(k)?,
                 OpKind::Recv(k) => self.exec_recv(k)?,
                 OpKind::AllGatherW { chunk, .. } => self.exec_all_gather(*chunk)?,
@@ -634,12 +669,12 @@ impl RankRuntime {
         let (master, opt) = self.embed_opt.get_or_insert_with(|| {
             (MasterWeights::capture(embed, wire), optim.build(embed.len()))
         });
-        master.step(opt.as_mut(), embed, &eg, lr);
+        master.step_traced(opt.as_mut(), embed, &eg, lr, tracer.as_ref());
         let head = &mut self.head;
         let (master, opt) = self.head_opt.get_or_insert_with(|| {
             (MasterWeights::capture(head, wire), optim.build(head.len()))
         });
-        master.step(opt.as_mut(), head, &hg, lr);
+        master.step_traced(opt.as_mut(), head, &hg, lr, tracer.as_ref());
 
         // Mean loss across ranks.
         let mut stats = [self.loss_sum as f32, self.loss_count as f32];
@@ -648,6 +683,10 @@ impl RankRuntime {
             stats[1] as usize, self.setup.microbatches,
             "every microbatch must contribute exactly one loss"
         );
+        // Outermost marker span wrapping the whole iteration (mb = iter).
+        if let (Some(tr), Some(t0)) = (tracer.as_ref(), iter_t0) {
+            tr.end_span(SpanKind::Iteration, t0, iter as u32, NO_ID, 0, 0);
+        }
         Ok(stats[0] / stats[1])
     }
 

@@ -55,3 +55,4 @@ pub use setup::{DataSource, OptimKind, RunOutput, TrainSetup};
 pub use single::run_single;
 pub use wp_comm::{CommConfig, CommError, FaultPlan};
 pub use wp_sched::Strategy;
+pub use wp_trace::{Trace, TraceConfig};

@@ -6,6 +6,7 @@ use crate::setup::{RunOutput, TrainSetup};
 use crate::single::run_single;
 use wp_comm::{CommError, World};
 use wp_sched::{build, validate, PipelineSpec, Strategy};
+use wp_trace::TraceCollector;
 
 /// Strategies the runtime executes (everything the builders produce except
 /// the conceptual WZB variants, which — as in the paper — exist only as
@@ -56,10 +57,15 @@ pub fn run_distributed_per_rank(
     validate(&schedule).expect("builder produced an invalid schedule");
 
     let iters = setup.iters;
+    let collector = setup
+        .trace
+        .enabled
+        .then(|| TraceCollector::new(ranks, setup.trace.capacity_per_rank));
     let (outs, meter) = World::builder(ranks)
         .link(setup.link)
         .config(setup.comm)
         .maybe_faults(setup.faults.clone())
+        .maybe_trace(collector.clone())
         .try_run(|comm| {
             let mut rt = RankRuntime::new(setup, &schedule, comm);
             let mut losses = Vec::with_capacity(iters);
@@ -72,13 +78,17 @@ pub fn run_distributed_per_rank(
             }
             let wall_seconds = t0.elapsed().as_secs_f64();
             let (embed, blocks, head) = rt.assemble(&schedule)?;
-            Ok(RunOutput { losses, embed, blocks, head, bytes_sent: 0, wall_seconds })
+            Ok(RunOutput { losses, embed, blocks, head, bytes_sent: 0, wall_seconds, trace: None })
         });
     let bytes = meter.total_bytes();
+    // Snapshot once after every rank thread has joined (the race-free
+    // protocol); each successful rank carries the same world-wide trace.
+    let trace = collector.map(|c| c.snapshot());
     outs.into_iter()
         .map(|r| {
             r.map(|mut out| {
                 out.bytes_sent = bytes;
+                out.trace = trace.clone();
                 out
             })
         })

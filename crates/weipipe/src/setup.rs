@@ -4,6 +4,7 @@ use wp_comm::{CommConfig, FaultPlan, LinkModel};
 use wp_nn::ModelConfig;
 use wp_optim::{AdamConfig, AdamW, LrSchedule, Optimizer, Sgd, SgdConfig};
 use wp_tensor::DType;
+use wp_trace::{Trace, TraceConfig};
 
 /// Which optimizer trains the model.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +130,10 @@ pub struct TrainSetup {
     pub faults: Option<FaultPlan>,
     /// Timeout/retry policy for blocking receives.
     pub comm: CommConfig,
+    /// Span tracing policy (default off). When enabled, every rank records
+    /// compute/comm spans into a pre-sized ring buffer and the run's
+    /// [`RunOutput::trace`] carries the snapshot.
+    pub trace: TraceConfig,
 }
 
 impl TrainSetup {
@@ -151,6 +156,7 @@ impl TrainSetup {
             data: DataSource::Synthetic,
             faults: None,
             comm: CommConfig::default(),
+            trace: TraceConfig::off(),
         }
     }
 
@@ -193,6 +199,10 @@ pub struct RunOutput {
     pub bytes_sent: u64,
     /// Wall-clock seconds of the training loop (excludes setup/assembly).
     pub wall_seconds: f64,
+    /// Recorded span trace of the whole world, when
+    /// [`TrainSetup::trace`] was enabled (`None` otherwise, and always
+    /// `None` for the single-process reference).
+    pub trace: Option<Trace>,
 }
 
 impl RunOutput {

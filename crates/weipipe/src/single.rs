@@ -68,6 +68,7 @@ pub fn run_single(setup: &TrainSetup) -> RunOutput {
         head: model.head,
         bytes_sent: 0,
         wall_seconds: t0.elapsed().as_secs_f64(),
+        trace: None,
     }
 }
 

@@ -1,0 +1,245 @@
+//! Measured-vs-simulated drift analysis.
+//!
+//! The simulator times WeiPipe schedules against an A800 cost model; the
+//! runtime executes the *same schedule IR* on OS threads. Absolute times
+//! are therefore incomparable — what must agree is the **shape** of the
+//! timeline: where the pipeline bubble sits (fill / steady / drain) and
+//! how busy time splits across op classes. This module profiles any
+//! [`SimResult`]-shaped timeline (simulated, or measured via
+//! [`wp_sim::measured_result`]) one way, and renders the side-by-side
+//! drift report the `trace` binary prints.
+
+use wp_sim::SimResult;
+
+/// The three pipeline phases, in timeline order.
+pub const PHASES: [&str; 3] = ["fill", "steady", "drain"];
+
+/// Shape profile of one timeline: overall and per-phase bubble, plus each
+/// op class's share of total busy time.
+#[derive(Debug, Clone)]
+pub struct TimelineProfile {
+    /// Iteration makespan, seconds (absolute — not compared directly).
+    pub makespan: f64,
+    /// Overall bubble ratio.
+    pub bubble: f64,
+    /// Bubble ratio inside each phase window (`NaN`-free: an empty window
+    /// reports 0).
+    pub phase_bubble: [f64; 3],
+    /// Each phase's share of the makespan (sums to 1 for a non-empty run).
+    pub phase_share: [f64; 3],
+    /// `(class, share-of-total-busy)` sorted by class character.
+    pub class_share: Vec<(char, f64)>,
+}
+
+/// Profile a timeline. The fill phase runs until the first backward op
+/// starts anywhere; the drain phase starts when the last forward op ends;
+/// steady is what lies between (clamped to be non-negative, since a
+/// degenerate schedule can finish forwards after backwards begin).
+pub fn profile(result: &SimResult) -> TimelineProfile {
+    let makespan = result.makespan;
+    let p = result.timeline.len().max(1) as f64;
+    let ops = || result.timeline.iter().flatten();
+
+    let fill_end = ops()
+        .filter(|o| matches!(o.class, 'B' | 'b'))
+        .map(|o| o.start)
+        .fold(makespan, f64::min);
+    let drain_start = ops()
+        .filter(|o| o.class == 'F')
+        .map(|o| o.end)
+        .fold(0.0, f64::max)
+        .clamp(fill_end, makespan);
+    let windows = [(0.0, fill_end), (fill_end, drain_start), (drain_start, makespan)];
+
+    let mut phase_bubble = [0.0; 3];
+    let mut phase_share = [0.0; 3];
+    for (i, &(w0, w1)) in windows.iter().enumerate() {
+        let span = w1 - w0;
+        if span <= 0.0 {
+            continue;
+        }
+        let busy: f64 =
+            ops().map(|o| (o.end.min(w1) - o.start.max(w0)).max(0.0)).sum();
+        phase_bubble[i] = (1.0 - busy / (p * span)).max(0.0);
+        phase_share[i] = if makespan > 0.0 { span / makespan } else { 0.0 };
+    }
+
+    let total_busy: f64 = ops().map(|o| o.end - o.start).sum();
+    let mut class_share: Vec<(char, f64)> = Vec::new();
+    if total_busy > 0.0 {
+        for op in ops() {
+            let dur = op.end - op.start;
+            match class_share.binary_search_by_key(&op.class, |&(c, _)| c) {
+                Ok(i) => class_share[i].1 += dur,
+                Err(i) => class_share.insert(i, (op.class, dur)),
+            }
+        }
+        for entry in &mut class_share {
+            entry.1 /= total_busy;
+        }
+    }
+
+    TimelineProfile {
+        makespan,
+        bubble: result.bubble_ratio,
+        phase_bubble,
+        phase_share,
+        class_share,
+    }
+}
+
+fn pct(x: f64) -> String {
+    format!("{:>9.1}%", x * 100.0)
+}
+
+fn drift_pp(sim: f64, measured: f64) -> String {
+    format!("{:>+7.1}pp", (measured - sim) * 100.0)
+}
+
+/// Render the side-by-side drift report between a simulated and a measured
+/// timeline of the same schedule. Shares and ratios are compared (as
+/// percentage-point drift); absolute makespans are shown but not diffed.
+pub fn drift_report(title: &str, sim: &SimResult, measured: &SimResult) -> String {
+    let s = profile(sim);
+    let m = profile(measured);
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str(&format!(
+        "{:<26} {:>10} {:>10} {:>9}\n",
+        "", "simulated", "measured", "drift"
+    ));
+    out.push_str(&format!(
+        "{:<26} {:>8.3}ms {:>8.3}ms {:>9}\n",
+        "makespan",
+        s.makespan * 1e3,
+        m.makespan * 1e3,
+        "—"
+    ));
+    out.push_str(&format!(
+        "{:<26} {} {} {}\n",
+        "bubble ratio",
+        pct(s.bubble),
+        pct(m.bubble),
+        drift_pp(s.bubble, m.bubble)
+    ));
+    for (i, phase) in PHASES.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<26} {} {} {}\n",
+            format!("{phase}-phase bubble"),
+            pct(s.phase_bubble[i]),
+            pct(m.phase_bubble[i]),
+            drift_pp(s.phase_bubble[i], m.phase_bubble[i])
+        ));
+        out.push_str(&format!(
+            "{:<26} {} {} {}\n",
+            format!("{phase}-phase span share"),
+            pct(s.phase_share[i]),
+            pct(m.phase_share[i]),
+            drift_pp(s.phase_share[i], m.phase_share[i])
+        ));
+    }
+    // Union of classes, in character order.
+    let mut classes: Vec<char> =
+        s.class_share.iter().chain(&m.class_share).map(|&(c, _)| c).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let share = |prof: &TimelineProfile, c: char| {
+        prof.class_share.iter().find(|&&(k, _)| k == c).map_or(0.0, |&(_, v)| v)
+    };
+    for c in classes {
+        let (sv, mv) = (share(&s, c), share(&m, c));
+        out.push_str(&format!(
+            "{:<26} {} {} {}\n",
+            format!("class {c} busy share"),
+            pct(sv),
+            pct(mv),
+            drift_pp(sv, mv)
+        ));
+    }
+    let fmt_bytes = |r: &SimResult| {
+        let p2p: u64 = r.p2p_bytes.iter().sum();
+        let coll: u64 = r.collective_bytes.iter().sum();
+        format!("{:.2} MiB p2p + {:.2} MiB collective", mib(p2p), mib(coll))
+    };
+    out.push_str(&format!("\nbytes sent  sim: {}\n", fmt_bytes(sim)));
+    out.push_str(&format!("       measured: {}\n", fmt_bytes(measured)));
+    out
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 20) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_sim::TimedOp;
+
+    fn op(start: f64, end: f64, class: char) -> TimedOp {
+        TimedOp { start, end, class, mb: 0, chunk: 0 }
+    }
+
+    fn result(makespan: f64, timeline: Vec<Vec<TimedOp>>) -> SimResult {
+        let p = timeline.len();
+        let busy: Vec<f64> =
+            timeline.iter().map(|ops| ops.iter().map(|o| o.end - o.start).sum()).collect();
+        let total: f64 = busy.iter().sum();
+        SimResult {
+            makespan,
+            bubble_ratio: 1.0 - total / (p as f64 * makespan),
+            busy,
+            peak_mem: vec![0; p],
+            p2p_bytes: vec![0; p],
+            collective_bytes: vec![0; p],
+            timeline,
+        }
+    }
+
+    #[test]
+    fn phases_split_at_first_backward_and_last_forward() {
+        // rank 0: F[0,1) B[2,3); rank 1: F[1,2) B[3,4)   (makespan 4)
+        let r = result(
+            4.0,
+            vec![
+                vec![op(0.0, 1.0, 'F'), op(2.0, 3.0, 'B')],
+                vec![op(1.0, 2.0, 'F'), op(3.0, 4.0, 'B')],
+            ],
+        );
+        let p = profile(&r);
+        // fill = [0, 2) (first B starts at 2), drain = [2, 4) clamped from
+        // last F end = 2 → steady is empty.
+        assert_eq!(p.phase_share, [0.5, 0.0, 0.5]);
+        // Each window has 2 rank-seconds busy of 2·2 available.
+        assert!((p.phase_bubble[0] - 0.5).abs() < 1e-12);
+        assert!((p.phase_bubble[2] - 0.5).abs() < 1e-12);
+        let f = p.class_share.iter().find(|&&(c, _)| c == 'F').unwrap().1;
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_handles_empty_and_zero_makespan_timelines() {
+        let p = profile(&result(0.0, vec![vec![], vec![]]));
+        assert_eq!(p.class_share, vec![]);
+        assert_eq!(p.phase_share, [0.0; 3]);
+        assert!(p.phase_bubble.iter().all(|b| b.is_finite()));
+    }
+
+    #[test]
+    fn identical_timelines_report_zero_drift() {
+        let r = result(2.0, vec![vec![op(0.0, 1.0, 'F'), op(1.0, 2.0, 'B')]]);
+        let report = drift_report("t", &r, &r);
+        for line in report.lines().filter(|l| l.ends_with("pp")) {
+            assert!(line.trim_end().ends_with("+0.0pp"), "nonzero drift: {line}");
+        }
+    }
+
+    #[test]
+    fn report_lists_every_class_from_either_side() {
+        let sim = result(1.0, vec![vec![op(0.0, 1.0, 'F')]]);
+        let measured = result(1.0, vec![vec![op(0.0, 1.0, 'w')]]);
+        let report = drift_report("t", &sim, &measured);
+        assert!(report.contains("class F busy share"));
+        assert!(report.contains("class w busy share"));
+        assert!(report.contains("bubble ratio"));
+    }
+}

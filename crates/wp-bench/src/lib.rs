@@ -1,4 +1,7 @@
-//! Shared formatting helpers for the table/figure binaries.
+//! Shared formatting helpers for the table/figure binaries, plus the
+//! measured-vs-simulated [`drift`] analysis behind the `trace` binary.
+
+pub mod drift;
 
 use wp_sim::experiments::{CellResult, RowConfig, ScalingPoint};
 

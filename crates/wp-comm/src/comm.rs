@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wp_tensor::dtype::quantize_slice;
 use wp_tensor::DType;
+use wp_trace::{fault_aux, recv_aux, send_aux, FaultFlags, RankTracer, SpanKind, TraceCollector, NO_ID};
 
 /// Tags ≥ this value are reserved for collectives.
 pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
@@ -119,6 +120,10 @@ struct Msg {
     /// FNV-1a over the payload bits, computed at send time (before any
     /// injected corruption).
     checksum: u64,
+    /// Wire size the sender was charged (element count × storage dtype
+    /// width). Carried so the *receiver* can charge the same size without
+    /// knowing the wire dtype.
+    wire_bytes: u64,
 }
 
 impl Msg {
@@ -193,6 +198,8 @@ pub struct Communicator {
     /// One-slot reorder buffer per destination: a held message is delivered
     /// after the *next* message on the same link (see [`crate::fault`]).
     held: Vec<Option<Msg>>,
+    /// Span recorder for this rank's track, when the world is traced.
+    tracer: Option<RankTracer>,
 }
 
 /// Handle returned by [`Communicator::irecv`]; redeem with
@@ -239,6 +246,14 @@ impl Communicator {
         &self.config
     }
 
+    /// This rank's span recorder, when the world was built with a
+    /// [`TraceCollector`] (see [`WorldBuilder::trace`]). Runtimes layered on
+    /// top clone this handle to record their own compute spans on the same
+    /// track.
+    pub fn tracer(&self) -> Option<&RankTracer> {
+        self.tracer.as_ref()
+    }
+
     /// Record a fatal failure: poison the world so every other rank unwinds.
     fn fail(&self, e: &CommError) {
         if e.is_fatal() {
@@ -256,6 +271,12 @@ impl Communicator {
             if inj.op_kills_rank() {
                 let e = CommError::PeerDead { rank: self.rank };
                 self.meter.record_faults(self.rank, 1);
+                if let Some(tr) = self.tracer.as_ref() {
+                    tr.instant(
+                        SpanKind::Fault,
+                        fault_aux(FaultFlags { delay: false, hold: false, corrupt: false, dead: true }),
+                    );
+                }
                 self.fail(&e);
                 return Err(e);
             }
@@ -289,6 +310,34 @@ impl Communicator {
         dtype: DType,
         class: TrafficClass,
     ) -> Result<(), CommError> {
+        let t0 = self.tracer.as_ref().map(|t| t.now_ns());
+        let r = self.send_inner(dst, tag, data, dtype, class);
+        if r.is_ok() {
+            if let (Some(tr), Some(start)) = (self.tracer.as_ref(), t0) {
+                // Quantization preserves length, so the wire size is
+                // recomputable here without threading it out of send_inner.
+                let bytes = (data.len() * dtype.size_bytes()) as u64;
+                tr.end_span(
+                    SpanKind::Send,
+                    start,
+                    NO_ID,
+                    NO_ID,
+                    bytes,
+                    send_aux(dst, class == TrafficClass::Collective),
+                );
+            }
+        }
+        r
+    }
+
+    fn send_inner(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[f32],
+        dtype: DType,
+        class: TrafficClass,
+    ) -> Result<(), CommError> {
         assert!(dst < self.world, "dst {dst} out of range");
         assert_ne!(dst, self.rank, "self-send is not supported");
         self.precheck()?;
@@ -309,6 +358,17 @@ impl Communicator {
             let f = inj.on_send(dst);
             if f.injected > 0 {
                 self.meter.record_faults(self.rank, f.injected);
+                if let Some(tr) = self.tracer.as_ref() {
+                    tr.instant(
+                        SpanKind::Fault,
+                        fault_aux(FaultFlags {
+                            delay: !f.extra_delay.is_zero(),
+                            hold: f.hold,
+                            corrupt: f.corrupt,
+                            dead: false,
+                        }),
+                    );
+                }
             }
             if !f.extra_delay.is_zero() {
                 deliver_at = Some(deliver_at.unwrap_or_else(Instant::now) + f.extra_delay);
@@ -318,7 +378,8 @@ impl Communicator {
         }
         // Checksum the honest payload, then corrupt — the receiver must see
         // the mismatch.
-        let mut msg = Msg { tag, checksum: checksum_of(&payload), data: payload, deliver_at };
+        let mut msg =
+            Msg { tag, checksum: checksum_of(&payload), data: payload, deliver_at, wire_bytes: bytes };
         if corrupt {
             match msg.data.first_mut() {
                 Some(x) => *x = f32::from_bits(x.to_bits() ^ 1),
@@ -398,11 +459,14 @@ impl Communicator {
         assert_ne!(src, self.rank, "self-recv is not supported");
         self.precheck()?;
         self.flush_held()?;
+        // Trace bookkeeping: wait starts when the receive is posted, and the
+        // queue depth the ISSUE asks for is the reorder-buffer depth *now*.
+        let t0 = self.tracer.as_ref().map(|t| t.now_ns());
+        let depth = self.pending[src].len();
         // Check the reorder buffer first.
         if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
             let msg = self.pending[src].remove(pos).expect("position just found");
-            Self::pace(&msg);
-            return Ok(msg.data);
+            return Ok(self.deliver(src, depth, t0, msg));
         }
         let started = Instant::now();
         let mut window = self.config.recv_timeout;
@@ -427,8 +491,7 @@ impl Communicator {
                             return Err(e);
                         }
                         if msg.tag == tag {
-                            Self::pace(&msg);
-                            return Ok(msg.data);
+                            return Ok(self.deliver(src, depth, t0, msg));
                         }
                         self.pending[src].push_back(msg);
                     }
@@ -465,6 +528,26 @@ impl Communicator {
                 std::thread::sleep(at - now);
             }
         }
+    }
+
+    /// Consume a matched message: charge the receive-side meter, close the
+    /// blocked-wait span (post → match), pace out the link-model transfer
+    /// under its own span (match → fully arrived), and hand back the payload.
+    fn deliver(&mut self, src: usize, depth: usize, t0: Option<u64>, msg: Msg) -> Vec<f32> {
+        self.meter.record_recv(self.rank, msg.wire_bytes);
+        match self.tracer.as_ref() {
+            Some(tr) => {
+                let aux = recv_aux(src, depth);
+                if let Some(start) = t0 {
+                    tr.end_span(SpanKind::RecvWait, start, NO_ID, NO_ID, msg.wire_bytes, aux);
+                }
+                let x0 = tr.now_ns();
+                Self::pace(&msg);
+                tr.end_span(SpanKind::RecvXfer, x0, NO_ID, NO_ID, msg.wire_bytes, aux);
+            }
+            None => Self::pace(&msg),
+        }
+        msg.data
     }
 
     /// Simultaneously send `data` to the next rank on the ring and receive
@@ -514,6 +597,28 @@ impl Communicator {
         t
     }
 
+    /// Wrap one collective call in an outer span charged with the collective
+    /// bytes this rank sent during it; the ring hops' Send/RecvWait/RecvXfer
+    /// spans nest underneath in a trace viewer.
+    fn with_coll_span<T>(
+        &mut self,
+        kind: SpanKind,
+        f: impl FnOnce(&mut Self) -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        let Some(t0) = self.tracer.as_ref().map(|t| t.now_ns()) else {
+            return f(self);
+        };
+        let before = self.meter.rank(self.rank).collective_bytes;
+        let r = f(self);
+        if r.is_ok() {
+            let bytes = self.meter.rank(self.rank).collective_bytes - before;
+            if let Some(tr) = self.tracer.as_ref() {
+                tr.end_span(kind, t0, NO_ID, NO_ID, bytes, 0);
+            }
+        }
+        r
+    }
+
     /// Chunk boundaries splitting `n` elements into `world` near-equal parts.
     fn chunk_range(n: usize, world: usize, i: usize) -> std::ops::Range<usize> {
         let base = n / world;
@@ -531,6 +636,10 @@ impl Communicator {
     /// # Errors
     /// Any error from the underlying ring sends/receives.
     pub fn all_reduce_sum(&mut self, buf: &mut [f32], dtype: DType) -> Result<(), CommError> {
+        self.with_coll_span(SpanKind::AllReduce, |c| c.all_reduce_inner(buf, dtype))
+    }
+
+    fn all_reduce_inner(&mut self, buf: &mut [f32], dtype: DType) -> Result<(), CommError> {
         if self.world == 1 {
             return Ok(());
         }
@@ -572,6 +681,10 @@ impl Communicator {
     /// # Errors
     /// Any error from the underlying ring sends/receives.
     pub fn reduce_scatter_sum(&mut self, buf: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
+        self.with_coll_span(SpanKind::ReduceScatter, |c| c.reduce_scatter_inner(buf, dtype))
+    }
+
+    fn reduce_scatter_inner(&mut self, buf: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
         let n = buf.len();
         let p = self.world;
         if p == 1 {
@@ -603,6 +716,10 @@ impl Communicator {
     /// # Errors
     /// Any error from the underlying ring sends/receives.
     pub fn all_gather(&mut self, chunk: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
+        self.with_coll_span(SpanKind::AllGather, |c| c.all_gather_inner(chunk, dtype))
+    }
+
+    fn all_gather_inner(&mut self, chunk: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
         let p = self.world;
         if p == 1 {
             return Ok(chunk.to_vec());
@@ -630,6 +747,10 @@ impl Communicator {
     /// # Errors
     /// Any error from the underlying ring sends/receives.
     pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>, dtype: DType) -> Result<(), CommError> {
+        self.with_coll_span(SpanKind::Broadcast, |c| c.broadcast_inner(root, buf, dtype))
+    }
+
+    fn broadcast_inner(&mut self, root: usize, buf: &mut Vec<f32>, dtype: DType) -> Result<(), CommError> {
         let p = self.world;
         if p == 1 {
             return Ok(());
@@ -652,7 +773,7 @@ impl Communicator {
     /// Any error from the underlying all-reduce.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let mut token = [0.0f32];
-        self.all_reduce_sum(&mut token, DType::F32)
+        self.with_coll_span(SpanKind::Barrier, |c| c.all_reduce_inner(&mut token, DType::F32))
     }
 }
 
@@ -708,6 +829,7 @@ pub struct WorldBuilder {
     link: LinkModel,
     config: CommConfig,
     faults: Option<FaultPlan>,
+    trace: Option<TraceCollector>,
 }
 
 impl WorldBuilder {
@@ -733,6 +855,21 @@ impl WorldBuilder {
     /// holding an `Option`).
     pub fn maybe_faults(mut self, plan: Option<FaultPlan>) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Record every rank's comm operations into `collector` (must cover at
+    /// least `p` ranks). Each rank writes its own track; the caller keeps
+    /// the collector and snapshots it after the run.
+    pub fn trace(mut self, collector: TraceCollector) -> Self {
+        self.trace = Some(collector);
+        self
+    }
+
+    /// Attach a trace collector if one is provided (convenience for callers
+    /// holding an `Option`).
+    pub fn maybe_trace(mut self, collector: Option<TraceCollector>) -> Self {
+        self.trace = collector;
         self
     }
 
@@ -779,6 +916,7 @@ impl WorldBuilder {
                 abort: abort.clone(),
                 faults: self.faults.clone().map(|plan| RankInjector::new(plan, rank, p)),
                 held: (0..p).map(|_| None).collect(),
+                tracer: self.trace.as_ref().map(|tc| tc.tracer(rank)),
             });
         }
         comms
@@ -868,6 +1006,7 @@ impl World {
             link: LinkModel::instant(),
             config: CommConfig::default(),
             faults: None,
+            trace: None,
         }
     }
 
@@ -1143,6 +1282,102 @@ mod tests {
         // PeerDead propagates verbatim to every rank.
         assert_eq!(cell.cause_for(0), CommError::PeerDead { rank: 2 });
         assert_eq!(cell.cause_for(2), CommError::PeerDead { rank: 2 });
+    }
+
+    #[test]
+    fn recv_side_bytes_mirror_send_side() {
+        let p = 4;
+        let (_, meter) = World::run(p, LinkModel::instant(), |mut c| {
+            let mine = vec![c.rank() as f32; 8];
+            c.ring_exchange(1, &mine, DType::F32).unwrap();
+        });
+        for r in 0..p {
+            let t = meter.rank(r);
+            assert_eq!(t.p2p_bytes, 32, "each rank sends 8 f32");
+            assert_eq!(t.recv_bytes, 32, "each rank receives its neighbour's 8 f32");
+            assert_eq!(t.recv_msgs, 1);
+        }
+        assert_eq!(meter.total_recv_bytes(), meter.total_bytes());
+    }
+
+    #[test]
+    fn traced_world_records_comm_spans() {
+        use wp_trace::{recv_aux_decode, send_aux_decode};
+        let collector = TraceCollector::new(2, 256);
+        let (_, _) = World::builder(2).trace(collector.clone()).run(|mut c| {
+            if c.rank() == 0 {
+                c.send(1, 7, &[1.0, 2.0], DType::F32).unwrap();
+            } else {
+                c.recv(0, 7).unwrap();
+            }
+            let mut buf = vec![1.0f32; 4];
+            c.all_reduce_sum(&mut buf, DType::F32).unwrap();
+        });
+        let trace = collector.snapshot();
+        // Rank 0: the P2P send, with dst and bytes in the record.
+        let send = trace.tracks[0]
+            .of_kind(SpanKind::Send)
+            .find(|s| !send_aux_decode(s.aux).1)
+            .expect("rank 0 recorded its P2P send");
+        assert_eq!(send.bytes, 8);
+        assert_eq!(send_aux_decode(send.aux).0, 1);
+        // Rank 1: wait + transfer halves of the receive, with src and the
+        // queue depth observed at post time.
+        let wait = trace.tracks[1]
+            .of_kind(SpanKind::RecvWait)
+            .next()
+            .expect("rank 1 recorded its blocked wait");
+        assert_eq!(wait.bytes, 8);
+        assert_eq!(recv_aux_decode(wait.aux), (0, 0));
+        assert!(trace.tracks[1].has_kind(SpanKind::RecvXfer));
+        // Both ranks: an all-reduce outer span charged with the ring bytes,
+        // and its constituent hops nested within its interval.
+        for track in &trace.tracks {
+            let ar = track.of_kind(SpanKind::AllReduce).next().expect("all-reduce span");
+            assert_eq!(ar.bytes, 2 * (4 / 2) * 4, "2·(P−1)/P·n bytes at f32");
+            let hop = track
+                .of_kind(SpanKind::Send)
+                .find(|s| send_aux_decode(s.aux).1)
+                .expect("collective hop send span");
+            assert!(hop.start_ns >= ar.start_ns && hop.end_ns <= ar.end_ns);
+        }
+    }
+
+    #[test]
+    fn fault_instants_land_on_the_injecting_rank() {
+        let collector = TraceCollector::new(2, 64);
+        let plan = FaultPlan::new(11).with_delay_jitter(Duration::from_micros(50));
+        let (_, meter) = World::builder(2)
+            .trace(collector.clone())
+            .faults(plan)
+            .run(|mut c| {
+                if c.rank() == 0 {
+                    c.send(1, 0, &[1.0], DType::F32).unwrap();
+                } else {
+                    c.recv(0, 0).unwrap();
+                }
+            });
+        let trace = collector.snapshot();
+        let instants: Vec<_> = trace.tracks[0].of_kind(SpanKind::Fault).collect();
+        assert_eq!(
+            instants.len() as u64,
+            meter.rank(0).faults_injected,
+            "every injected fault shows as an instant on the sender's track"
+        );
+        for f in &instants {
+            assert!(f.is_instant());
+            assert!(wp_trace::fault_aux_decode(f.aux).delay);
+        }
+        assert!(!trace.tracks[1].has_kind(SpanKind::Fault), "receiver injected nothing");
+    }
+
+    #[test]
+    fn untraced_world_records_nothing() {
+        let (_, _) = World::run(2, LinkModel::instant(), |mut c| {
+            assert!(c.tracer().is_none());
+            let mut buf = [0.0f32; 2];
+            c.all_reduce_sum(&mut buf, DType::F32).unwrap();
+        });
     }
 
     #[test]

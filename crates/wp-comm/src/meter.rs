@@ -23,6 +23,8 @@ struct RankCounters {
     p2p_msgs: AtomicU64,
     coll_bytes: AtomicU64,
     coll_msgs: AtomicU64,
+    recv_bytes: AtomicU64,
+    recv_msgs: AtomicU64,
     faults: AtomicU64,
 }
 
@@ -43,6 +45,13 @@ pub struct RankTraffic {
     pub collective_bytes: u64,
     /// Collective message hops sent.
     pub collective_msgs: u64,
+    /// Wire bytes this rank *received* (P2P and collective hops combined).
+    /// In a healthy ring, every sent byte lands exactly once, so the world
+    /// totals satisfy `Σ recv_bytes == Σ total_bytes()`; per rank the split
+    /// exposes asymmetric hops that send-side counters alone would miss.
+    pub recv_bytes: u64,
+    /// Messages this rank received.
+    pub recv_msgs: u64,
     /// Fault events injected into this rank's traffic by a fault plan
     /// (jitter, holds, stalls, corruptions, scheduled deaths). Faults never
     /// change the byte counters — a delayed or corrupted message still
@@ -80,6 +89,15 @@ impl TrafficMeter {
         }
     }
 
+    /// Record a message of `bytes` received by `rank`. Charged once per
+    /// message at delivery (when the receive matches), with the same wire
+    /// size the sender was charged.
+    pub fn record_recv(&self, rank: usize, bytes: u64) {
+        let c = &self.ranks[rank];
+        c.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.recv_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record `n` injected fault events charged to `rank`.
     pub fn record_faults(&self, rank: usize, n: u64) {
         self.ranks[rank].faults.fetch_add(n, Ordering::Relaxed);
@@ -93,6 +111,8 @@ impl TrafficMeter {
             p2p_msgs: c.p2p_msgs.load(Ordering::Relaxed),
             collective_bytes: c.coll_bytes.load(Ordering::Relaxed),
             collective_msgs: c.coll_msgs.load(Ordering::Relaxed),
+            recv_bytes: c.recv_bytes.load(Ordering::Relaxed),
+            recv_msgs: c.recv_msgs.load(Ordering::Relaxed),
             faults_injected: c.faults.load(Ordering::Relaxed),
         }
     }
@@ -107,6 +127,13 @@ impl TrafficMeter {
         self.all().iter().map(|r| r.total_bytes()).sum()
     }
 
+    /// Sum of bytes received by every rank. Equals
+    /// [`total_bytes`](Self::total_bytes) once every in-flight message has
+    /// been delivered.
+    pub fn total_recv_bytes(&self) -> u64 {
+        self.all().iter().map(|r| r.recv_bytes).sum()
+    }
+
     /// Reset every counter to zero.
     pub fn reset(&self) {
         for c in self.ranks.iter() {
@@ -114,6 +141,8 @@ impl TrafficMeter {
             c.p2p_msgs.store(0, Ordering::Relaxed);
             c.coll_bytes.store(0, Ordering::Relaxed);
             c.coll_msgs.store(0, Ordering::Relaxed);
+            c.recv_bytes.store(0, Ordering::Relaxed);
+            c.recv_msgs.store(0, Ordering::Relaxed);
             c.faults.store(0, Ordering::Relaxed);
         }
     }
@@ -163,6 +192,23 @@ mod tests {
         assert_eq!(m.rank(1).faults_injected, 2);
         assert_eq!(m.rank(1).total_bytes(), 0);
         assert_eq!(m.total_faults(), 2);
+    }
+
+    #[test]
+    fn recv_side_is_accounted_separately() {
+        let m = TrafficMeter::new(2);
+        // Rank 0 sends 100 bytes; rank 1 receives them.
+        m.record_send(0, 100, TrafficClass::P2p);
+        m.record_recv(1, 100);
+        assert_eq!(m.rank(0).recv_bytes, 0);
+        assert_eq!(m.rank(1).recv_bytes, 100);
+        assert_eq!(m.rank(1).recv_msgs, 1);
+        // Receives never inflate the send-side totals.
+        assert_eq!(m.rank(1).total_bytes(), 0);
+        assert_eq!(m.total_bytes(), 100);
+        assert_eq!(m.total_recv_bytes(), 100);
+        m.reset();
+        assert_eq!(m.rank(1), RankTraffic::default());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::Optimizer;
 use wp_tensor::dtype::quantize_slice;
 use wp_tensor::DType;
+use wp_trace::{RankTracer, SpanKind, NO_ID};
 
 /// fp32 master copy of a (possibly lower-precision) working buffer.
 #[derive(Debug, Clone)]
@@ -42,6 +43,25 @@ impl MasterWeights {
         opt.step_with_lr(&mut self.master, grads, lr);
         working.copy_from_slice(&self.master);
         quantize_slice(working, self.working_dtype);
+    }
+
+    /// Like [`step`](Self::step), but records the optimizer step proper as
+    /// an [`SpanKind::OptimStep`] span when a tracer is attached. The caller
+    /// (the runtime's update op) supplies identity context via its own
+    /// enclosing `Update` span; this one measures just the math.
+    pub fn step_traced<O: Optimizer + ?Sized>(
+        &mut self,
+        opt: &mut O,
+        working: &mut [f32],
+        grads: &[f32],
+        lr: f32,
+        tracer: Option<&RankTracer>,
+    ) {
+        let t0 = tracer.map(|t| t.now_ns());
+        self.step(opt, working, grads, lr);
+        if let (Some(tr), Some(start)) = (tracer, t0) {
+            tr.end_span(SpanKind::OptimStep, start, NO_ID, NO_ID, 0, 0);
+        }
     }
 
     /// Memory the master copy occupies, in f32 elements.
@@ -81,6 +101,26 @@ mod tests {
         // Master holds the exact value; working is the fp16 rounding.
         assert_eq!(mw.master()[0], 1.0 + 2f32.powi(-13));
         assert_eq!(working[0], 1.0);
+    }
+
+    #[test]
+    fn step_traced_matches_step_and_records() {
+        let mut opt_a = Sgd::new(1, SgdConfig { lr: 1.0, ..Default::default() });
+        let mut opt_b = Sgd::new(1, SgdConfig { lr: 1.0, ..Default::default() });
+        let mut wa = vec![1.0f32];
+        let mut wb = vec![1.0f32];
+        let mut ma = MasterWeights::capture(&wa, DType::F32);
+        let mut mb = MasterWeights::capture(&wb, DType::F32);
+        let collector = wp_trace::TraceCollector::new(1, 8);
+        let tracer = collector.tracer(0);
+        ma.step(&mut opt_a, &mut wa, &[0.25], 1.0);
+        mb.step_traced(&mut opt_b, &mut wb, &[0.25], 1.0, Some(&tracer));
+        assert_eq!(wa, wb, "tracing must not perturb the update");
+        let trace = collector.snapshot();
+        assert!(trace.tracks[0].has_kind(SpanKind::OptimStep));
+        // And with no tracer it records nothing and still steps.
+        mb.step_traced(&mut opt_b, &mut wb, &[0.25], 1.0, None);
+        assert_eq!(collector.snapshot().span_count(), 1);
     }
 
     #[test]

@@ -27,9 +27,11 @@ pub mod cluster;
 pub mod cost;
 pub mod engine;
 pub mod experiments;
+pub mod measured;
 pub mod render;
 
 pub use cluster::{ClusterSpec, Link};
 pub use cost::{CostModel, GpuSpec, ModelDims, TpOverlay};
 pub use engine::{simulate, SimOptions, SimResult, TimedOp};
+pub use measured::measured_result;
 pub use wp_sched::MemUnit;

@@ -1,0 +1,144 @@
+//! Adapter from a measured [`wp_trace::Trace`] to the simulator's
+//! [`SimResult`] shape, so every consumer of simulated timelines — the
+//! ASCII/SVG Gantt renderers, the bubble-ratio math, the drift report —
+//! works unchanged on real runtime measurements.
+//!
+//! Times are shifted so the earliest recorded span starts at `t = 0`
+//! (matching simulated timelines) and converted from nanoseconds to the
+//! simulator's seconds. Only compute-class spans (`F`/`B`/`b`/`w`/`U`)
+//! become [`TimedOp`]s; comm spans contribute to the per-rank byte
+//! counters instead. Peak memory is not observable from spans and is
+//! reported as zero.
+
+use crate::engine::{SimResult, TimedOp};
+use wp_trace::{send_aux_decode, SpanKind, Trace, NO_ID};
+
+/// Convert a measured trace into a [`SimResult`].
+///
+/// The per-rank `p2p_bytes` / `collective_bytes` are taken from the
+/// sender side of every recorded `Send` span, split by the collective
+/// flag the comm layer stamps into the span's aux word — the same
+/// send-side charging rule the simulator uses.
+pub fn measured_result(trace: &Trace) -> SimResult {
+    let t0 = trace.start_ns();
+    let to_s = |ns: u64| ns.saturating_sub(t0) as f64 * 1e-9;
+    let ranks = trace.tracks.len();
+    let mut timeline = vec![Vec::new(); ranks];
+    let mut busy = vec![0.0; ranks];
+    let mut p2p_bytes = vec![0u64; ranks];
+    let mut collective_bytes = vec![0u64; ranks];
+    for track in &trace.tracks {
+        let r = track.rank;
+        for s in &track.spans {
+            if let Some(class) = s.kind.class_char() {
+                timeline[r].push(TimedOp {
+                    start: to_s(s.start_ns),
+                    end: to_s(s.end_ns),
+                    class,
+                    mb: if s.mb == NO_ID { usize::MAX } else { s.mb as usize },
+                    chunk: if s.chunk == NO_ID { usize::MAX } else { s.chunk as usize },
+                });
+            } else if s.kind == SpanKind::Send {
+                let (_dst, collective) = send_aux_decode(s.aux);
+                if collective {
+                    collective_bytes[r] += s.bytes;
+                } else {
+                    p2p_bytes[r] += s.bytes;
+                }
+            }
+        }
+        busy[r] = track.busy_ns() as f64 * 1e-9;
+    }
+    SimResult {
+        makespan: trace.makespan_ns() as f64 * 1e-9,
+        busy,
+        bubble_ratio: trace.bubble_ratio(),
+        peak_mem: vec![0; ranks],
+        p2p_bytes,
+        collective_bytes,
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_trace::{send_aux, SpanRecord, TraceCollector};
+
+    fn record(tc: &TraceCollector, rank: usize, rec: SpanRecord) {
+        tc.tracer(rank).record(rec);
+    }
+
+    fn span(kind: SpanKind, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord { start_ns, end_ns, kind, mb: 3, chunk: 1, bytes: 0, aux: 0 }
+    }
+
+    #[test]
+    fn compute_spans_become_timeline_ops_in_seconds() {
+        let tc = TraceCollector::new(2, 16);
+        record(&tc, 0, span(SpanKind::Fwd, 1_000, 2_000));
+        record(&tc, 0, span(SpanKind::BwdFull, 2_000, 4_000));
+        record(&tc, 1, span(SpanKind::Update, 3_000, 5_000));
+        let r = measured_result(&tc.snapshot());
+        assert_eq!(r.timeline.len(), 2);
+        assert_eq!(r.timeline[0].len(), 2);
+        // Shifted so the earliest span starts at zero.
+        assert!((r.timeline[0][0].start - 0.0).abs() < 1e-12);
+        assert!((r.timeline[0][0].end - 1e-6).abs() < 1e-12);
+        assert_eq!(r.timeline[0][0].class, 'F');
+        assert_eq!(r.timeline[0][0].mb, 3);
+        assert_eq!(r.timeline[1][0].class, 'U');
+        assert!((r.makespan - 4e-6).abs() < 1e-12);
+        assert!((r.busy[0] - 3e-6).abs() < 1e-12);
+        assert!((r.bubble_ratio - (1.0 - 5_000.0 / 8_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_spans_split_into_p2p_and_collective_bytes() {
+        let tc = TraceCollector::new(1, 16);
+        let mut p2p = span(SpanKind::Send, 0, 10);
+        p2p.bytes = 100;
+        p2p.aux = send_aux(0, false);
+        record(&tc, 0, p2p);
+        let mut coll = span(SpanKind::Send, 10, 20);
+        coll.bytes = 40;
+        coll.aux = send_aux(0, true);
+        record(&tc, 0, coll);
+        let r = measured_result(&tc.snapshot());
+        assert_eq!(r.p2p_bytes, vec![100]);
+        assert_eq!(r.collective_bytes, vec![40]);
+        assert!(r.timeline[0].is_empty(), "comm spans are not compute ops");
+    }
+
+    #[test]
+    fn sentinel_ids_map_to_usize_max_for_the_renderer() {
+        let tc = TraceCollector::new(1, 16);
+        let mut s = span(SpanKind::Update, 0, 10);
+        s.mb = NO_ID;
+        s.chunk = NO_ID;
+        record(&tc, 0, s);
+        let r = measured_result(&tc.snapshot());
+        assert_eq!(r.timeline[0][0].mb, usize::MAX);
+        assert_eq!(r.timeline[0][0].chunk, usize::MAX);
+    }
+
+    #[test]
+    fn measured_result_renders_through_ascii_timeline() {
+        let tc = TraceCollector::new(2, 16);
+        record(&tc, 0, span(SpanKind::Fwd, 0, 500_000));
+        record(&tc, 0, span(SpanKind::BwdFull, 500_000, 1_000_000));
+        record(&tc, 1, span(SpanKind::Fwd, 250_000, 750_000));
+        let art = crate::render::ascii_timeline(&measured_result(&tc.snapshot()), 40);
+        assert!(art.contains("rank  0 |"));
+        assert!(art.contains('F') && art.contains('B'));
+        assert!(art.contains("bubble ratio"));
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_result() {
+        let r = measured_result(&TraceCollector::new(3, 4).snapshot());
+        assert_eq!(r.timeline.len(), 3);
+        assert!(r.timeline.iter().all(Vec::is_empty));
+        assert_eq!(r.makespan, 0.0);
+    }
+}

@@ -1,0 +1,536 @@
+//! Chrome trace-event ("Perfetto JSON") export and validation.
+//!
+//! [`export_chrome_json`] renders a [`Trace`] into the JSON Array Format
+//! consumed by `ui.perfetto.dev` and `chrome://tracing`: one process named
+//! `weipipe`, one thread per rank, `"X"` complete events for spans and
+//! `"i"` instant events for fault annotations. Timestamps are microseconds
+//! (the format's unit) carried as decimals so nanosecond precision survives.
+//!
+//! Because the build environment is offline, no JSON crate is available;
+//! emission is by hand and [`validate_chrome_json`] ships a minimal
+//! recursive-descent parser so CI can prove an exported file is well-formed,
+//! non-empty, and per-track monotonic without external tooling.
+
+use crate::collector::Trace;
+use crate::span::{fault_aux_decode, recv_aux_decode, send_aux_decode, SpanKind, NO_ID};
+use std::fmt::Write as _;
+
+/// Render a trace as Chrome trace-event JSON (the Perfetto legacy format).
+///
+/// Events are sorted by timestamp (ties broken longest-first so enclosing
+/// spans precede nested ones), which also guarantees the monotonicity that
+/// [`validate_chrome_json`] checks.
+pub fn export_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(256 + trace.span_count() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(ev);
+    };
+
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"weipipe\"}}",
+    );
+    for track in &trace.tracks {
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"rank {}\"}}}}",
+            track.rank, track.rank
+        );
+        push(&mut out, &ev);
+    }
+
+    // Chrome's JSON format wants events ordered; we merge all tracks and sort
+    // globally by (ts, -dur) so nesting renders correctly.
+    let mut events: Vec<(u64, u64, usize, &crate::span::SpanRecord)> = Vec::new();
+    for track in &trace.tracks {
+        for s in &track.spans {
+            events.push((s.start_ns, s.dur_ns(), track.rank, s));
+        }
+    }
+    events.sort_by_key(|&(ts, dur, rank, _)| (ts, std::cmp::Reverse(dur), rank));
+
+    let mut ev = String::new();
+    for (ts, dur, rank, s) in events {
+        ev.clear();
+        let ts_us = ts as f64 / 1000.0;
+        if s.is_instant() {
+            let _ = write!(
+                ev,
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{rank},\"ts\":{ts_us:.3},\
+                 \"name\":\"{}\",\"cat\":\"{}\"",
+                s.kind.label(),
+                s.kind.category()
+            );
+        } else {
+            let _ = write!(
+                ev,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{rank},\"ts\":{ts_us:.3},\"dur\":{:.3},\
+                 \"name\":\"{}\",\"cat\":\"{}\"",
+                dur as f64 / 1000.0,
+                s.kind.label(),
+                s.kind.category()
+            );
+        }
+        ev.push_str(",\"args\":{");
+        let mut first_arg = true;
+        let mut arg = |ev: &mut String, k: &str, v: String| {
+            if !first_arg {
+                ev.push(',');
+            }
+            first_arg = false;
+            let _ = write!(ev, "\"{k}\":{v}");
+        };
+        if s.mb != NO_ID {
+            arg(&mut ev, "mb", s.mb.to_string());
+        }
+        if s.chunk != NO_ID {
+            arg(&mut ev, "chunk", s.chunk.to_string());
+        }
+        if s.bytes > 0 {
+            arg(&mut ev, "bytes", s.bytes.to_string());
+        }
+        match s.kind {
+            SpanKind::Send => {
+                let (dst, collective) = send_aux_decode(s.aux);
+                arg(&mut ev, "dst", dst.to_string());
+                arg(&mut ev, "collective", collective.to_string());
+            }
+            SpanKind::RecvWait | SpanKind::RecvXfer => {
+                let (src, depth) = recv_aux_decode(s.aux);
+                arg(&mut ev, "src", src.to_string());
+                arg(&mut ev, "queue_depth", depth.to_string());
+            }
+            SpanKind::Fault => {
+                let f = fault_aux_decode(s.aux);
+                let mut kinds = Vec::new();
+                if f.delay {
+                    kinds.push("delay");
+                }
+                if f.hold {
+                    kinds.push("hold");
+                }
+                if f.corrupt {
+                    kinds.push("corrupt");
+                }
+                if f.dead {
+                    kinds.push("dead");
+                }
+                arg(&mut ev, "fault", format!("\"{}\"", kinds.join("+")));
+            }
+            _ => {}
+        }
+        ev.push_str("}}");
+        push(&mut out, &ev);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Summary a successful [`validate_chrome_json`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// `"X"` complete (duration) events.
+    pub spans: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// Distinct thread ids (ranks) that carry at least one timed event.
+    pub tracks: usize,
+}
+
+/// Validate a Chrome trace-event JSON document: it must parse, hold a
+/// non-empty `traceEvents` array, every timed event must carry numeric
+/// `ts` (and non-negative `dur` for `"X"`), and per-thread timestamps must
+/// be monotonically non-decreasing in file order.
+pub fn validate_chrome_json(json: &str) -> Result<TraceStats, String> {
+    let doc = parse_json(json)?;
+    let obj = doc.as_obj().ok_or("top level is not an object")?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_arr())
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut stats = TraceStats { events: events.len(), spans: 0, instants: 0, tracks: 0 };
+    // (tid, last_ts) per track, small-world so a vec beats a map.
+    let mut last_ts: Vec<(f64, f64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ev = ev.as_obj().ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |k: &str| ev.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let ph = field("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} lacks a ph string"))?;
+        if ph == "M" {
+            continue;
+        }
+        field("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} lacks a name"))?;
+        let ts = field("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i} lacks a numeric ts"))?;
+        let tid = field("tid").and_then(Json::as_num).unwrap_or(0.0);
+        match ph {
+            "X" => {
+                let dur = field("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i} (X) lacks a numeric dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i} has negative dur {dur}"));
+                }
+                stats.spans += 1;
+            }
+            "i" => stats.instants += 1,
+            other => return Err(format!("event {i} has unsupported ph {other:?}")),
+        }
+        match last_ts.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, last)) => {
+                if ts < *last {
+                    return Err(format!(
+                        "event {i}: ts {ts} goes backwards on tid {tid} (last {last})"
+                    ));
+                }
+                *last = ts;
+            }
+            None => last_ts.push((tid, ts)),
+        }
+    }
+    stats.tracks = last_ts.len();
+    if stats.spans + stats.instants == 0 {
+        return Err("no timed events (only metadata)".into());
+    }
+    Ok(stats)
+}
+
+// ---- minimal JSON parser ---------------------------------------------------
+
+/// A parsed JSON value (just enough structure for trace validation).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.b.get(self.i).copied().ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? != c {
+            return Err(format!("expected {:?} at byte {}", c as char, self.i));
+        }
+        self.i += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected {:?} at byte {}", c as char, self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b[self.i] == b'-' {
+            self.i += 1;
+        }
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i).ok_or("unterminated string")?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i).ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-borrow the full UTF-8 char starting at c.
+                    let start = self.i - 1;
+                    let len = utf8_len(c);
+                    let s = std::str::from_utf8(&self.b[start..start + len])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(s);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                c => return Err(format!("expected , or ] got {:?} at byte {}", c as char, self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            out.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                c => return Err(format!("expected , or }} got {:?} at byte {}", c as char, self.i)),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::TraceCollector;
+    use crate::span::{fault_aux, recv_aux, send_aux, FaultFlags, SpanRecord};
+
+    fn sample_trace() -> Trace {
+        let c = TraceCollector::new(2, 32);
+        let t0 = c.tracer(0);
+        t0.record(SpanRecord {
+            start_ns: 1_000,
+            end_ns: 5_000,
+            kind: SpanKind::Fwd,
+            mb: 0,
+            chunk: 1,
+            bytes: 0,
+            aux: 0,
+        });
+        t0.record(SpanRecord {
+            start_ns: 5_000,
+            end_ns: 6_500,
+            kind: SpanKind::Send,
+            mb: 0,
+            chunk: NO_ID,
+            bytes: 4096,
+            aux: send_aux(1, false),
+        });
+        let t1 = c.tracer(1);
+        t1.record(SpanRecord {
+            start_ns: 2_000,
+            end_ns: 6_000,
+            kind: SpanKind::RecvWait,
+            mb: 0,
+            chunk: NO_ID,
+            bytes: 4096,
+            aux: recv_aux(0, 2),
+        });
+        t1.instant(
+            SpanKind::Fault,
+            fault_aux(FaultFlags { delay: true, hold: false, corrupt: false, dead: false }),
+        );
+        c.snapshot()
+    }
+
+    #[test]
+    fn export_roundtrips_through_validator() {
+        let json = export_chrome_json(&sample_trace());
+        let stats = validate_chrome_json(&json).expect("exported trace must validate");
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.tracks, 2);
+        assert!(stats.events >= 7, "3 metadata + 4 timed, got {}", stats.events);
+    }
+
+    #[test]
+    fn export_carries_decoded_args() {
+        let json = export_chrome_json(&sample_trace());
+        assert!(json.contains("\"name\":\"F\""));
+        assert!(json.contains("\"dst\":1"));
+        assert!(json.contains("\"src\":0"));
+        assert!(json.contains("\"queue_depth\":2"));
+        assert!(json.contains("\"fault\":\"delay\""));
+        assert!(json.contains("\"bytes\":4096"));
+        assert!(json.contains("\"name\":\"rank 1\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_json("").is_err());
+        assert!(validate_chrome_json("{}").is_err(), "missing traceEvents");
+        assert!(validate_chrome_json("{\"traceEvents\":[]}").is_err(), "empty");
+        assert!(
+            validate_chrome_json("{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"tid\":0}]}")
+                .is_err(),
+            "missing ts"
+        );
+        // Backwards timestamps on one tid.
+        let bad = "{\"traceEvents\":[\
+            {\"ph\":\"X\",\"name\":\"a\",\"tid\":0,\"ts\":10.0,\"dur\":1.0},\
+            {\"ph\":\"X\",\"name\":\"b\",\"tid\":0,\"ts\":5.0,\"dur\":1.0}]}";
+        let err = validate_chrome_json(bad).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+        // ...but interleaved tids are each monotonic, so this is fine.
+        let ok = "{\"traceEvents\":[\
+            {\"ph\":\"X\",\"name\":\"a\",\"tid\":0,\"ts\":10.0,\"dur\":1.0},\
+            {\"ph\":\"X\",\"name\":\"b\",\"tid\":1,\"ts\":5.0,\"dur\":1.0}]}";
+        assert!(validate_chrome_json(ok).is_ok());
+    }
+
+    #[test]
+    fn parser_handles_json_shapes() {
+        let v = parse_json("{\"a\": [1, -2.5e1, true, null, \"x\\ny\"]}").unwrap();
+        let obj = v.as_obj().unwrap();
+        let arr = obj[0].1.as_arr().unwrap();
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].as_num(), Some(-25.0));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4].as_str(), Some("x\ny"));
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("[1,").is_err());
+    }
+
+    #[test]
+    fn parser_handles_unicode_strings() {
+        let v = parse_json("\"caf\u{e9} \\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("café é"));
+    }
+}

@@ -79,6 +79,7 @@ fn main() {
         data: DataSource::Corpus(tokens.clone()),
         faults: None,
         comm: wp_comm::CommConfig::default(),
+        trace: weipipe::TraceConfig::off(),
     };
 
     println!("training {} params on 4 ranks with WeiPipe-Interleave…", model.total_params());

@@ -63,6 +63,7 @@ fn main() {
         data: weipipe::DataSource::Synthetic,
         faults: None,
         comm: wp_comm::CommConfig::default(),
+        trace: weipipe::TraceConfig::off(),
     };
     for strategy in [Strategy::OneFOneB, Strategy::WeiPipeInterleave] {
         let t0 = Instant::now();

@@ -31,6 +31,7 @@ fn traffic_for(seq: usize, strategy: Strategy) -> u64 {
         data: weipipe::DataSource::Synthetic,
         faults: None,
         comm: wp_comm::CommConfig::default(),
+        trace: weipipe::TraceConfig::off(),
     };
     run_distributed(strategy, 4, &setup).expect("healthy world").bytes_sent
 }

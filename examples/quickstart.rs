@@ -5,13 +5,25 @@
 //! ```text
 //! cargo run --release -p wp-examples --bin quickstart
 //! ```
+//!
+//! Pass `--trace-out <path>` to record every rank's compute/comm spans and
+//! export them as Chrome trace-event JSON — open the file at
+//! <https://ui.perfetto.dev> (or `chrome://tracing`). The traced run also
+//! injects benign (delay-only) faults so the fault instant events are
+//! visible on the timeline; delay-only faults never change the result.
 
 use weipipe::{run_distributed, run_single, OptimKind, Strategy, TrainSetup};
-use wp_comm::LinkModel;
+use wp_comm::{FaultPlan, LinkModel};
 use wp_nn::ModelConfig;
 use wp_tensor::DType;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+
     // A 4-layer model small enough to train on threads in seconds, but
     // structurally a real Llama block stack (RMSNorm, RoPE attention,
     // SwiGLU FFN, tied causal-LM loss).
@@ -30,8 +42,15 @@ fn main() {
         link: LinkModel::instant(),
         recompute: false,
         data: weipipe::DataSource::Synthetic,
-        faults: None,
+        faults: trace_out
+            .is_some()
+            .then(|| FaultPlan::new(7).with_delay_jitter(std::time::Duration::from_micros(40))),
         comm: wp_comm::CommConfig::default(),
+        trace: if trace_out.is_some() {
+            weipipe::TraceConfig::on()
+        } else {
+            weipipe::TraceConfig::off()
+        },
     };
 
     println!("training 4-layer model on 4 ranks with WeiPipe-Interleave…\n");
@@ -55,5 +74,21 @@ fn main() {
         wp.losses.last().expect("ran") < wp.losses.first().expect("ran"),
         "training should reduce the loss"
     );
+
+    if let Some(path) = trace_out {
+        let trace = wp.trace.as_ref().expect("tracing was enabled");
+        let json = wp_trace::export_chrome_json(trace);
+        let stats = wp_trace::validate_chrome_json(&json).expect("export must be valid");
+        assert!(stats.instants > 0, "injected faults must appear as instant events");
+        std::fs::write(&path, &json).expect("write trace file");
+        println!(
+            "\nwrote {} spans across {} ranks to {path} (measured bubble ratio {:.1}%)",
+            trace.span_count(),
+            trace.tracks.len(),
+            trace.bubble_ratio() * 100.0
+        );
+        println!("open it at https://ui.perfetto.dev or chrome://tracing");
+    }
+
     println!("\nWeiPipe trained the model to the same trajectory as one process. ✓");
 }
