@@ -33,6 +33,7 @@ use wp_nn::block::{
 use wp_nn::config::ModelConfig;
 use wp_nn::embed::{embed_backward, embed_forward, head_forward, head_loss_backward, HeadCtx};
 use wp_nn::params::{init_block, init_embed, init_head, BlockLayout};
+use wp_nn::scratch::{Scratch, ScratchBuf};
 use wp_optim::{MasterWeights, Optimizer};
 use wp_sched::{MsgKey, MsgKind, OpKind, Schedule, Strategy, NO_MB};
 use wp_tensor::ops::RopeTable;
@@ -75,11 +76,11 @@ enum FwdSaved {
     /// Full per-layer contexts (no recomputation).
     Ctxs(Vec<BlockCtx>),
     /// Per-layer inputs only (checkpointing).
-    Inputs(Vec<Vec<f32>>),
+    Inputs(Vec<ScratchBuf>),
 }
 
 struct HeadSaved {
-    logits: Vec<f32>,
+    logits: ScratchBuf,
     ctx: HeadCtx,
 }
 
@@ -109,11 +110,15 @@ pub struct RankRuntime {
     embed_opt: Option<OptState>,
     head_opt: Option<OptState>,
 
+    /// Per-rank buffer arena: every model-path temporary recycles here, so
+    /// steady-state iterations run the kernels allocation-free.
+    scratch: Scratch,
+
     // Per-iteration state.
-    acts: HashMap<(usize, usize), Vec<f32>>,
+    acts: HashMap<(usize, usize), ScratchBuf>,
     fwd_saved: HashMap<(usize, usize), FwdSaved>,
     bctx_saved: HashMap<(usize, usize), Vec<BPassCtx>>,
-    dy_out: HashMap<(usize, usize), Vec<f32>>,
+    dy_out: HashMap<(usize, usize), ScratchBuf>,
     heads_saved: HashMap<usize, HeadSaved>,
     dgrads: HashMap<usize, Vec<f32>>,
     shard_grads: HashMap<usize, Vec<f32>>,
@@ -201,6 +206,7 @@ impl RankRuntime {
             shard_opt: HashMap::new(),
             embed_opt: None,
             head_opt: None,
+            scratch: Scratch::new(),
             acts: HashMap::new(),
             fwd_saved: HashMap::new(),
             bctx_saved: HashMap::new(),
@@ -264,7 +270,7 @@ impl RankRuntime {
         // boundary (local chain or a received message).
         let mut x = if chunk == 0 {
             let (ids, _) = self.setup.batch_for(self.iter, mb);
-            embed_forward(&self.cfg, &self.embed, &ids)
+            embed_forward(&self.cfg, &self.embed, &ids, &self.scratch)
         } else {
             self.acts
                 .remove(&(mb, chunk))
@@ -278,10 +284,10 @@ impl RankRuntime {
             let wl = &w[l * self.block_len..(l + 1) * self.block_len];
             if recompute {
                 saved_inputs.push(x.clone());
-                let (y, _) = block_forward(&self.cfg, &self.rope, wl, &x, g, s);
+                let (y, _) = block_forward(&self.cfg, &self.rope, wl, &x, g, s, &self.scratch);
                 x = y;
             } else {
-                let (y, ctx) = block_forward(&self.cfg, &self.rope, wl, &x, g, s);
+                let (y, ctx) = block_forward(&self.cfg, &self.rope, wl, &x, g, s, &self.scratch);
                 saved_ctxs.push(ctx);
                 x = y;
             }
@@ -294,7 +300,7 @@ impl RankRuntime {
             self.acts.insert((mb, chunk + 1), x);
         } else {
             // Last chunk: run the head, record the loss.
-            let (logits, ctx) = head_forward(&self.cfg, &self.head, &x);
+            let (logits, ctx) = head_forward(&self.cfg, &self.head, &x, &self.scratch);
             let (_, targets) = self.setup.batch_for(self.iter, mb);
             let loss = wp_tensor::ops::cross_entropy_loss(&logits, &targets, self.cfg.vocab);
             self.loss_sum += loss as f64;
@@ -305,7 +311,7 @@ impl RankRuntime {
 
     /// Upstream gradient entering the backward of (mb, chunk): the head
     /// backward for the last chunk, else the stored boundary gradient.
-    fn upstream_dy(&mut self, mb: usize, chunk: usize) -> Vec<f32> {
+    fn upstream_dy(&mut self, mb: usize, chunk: usize) -> ScratchBuf {
         if chunk + 1 == self.chunks {
             let hs = self
                 .heads_saved
@@ -324,6 +330,7 @@ impl RankRuntime {
                 &targets,
                 &mut self.head_grads,
                 scale,
+                &self.scratch,
             );
             dx
         } else {
@@ -335,7 +342,7 @@ impl RankRuntime {
 
     /// Finish a backward chain: route the input gradient onward (embedding
     /// for chunk 0, boundary store otherwise).
-    fn downstream_dx(&mut self, mb: usize, chunk: usize, dx: Vec<f32>) {
+    fn downstream_dx(&mut self, mb: usize, chunk: usize, dx: ScratchBuf) {
         if chunk == 0 {
             let (ids, _) = self.setup.batch_for(self.iter, mb);
             if self.embed_grads.is_empty() {
@@ -365,12 +372,12 @@ impl RankRuntime {
             let wl = &w[l * self.block_len..(l + 1) * self.block_len];
             let dgl = &mut dgrad[l * self.block_len..(l + 1) * self.block_len];
             dy = match &saved {
-                FwdSaved::Inputs(inputs) => {
-                    block_backward_recompute(&self.cfg, &self.rope, wl, &inputs[l], &dy, dgl, g, s)
-                }
-                FwdSaved::Ctxs(ctxs) => {
-                    block_backward_full(&self.cfg, &self.rope, wl, &ctxs[l], &dy, dgl, g, s)
-                }
+                FwdSaved::Inputs(inputs) => block_backward_recompute(
+                    &self.cfg, &self.rope, wl, &inputs[l], &dy, dgl, g, s, &self.scratch,
+                ),
+                FwdSaved::Ctxs(ctxs) => block_backward_full(
+                    &self.cfg, &self.rope, wl, &ctxs[l], &dy, dgl, g, s, &self.scratch,
+                ),
             };
         }
         self.dgrads.insert(chunk, dgrad);
@@ -397,7 +404,7 @@ impl RankRuntime {
         for l in (0..self.lpc).rev() {
             let wl = &w[l * self.block_len..(l + 1) * self.block_len];
             let (dx, bctx) =
-                block_backward_data(&self.cfg, &self.rope, wl, &ctxs[l], &dy, g, s);
+                block_backward_data(&self.cfg, &self.rope, wl, &ctxs[l], &dy, g, s, &self.scratch);
             bctxs[l] = Some(bctx);
             dy = dx;
         }
@@ -526,10 +533,10 @@ impl RankRuntime {
                 }
             }
             MsgKind::Act => {
-                self.acts.insert((k.mb, k.chunk), data);
+                self.acts.insert((k.mb, k.chunk), self.scratch.adopt(data));
             }
             MsgKind::ActGrad => {
-                self.dy_out.insert((k.mb, k.chunk), data);
+                self.dy_out.insert((k.mb, k.chunk), self.scratch.adopt(data));
             }
         }
         Ok(())

@@ -2,7 +2,7 @@
 //! verified against: same seed, same data order, plain accumulate-and-step.
 
 use crate::setup::{RunOutput, TrainSetup};
-use wp_nn::model::{Model, ModelGrads};
+use wp_nn::model::{Model, ModelFwdCtx, ModelGrads};
 use wp_optim::MasterWeights;
 use wp_tensor::DType;
 
@@ -25,20 +25,19 @@ pub fn run_single(setup: &TrainSetup) -> RunOutput {
     let mut master_head = MasterWeights::capture(&model.head, DType::F32);
 
     let mut losses = Vec::with_capacity(setup.iters);
+    // Gradients and the forward context are allocated once and reused: with
+    // the model's scratch arena warm, steady-state iterations stay off the
+    // heap entirely.
+    let mut grads = ModelGrads::zeros_like(&model);
+    let mut fwd = ModelFwdCtx::empty();
     let t0 = std::time::Instant::now();
     for iter in 0..setup.iters {
-        let mut grads = ModelGrads::zeros_like(&model);
+        grads.zero();
         let mut loss_sum = 0.0f64;
         for mb in 0..n {
             let (ids, targets) = setup.batch_for(iter, mb);
-            let loss = model.train_step(
-                &ids,
-                &targets,
-                setup.microbatch,
-                setup.seq,
-                &mut grads,
-                scale * setup.loss_scale,
-            );
+            model.forward_into(&ids, setup.microbatch, setup.seq, &mut fwd);
+            let loss = model.backward(&fwd, &targets, &mut grads, scale * setup.loss_scale);
             loss_sum += loss as f64;
         }
         losses.push((loss_sum / n as f64) as f32);

@@ -7,6 +7,7 @@ use wp_nn::attention::{naive_forward, streaming_forward, AttnDims};
 use wp_nn::block::{block_backward_full, block_forward};
 use wp_nn::config::ModelConfig;
 use wp_nn::params::init_block;
+use wp_nn::scratch::Scratch;
 use wp_tensor::ops::{matmul_nn, matmul_nt, matmul_tn};
 use wp_tensor::Tensor;
 
@@ -42,6 +43,7 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_attention(c: &mut Criterion) {
     let mut group = c.benchmark_group("attention");
+    let sc = Scratch::new();
     for &seq in &[64usize, 256] {
         let dims = AttnDims::mha(1, seq, 4, 16);
         let n = seq * 64;
@@ -50,11 +52,11 @@ fn bench_attention(c: &mut Criterion) {
         let v = Tensor::randn([n], 0.5, 5).into_vec();
         group.bench_with_input(BenchmarkId::new("naive", seq), &seq, |bench, _| {
             let mut o = vec![0.0f32; n];
-            bench.iter(|| naive_forward(black_box(&mut o), &q, &k, &v, dims));
+            bench.iter(|| naive_forward(black_box(&mut o), &q, &k, &v, dims, &sc));
         });
         group.bench_with_input(BenchmarkId::new("streaming", seq), &seq, |bench, _| {
             let mut o = vec![0.0f32; n];
-            bench.iter(|| streaming_forward(black_box(&mut o), &q, &k, &v, dims));
+            bench.iter(|| streaming_forward(black_box(&mut o), &q, &k, &v, dims, &sc));
         });
     }
     group.finish();
@@ -68,16 +70,17 @@ fn bench_block(c: &mut Criterion) {
     let x = Tensor::randn([batch * seq * cfg.hidden], 0.5, 6).into_vec();
     let dy = Tensor::randn([batch * seq * cfg.hidden], 1.0, 7).into_vec();
 
+    let sc = Scratch::new();
     let mut group = c.benchmark_group("block");
     group.bench_function("forward", |bench| {
-        bench.iter(|| block_forward(&cfg, &rope, black_box(&w), black_box(&x), batch, seq));
+        bench.iter(|| block_forward(&cfg, &rope, black_box(&w), black_box(&x), batch, seq, &sc));
     });
     group.bench_function("backward_full", |bench| {
-        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
         let mut dw = vec![0.0f32; w.len()];
         bench.iter(|| {
             dw.fill(0.0);
-            block_backward_full(&cfg, &rope, &w, &ctx, black_box(&dy), &mut dw, batch, seq)
+            block_backward_full(&cfg, &rope, &w, &ctx, black_box(&dy), &mut dw, batch, seq, &sc)
         });
     });
     group.finish();

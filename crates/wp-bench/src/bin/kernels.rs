@@ -1,0 +1,229 @@
+//! Kernel microbenchmark: long-context attention + transformer block.
+//!
+//! Times the hot-path kernels (streaming attention forward/backward and a
+//! full block forward + fused backward) at long context, printing a small
+//! table suitable for `results/kernels.txt`. Each kernel is timed twice:
+//! once forced onto the sequential path and once through the parallel
+//! dispatch, so the table shows the speedup directly.
+//!
+//! Run with `--smoke` for a fast CI-sized configuration; smoke mode also
+//! asserts (a) the parallel path is bit-identical to the sequential one and
+//! (b) steady-state kernel iterations perform zero heap allocations once
+//! the scratch arena is warm.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use wp_nn::attention::{streaming_backward, streaming_forward, AttnDims};
+use wp_nn::block::{block_backward_full, block_forward};
+use wp_nn::config::{AttnKind, ModelConfig};
+use wp_nn::params::init_block;
+use wp_nn::scratch::Scratch;
+use wp_tensor::Tensor;
+
+/// Global allocator that counts every allocation, so smoke mode can prove
+/// the warm kernel path never touches the heap.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct AttnData {
+    dims: AttnDims,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    dout: Vec<f32>,
+}
+
+impl AttnData {
+    fn new(seq: usize) -> Self {
+        let dims = AttnDims::mha(1, seq, 4, 64);
+        let n = dims.batch * dims.seq * dims.heads * dims.head_dim;
+        AttnData {
+            dims,
+            q: Tensor::rand_uniform([n], -1.0, 1.0, 1).into_vec(),
+            k: Tensor::rand_uniform([n], -1.0, 1.0, 2).into_vec(),
+            v: Tensor::rand_uniform([n], -1.0, 1.0, 3).into_vec(),
+            dout: Tensor::rand_uniform([n], -1.0, 1.0, 4).into_vec(),
+        }
+    }
+}
+
+fn bench_attention(seq: usize, reps: usize) {
+    let d = AttnData::new(seq);
+    let n = d.q.len();
+    let sc = Scratch::new();
+    let mut o = vec![0.0f32; n];
+
+    let run_fwd = |o: &mut [f32], sc: &Scratch| {
+        streaming_forward(o, &d.q, &d.k, &d.v, d.dims, sc)
+    };
+    let fwd_seq = time_best(reps, || {
+        rayon::force_sequential(|| {
+            let _ = run_fwd(&mut o, &sc);
+        });
+    });
+    let fwd_par = time_best(reps, || {
+        let _ = run_fwd(&mut o, &sc);
+    });
+
+    let ctx = run_fwd(&mut o, &sc);
+    let (mut dq, mut dk, mut dv) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+    let run_bwd = |dq: &mut [f32], dk: &mut [f32], dv: &mut [f32]| {
+        dq.fill(0.0);
+        dk.fill(0.0);
+        dv.fill(0.0);
+        streaming_backward(dq, dk, dv, &d.dout, &d.q, &d.k, &d.v, &o, &ctx, d.dims, &sc);
+    };
+    let bwd_seq = time_best(reps, || {
+        rayon::force_sequential(|| run_bwd(&mut dq, &mut dk, &mut dv));
+    });
+    let bwd_par = time_best(reps, || run_bwd(&mut dq, &mut dk, &mut dv));
+
+    println!(
+        "attention  S={seq:<5} fwd {:>9.1} ms (seq {:>9.1}, x{:.2})   bwd {:>9.1} ms (seq {:>9.1}, x{:.2})",
+        fwd_par * 1e3,
+        fwd_seq * 1e3,
+        fwd_seq / fwd_par,
+        bwd_par * 1e3,
+        bwd_seq * 1e3,
+        bwd_seq / bwd_par,
+    );
+}
+
+fn bench_block(seq: usize, reps: usize) {
+    let mut cfg = ModelConfig::llama_like(256, 4, 1, 64, seq);
+    cfg.attn = AttnKind::Streaming;
+    let rope = cfg.rope_table();
+    let w = init_block(&cfg, 7, 0);
+    let n = seq * cfg.hidden;
+    let x = Tensor::rand_uniform([n], -0.5, 0.5, 8).into_vec();
+    let dy = Tensor::rand_uniform([n], -1.0, 1.0, 9).into_vec();
+    let sc = Scratch::new();
+
+    let fwd_seq = time_best(reps, || {
+        rayon::force_sequential(|| {
+            let _ = block_forward(&cfg, &rope, &w, &x, 1, seq, &sc);
+        });
+    });
+    let fwd_par = time_best(reps, || {
+        let _ = block_forward(&cfg, &rope, &w, &x, 1, seq, &sc);
+    });
+    let (_, ctx) = block_forward(&cfg, &rope, &w, &x, 1, seq, &sc);
+    let mut dw = vec![0.0f32; w.len()];
+    let bwd_seq = time_best(reps, || {
+        dw.fill(0.0);
+        rayon::force_sequential(|| {
+            let _ = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw, 1, seq, &sc);
+        });
+    });
+    let bwd_par = time_best(reps, || {
+        dw.fill(0.0);
+        let _ = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw, 1, seq, &sc);
+    });
+    println!(
+        "block      S={seq:<5} fwd {:>9.1} ms (seq {:>9.1}, x{:.2})   bwd {:>9.1} ms (seq {:>9.1}, x{:.2})",
+        fwd_par * 1e3,
+        fwd_seq * 1e3,
+        fwd_seq / fwd_par,
+        bwd_par * 1e3,
+        bwd_seq * 1e3,
+        bwd_seq / bwd_par,
+    );
+}
+
+/// Smoke check 1: the parallel dispatch must be bit-identical to the forced
+/// sequential path for the same inputs.
+fn check_bit_identity(seq: usize) {
+    let d = AttnData::new(seq);
+    let n = d.q.len();
+    let sc = Scratch::new();
+
+    let run = |sc: &Scratch| {
+        let mut o = vec![0.0f32; n];
+        let ctx = streaming_forward(&mut o, &d.q, &d.k, &d.v, d.dims, sc);
+        let (mut dq, mut dk, mut dv) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+        streaming_backward(
+            &mut dq, &mut dk, &mut dv, &d.dout, &d.q, &d.k, &d.v, &o, &ctx, d.dims, sc,
+        );
+        (o, dq, dk, dv)
+    };
+    let par = run(&sc);
+    let seq_out = rayon::force_sequential(|| run(&sc));
+    assert_eq!(par.0, seq_out.0, "attention forward not bit-identical");
+    assert_eq!(par.1, seq_out.1, "attention dq not bit-identical");
+    assert_eq!(par.2, seq_out.2, "attention dk not bit-identical");
+    assert_eq!(par.3, seq_out.3, "attention dv not bit-identical");
+    println!("bit-identity: parallel == sequential (attention fwd+bwd, S={seq}) .. ok");
+}
+
+/// Smoke check 2: once the scratch arena is warm, a full block
+/// forward + backward iteration performs zero heap allocations.
+fn check_zero_alloc(seq: usize) {
+    let mut cfg = ModelConfig::llama_like(128, 4, 1, 32, seq);
+    cfg.attn = AttnKind::Streaming;
+    let rope = cfg.rope_table();
+    let w = init_block(&cfg, 11, 0);
+    let n = seq * cfg.hidden;
+    let x = Tensor::rand_uniform([n], -0.5, 0.5, 12).into_vec();
+    let dy = Tensor::rand_uniform([n], -1.0, 1.0, 13).into_vec();
+    let sc = Scratch::new();
+    let mut dw = vec![0.0f32; w.len()];
+
+    let iterate = |dw: &mut [f32]| {
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, 1, seq, &sc);
+        dw.fill(0.0);
+        let _ = block_backward_full(&cfg, &rope, &w, &ctx, &dy, dw, 1, seq, &sc);
+    };
+    // Warm the arena (and the thread pool) with two iterations.
+    iterate(&mut dw);
+    iterate(&mut dw);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    iterate(&mut dw);
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(delta, 0, "warm block fwd+bwd iteration performed {delta} heap allocations");
+    println!("zero-alloc: warm block fwd+bwd iteration allocates nothing .. ok");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (seq, reps) = if smoke { (256, 3) } else { (4096, 2) };
+    println!(
+        "# wp-bench kernels  (S={seq}, best of {reps}, {} threads)",
+        rayon::current_num_threads()
+    );
+    bench_attention(seq, reps);
+    bench_block(seq, reps);
+    if smoke {
+        check_bit_identity(192);
+        check_zero_alloc(seq);
+    }
+}

@@ -124,6 +124,9 @@ struct Msg {
     /// width). Carried so the *receiver* can charge the same size without
     /// knowing the wire dtype.
     wire_bytes: u64,
+    /// Whether this message is a collective hop, so the receiver charges the
+    /// same traffic class the sender was charged.
+    collective: bool,
 }
 
 impl Msg {
@@ -378,8 +381,14 @@ impl Communicator {
         }
         // Checksum the honest payload, then corrupt — the receiver must see
         // the mismatch.
-        let mut msg =
-            Msg { tag, checksum: checksum_of(&payload), data: payload, deliver_at, wire_bytes: bytes };
+        let mut msg = Msg {
+            tag,
+            checksum: checksum_of(&payload),
+            data: payload,
+            deliver_at,
+            wire_bytes: bytes,
+            collective: class == TrafficClass::Collective,
+        };
         if corrupt {
             match msg.data.first_mut() {
                 Some(x) => *x = f32::from_bits(x.to_bits() ^ 1),
@@ -534,7 +543,8 @@ impl Communicator {
     /// blocked-wait span (post → match), pace out the link-model transfer
     /// under its own span (match → fully arrived), and hand back the payload.
     fn deliver(&mut self, src: usize, depth: usize, t0: Option<u64>, msg: Msg) -> Vec<f32> {
-        self.meter.record_recv(self.rank, msg.wire_bytes);
+        let class = if msg.collective { TrafficClass::Collective } else { TrafficClass::P2p };
+        self.meter.record_recv(self.rank, msg.wire_bytes, class);
         match self.tracer.as_ref() {
             Some(tr) => {
                 let aux = recv_aux(src, depth);

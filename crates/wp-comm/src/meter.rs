@@ -23,7 +23,8 @@ struct RankCounters {
     p2p_msgs: AtomicU64,
     coll_bytes: AtomicU64,
     coll_msgs: AtomicU64,
-    recv_bytes: AtomicU64,
+    p2p_recv_bytes: AtomicU64,
+    coll_recv_bytes: AtomicU64,
     recv_msgs: AtomicU64,
     faults: AtomicU64,
 }
@@ -45,10 +46,16 @@ pub struct RankTraffic {
     pub collective_bytes: u64,
     /// Collective message hops sent.
     pub collective_msgs: u64,
+    /// Wire bytes this rank received point-to-point.
+    pub p2p_recv_bytes: u64,
+    /// Wire bytes this rank received as collective hops.
+    pub collective_recv_bytes: u64,
     /// Wire bytes this rank *received* (P2P and collective hops combined).
     /// In a healthy ring, every sent byte lands exactly once, so the world
-    /// totals satisfy `Σ recv_bytes == Σ total_bytes()`; per rank the split
-    /// exposes asymmetric hops that send-side counters alone would miss.
+    /// totals satisfy `Σ recv_bytes == Σ total_bytes()` — and the same holds
+    /// per class: `Σ p2p_recv_bytes == Σ p2p_bytes`, `Σ collective_recv_bytes
+    /// == Σ collective_bytes`. Per rank the split exposes asymmetric hops
+    /// that send-side counters alone would miss.
     pub recv_bytes: u64,
     /// Messages this rank received.
     pub recv_msgs: u64,
@@ -91,10 +98,13 @@ impl TrafficMeter {
 
     /// Record a message of `bytes` received by `rank`. Charged once per
     /// message at delivery (when the receive matches), with the same wire
-    /// size the sender was charged.
-    pub fn record_recv(&self, rank: usize, bytes: u64) {
+    /// size — and the same traffic class — the sender was charged.
+    pub fn record_recv(&self, rank: usize, bytes: u64, class: TrafficClass) {
         let c = &self.ranks[rank];
-        c.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+        match class {
+            TrafficClass::P2p => c.p2p_recv_bytes.fetch_add(bytes, Ordering::Relaxed),
+            TrafficClass::Collective => c.coll_recv_bytes.fetch_add(bytes, Ordering::Relaxed),
+        };
         c.recv_msgs.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -106,12 +116,16 @@ impl TrafficMeter {
     /// Snapshot of one rank.
     pub fn rank(&self, rank: usize) -> RankTraffic {
         let c = &self.ranks[rank];
+        let p2p_recv = c.p2p_recv_bytes.load(Ordering::Relaxed);
+        let coll_recv = c.coll_recv_bytes.load(Ordering::Relaxed);
         RankTraffic {
             p2p_bytes: c.p2p_bytes.load(Ordering::Relaxed),
             p2p_msgs: c.p2p_msgs.load(Ordering::Relaxed),
             collective_bytes: c.coll_bytes.load(Ordering::Relaxed),
             collective_msgs: c.coll_msgs.load(Ordering::Relaxed),
-            recv_bytes: c.recv_bytes.load(Ordering::Relaxed),
+            p2p_recv_bytes: p2p_recv,
+            collective_recv_bytes: coll_recv,
+            recv_bytes: p2p_recv + coll_recv,
             recv_msgs: c.recv_msgs.load(Ordering::Relaxed),
             faults_injected: c.faults.load(Ordering::Relaxed),
         }
@@ -141,7 +155,8 @@ impl TrafficMeter {
             c.p2p_msgs.store(0, Ordering::Relaxed);
             c.coll_bytes.store(0, Ordering::Relaxed);
             c.coll_msgs.store(0, Ordering::Relaxed);
-            c.recv_bytes.store(0, Ordering::Relaxed);
+            c.p2p_recv_bytes.store(0, Ordering::Relaxed);
+            c.coll_recv_bytes.store(0, Ordering::Relaxed);
             c.recv_msgs.store(0, Ordering::Relaxed);
             c.faults.store(0, Ordering::Relaxed);
         }
@@ -199,9 +214,11 @@ mod tests {
         let m = TrafficMeter::new(2);
         // Rank 0 sends 100 bytes; rank 1 receives them.
         m.record_send(0, 100, TrafficClass::P2p);
-        m.record_recv(1, 100);
+        m.record_recv(1, 100, TrafficClass::P2p);
         assert_eq!(m.rank(0).recv_bytes, 0);
         assert_eq!(m.rank(1).recv_bytes, 100);
+        assert_eq!(m.rank(1).p2p_recv_bytes, 100);
+        assert_eq!(m.rank(1).collective_recv_bytes, 0);
         assert_eq!(m.rank(1).recv_msgs, 1);
         // Receives never inflate the send-side totals.
         assert_eq!(m.rank(1).total_bytes(), 0);
@@ -209,6 +226,18 @@ mod tests {
         assert_eq!(m.total_recv_bytes(), 100);
         m.reset();
         assert_eq!(m.rank(1), RankTraffic::default());
+    }
+
+    #[test]
+    fn recv_classes_are_split_and_sum() {
+        let m = TrafficMeter::new(1);
+        m.record_recv(0, 60, TrafficClass::P2p);
+        m.record_recv(0, 40, TrafficClass::Collective);
+        let r = m.rank(0);
+        assert_eq!(r.p2p_recv_bytes, 60);
+        assert_eq!(r.collective_recv_bytes, 40);
+        assert_eq!(r.recv_bytes, 100);
+        assert_eq!(r.recv_msgs, 2);
     }
 
     #[test]

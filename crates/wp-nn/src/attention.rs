@@ -8,6 +8,26 @@
 //! `O(G·S·H)` instead of `O(G·heads·S²)` — the memory behaviour that lets
 //! the paper run large microbatches and makes FFN activations (not
 //! attention) the dominant term in its §3.4 memory analysis.
+//!
+//! **Parallelism and memory.** The forward kernels split across the pool
+//! over `(batch, head)` pairs; the backward kernels over
+//! `(batch, kv-head)` pairs, with each task walking its group's query
+//! heads in ascending order so every `dk`/`dv` element is accumulated in
+//! exactly the order the serial loop uses — results are bit-identical to
+//! sequential whatever the pool width. All temporaries (score rows, saved
+//! probabilities, log-sum-exp) come from a caller-supplied [`Scratch`]
+//! arena, so steady-state training allocates nothing here.
+
+use crate::scratch::{Scratch, ScratchBuf};
+use wp_tensor::ops::dot;
+use wp_tensor::ops::par::{par_tasks, RawMut, PAR_MIN_WORK};
+
+/// Query rows processed per k/v sweep in the streaming kernels. At long
+/// context the kernels are memory-bound — every query row used to re-stream
+/// the whole k/v prefix — so amortising each k/v row load over a small tile
+/// of queries cuts DRAM traffic by the tile factor while keeping the
+/// per-element arithmetic order (and therefore the bits) unchanged.
+const QTILE: usize = 16;
 
 /// Saved state the backward pass needs, depending on the kernel.
 #[derive(Debug, Clone)]
@@ -15,12 +35,12 @@ pub enum AttnCtx {
     /// Naive: the full probability tensor `[G, heads, S, S]`.
     Naive {
         /// Softmax probabilities, causal-masked.
-        probs: Vec<f32>,
+        probs: ScratchBuf,
     },
     /// Streaming: per-row log-sum-exp `[G, heads, S]`.
     Streaming {
         /// `log Σ exp(scores)` per query row, for backward recomputation.
-        lse: Vec<f32>,
+        lse: ScratchBuf,
     },
 }
 
@@ -91,14 +111,40 @@ impl AttnDims {
         1.0 / (self.head_dim as f32).sqrt()
     }
 
+    /// Scalar-op estimate used to decide whether the pool pays for itself.
+    #[inline]
+    fn work(&self) -> usize {
+        self.batch * self.heads * self.seq * self.seq * self.head_dim
+    }
+
     fn check(&self) {
         assert!(self.kv_heads >= 1 && self.heads.is_multiple_of(self.kv_heads),
             "kv_heads must divide heads");
     }
 }
 
+/// Run `task(t)` for every `t in 0..ntasks`, in parallel when the kernel is
+/// big enough to amortise pool dispatch. Both branches call the very same
+/// closure, so the split is bit-transparent.
+fn run_attn_tasks(ntasks: usize, work: usize, task: &(impl Fn(usize) + Sync)) {
+    if ntasks <= 1 || work < PAR_MIN_WORK {
+        for t in 0..ntasks {
+            task(t);
+        }
+    } else {
+        par_tasks(ntasks, task);
+    }
+}
+
 /// Causal attention forward with the full probability matrix retained.
-pub fn naive_forward(o: &mut [f32], q: &[f32], k: &[f32], v: &[f32], dims: AttnDims) -> AttnCtx {
+pub fn naive_forward(
+    o: &mut [f32],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    dims: AttnDims,
+    scratch: &Scratch,
+) -> AttnCtx {
     dims.check();
     let AttnDims { batch, seq, heads, head_dim, .. } = dims;
     let n = batch * seq * dims.hidden();
@@ -108,18 +154,23 @@ pub fn naive_forward(o: &mut [f32], q: &[f32], k: &[f32], v: &[f32], dims: AttnD
     assert_eq!(v.len(), nkv);
     assert_eq!(o.len(), n);
     let scale = dims.scale();
-    let mut probs = vec![0.0f32; batch * heads * seq * seq];
-    for g in 0..batch {
-        for h in 0..heads {
-            let pbase = ((g * heads) + h) * seq * seq;
+    let mut probs = scratch.take(batch * heads * seq * seq);
+    {
+        let op = RawMut(o.as_mut_ptr());
+        let pp = RawMut(probs.as_mut_ptr());
+        // One task per (batch, query head): every o row and probs plane is
+        // written by exactly one task.
+        let task = |t: usize| {
+            let (g, h) = (t / heads, t % heads);
+            let pgh = unsafe { pp.slice((g * heads + h) * seq * seq, seq * seq) };
             for i in 0..seq {
                 let qi = &q[dims.off(g, i, h)..dims.off(g, i, h) + head_dim];
-                let prow = &mut probs[pbase + i * seq..pbase + (i + 1) * seq];
+                let prow = &mut pgh[i * seq..(i + 1) * seq];
                 // Scores for j ≤ i.
                 let mut max = f32::NEG_INFINITY;
                 for (j, pj) in prow.iter_mut().enumerate().take(i + 1) {
-                    let kj = &k[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
-                    let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    let koff = dims.kv_off(g, j, h);
+                    let s = dot(qi, &k[koff..koff + head_dim]) * scale;
                     *pj = s;
                     max = max.max(s);
                 }
@@ -133,18 +184,17 @@ pub fn naive_forward(o: &mut [f32], q: &[f32], k: &[f32], v: &[f32], dims: AttnD
                     *pj *= inv;
                 }
                 // o_i = Σ_j p_ij v_j
-                let ooff = dims.off(g, i, h);
-                let orow = &mut o[ooff..ooff + head_dim];
+                let orow = unsafe { op.slice(dims.off(g, i, h), head_dim) };
                 orow.fill(0.0);
-                for j in 0..=i {
-                    let p = prow[j];
-                    let vj = &v[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
-                    for (od, vd) in orow.iter_mut().zip(vj) {
+                for (j, &p) in prow.iter().enumerate().take(i + 1) {
+                    let voff = dims.kv_off(g, j, h);
+                    for (od, vd) in orow.iter_mut().zip(&v[voff..voff + head_dim]) {
                         *od += p * vd;
                     }
                 }
             }
-        }
+        };
+        run_attn_tasks(batch * heads, dims.work(), &task);
     }
     AttnCtx::Naive { probs }
 }
@@ -161,62 +211,87 @@ pub fn naive_backward(
     v: &[f32],
     ctx: &AttnCtx,
     dims: AttnDims,
+    scratch: &Scratch,
 ) {
     dims.check();
-    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let AttnDims { batch, seq, heads, kv_heads, head_dim } = dims;
     let probs = match ctx {
         AttnCtx::Naive { probs } => probs,
         _ => panic!("naive_backward needs a Naive ctx"),
     };
     let scale = dims.scale();
-    let mut ds = vec![0.0f32; seq]; // one score-gradient row at a time
-    for g in 0..batch {
-        for h in 0..heads {
+    let ntasks = batch * kv_heads;
+    let group = heads / kv_heads;
+    // One score-gradient row per task.
+    let mut ds_all = scratch.take(ntasks * seq);
+    let dqp = RawMut(dq.as_mut_ptr());
+    let dkp = RawMut(dk.as_mut_ptr());
+    let dvp = RawMut(dv.as_mut_ptr());
+    let dsp = RawMut(ds_all.as_mut_ptr());
+    // One task per (batch, kv head): each task owns its group's dq rows and
+    // its kv head's dk/dv rows outright, and walks query heads in ascending
+    // order — the same accumulation order as the serial loop.
+    let task = |t: usize| {
+        let (g, kvh) = (t / kv_heads, t % kv_heads);
+        let ds = unsafe { dsp.slice(t * seq, seq) };
+        for h in kvh * group..(kvh + 1) * group {
             let pbase = ((g * heads) + h) * seq * seq;
             for i in 0..seq {
                 let qoff = dims.off(g, i, h);
                 let doi = &dout[qoff..qoff + head_dim];
                 let prow = &probs[pbase + i * seq..pbase + (i + 1) * seq];
                 // dp_ij = do_i · v_j ; softmax backward: ds = p ⊙ (dp − Σ p·dp)
-                let mut dot = 0.0f32;
+                let mut pdot = 0.0f32;
                 for (j, dsj) in ds.iter_mut().enumerate().take(i + 1) {
                     let voff = dims.kv_off(g, j, h);
-                    let dp: f32 = doi
-                        .iter()
-                        .zip(&v[voff..voff + head_dim])
-                        .map(|(a, b)| a * b)
-                        .sum();
+                    let dp = dot(doi, &v[voff..voff + head_dim]);
                     *dsj = dp;
-                    dot += prow[j] * dp;
+                    pdot += prow[j] * dp;
                 }
                 for (j, dsj) in ds.iter_mut().enumerate().take(i + 1) {
-                    *dsj = prow[j] * (*dsj - dot);
+                    *dsj = prow[j] * (*dsj - pdot);
                 }
                 // dv_j += p_ij · do_i ; dq_i += scale·Σ ds_ij k_j ; dk_j += scale·ds_ij q_i
-                for j in 0..=i {
+                let qi = &q[qoff..qoff + head_dim];
+                let dqrow = unsafe { dqp.slice(qoff, head_dim) };
+                for (j, &p) in prow.iter().enumerate().take(i + 1) {
                     let koff = dims.kv_off(g, j, h);
-                    let p = prow[j];
                     let dsj = ds[j] * scale;
-                    for d in 0..head_dim {
-                        dv[koff + d] += p * doi[d];
-                        dq[qoff + d] += dsj * k[koff + d];
-                        dk[koff + d] += dsj * q[qoff + d];
+                    let kj = &k[koff..koff + head_dim];
+                    let dvrow = unsafe { dvp.slice(koff, head_dim) };
+                    let dkrow = unsafe { dkp.slice(koff, head_dim) };
+                    // Three separate two-pointer axpy loops (not one fused
+                    // loop): the accumulators live behind pool-shared raw
+                    // pointers, and LLVM only vectorizes these with runtime
+                    // alias checks — cheap for two streams, abandoned for
+                    // six.
+                    for (x, &dod) in dvrow.iter_mut().zip(doi) {
+                        *x += p * dod;
+                    }
+                    for (x, &kd) in dqrow.iter_mut().zip(kj) {
+                        *x += dsj * kd;
+                    }
+                    for (x, &qd) in dkrow.iter_mut().zip(qi) {
+                        *x += dsj * qd;
                     }
                 }
             }
         }
-    }
+    };
+    run_attn_tasks(ntasks, dims.work(), &task);
 }
 
 /// Streaming (online-softmax) causal attention forward.
 ///
-/// One score row is alive at a time; saves only per-row log-sum-exp.
+/// One score row is alive at a time per task; saves only per-row
+/// log-sum-exp.
 pub fn streaming_forward(
     o: &mut [f32],
     q: &[f32],
     k: &[f32],
     v: &[f32],
     dims: AttnDims,
+    scratch: &Scratch,
 ) -> AttnCtx {
     dims.check();
     let AttnDims { batch, seq, heads, head_dim, .. } = dims;
@@ -227,38 +302,69 @@ pub fn streaming_forward(
     assert_eq!(v.len(), nkv);
     assert_eq!(o.len(), n);
     let scale = dims.scale();
-    let mut lse = vec![0.0f32; batch * heads * seq];
-    let mut row = vec![0.0f32; seq];
-    for g in 0..batch {
-        for h in 0..heads {
-            for i in 0..seq {
-                let qi = &q[dims.off(g, i, h)..dims.off(g, i, h) + head_dim];
-                let mut max = f32::NEG_INFINITY;
-                for (j, rj) in row.iter_mut().enumerate().take(i + 1) {
-                    let kj = &k[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
-                    let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
-                    *rj = s;
-                    max = max.max(s);
-                }
-                let mut sum = 0.0f32;
-                for rj in row.iter_mut().take(i + 1) {
-                    *rj = (*rj - max).exp();
-                    sum += *rj;
-                }
-                lse[(g * heads + h) * seq + i] = max + sum.ln();
-                let inv = 1.0 / sum;
-                let ooff = dims.off(g, i, h);
-                let orow = &mut o[ooff..ooff + head_dim];
-                orow.fill(0.0);
-                for j in 0..=i {
-                    let p = row[j] * inv;
-                    let vj = &v[dims.kv_off(g, j, h)..dims.kv_off(g, j, h) + head_dim];
-                    for (od, vd) in orow.iter_mut().zip(vj) {
-                        *od += p * vd;
+    let mut lse = scratch.take(batch * heads * seq);
+    let ntasks = batch * heads;
+    let mut rows = scratch.take(ntasks * QTILE * seq);
+    {
+        let op = RawMut(o.as_mut_ptr());
+        let lp = RawMut(lse.as_mut_ptr());
+        let rp = RawMut(rows.as_mut_ptr());
+        let task = |t: usize| {
+            let (g, h) = (t / heads, t % heads);
+            let rows_t = unsafe { rp.slice(t * QTILE * seq, QTILE * seq) };
+            let lse_gh = unsafe { lp.slice((g * heads + h) * seq, seq) };
+            // Process query rows in tiles of QTILE so each k/v row is
+            // streamed from memory once per tile instead of once per row.
+            // Per output element the arithmetic sequence is unchanged
+            // (scores written once, max/exp/sum and the o-accumulation all
+            // walk j ascending), so results are bit-identical to the
+            // row-at-a-time loop.
+            let mut i0 = 0;
+            while i0 < seq {
+                let ti = QTILE.min(seq - i0);
+                for j in 0..i0 + ti {
+                    let koff = dims.kv_off(g, j, h);
+                    let kj = &k[koff..koff + head_dim];
+                    for r in j.saturating_sub(i0)..ti {
+                        let qoff = dims.off(g, i0 + r, h);
+                        rows_t[r * seq + j] =
+                            dot(&q[qoff..qoff + head_dim], kj) * scale;
                     }
                 }
+                let mut inv = [0.0f32; QTILE];
+                for r in 0..ti {
+                    let i = i0 + r;
+                    let row = &mut rows_t[r * seq..r * seq + i + 1];
+                    let mut max = f32::NEG_INFINITY;
+                    for &s in row.iter() {
+                        max = max.max(s);
+                    }
+                    let mut sum = 0.0f32;
+                    for rj in row.iter_mut() {
+                        *rj = (*rj - max).exp();
+                        sum += *rj;
+                    }
+                    lse_gh[i] = max + sum.ln();
+                    inv[r] = 1.0 / sum;
+                }
+                for r in 0..ti {
+                    unsafe { op.slice(dims.off(g, i0 + r, h), head_dim) }.fill(0.0);
+                }
+                for j in 0..i0 + ti {
+                    let voff = dims.kv_off(g, j, h);
+                    let vj = &v[voff..voff + head_dim];
+                    for r in j.saturating_sub(i0)..ti {
+                        let p = rows_t[r * seq + j] * inv[r];
+                        let orow = unsafe { op.slice(dims.off(g, i0 + r, h), head_dim) };
+                        for (od, &vd) in orow.iter_mut().zip(vj) {
+                            *od += p * vd;
+                        }
+                    }
+                }
+                i0 += ti;
             }
-        }
+        };
+        run_attn_tasks(ntasks, dims.work(), &task);
     }
     AttnCtx::Streaming { lse }
 }
@@ -278,52 +384,87 @@ pub fn streaming_backward(
     o: &[f32],
     ctx: &AttnCtx,
     dims: AttnDims,
+    scratch: &Scratch,
 ) {
     dims.check();
-    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let AttnDims { batch, seq, heads, kv_heads, head_dim } = dims;
     let lse = match ctx {
         AttnCtx::Streaming { lse } => lse,
         _ => panic!("streaming_backward needs a Streaming ctx"),
     };
     let scale = dims.scale();
-    let mut prow = vec![0.0f32; seq];
-    #[allow(clippy::needless_range_loop)]
-    for g in 0..batch {
-        for h in 0..heads {
-            for i in 0..seq {
-                let qoff = dims.off(g, i, h);
-                let qi = &q[qoff..qoff + head_dim];
-                let doi = &dout[qoff..qoff + head_dim];
-                let oi = &o[qoff..qoff + head_dim];
+    let ntasks = batch * kv_heads;
+    let group = heads / kv_heads;
+    let mut prow_all = scratch.take(ntasks * QTILE * seq);
+    let dqp = RawMut(dq.as_mut_ptr());
+    let dkp = RawMut(dk.as_mut_ptr());
+    let dvp = RawMut(dv.as_mut_ptr());
+    let pp = RawMut(prow_all.as_mut_ptr());
+    // Task split mirrors `naive_backward` — see the ordering note there.
+    // Query rows are tiled like `streaming_forward`: dq[i] still accumulates
+    // over j ascending, and each dk/dv element accumulates over i ascending
+    // (tiles visit i in order, and r walks the tile in order), so the
+    // per-element arithmetic sequence — and thus every bit of the result —
+    // matches the row-at-a-time loop.
+    let task = |t: usize| {
+        let (g, kvh) = (t / kv_heads, t % kv_heads);
+        let prow_t = unsafe { pp.slice(t * QTILE * seq, QTILE * seq) };
+        for h in kvh * group..(kvh + 1) * group {
+            let mut i0 = 0;
+            while i0 < seq {
+                let ti = QTILE.min(seq - i0);
                 // D_i = do_i · o_i (the softmax-backward dot, since
                 // Σ_j p_ij dp_ij = do_i · Σ_j p_ij v_j = do_i · o_i).
-                let dterm: f32 = doi.iter().zip(oi).map(|(a, b)| a * b).sum();
-                let l = lse[(g * heads + h) * seq + i];
-                for (j, pj) in prow.iter_mut().enumerate().take(i + 1) {
+                let mut dterm = [0.0f32; QTILE];
+                for (r, d) in dterm.iter_mut().enumerate().take(ti) {
+                    let qoff = dims.off(g, i0 + r, h);
+                    *d = dot(&dout[qoff..qoff + head_dim], &o[qoff..qoff + head_dim]);
+                }
+                // Recompute the probability rows for the tile, j-outer so
+                // each k row is loaded once per tile.
+                for j in 0..i0 + ti {
                     let koff = dims.kv_off(g, j, h);
                     let kj = &k[koff..koff + head_dim];
-                    let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
-                    *pj = (s - l).exp();
-                }
-                for j in 0..=i {
-                    let koff = dims.kv_off(g, j, h);
-                    let p = prow[j];
-                    // dp_ij = do_i · v_j
-                    let dp: f32 = doi
-                        .iter()
-                        .zip(&v[koff..koff + head_dim])
-                        .map(|(a, b)| a * b)
-                        .sum();
-                    let dsj = p * (dp - dterm) * scale;
-                    for d in 0..head_dim {
-                        dv[koff + d] += p * doi[d];
-                        dq[qoff + d] += dsj * k[koff + d];
-                        dk[koff + d] += dsj * q[qoff + d];
+                    for r in j.saturating_sub(i0)..ti {
+                        let i = i0 + r;
+                        let qoff = dims.off(g, i, h);
+                        let s = dot(&q[qoff..qoff + head_dim], kj) * scale;
+                        prow_t[r * seq + j] = (s - lse[(g * heads + h) * seq + i]).exp();
                     }
                 }
+                for j in 0..i0 + ti {
+                    let koff = dims.kv_off(g, j, h);
+                    let kj = &k[koff..koff + head_dim];
+                    let vj = &v[koff..koff + head_dim];
+                    let dvrow = unsafe { dvp.slice(koff, head_dim) };
+                    let dkrow = unsafe { dkp.slice(koff, head_dim) };
+                    for r in j.saturating_sub(i0)..ti {
+                        let qoff = dims.off(g, i0 + r, h);
+                        let qi = &q[qoff..qoff + head_dim];
+                        let doi = &dout[qoff..qoff + head_dim];
+                        let p = prow_t[r * seq + j];
+                        // dp_ij = do_i · v_j
+                        let dp = dot(doi, vj);
+                        let dsj = p * (dp - dterm[r]) * scale;
+                        let dqrow = unsafe { dqp.slice(qoff, head_dim) };
+                        // Split axpy loops — see the vectorization note in
+                        // `naive_backward`.
+                        for (x, &dod) in dvrow.iter_mut().zip(doi) {
+                            *x += p * dod;
+                        }
+                        for (x, &kd) in dqrow.iter_mut().zip(kj) {
+                            *x += dsj * kd;
+                        }
+                        for (x, &qd) in dkrow.iter_mut().zip(qi) {
+                            *x += dsj * qd;
+                        }
+                    }
+                }
+                i0 += ti;
             }
         }
-    }
+    };
+    run_attn_tasks(ntasks, dims.work(), &task);
 }
 
 #[cfg(test)]
@@ -347,12 +488,13 @@ mod tests {
     #[test]
     fn streaming_matches_naive_forward() {
         let d = dims();
+        let sc = Scratch::new();
         let (q, k, v) = rand_qkv(d, 50);
         let n = q.len();
         let mut o1 = vec![0.0; n];
         let mut o2 = vec![0.0; n];
-        naive_forward(&mut o1, &q, &k, &v, d);
-        streaming_forward(&mut o2, &q, &k, &v, d);
+        naive_forward(&mut o1, &q, &k, &v, d, &sc);
+        streaming_forward(&mut o2, &q, &k, &v, d, &sc);
         for (a, b) in o1.iter().zip(&o2) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
@@ -361,10 +503,11 @@ mod tests {
     #[test]
     fn causality_future_tokens_have_no_influence() {
         let d = AttnDims::mha(1, 4, 1, 4);
+        let sc = Scratch::new();
         let (q, k, v) = rand_qkv(d, 51);
         let n = q.len();
         let mut o1 = vec![0.0; n];
-        streaming_forward(&mut o1, &q, &k, &v, d);
+        streaming_forward(&mut o1, &q, &k, &v, d, &sc);
         // Perturb the last token's k and v: outputs of earlier tokens must
         // not change.
         let mut k2 = k.clone();
@@ -376,7 +519,7 @@ mod tests {
             *x -= 5.0;
         }
         let mut o2 = vec![0.0; n];
-        streaming_forward(&mut o2, &q, &k2, &v2, d);
+        streaming_forward(&mut o2, &q, &k2, &v2, d, &sc);
         assert_eq!(&o1[..3 * 4], &o2[..3 * 4], "earlier rows changed");
         assert_ne!(&o1[3 * 4..], &o2[3 * 4..], "last row should change");
     }
@@ -384,29 +527,31 @@ mod tests {
     #[test]
     fn first_token_attends_only_itself() {
         let d = AttnDims::mha(1, 3, 1, 2);
+        let sc = Scratch::new();
         let q = vec![1.0; 6];
         let k = vec![1.0; 6];
         let v = vec![7.0, 8.0, 1.0, 2.0, 3.0, 4.0];
         let mut o = vec![0.0; 6];
-        streaming_forward(&mut o, &q, &k, &v, d);
+        streaming_forward(&mut o, &q, &k, &v, d, &sc);
         assert!((o[0] - 7.0).abs() < 1e-6 && (o[1] - 8.0).abs() < 1e-6);
     }
 
     #[test]
     fn streaming_backward_matches_numeric() {
         let d = AttnDims::mha(1, 4, 2, 2);
+        let sc = Scratch::new();
         let (q, k, v) = rand_qkv(d, 52);
         let n = q.len();
         let dout = Tensor::randn([n], 1.0, 53).into_vec();
         let loss = |q: &[f32], k: &[f32], v: &[f32]| -> f32 {
             let mut o = vec![0.0; n];
-            streaming_forward(&mut o, q, k, v, d);
+            streaming_forward(&mut o, q, k, v, d, &sc);
             o.iter().zip(&dout).map(|(a, b)| a * b).sum()
         };
         let mut o = vec![0.0; n];
-        let ctx = streaming_forward(&mut o, &q, &k, &v, d);
+        let ctx = streaming_forward(&mut o, &q, &k, &v, d, &sc);
         let (mut dq, mut dk, mut dv) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        streaming_backward(&mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, d);
+        streaming_backward(&mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, d, &sc);
         let h = 1e-2;
         for i in 0..n {
             let mut qp = q.clone();
@@ -435,16 +580,19 @@ mod tests {
     #[test]
     fn naive_and_streaming_backwards_agree() {
         let d = dims();
+        let sc = Scratch::new();
         let (q, k, v) = rand_qkv(d, 55);
         let n = q.len();
         let dout = Tensor::randn([n], 1.0, 56).into_vec();
         let mut o = vec![0.0; n];
-        let nctx = naive_forward(&mut o, &q, &k, &v, d);
+        let nctx = naive_forward(&mut o, &q, &k, &v, d, &sc);
         let (mut dq1, mut dk1, mut dv1) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        naive_backward(&mut dq1, &mut dk1, &mut dv1, &dout, &q, &k, &v, &nctx, d);
-        let sctx = streaming_forward(&mut o, &q, &k, &v, d);
+        naive_backward(&mut dq1, &mut dk1, &mut dv1, &dout, &q, &k, &v, &nctx, d, &sc);
+        let sctx = streaming_forward(&mut o, &q, &k, &v, d, &sc);
         let (mut dq2, mut dk2, mut dv2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        streaming_backward(&mut dq2, &mut dk2, &mut dv2, &dout, &q, &k, &v, &o, &sctx, d);
+        streaming_backward(
+            &mut dq2, &mut dk2, &mut dv2, &dout, &q, &k, &v, &o, &sctx, d, &sc,
+        );
         for i in 0..n {
             assert!((dq1[i] - dq2[i]).abs() < 1e-4, "dq[{i}]");
             assert!((dk1[i] - dk2[i]).abs() < 1e-4, "dk[{i}]");
@@ -455,12 +603,47 @@ mod tests {
     #[test]
     fn ctx_memory_footprints() {
         let d = dims();
+        let sc = Scratch::new();
         let (q, k, v) = rand_qkv(d, 54);
         let mut o = vec![0.0; q.len()];
-        let naive = naive_forward(&mut o, &q, &k, &v, d);
-        let streaming = streaming_forward(&mut o, &q, &k, &v, d);
+        let naive = naive_forward(&mut o, &q, &k, &v, d, &sc);
+        let streaming = streaming_forward(&mut o, &q, &k, &v, d, &sc);
         assert_eq!(naive.saved_elems(), d.batch * d.heads * d.seq * d.seq);
         assert_eq!(streaming.saved_elems(), d.batch * d.heads * d.seq);
         assert!(streaming.saved_elems() < naive.saved_elems());
+    }
+
+    #[test]
+    fn parallel_attention_bit_identical_to_sequential() {
+        // Big enough to cross the dispatch threshold, with GQA so the
+        // backward's (batch, kv-head) split is exercised.
+        let d = AttnDims { batch: 2, seq: 48, heads: 4, kv_heads: 2, head_dim: 16 };
+        let sc = Scratch::new();
+        let (q, _, _) = rand_qkv(d, 57);
+        let nkv = d.batch * d.seq * d.kv_dim();
+        let k = Tensor::randn([nkv], 0.5, 58).into_vec();
+        let v = Tensor::randn([nkv], 0.5, 59).into_vec();
+        let n = q.len();
+        let dout = Tensor::randn([n], 1.0, 60).into_vec();
+
+        let mut op = vec![0.0; n];
+        let ctx_p = streaming_forward(&mut op, &q, &k, &v, d, &sc);
+        let (mut dqp, mut dkp, mut dvp) = (vec![0.0; n], vec![0.0; nkv], vec![0.0; nkv]);
+        streaming_backward(
+            &mut dqp, &mut dkp, &mut dvp, &dout, &q, &k, &v, &op, &ctx_p, d, &sc,
+        );
+
+        let mut os = vec![0.0; n];
+        let (mut dqs, mut dks, mut dvs) = (vec![0.0; n], vec![0.0; nkv], vec![0.0; nkv]);
+        rayon::force_sequential(|| {
+            let ctx_s = streaming_forward(&mut os, &q, &k, &v, d, &sc);
+            streaming_backward(
+                &mut dqs, &mut dks, &mut dvs, &dout, &q, &k, &v, &os, &ctx_s, d, &sc,
+            );
+        });
+        assert_eq!(op, os, "forward must be bit-identical");
+        assert_eq!(dqp, dqs, "dq must be bit-identical");
+        assert_eq!(dkp, dks, "dk must be bit-identical");
+        assert_eq!(dvp, dvs, "dv must be bit-identical");
     }
 }

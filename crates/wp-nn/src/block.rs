@@ -15,12 +15,17 @@
 //! Activation checkpointing: [`block_forward`] with `save=false` keeps
 //! nothing; [`block_backward_recompute`] re-runs the forward from the saved
 //! input first — the paper's "recomputation" knob.
+//!
+//! Every temporary and every saved activation comes from the caller's
+//! [`Scratch`] arena; in steady-state training these functions perform no
+//! heap allocation (asserted by `tests/alloc.rs`).
 
 use crate::attention::{
     naive_backward, naive_forward, streaming_backward, streaming_forward, AttnCtx, AttnDims,
 };
 use crate::config::{AttnKind, ModelConfig};
 use crate::params::BlockLayout;
+use crate::scratch::{Scratch, ScratchBuf};
 use wp_tensor::ops::{
     matmul_nn, matmul_nt, matmul_tn, rmsnorm_backward, rmsnorm_forward, swiglu_backward,
     swiglu_forward, RopeTable,
@@ -30,20 +35,20 @@ use wp_tensor::ops::{
 #[derive(Debug, Clone)]
 pub struct BlockCtx {
     /// Block input `[G·S, H]`.
-    pub x: Vec<f32>,
-    inv_rms1: Vec<f32>,
-    x1: Vec<f32>,
-    q: Vec<f32>,
-    k: Vec<f32>,
-    v: Vec<f32>,
+    pub x: ScratchBuf,
+    inv_rms1: ScratchBuf,
+    x1: ScratchBuf,
+    q: ScratchBuf,
+    k: ScratchBuf,
+    v: ScratchBuf,
     attn: AttnCtx,
-    attn_o: Vec<f32>,
-    x2: Vec<f32>,
-    inv_rms2: Vec<f32>,
-    x3: Vec<f32>,
-    gate: Vec<f32>,
-    up: Vec<f32>,
-    hg: Vec<f32>,
+    attn_o: ScratchBuf,
+    x2: ScratchBuf,
+    inv_rms2: ScratchBuf,
+    x3: ScratchBuf,
+    gate: ScratchBuf,
+    up: ScratchBuf,
+    hg: ScratchBuf,
 }
 
 impl BlockCtx {
@@ -70,18 +75,18 @@ impl BlockCtx {
 #[derive(Debug, Clone)]
 pub struct BPassCtx {
     /// Upstream gradient at the FFN down-projection output (`= dy`).
-    d_down: Vec<f32>,
-    dgate: Vec<f32>,
-    dup: Vec<f32>,
+    d_down: ScratchBuf,
+    dgate: ScratchBuf,
+    dup: ScratchBuf,
     /// Upstream gradient at the attention output projection.
-    d_attn_out: Vec<f32>,
-    dq_pre: Vec<f32>,
-    dk_pre: Vec<f32>,
-    dv: Vec<f32>,
+    d_attn_out: ScratchBuf,
+    dq_pre: ScratchBuf,
+    dk_pre: ScratchBuf,
+    dv: ScratchBuf,
     /// Norm gain gradients, already reduced over tokens (cheap, computed in
     /// the B pass as a by-product of the data gradient).
-    dgain1: Vec<f32>,
-    dgain2: Vec<f32>,
+    dgain1: ScratchBuf,
+    dgain2: ScratchBuf,
 }
 
 impl BPassCtx {
@@ -111,8 +116,7 @@ fn attn_dims(cfg: &ModelConfig, batch: usize, seq: usize) -> AttnDims {
 }
 
 /// Forward pass. Returns the block output `[G·S, H]` and the saved
-/// activations (empty-input marker ctx when `save` is false — checkpointed
-/// runs keep only `x`).
+/// activations.
 pub fn block_forward(
     cfg: &ModelConfig,
     rope: &RopeTable,
@@ -120,7 +124,8 @@ pub fn block_forward(
     x: &[f32],
     batch: usize,
     seq: usize,
-) -> (Vec<f32>, BlockCtx) {
+    scratch: &Scratch,
+) -> (ScratchBuf, BlockCtx) {
     let h = cfg.hidden;
     let f = cfg.ffn;
     let tokens = batch * seq;
@@ -129,14 +134,14 @@ pub fn block_forward(
     assert_eq!(w.len(), lay.len(), "block weight buffer length");
 
     // --- attention half ---
-    let mut x1 = vec![0.0f32; tokens * h];
-    let mut inv_rms1 = vec![0.0f32; tokens];
+    let mut x1 = scratch.take(tokens * h);
+    let mut inv_rms1 = scratch.take(tokens);
     rmsnorm_forward(&mut x1, Some(&mut inv_rms1), x, &w[lay.attn_norm()], tokens, h, cfg.eps);
 
     let kv = cfg.kv_dim();
-    let mut q = vec![0.0f32; tokens * h];
-    let mut k = vec![0.0f32; tokens * kv];
-    let mut v = vec![0.0f32; tokens * kv];
+    let mut q = scratch.take(tokens * h);
+    let mut k = scratch.take(tokens * kv);
+    let mut v = scratch.take(tokens * kv);
     matmul_nt(&mut q, &x1, &w[lay.wq()], tokens, h, h);
     matmul_nt(&mut k, &x1, &w[lay.wk()], tokens, h, kv);
     matmul_nt(&mut v, &x1, &w[lay.wv()], tokens, h, kv);
@@ -148,38 +153,38 @@ pub fn block_forward(
     }
 
     let dims = attn_dims(cfg, batch, seq);
-    let mut attn_o = vec![0.0f32; tokens * h];
+    let mut attn_o = scratch.take(tokens * h);
     let attn = match cfg.attn {
-        AttnKind::Naive => naive_forward(&mut attn_o, &q, &k, &v, dims),
-        AttnKind::Streaming => streaming_forward(&mut attn_o, &q, &k, &v, dims),
+        AttnKind::Naive => naive_forward(&mut attn_o, &q, &k, &v, dims, scratch),
+        AttnKind::Streaming => streaming_forward(&mut attn_o, &q, &k, &v, dims, scratch),
     };
 
-    let mut x2 = vec![0.0f32; tokens * h];
+    let mut x2 = scratch.take(tokens * h);
     matmul_nt(&mut x2, &attn_o, &w[lay.wo()], tokens, h, h);
     for (a, b) in x2.iter_mut().zip(x) {
         *a += b; // residual
     }
 
     // --- FFN half ---
-    let mut x3 = vec![0.0f32; tokens * h];
-    let mut inv_rms2 = vec![0.0f32; tokens];
+    let mut x3 = scratch.take(tokens * h);
+    let mut inv_rms2 = scratch.take(tokens);
     rmsnorm_forward(&mut x3, Some(&mut inv_rms2), &x2, &w[lay.ffn_norm()], tokens, h, cfg.eps);
 
-    let mut gate = vec![0.0f32; tokens * f];
-    let mut up = vec![0.0f32; tokens * f];
+    let mut gate = scratch.take(tokens * f);
+    let mut up = scratch.take(tokens * f);
     matmul_nt(&mut gate, &x3, &w[lay.wg()], tokens, h, f);
     matmul_nt(&mut up, &x3, &w[lay.wu()], tokens, h, f);
-    let mut hg = vec![0.0f32; tokens * f];
+    let mut hg = scratch.take(tokens * f);
     swiglu_forward(&mut hg, &gate, &up);
 
-    let mut y = vec![0.0f32; tokens * h];
+    let mut y = scratch.take(tokens * h);
     matmul_nt(&mut y, &hg, &w[lay.wd()], tokens, f, h);
-    for (a, b) in y.iter_mut().zip(&x2) {
+    for (a, b) in y.iter_mut().zip(&x2[..]) {
         *a += b; // residual
     }
 
     let ctx = BlockCtx {
-        x: x.to_vec(),
+        x: scratch.take_copy(x),
         inv_rms1,
         x1,
         q,
@@ -206,14 +211,17 @@ pub fn block_forward_no_save(
     x: &[f32],
     batch: usize,
     seq: usize,
-) -> Vec<f32> {
-    // The transient ctx is dropped immediately; peak memory still spikes
-    // during the call, which the simulator's cost model accounts separately.
-    block_forward(cfg, rope, w, x, batch, seq).0
+    scratch: &Scratch,
+) -> ScratchBuf {
+    // The transient ctx is dropped immediately (its buffers go back to the
+    // arena); peak memory still spikes during the call, which the
+    // simulator's cost model accounts separately.
+    block_forward(cfg, rope, w, x, batch, seq, scratch).0
 }
 
 /// *B pass*: data gradient only. Returns `∂L/∂x` and the [`BPassCtx`] the
 /// W pass will consume.
+#[allow(clippy::too_many_arguments)]
 pub fn block_backward_data(
     cfg: &ModelConfig,
     rope: &RopeTable,
@@ -222,7 +230,8 @@ pub fn block_backward_data(
     dy: &[f32],
     batch: usize,
     seq: usize,
-) -> (Vec<f32>, BPassCtx) {
+    scratch: &Scratch,
+) -> (ScratchBuf, BPassCtx) {
     let h = cfg.hidden;
     let f = cfg.ffn;
     let tokens = batch * seq;
@@ -231,18 +240,18 @@ pub fn block_backward_data(
 
     // --- FFN half, data path ---
     // y = x2 + Wd·hg : d_down = dy, and dy also flows straight into dx2.
-    let d_down = dy.to_vec();
-    let mut dhg = vec![0.0f32; tokens * f];
+    let d_down = scratch.take_copy(dy);
+    let mut dhg = scratch.take(tokens * f);
     matmul_nn(&mut dhg, &d_down, &w[lay.wd()], tokens, h, f);
-    let mut dgate = vec![0.0f32; tokens * f];
-    let mut dup = vec![0.0f32; tokens * f];
+    let mut dgate = scratch.take(tokens * f);
+    let mut dup = scratch.take(tokens * f);
     swiglu_backward(&mut dgate, &mut dup, &dhg, &ctx.gate, &ctx.up);
-    let mut dx3 = vec![0.0f32; tokens * h];
+    let mut dx3 = scratch.take(tokens * h);
     matmul_nn(&mut dx3, &dgate, &w[lay.wg()], tokens, f, h);
     matmul_nn(&mut dx3, &dup, &w[lay.wu()], tokens, f, h);
 
-    let mut dx2 = dy.to_vec();
-    let mut dgain2 = vec![0.0f32; h];
+    let mut dx2 = scratch.take_copy(dy);
+    let mut dgain2 = scratch.take(h);
     rmsnorm_backward(
         &mut dx2,
         &mut dgain2,
@@ -257,21 +266,22 @@ pub fn block_backward_data(
     // --- attention half, data path ---
     // x2 = x + Wo·attn_o : upstream at the projection output is dx2.
     let d_attn_out = dx2.clone();
-    let mut d_attn_o = vec![0.0f32; tokens * h];
+    let mut d_attn_o = scratch.take(tokens * h);
     matmul_nn(&mut d_attn_o, &d_attn_out, &w[lay.wo()], tokens, h, h);
 
     let kv = cfg.kv_dim();
     let dims = attn_dims(cfg, batch, seq);
-    let mut dq = vec![0.0f32; tokens * h];
-    let mut dk = vec![0.0f32; tokens * kv];
-    let mut dv = vec![0.0f32; tokens * kv];
+    let mut dq = scratch.take(tokens * h);
+    let mut dk = scratch.take(tokens * kv);
+    let mut dv = scratch.take(tokens * kv);
     match cfg.attn {
         AttnKind::Naive => naive_backward(
             &mut dq, &mut dk, &mut dv, &d_attn_o, &ctx.q, &ctx.k, &ctx.v, &ctx.attn, dims,
+            scratch,
         ),
         AttnKind::Streaming => streaming_backward(
             &mut dq, &mut dk, &mut dv, &d_attn_o, &ctx.q, &ctx.k, &ctx.v, &ctx.attn_o, &ctx.attn,
-            dims,
+            dims, scratch,
         ),
     }
     // Undo RoPE on the q/k gradients (rotation is orthogonal).
@@ -282,13 +292,13 @@ pub fn block_backward_data(
         rope.apply_backward(&mut dk[rk], seq, cfg.kv_heads);
     }
 
-    let mut dx1 = vec![0.0f32; tokens * h];
+    let mut dx1 = scratch.take(tokens * h);
     matmul_nn(&mut dx1, &dq, &w[lay.wq()], tokens, h, h);
     matmul_nn(&mut dx1, &dk, &w[lay.wk()], tokens, kv, h);
     matmul_nn(&mut dx1, &dv, &w[lay.wv()], tokens, kv, h);
 
     let mut dx = dx2; // residual through x2 = x + …
-    let mut dgain1 = vec![0.0f32; h];
+    let mut dgain1 = scratch.take(h);
     rmsnorm_backward(
         &mut dx,
         &mut dgain1,
@@ -338,10 +348,10 @@ pub fn block_backward_weight(
     matmul_tn(&mut dw[lay.wq()], &bctx.dq_pre, &ctx.x1, h, tokens, h);
     matmul_tn(&mut dw[lay.wk()], &bctx.dk_pre, &ctx.x1, kv, tokens, h);
     matmul_tn(&mut dw[lay.wv()], &bctx.dv, &ctx.x1, kv, tokens, h);
-    for (g, d) in dw[lay.attn_norm()].iter_mut().zip(&bctx.dgain1) {
+    for (g, d) in dw[lay.attn_norm()].iter_mut().zip(&bctx.dgain1[..]) {
         *g += d;
     }
-    for (g, d) in dw[lay.ffn_norm()].iter_mut().zip(&bctx.dgain2) {
+    for (g, d) in dw[lay.ffn_norm()].iter_mut().zip(&bctx.dgain2[..]) {
         *g += d;
     }
 }
@@ -357,8 +367,9 @@ pub fn block_backward_full(
     dw: &mut [f32],
     batch: usize,
     seq: usize,
-) -> Vec<f32> {
-    let (dx, bctx) = block_backward_data(cfg, rope, w, ctx, dy, batch, seq);
+    scratch: &Scratch,
+) -> ScratchBuf {
+    let (dx, bctx) = block_backward_data(cfg, rope, w, ctx, dy, batch, seq, scratch);
     block_backward_weight(cfg, ctx, &bctx, dw, batch, seq);
     dx
 }
@@ -376,9 +387,10 @@ pub fn block_backward_recompute(
     dw: &mut [f32],
     batch: usize,
     seq: usize,
-) -> Vec<f32> {
-    let (_, ctx) = block_forward(cfg, rope, w, x, batch, seq);
-    block_backward_full(cfg, rope, w, &ctx, dy, dw, batch, seq)
+    scratch: &Scratch,
+) -> ScratchBuf {
+    let (_, ctx) = block_forward(cfg, rope, w, x, batch, seq, scratch);
+    block_backward_full(cfg, rope, w, &ctx, dy, dw, batch, seq, scratch)
 }
 
 #[cfg(test)]
@@ -398,27 +410,29 @@ mod tests {
     #[test]
     fn forward_shapes_and_determinism() {
         let (cfg, rope, w) = setup(AttnKind::Streaming);
+        let sc = Scratch::new();
         let (batch, seq) = (2, 4);
         let x = Tensor::randn([batch * seq * cfg.hidden], 1.0, 60).into_vec();
-        let (y1, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
-        let (y2, _) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let (y1, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
+        let (y2, _) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
         assert_eq!(y1, y2);
         assert_eq!(y1.len(), x.len());
         assert!(ctx.saved_elems() > x.len());
-        let y3 = block_forward_no_save(&cfg, &rope, &w, &x, batch, seq);
+        let y3 = block_forward_no_save(&cfg, &rope, &w, &x, batch, seq, &sc);
         assert_eq!(y1, y3);
     }
 
     #[test]
     fn naive_and_streaming_forward_agree() {
         let (cfg_n, rope, w) = setup(AttnKind::Naive);
+        let sc = Scratch::new();
         let mut cfg_s = cfg_n.clone();
         cfg_s.attn = AttnKind::Streaming;
         let (batch, seq) = (2, 5);
         let x = Tensor::randn([batch * seq * cfg_n.hidden], 1.0, 61).into_vec();
-        let (yn, _) = block_forward(&cfg_n, &rope, &w, &x, batch, seq);
-        let (ys, _) = block_forward(&cfg_s, &rope, &w, &x, batch, seq);
-        for (a, b) in yn.iter().zip(&ys) {
+        let (yn, _) = block_forward(&cfg_n, &rope, &w, &x, batch, seq, &sc);
+        let (ys, _) = block_forward(&cfg_s, &rope, &w, &x, batch, seq, &sc);
+        for (a, b) in yn.iter().zip(&ys[..]) {
             assert!((a - b).abs() < 1e-4);
         }
     }
@@ -435,17 +449,18 @@ mod tests {
 
     fn gradcheck(attn: AttnKind) {
         let (cfg, rope, w) = setup(attn);
+        let sc = Scratch::new();
         let (batch, seq) = (1, 3);
         let n = batch * seq * cfg.hidden;
         let x = Tensor::randn([n], 0.5, 62).into_vec();
         let dy = Tensor::randn([n], 1.0, 63).into_vec();
         let loss = |w: &[f32], x: &[f32]| -> f32 {
-            let (y, _) = block_forward(&cfg, &rope, w, x, batch, seq);
+            let (y, _) = block_forward(&cfg, &rope, w, x, batch, seq, &sc);
             y.iter().zip(&dy).map(|(a, b)| a * b).sum()
         };
-        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
         let mut dw = vec![0.0f32; w.len()];
-        let dx = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw, batch, seq);
+        let dx = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw, batch, seq, &sc);
 
         let h = 5e-3;
         // Spot-check a spread of weight indices (full sweep is too slow).
@@ -491,16 +506,18 @@ mod tests {
     #[test]
     fn split_backward_equals_full() {
         let (cfg, rope, w) = setup(AttnKind::Streaming);
+        let sc = Scratch::new();
         let (batch, seq) = (2, 4);
         let n = batch * seq * cfg.hidden;
         let x = Tensor::randn([n], 0.5, 64).into_vec();
         let dy = Tensor::randn([n], 1.0, 65).into_vec();
-        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
 
         let mut dw_full = vec![0.0f32; w.len()];
-        let dx_full = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw_full, batch, seq);
+        let dx_full =
+            block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw_full, batch, seq, &sc);
 
-        let (dx_split, bctx) = block_backward_data(&cfg, &rope, &w, &ctx, &dy, batch, seq);
+        let (dx_split, bctx) = block_backward_data(&cfg, &rope, &w, &ctx, &dy, batch, seq, &sc);
         let mut dw_split = vec![0.0f32; w.len()];
         block_backward_weight(&cfg, &ctx, &bctx, &mut dw_split, batch, seq);
 
@@ -514,17 +531,18 @@ mod tests {
     #[test]
     fn recompute_equals_saved_backward() {
         let (cfg, rope, w) = setup(AttnKind::Streaming);
+        let sc = Scratch::new();
         let (batch, seq) = (2, 3);
         let n = batch * seq * cfg.hidden;
         let x = Tensor::randn([n], 0.5, 66).into_vec();
         let dy = Tensor::randn([n], 1.0, 67).into_vec();
 
-        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
         let mut dw1 = vec![0.0f32; w.len()];
-        let dx1 = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw1, batch, seq);
+        let dx1 = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw1, batch, seq, &sc);
 
         let mut dw2 = vec![0.0f32; w.len()];
-        let dx2 = block_backward_recompute(&cfg, &rope, &w, &x, &dy, &mut dw2, batch, seq);
+        let dx2 = block_backward_recompute(&cfg, &rope, &w, &x, &dy, &mut dw2, batch, seq, &sc);
 
         assert_eq!(dx1, dx2);
         assert_eq!(dw1, dw2);
@@ -533,22 +551,23 @@ mod tests {
     #[test]
     fn weight_grads_accumulate_across_microbatches() {
         let (cfg, rope, w) = setup(AttnKind::Streaming);
+        let sc = Scratch::new();
         let (batch, seq) = (1, 3);
         let n = batch * seq * cfg.hidden;
         let xa = Tensor::randn([n], 0.5, 68).into_vec();
         let xb = Tensor::randn([n], 0.5, 69).into_vec();
         let dy = Tensor::randn([n], 1.0, 70).into_vec();
 
-        let (_, ctx_a) = block_forward(&cfg, &rope, &w, &xa, batch, seq);
-        let (_, ctx_b) = block_forward(&cfg, &rope, &w, &xb, batch, seq);
+        let (_, ctx_a) = block_forward(&cfg, &rope, &w, &xa, batch, seq, &sc);
+        let (_, ctx_b) = block_forward(&cfg, &rope, &w, &xb, batch, seq, &sc);
         let mut dw_a = vec![0.0f32; w.len()];
-        block_backward_full(&cfg, &rope, &w, &ctx_a, &dy, &mut dw_a, batch, seq);
+        block_backward_full(&cfg, &rope, &w, &ctx_a, &dy, &mut dw_a, batch, seq, &sc);
         let mut dw_b = vec![0.0f32; w.len()];
-        block_backward_full(&cfg, &rope, &w, &ctx_b, &dy, &mut dw_b, batch, seq);
+        block_backward_full(&cfg, &rope, &w, &ctx_b, &dy, &mut dw_b, batch, seq, &sc);
         // Accumulating both into one buffer equals the sum of separate runs.
         let mut dw_both = vec![0.0f32; w.len()];
-        block_backward_full(&cfg, &rope, &w, &ctx_a, &dy, &mut dw_both, batch, seq);
-        block_backward_full(&cfg, &rope, &w, &ctx_b, &dy, &mut dw_both, batch, seq);
+        block_backward_full(&cfg, &rope, &w, &ctx_a, &dy, &mut dw_both, batch, seq, &sc);
+        block_backward_full(&cfg, &rope, &w, &ctx_b, &dy, &mut dw_both, batch, seq, &sc);
         for i in 0..w.len() {
             assert!((dw_both[i] - (dw_a[i] + dw_b[i])).abs() < 1e-4, "i={i}");
         }

@@ -66,11 +66,18 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+/// Read one length-prefixed f32 buffer, requiring the stored length to match
+/// the config-derived `expected` element count exactly. A forged or corrupt
+/// length field fails with `InvalidData` *before* any allocation is sized
+/// from untrusted input (the old code accepted anything up to 2³³ elements —
+/// a 32 GiB allocation from a 8-byte header edit).
+fn read_f32s<R: Read>(r: &mut R, expected: usize) -> io::Result<Vec<f32>> {
     let n = read_u64(r)? as usize;
-    // Guard against absurd lengths from corrupt headers.
-    if n > (1 << 33) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible buffer length"));
+    if n != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("buffer length {n} does not match the {expected} elements implied by the config"),
+        ));
     }
     let mut bytes = vec![0u8; n * 4];
     r.read_exact(&mut bytes)?;
@@ -140,6 +147,24 @@ pub fn load_model_from<R: Read>(mut r: R) -> io::Result<Model> {
     let vocab = read_u64(&mut r)? as usize;
     let max_seq = read_u64(&mut r)? as usize;
     let streaming = read_u64(&mut r)? != 0;
+    // Bound every dimension before deriving buffer sizes from them, so the
+    // expected-length products below cannot overflow.
+    for (name, v) in [
+        ("hidden", hidden),
+        ("heads", heads),
+        ("kv_heads", kv_heads),
+        ("ffn", ffn),
+        ("layers", layers),
+        ("vocab", vocab),
+        ("max_seq", max_seq),
+    ] {
+        if v == 0 || v > (1 << 24) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible config field {name} = {v}"),
+            ));
+        }
+    }
     let mut f4 = [0u8; 4];
     r.read_exact(&mut f4)?;
     let eps = f32::from_le_bytes(f4);
@@ -157,16 +182,16 @@ pub fn load_model_from<R: Read>(mut r: R) -> io::Result<Model> {
         rope_theta,
         attn: if streaming { AttnKind::Streaming } else { AttnKind::Naive },
     };
-    let embed = read_f32s(&mut r)?;
+    let embed = read_f32s(&mut r, cfg.embed_params())?;
     let nblocks = read_u64(&mut r)? as usize;
     if nblocks != layers {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "block count mismatch"));
     }
     let mut blocks = Vec::with_capacity(nblocks);
     for _ in 0..nblocks {
-        blocks.push(read_f32s(&mut r)?);
+        blocks.push(read_f32s(&mut r, cfg.block_params())?);
     }
-    let head = read_f32s(&mut r)?;
+    let head = read_f32s(&mut r, cfg.head_params())?;
     Model::from_parts(cfg, embed, blocks, head)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
@@ -234,6 +259,54 @@ mod tests {
         save_model_to(&mut buf, &m).expect("save");
         buf.truncate(buf.len() - 100);
         assert!(load_model_from(&buf[..]).is_err());
+    }
+
+    /// Offset of the embed buffer's u64 length field: magic (8) + eight
+    /// config u64s (64) + eps (4) + rope_theta (4).
+    const EMBED_LEN_OFF: usize = 8 + 8 * 8 + 4 + 4;
+
+    #[test]
+    fn forged_length_field_rejected_before_allocating() {
+        let m = model();
+        let mut buf = Vec::new();
+        save_model_to(&mut buf, &m).expect("save");
+        // Claim an absurd 2^32-element embed buffer (a 16 GiB allocation if
+        // believed), then re-append a valid checksum over the edited body.
+        buf[EMBED_LEN_OFF..EMBED_LEN_OFF + 8].copy_from_slice(&(1u64 << 32).to_le_bytes());
+        let body_end = buf.len() - 8;
+        let h = super::fnv1a(&buf[..body_end]);
+        buf[body_end..].copy_from_slice(&h.to_le_bytes());
+        let err = load_model_from(&buf[..]).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn off_by_one_length_rejected() {
+        let m = model();
+        let expected = m.cfg.embed_params() as u64;
+        let mut buf = Vec::new();
+        save_model_to(&mut buf, &m).expect("save");
+        buf[EMBED_LEN_OFF..EMBED_LEN_OFF + 8].copy_from_slice(&(expected + 1).to_le_bytes());
+        let body_end = buf.len() - 8;
+        let h = super::fnv1a(&buf[..body_end]);
+        buf[body_end..].copy_from_slice(&h.to_le_bytes());
+        let err = load_model_from(&buf[..]).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn implausible_config_field_rejected() {
+        let m = model();
+        let mut buf = Vec::new();
+        save_model_to(&mut buf, &m).expect("save");
+        // Claim 2^40 hidden units (first config u64, right after the magic).
+        buf[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let body_end = buf.len() - 8;
+        let h = super::fnv1a(&buf[..body_end]);
+        buf[body_end..].copy_from_slice(&h.to_le_bytes());
+        let err = load_model_from(&buf[..]).expect_err("must fail");
+        assert!(err.to_string().contains("implausible"), "{err}");
     }
 
     #[test]

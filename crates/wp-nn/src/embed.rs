@@ -8,14 +8,20 @@
 
 use crate::config::ModelConfig;
 use crate::params::HeadLayout;
+use crate::scratch::{Scratch, ScratchBuf};
 use wp_tensor::ops::{
     cross_entropy_forward_backward, embedding_backward, embedding_forward, matmul_nn, matmul_nt,
     matmul_tn, rmsnorm_backward, rmsnorm_forward,
 };
 
 /// Look up token embeddings: `[tokens] -> [tokens, H]`.
-pub fn embed_forward(cfg: &ModelConfig, embed_w: &[f32], ids: &[u32]) -> Vec<f32> {
-    let mut x = vec![0.0f32; ids.len() * cfg.hidden];
+pub fn embed_forward(
+    cfg: &ModelConfig,
+    embed_w: &[f32],
+    ids: &[u32],
+    scratch: &Scratch,
+) -> ScratchBuf {
+    let mut x = scratch.take(ids.len() * cfg.hidden);
     embedding_forward(&mut x, embed_w, ids, cfg.vocab, cfg.hidden);
     x
 }
@@ -29,9 +35,9 @@ pub fn embed_backward(cfg: &ModelConfig, dembed: &mut [f32], dx: &[f32], ids: &[
 #[derive(Debug, Clone)]
 pub struct HeadCtx {
     /// Head input (last block's output).
-    x: Vec<f32>,
-    xn: Vec<f32>,
-    inv_rms: Vec<f32>,
+    x: ScratchBuf,
+    xn: ScratchBuf,
+    inv_rms: ScratchBuf,
 }
 
 impl HeadCtx {
@@ -39,21 +45,31 @@ impl HeadCtx {
     pub fn saved_elems(&self) -> usize {
         self.x.len() + self.xn.len() + self.inv_rms.len()
     }
+
+    /// Placeholder ctx holding nothing (pre-first-forward state).
+    pub fn empty() -> Self {
+        HeadCtx { x: ScratchBuf::empty(), xn: ScratchBuf::empty(), inv_rms: ScratchBuf::empty() }
+    }
 }
 
 /// Head forward: final RMSNorm then projection to logits `[tokens, vocab]`.
-pub fn head_forward(cfg: &ModelConfig, head_w: &[f32], x: &[f32]) -> (Vec<f32>, HeadCtx) {
+pub fn head_forward(
+    cfg: &ModelConfig,
+    head_w: &[f32],
+    x: &[f32],
+    scratch: &Scratch,
+) -> (ScratchBuf, HeadCtx) {
     let h = cfg.hidden;
     let tokens = x.len() / h;
     assert_eq!(x.len(), tokens * h);
     let lay = HeadLayout::new(cfg);
     assert_eq!(head_w.len(), lay.len());
-    let mut xn = vec![0.0f32; tokens * h];
-    let mut inv_rms = vec![0.0f32; tokens];
+    let mut xn = scratch.take(tokens * h);
+    let mut inv_rms = scratch.take(tokens);
     rmsnorm_forward(&mut xn, Some(&mut inv_rms), x, &head_w[lay.norm()], tokens, h, cfg.eps);
-    let mut logits = vec![0.0f32; tokens * cfg.vocab];
+    let mut logits = scratch.take(tokens * cfg.vocab);
     matmul_nt(&mut logits, &xn, &head_w[lay.wout()], tokens, h, cfg.vocab);
-    (logits, HeadCtx { x: x.to_vec(), xn, inv_rms })
+    (logits, HeadCtx { x: scratch.take_copy(x), xn, inv_rms })
 }
 
 /// Fused loss + head backward.
@@ -63,6 +79,7 @@ pub fn head_forward(cfg: &ModelConfig, head_w: &[f32], x: &[f32]) -> (Vec<f32>, 
 /// multiplies the logits gradient — callers use it for `1/N` microbatch
 /// averaging and for fp16 loss scaling. Gradients accumulate into `dhead`;
 /// returns `(loss, ∂L/∂x)`.
+#[allow(clippy::too_many_arguments)]
 pub fn head_loss_backward(
     cfg: &ModelConfig,
     head_w: &[f32],
@@ -71,7 +88,8 @@ pub fn head_loss_backward(
     targets: &[u32],
     dhead: &mut [f32],
     grad_scale: f32,
-) -> (f32, Vec<f32>) {
+    scratch: &Scratch,
+) -> (f32, ScratchBuf) {
     let h = cfg.hidden;
     let v = cfg.vocab;
     let tokens = targets.len();
@@ -79,19 +97,19 @@ pub fn head_loss_backward(
     let lay = HeadLayout::new(cfg);
     assert_eq!(dhead.len(), lay.len());
 
-    let mut dlogits = vec![0.0f32; tokens * v];
+    let mut dlogits = scratch.take(tokens * v);
     let loss = cross_entropy_forward_backward(&mut dlogits, logits, targets, v);
     if grad_scale != 1.0 {
-        for d in &mut dlogits {
+        for d in dlogits.iter_mut() {
             *d *= grad_scale;
         }
     }
 
     matmul_tn(&mut dhead[lay.wout()], &dlogits, &ctx.xn, v, tokens, h);
-    let mut dxn = vec![0.0f32; tokens * h];
+    let mut dxn = scratch.take(tokens * h);
     matmul_nn(&mut dxn, &dlogits, &head_w[lay.wout()], tokens, v, h);
 
-    let mut dx = vec![0.0f32; tokens * h];
+    let mut dx = scratch.take(tokens * h);
     // Split dhead to satisfy the borrow checker: norm gain grads live at the
     // front of the buffer.
     let (norm_grad, _) = dhead.split_at_mut(lay.norm().end);
@@ -122,9 +140,10 @@ mod tests {
     #[test]
     fn embed_roundtrip_shapes() {
         let c = cfg();
+        let sc = Scratch::new();
         let w = init_embed(&c, 1);
         let ids = [0u32, 3, 10, 3];
-        let x = embed_forward(&c, &w, &ids);
+        let x = embed_forward(&c, &w, &ids, &sc);
         assert_eq!(x.len(), 4 * c.hidden);
         // Rows for equal ids are equal.
         assert_eq!(&x[c.hidden..2 * c.hidden], &x[3 * c.hidden..4 * c.hidden]);
@@ -136,20 +155,21 @@ mod tests {
     #[test]
     fn head_gradcheck() {
         let c = cfg();
+        let sc = Scratch::new();
         let hw = init_head(&c, 2);
         let tokens = 3;
         let x = Tensor::randn([tokens * c.hidden], 0.5, 71).into_vec();
         let targets = [1u32, 5, 9];
 
         let loss_fn = |hw: &[f32], x: &[f32]| -> f32 {
-            let (logits, _) = head_forward(&c, hw, x);
+            let (logits, _) = head_forward(&c, hw, x, &sc);
             cross_entropy_loss(&logits, &targets, c.vocab)
         };
 
-        let (logits, ctx) = head_forward(&c, &hw, &x);
+        let (logits, ctx) = head_forward(&c, &hw, &x, &sc);
         let mut dhead = vec![0.0f32; hw.len()];
         let (loss, dx) =
-            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut dhead, 1.0);
+            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut dhead, 1.0, &sc);
         assert!((loss - loss_fn(&hw, &x)).abs() < 1e-5);
 
         let step = 5e-3;
@@ -174,14 +194,17 @@ mod tests {
     #[test]
     fn grad_scale_scales_gradients_not_loss() {
         let c = cfg();
+        let sc = Scratch::new();
         let hw = init_head(&c, 3);
         let x = Tensor::randn([2 * c.hidden], 0.5, 72).into_vec();
         let targets = [0u32, 4];
-        let (logits, ctx) = head_forward(&c, &hw, &x);
+        let (logits, ctx) = head_forward(&c, &hw, &x, &sc);
         let mut d1 = vec![0.0f32; hw.len()];
-        let (l1, dx1) = head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d1, 1.0);
+        let (l1, dx1) =
+            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d1, 1.0, &sc);
         let mut d2 = vec![0.0f32; hw.len()];
-        let (l2, dx2) = head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d2, 0.5);
+        let (l2, dx2) =
+            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d2, 0.5, &sc);
         assert_eq!(l1, l2);
         for i in 0..hw.len() {
             assert!((d2[i] - 0.5 * d1[i]).abs() < 1e-6);

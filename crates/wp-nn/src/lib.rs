@@ -31,6 +31,8 @@ pub mod embed;
 pub mod generate;
 pub mod model;
 pub mod params;
+pub mod scratch;
 
 pub use config::{AttnKind, ModelConfig};
 pub use model::{Model, ModelGrads};
+pub use scratch::{Scratch, ScratchBuf};

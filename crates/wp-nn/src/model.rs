@@ -9,6 +9,7 @@ use crate::block::{block_backward_full, block_forward, BlockCtx};
 use crate::config::ModelConfig;
 use crate::embed::{embed_backward, embed_forward, head_forward, head_loss_backward, HeadCtx};
 use crate::params::{init_block, init_embed, init_head};
+use crate::scratch::{Scratch, ScratchBuf};
 use wp_tensor::ops::RopeTable;
 
 /// All parameters of a model instance.
@@ -24,6 +25,9 @@ pub struct Model {
     pub blocks: Vec<Vec<f32>>,
     /// Head buffer (see [`crate::params::HeadLayout`]).
     pub head: Vec<f32>,
+    /// Scratch arena feeding every forward/backward temporary. Cloning a
+    /// model shares the arena (it is a recycling pool, not state).
+    pub scratch: Scratch,
 }
 
 /// Gradient buffers matching [`Model`]'s layout.
@@ -45,6 +49,15 @@ impl ModelGrads {
             blocks: model.blocks.iter().map(|b| vec![0.0; b.len()]).collect(),
             head: vec![0.0; model.head.len()],
         }
+    }
+
+    /// Reset all gradients to zero in place (no reallocation).
+    pub fn zero(&mut self) {
+        self.embed.fill(0.0);
+        for b in &mut self.blocks {
+            b.fill(0.0);
+        }
+        self.head.fill(0.0);
     }
 
     /// `self += other` elementwise (merging per-microbatch gradients).
@@ -73,19 +86,40 @@ impl ModelGrads {
 }
 
 /// Saved activations for one microbatch's full-model backward.
+///
+/// Reusable: [`Model::forward_into`] refills an existing ctx without fresh
+/// allocations (the buffers inside recycle through the model's arena).
 pub struct ModelFwdCtx {
     ids: Vec<u32>,
     block_ctxs: Vec<BlockCtx>,
     head_ctx: HeadCtx,
-    logits: Vec<f32>,
+    logits: ScratchBuf,
     batch: usize,
     seq: usize,
 }
 
 impl ModelFwdCtx {
+    /// An empty ctx to pass to [`Model::forward_into`].
+    pub fn empty() -> Self {
+        ModelFwdCtx {
+            ids: Vec::new(),
+            block_ctxs: Vec::new(),
+            head_ctx: HeadCtx::empty(),
+            logits: ScratchBuf::empty(),
+            batch: 0,
+            seq: 0,
+        }
+    }
+
     /// The forward pass's output logits, `[batch·seq, vocab]`.
     pub fn logits(&self) -> &[f32] {
         &self.logits
+    }
+}
+
+impl Default for ModelFwdCtx {
+    fn default() -> Self {
+        ModelFwdCtx::empty()
     }
 }
 
@@ -121,7 +155,7 @@ impl Model {
         if head.len() != cfg.head_params() {
             return Err(format!("head buffer {} != expected {}", head.len(), cfg.head_params()));
         }
-        Ok(Model { rope: cfg.rope_table(), cfg, embed, blocks, head })
+        Ok(Model { rope: cfg.rope_table(), cfg, embed, blocks, head, scratch: Scratch::new() })
     }
 
     /// Deterministically initialise a model from a seed.
@@ -132,22 +166,37 @@ impl Model {
             embed: init_embed(cfg, seed),
             blocks: (0..cfg.layers).map(|l| init_block(cfg, seed, l)).collect(),
             head: init_head(cfg, seed),
+            scratch: Scratch::new(),
         }
     }
 
     /// Forward pass for one microbatch of shape `[batch, seq]`.
     pub fn forward(&self, ids: &[u32], batch: usize, seq: usize) -> ModelFwdCtx {
+        let mut ctx = ModelFwdCtx::empty();
+        self.forward_into(ids, batch, seq, &mut ctx);
+        ctx
+    }
+
+    /// Forward pass reusing an existing [`ModelFwdCtx`]. After a warm-up
+    /// step, refilling a ctx performs zero heap allocations: its previous
+    /// buffers drop back into the arena and are taken right back out.
+    pub fn forward_into(&self, ids: &[u32], batch: usize, seq: usize, ctx: &mut ModelFwdCtx) {
         assert_eq!(ids.len(), batch * seq, "ids shape");
         assert!(seq <= self.cfg.max_seq, "sequence longer than RoPE table");
-        let mut x = embed_forward(&self.cfg, &self.embed, ids);
-        let mut block_ctxs = Vec::with_capacity(self.cfg.layers);
+        ctx.ids.clear();
+        ctx.ids.extend_from_slice(ids);
+        ctx.batch = batch;
+        ctx.seq = seq;
+        ctx.block_ctxs.clear();
+        let mut x = embed_forward(&self.cfg, &self.embed, ids, &self.scratch);
         for w in &self.blocks {
-            let (y, ctx) = block_forward(&self.cfg, &self.rope, w, &x, batch, seq);
-            block_ctxs.push(ctx);
+            let (y, bctx) = block_forward(&self.cfg, &self.rope, w, &x, batch, seq, &self.scratch);
+            ctx.block_ctxs.push(bctx);
             x = y;
         }
-        let (logits, head_ctx) = head_forward(&self.cfg, &self.head, &x);
-        ModelFwdCtx { ids: ids.to_vec(), block_ctxs, head_ctx, logits, batch, seq }
+        let (logits, head_ctx) = head_forward(&self.cfg, &self.head, &x, &self.scratch);
+        ctx.logits = logits;
+        ctx.head_ctx = head_ctx;
     }
 
     /// Mean cross-entropy of a forward pass against `targets`.
@@ -175,6 +224,7 @@ impl Model {
             targets,
             &mut grads.head,
             grad_scale,
+            &self.scratch,
         );
         for l in (0..self.cfg.layers).rev() {
             dx = block_backward_full(
@@ -186,6 +236,7 @@ impl Model {
                 &mut grads.blocks[l],
                 ctx.batch,
                 ctx.seq,
+                &self.scratch,
             );
         }
         embed_backward(&self.cfg, &mut grads.embed, &dx, &ctx.ids);

@@ -1,0 +1,94 @@
+//! Proof of the tentpole contract: once the scratch arena is warm, a full
+//! training iteration (forward, backward, W-pass gradient accumulation)
+//! performs **zero** heap allocations.
+//!
+//! A counting global allocator wraps `System`; the test warms the model for
+//! two iterations (populating the arena's buffer pools and the reused
+//! forward context), snapshots the allocation counter, runs more
+//! iterations, and asserts the counter did not move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wp_nn::block::{block_backward_data, block_backward_weight, block_forward};
+use wp_nn::config::ModelConfig;
+use wp_nn::data::synthetic_batch;
+use wp_nn::model::{Model, ModelFwdCtx, ModelGrads};
+use wp_nn::params::init_block;
+use wp_nn::scratch::Scratch;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Count allocations during `f`, after running `warmup` iterations of it.
+fn allocs_when_warm(warmup: usize, iters: usize, mut f: impl FnMut()) -> u64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..iters {
+        f();
+    }
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn warm_train_iteration_allocates_nothing() {
+    let cfg = ModelConfig::tiny(2);
+    let model = Model::new(&cfg, 7);
+    let (batch, seq) = (2, 8);
+    let (ids, targets) = synthetic_batch(cfg.vocab, batch, seq, 42);
+    let mut grads = ModelGrads::zeros_like(&model);
+    let mut fwd = ModelFwdCtx::empty();
+
+    let delta = allocs_when_warm(2, 3, || {
+        grads.zero();
+        model.forward_into(&ids, batch, seq, &mut fwd);
+        let _ = model.backward(&fwd, &targets, &mut grads, 1.0);
+    });
+    assert_eq!(delta, 0, "warm forward+backward iteration performed {delta} heap allocations");
+}
+
+#[test]
+fn warm_split_bw_pass_allocates_nothing() {
+    // The WeiPipe runtime splits backward into a B pass (data gradients,
+    // saves per-layer contexts) and a W pass (weight gradients). Both must
+    // stay off the heap once the arena is warm.
+    let cfg = ModelConfig::tiny(1);
+    let rope = cfg.rope_table();
+    let w = init_block(&cfg, 3, 0);
+    let sc = Scratch::new();
+    let (batch, seq) = (2, 8);
+    let n = batch * seq * cfg.hidden;
+    let x: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) * 0.07).collect();
+    let dy: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) * 0.11).collect();
+    let mut dw = vec![0.0f32; w.len()];
+
+    let delta = allocs_when_warm(2, 3, || {
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
+        let (_dx, bctx) = block_backward_data(&cfg, &rope, &w, &ctx, &dy, batch, seq, &sc);
+        dw.fill(0.0);
+        block_backward_weight(&cfg, &ctx, &bctx, &mut dw, batch, seq);
+    });
+    assert_eq!(delta, 0, "warm split B/W pass performed {delta} heap allocations");
+}

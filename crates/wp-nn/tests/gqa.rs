@@ -5,6 +5,7 @@ use wp_nn::attention::{naive_forward, streaming_backward, streaming_forward, Att
 use wp_nn::block::{block_backward_full, block_forward};
 use wp_nn::config::{AttnKind, ModelConfig};
 use wp_nn::params::init_block;
+use wp_nn::scratch::Scratch;
 use wp_tensor::Tensor;
 
 fn gqa_cfg(heads: usize, kv_heads: usize) -> ModelConfig {
@@ -33,10 +34,11 @@ fn gqa_streaming_matches_naive() {
     let q = Tensor::rand_uniform([nq], -1.0, 1.0, 1).into_vec();
     let k = Tensor::rand_uniform([nkv], -1.0, 1.0, 2).into_vec();
     let v = Tensor::rand_uniform([nkv], -1.0, 1.0, 3).into_vec();
+    let sc = Scratch::new();
     let mut o1 = vec![0.0; nq];
-    naive_forward(&mut o1, &q, &k, &v, dims);
+    naive_forward(&mut o1, &q, &k, &v, dims, &sc);
     let mut o2 = vec![0.0; nq];
-    streaming_forward(&mut o2, &q, &k, &v, dims);
+    streaming_forward(&mut o2, &q, &k, &v, dims, &sc);
     for (a, b) in o1.iter().zip(&o2) {
         assert!((a - b).abs() < 1e-4);
     }
@@ -60,7 +62,7 @@ fn gqa_groups_share_kv() {
     let k = Tensor::rand_uniform([nkv], -1.0, 1.0, 5).into_vec();
     let v = Tensor::rand_uniform([nkv], -1.0, 1.0, 6).into_vec();
     let mut o = vec![0.0; q.len()];
-    streaming_forward(&mut o, &q, &k, &v, dims);
+    streaming_forward(&mut o, &q, &k, &v, dims, &Scratch::new());
     for s in 0..dims.seq {
         for d in 0..dims.head_dim {
             assert!(
@@ -80,15 +82,16 @@ fn gqa_backward_gradcheck() {
     let k = Tensor::rand_uniform([nkv], -1.0, 1.0, 8).into_vec();
     let v = Tensor::rand_uniform([nkv], -1.0, 1.0, 9).into_vec();
     let dout = Tensor::rand_uniform([nq], -1.0, 1.0, 10).into_vec();
+    let sc = Scratch::new();
     let loss = |q: &[f32], k: &[f32], v: &[f32]| -> f32 {
         let mut o = vec![0.0; nq];
-        streaming_forward(&mut o, q, k, v, dims);
+        streaming_forward(&mut o, q, k, v, dims, &sc);
         o.iter().zip(&dout).map(|(a, b)| a * b).sum()
     };
     let mut o = vec![0.0; nq];
-    let ctx = streaming_forward(&mut o, &q, &k, &v, dims);
+    let ctx = streaming_forward(&mut o, &q, &k, &v, dims, &sc);
     let (mut dq, mut dk, mut dv) = (vec![0.0; nq], vec![0.0; nkv], vec![0.0; nkv]);
-    streaming_backward(&mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, dims);
+    streaming_backward(&mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, dims, &sc);
     let h = 1e-2;
     for i in 0..nkv {
         let mut kp = k.clone();
@@ -115,13 +118,14 @@ fn gqa_block_gradcheck() {
     let n = batch * seq * cfg.hidden;
     let x = Tensor::rand_uniform([n], -0.5, 0.5, 11).into_vec();
     let dy = Tensor::rand_uniform([n], -1.0, 1.0, 12).into_vec();
+    let sc = Scratch::new();
     let loss = |w: &[f32]| -> f32 {
-        let (y, _) = block_forward(&cfg, &rope, w, &x, batch, seq);
+        let (y, _) = block_forward(&cfg, &rope, w, &x, batch, seq, &sc);
         y.iter().zip(&dy).map(|(a, b)| a * b).sum()
     };
-    let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+    let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
     let mut dw = vec![0.0; w.len()];
-    block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw, batch, seq);
+    block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw, batch, seq, &sc);
     let lay = wp_nn::params::BlockLayout::new(&cfg);
     let h = 5e-3;
     for &i in &[

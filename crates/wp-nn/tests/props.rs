@@ -11,6 +11,7 @@ use wp_nn::block::{
 };
 use wp_nn::config::{AttnKind, ModelConfig};
 use wp_nn::params::init_block;
+use wp_nn::scratch::Scratch;
 use wp_tensor::Tensor;
 
 fn cfg_with(attn: AttnKind, heads: usize, head_dim: usize, ffn: usize) -> ModelConfig {
@@ -40,18 +41,19 @@ proptest! {
         let v = Tensor::rand_uniform([n], -1.0, 1.0, seed + 2).into_vec();
         let dout = Tensor::rand_uniform([n], -1.0, 1.0, seed + 3).into_vec();
 
+        let sc = Scratch::new();
         let mut o1 = vec![0.0; n];
-        let c1 = naive_forward(&mut o1, &q, &k, &v, dims);
+        let c1 = naive_forward(&mut o1, &q, &k, &v, dims, &sc);
         let mut o2 = vec![0.0; n];
-        let c2 = streaming_forward(&mut o2, &q, &k, &v, dims);
+        let c2 = streaming_forward(&mut o2, &q, &k, &v, dims, &sc);
         for (a, b) in o1.iter().zip(&o2) {
             prop_assert!((a - b).abs() < 1e-4);
         }
 
         let (mut dq1, mut dk1, mut dv1) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        naive_backward(&mut dq1, &mut dk1, &mut dv1, &dout, &q, &k, &v, &c1, dims);
+        naive_backward(&mut dq1, &mut dk1, &mut dv1, &dout, &q, &k, &v, &c1, dims, &sc);
         let (mut dq2, mut dk2, mut dv2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        streaming_backward(&mut dq2, &mut dk2, &mut dv2, &dout, &q, &k, &v, &o2, &c2, dims);
+        streaming_backward(&mut dq2, &mut dk2, &mut dv2, &dout, &q, &k, &v, &o2, &c2, dims, &sc);
         for i in 0..n {
             prop_assert!((dq1[i] - dq2[i]).abs() < 1e-3, "dq[{i}]");
             prop_assert!((dk1[i] - dk2[i]).abs() < 1e-3, "dk[{i}]");
@@ -73,10 +75,12 @@ proptest! {
         let x = Tensor::rand_uniform([n], -1.0, 1.0, seed + 1).into_vec();
         let dy = Tensor::rand_uniform([n], -1.0, 1.0, seed + 2).into_vec();
 
-        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let sc = Scratch::new();
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
         let mut dw_full = vec![0.0; w.len()];
-        let dx_full = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw_full, batch, seq);
-        let (dx_split, bctx) = block_backward_data(&cfg, &rope, &w, &ctx, &dy, batch, seq);
+        let dx_full =
+            block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw_full, batch, seq, &sc);
+        let (dx_split, bctx) = block_backward_data(&cfg, &rope, &w, &ctx, &dy, batch, seq, &sc);
         let mut dw_split = vec![0.0; w.len()];
         block_backward_weight(&cfg, &ctx, &bctx, &mut dw_split, batch, seq);
 
@@ -97,11 +101,13 @@ proptest! {
         let x = Tensor::rand_uniform([n], -1.0, 1.0, seed + 1).into_vec();
         let dy = Tensor::rand_uniform([n], -1.0, 1.0, seed + 2).into_vec();
 
-        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq);
+        let sc = Scratch::new();
+        let (_, ctx) = block_forward(&cfg, &rope, &w, &x, batch, seq, &sc);
         let mut dw1 = vec![0.0; w.len()];
-        let dx1 = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw1, batch, seq);
+        let dx1 = block_backward_full(&cfg, &rope, &w, &ctx, &dy, &mut dw1, batch, seq, &sc);
         let mut dw2 = vec![0.0; w.len()];
-        let dx2 = block_backward_recompute(&cfg, &rope, &w, &x, &dy, &mut dw2, batch, seq);
+        let dx2 =
+            block_backward_recompute(&cfg, &rope, &w, &x, &dy, &mut dw2, batch, seq, &sc);
         prop_assert_eq!(dx1, dx2);
         prop_assert_eq!(dw1, dw2);
     }
@@ -121,13 +127,14 @@ proptest! {
         let xb = Tensor::rand_uniform([per], -1.0, 1.0, seed + 2).into_vec();
         let mut both = xa.clone();
         both.extend_from_slice(&xb);
-        let (y_both, _) = block_forward(&cfg, &rope, &w, &both, 2, seq);
-        let (ya, _) = block_forward(&cfg, &rope, &w, &xa, 1, seq);
-        let (yb, _) = block_forward(&cfg, &rope, &w, &xb, 1, seq);
-        for (got, want) in y_both[..per].iter().zip(&ya) {
+        let sc = Scratch::new();
+        let (y_both, _) = block_forward(&cfg, &rope, &w, &both, 2, seq, &sc);
+        let (ya, _) = block_forward(&cfg, &rope, &w, &xa, 1, seq, &sc);
+        let (yb, _) = block_forward(&cfg, &rope, &w, &xb, 1, seq, &sc);
+        for (got, want) in y_both[..per].iter().zip(&ya[..]) {
             prop_assert!((got - want).abs() < 1e-5);
         }
-        for (got, want) in y_both[per..].iter().zip(&yb) {
+        for (got, want) in y_both[per..].iter().zip(&yb[..]) {
             prop_assert!((got - want).abs() < 1e-5);
         }
     }

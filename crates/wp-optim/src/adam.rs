@@ -8,7 +8,7 @@
 use crate::Optimizer;
 
 /// Adam hyperparameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdamConfig {
     /// Learning rate.
     pub lr: f32,
@@ -29,7 +29,10 @@ impl Default for AdamConfig {
 }
 
 /// Adam(W) state for one flat parameter buffer.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full state (`m`, `v`, `t`, config) bit-for-bit —
+/// tests use it to prove a skipped step leaves the optimizer untouched.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdamW {
     cfg: AdamConfig,
     m: Vec<f32>,

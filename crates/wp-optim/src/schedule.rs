@@ -22,7 +22,30 @@ pub enum LrSchedule {
 }
 
 impl LrSchedule {
+    /// Validated [`LrSchedule::WarmupCosine`] constructor.
+    ///
+    /// Rejects `total <= warmup` (the decay phase would be empty) and a
+    /// `min_ratio` outside `[0, 1]` or NaN. The old code silently rewrote
+    /// `total` to `warmup + 1` inside [`multiplier`](Self::multiplier),
+    /// which turned a mis-specified schedule into an instant drop to
+    /// `min_ratio` right after warmup instead of an error.
+    pub fn warmup_cosine(warmup: u64, total: u64, min_ratio: f32) -> Result<Self, String> {
+        if total <= warmup {
+            return Err(format!(
+                "WarmupCosine needs total > warmup, got total = {total}, warmup = {warmup}"
+            ));
+        }
+        if !(0.0..=1.0).contains(&min_ratio) {
+            return Err(format!("WarmupCosine min_ratio must be in [0, 1], got {min_ratio}"));
+        }
+        Ok(LrSchedule::WarmupCosine { warmup, total, min_ratio })
+    }
+
     /// Multiplier at `step` (0-based).
+    ///
+    /// For a `WarmupCosine` built directly with `total <= warmup` (bypassing
+    /// [`warmup_cosine`](Self::warmup_cosine)) this debug-asserts; in release
+    /// it saturates to `min_ratio` after warmup rather than producing NaN.
     pub fn multiplier(&self, step: u64) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
@@ -37,7 +60,14 @@ impl LrSchedule {
                 if warmup > 0 && step < warmup {
                     return (step + 1) as f32 / warmup as f32;
                 }
-                let total = total.max(warmup + 1);
+                debug_assert!(
+                    total > warmup,
+                    "WarmupCosine needs total > warmup (use LrSchedule::warmup_cosine), \
+                     got total = {total}, warmup = {warmup}"
+                );
+                if total <= warmup {
+                    return min_ratio;
+                }
                 let progress =
                     ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
@@ -94,5 +124,38 @@ mod tests {
     fn lr_at_scales_base() {
         let s = LrSchedule::Warmup { warmup: 2 };
         assert_eq!(s.lr_at(0.2, 0), 0.1);
+    }
+
+    #[test]
+    fn warmup_cosine_constructor_validates() {
+        assert!(LrSchedule::warmup_cosine(2, 12, 0.1).is_ok());
+        // The decay phase must be non-empty: total <= warmup is an error, not
+        // a silent rewrite of `total`.
+        assert!(LrSchedule::warmup_cosine(10, 10, 0.1).is_err());
+        assert!(LrSchedule::warmup_cosine(10, 5, 0.1).is_err());
+        assert!(LrSchedule::warmup_cosine(2, 12, -0.1).is_err());
+        assert!(LrSchedule::warmup_cosine(2, 12, 1.5).is_err());
+        assert!(LrSchedule::warmup_cosine(2, 12, f32::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "total > warmup")]
+    #[cfg(debug_assertions)]
+    fn degenerate_warmup_cosine_debug_asserts() {
+        // Built directly, bypassing the validated constructor.
+        let s = LrSchedule::WarmupCosine { warmup: 10, total: 5, min_ratio: 0.1 };
+        let _ = s.multiplier(10);
+    }
+
+    #[test]
+    fn degenerate_warmup_cosine_never_yields_nan() {
+        let s = LrSchedule::WarmupCosine { warmup: 10, total: 5, min_ratio: 0.1 };
+        // Warmup steps are unaffected by the degenerate decay phase.
+        assert_eq!(s.multiplier(0), 0.1);
+        if !cfg!(debug_assertions) {
+            // Release saturates to min_ratio instead of 0/0 = NaN.
+            assert_eq!(s.multiplier(10), 0.1);
+            assert_eq!(s.multiplier(100), 0.1);
+        }
     }
 }

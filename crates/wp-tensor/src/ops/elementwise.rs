@@ -1,4 +1,24 @@
 //! Elementwise activation functions and their derivatives.
+//!
+//! The slice kernels split their (order-independent, per-index) work into
+//! contiguous spans across the pool; each span computes exactly what the
+//! sequential loop would, so results are bit-identical either way.
+
+use super::par::{par_row_bands, RawMut, PAR_MIN_WORK};
+
+/// Run `f(span_start, out_span)` over disjoint contiguous spans of `out`,
+/// in parallel when the buffer is large enough to pay for dispatch.
+fn par_spans(out: &mut [f32], f: impl Fn(usize, &mut [f32]) + Sync) {
+    if out.len() < PAR_MIN_WORK {
+        f(0, out);
+        return;
+    }
+    let n = out.len();
+    let op = RawMut(out.as_mut_ptr());
+    par_row_bands(n, move |s, e| {
+        f(s, unsafe { op.slice(s, e - s) });
+    });
+}
 
 /// Numerically stable logistic sigmoid.
 #[inline]
@@ -27,18 +47,24 @@ pub fn silu_grad(x: f32) -> f32 {
 /// `out[i] = silu(x[i])`.
 pub fn silu_forward(out: &mut [f32], x: &[f32]) {
     assert_eq!(out.len(), x.len());
-    for (o, &v) in out.iter_mut().zip(x) {
-        *o = silu(v);
-    }
+    par_spans(out, |s, o| {
+        let n = o.len();
+        for (o, &v) in o.iter_mut().zip(&x[s..s + n]) {
+            *o = silu(v);
+        }
+    });
 }
 
 /// `dx[i] += dy[i] * silu'(x[i])`.
 pub fn silu_backward(dx: &mut [f32], dy: &[f32], x: &[f32]) {
     assert_eq!(dx.len(), dy.len());
     assert_eq!(dx.len(), x.len());
-    for ((g, &d), &v) in dx.iter_mut().zip(dy).zip(x) {
-        *g += d * silu_grad(v);
-    }
+    par_spans(dx, |s, g| {
+        let n = g.len();
+        for ((g, &d), &v) in g.iter_mut().zip(&dy[s..s + n]).zip(&x[s..s + n]) {
+            *g += d * silu_grad(v);
+        }
+    });
 }
 
 /// SwiGLU gating: `out = silu(gate) * up`, the elementwise half of Llama's
@@ -46,9 +72,12 @@ pub fn silu_backward(dx: &mut [f32], dy: &[f32], x: &[f32]) {
 pub fn swiglu_forward(out: &mut [f32], gate: &[f32], up: &[f32]) {
     assert_eq!(out.len(), gate.len());
     assert_eq!(out.len(), up.len());
-    for ((o, &g), &u) in out.iter_mut().zip(gate).zip(up) {
-        *o = silu(g) * u;
-    }
+    par_spans(out, |s, o| {
+        let n = o.len();
+        for ((o, &g), &u) in o.iter_mut().zip(&gate[s..s + n]).zip(&up[s..s + n]) {
+            *o = silu(g) * u;
+        }
+    });
 }
 
 /// Backward of [`swiglu_forward`]: accumulates into `dgate` and `dup`.
@@ -64,28 +93,39 @@ pub fn swiglu_backward(
     assert_eq!(dup.len(), n);
     assert_eq!(gate.len(), n);
     assert_eq!(up.len(), n);
-    for i in 0..n {
-        dgate[i] += dy[i] * up[i] * silu_grad(gate[i]);
-        dup[i] += dy[i] * silu(gate[i]);
-    }
+    let dupp = RawMut(dup.as_mut_ptr());
+    par_spans(dgate, move |s, dg| {
+        let m = dg.len();
+        let du = unsafe { dupp.slice(s, m) };
+        for i in 0..m {
+            dg[i] += dy[s + i] * up[s + i] * silu_grad(gate[s + i]);
+            du[i] += dy[s + i] * silu(gate[s + i]);
+        }
+    });
 }
 
 /// Hadamard product `out[i] = a[i] * b[i]`.
 pub fn mul(out: &mut [f32], a: &[f32], b: &[f32]) {
     assert_eq!(out.len(), a.len());
     assert_eq!(out.len(), b.len());
-    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-        *o = x * y;
-    }
+    par_spans(out, |s, o| {
+        let n = o.len();
+        for ((o, &x), &y) in o.iter_mut().zip(&a[s..s + n]).zip(&b[s..s + n]) {
+            *o = x * y;
+        }
+    });
 }
 
 /// `out[i] = a[i] + b[i]` (residual connections).
 pub fn add(out: &mut [f32], a: &[f32], b: &[f32]) {
     assert_eq!(out.len(), a.len());
     assert_eq!(out.len(), b.len());
-    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-        *o = x + y;
-    }
+    par_spans(out, |s, o| {
+        let n = o.len();
+        for ((o, &x), &y) in o.iter_mut().zip(&a[s..s + n]).zip(&b[s..s + n]) {
+            *o = x + y;
+        }
+    });
 }
 
 #[cfg(test)]

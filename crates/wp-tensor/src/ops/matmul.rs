@@ -24,6 +24,40 @@ const PAR_MIN_FLOPS: usize = 1 << 20;
 /// Inner blocking over `k` keeps a panel of `b` in cache.
 const KC: usize = 256;
 
+/// Accumulator lanes of [`dot`]. Eight f32 lanes fill one AVX2 register and
+/// give the compiler a reduction it can keep entirely in SIMD.
+const DOT_LANES: usize = 8;
+
+/// Dot product of two equal-length rows with a **fixed** 8-lane
+/// accumulation order.
+///
+/// A plain `acc += x * y` loop cannot be vectorised by the compiler (float
+/// addition is not reassociative), which leaves every dot-product-shaped
+/// kernel — `matmul_nt` rows, attention scores — scalar-bound. Splitting the
+/// accumulation into eight independent lanes that are reduced in a fixed
+/// tree at the end is still a deterministic order (the same on every run
+/// and every thread count), just one the compiler can map onto SIMD lanes.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; DOT_LANES];
+    let a8 = a.chunks_exact(DOT_LANES);
+    let b8 = b.chunks_exact(DOT_LANES);
+    let (ra, rb) = (a8.remainder(), b8.remainder());
+    for (ca, cb) in a8.zip(b8) {
+        for l in 0..DOT_LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += x * y;
+    }
+    let lo = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let hi = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+    (lo + hi) + tail
+}
+
 /// `C[m,n] += A[m,k] · B[k,n]` (both operands row-major, untransposed).
 ///
 /// # Panics
@@ -70,12 +104,7 @@ pub fn matmul_nt(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     let run_row = |row_c: &mut [f32], row_a: &[f32]| {
         for (j, cj) in row_c.iter_mut().enumerate() {
             let brow = &b[j * k..j * k + k];
-            // Dot product of two contiguous rows: unrolled by the compiler.
-            let mut acc = 0.0f32;
-            for (x, y) in row_a.iter().zip(brow) {
-                acc += x * y;
-            }
-            *cj += acc;
+            *cj += dot(row_a, brow);
         }
     };
     if 2 * m * n * k >= PAR_MIN_FLOPS && m > 1 {
@@ -116,8 +145,10 @@ pub fn matmul_tn(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     };
     if 2 * m * n * k >= PAR_MIN_FLOPS && m > 1 {
         // Split output rows into contiguous bands; each band re-streams A and
-        // B but owns its C rows exclusively.
-        let band = (m / rayon::current_num_threads().max(1)).max(1);
+        // B but owns its C rows exclusively. Ceiling division keeps the
+        // split to at most `threads` near-even bands (floor division could
+        // produce up to 2T bands with a one-row straggler tail).
+        let band = m.div_ceil(rayon::current_num_threads().max(1));
         c.par_chunks_mut(band * n)
             .enumerate()
             .for_each(|(bi, c_chunk)| run_rows(c_chunk, bi * band));
@@ -212,6 +243,42 @@ mod tests {
         let mut c = vec![100.0; 4];
         matmul_nn(&mut c, &a, &b, 2, 2, 2);
         assert_eq!(c, vec![105.0, 106.0, 107.0, 108.0]);
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference() {
+        for &n in &[0usize, 1, 7, 8, 9, 64, 250, 1024] {
+            let a = Tensor::randn([n.max(1)], 1.0, 40).into_vec();
+            let b = Tensor::randn([n.max(1)], 1.0, 41).into_vec();
+            let (a, b) = (&a[..n], &b[..n]);
+            let want: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let got = dot(a, b);
+            assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()), "n={n}: {got} vs {want}");
+            // Deterministic: same inputs, same bits, every time.
+            assert_eq!(got.to_bits(), dot(a, b).to_bits());
+        }
+    }
+
+    #[test]
+    fn tn_band_split_handles_indivisible_rows() {
+        // Regression for the floor-divided band size: `m` chosen so it does
+        // not divide by any plausible thread count, and large enough to take
+        // the parallel path. All rows must be produced exactly once and the
+        // parallel split must match the sequential run bit for bit.
+        let (m, k, n) = (131, 70, 64);
+        assert!(2 * m * n * k >= super::PAR_MIN_FLOPS);
+        let at = Tensor::randn([k * m], 1.0, 42).into_vec();
+        let b = Tensor::randn([k * n], 1.0, 43).into_vec();
+        let mut c_par = vec![0.0; m * n];
+        matmul_tn(&mut c_par, &at, &b, m, k, n);
+        let mut c_seq = vec![0.0; m * n];
+        rayon::force_sequential(|| matmul_tn(&mut c_seq, &at, &b, m, k, n));
+        assert_eq!(c_par, c_seq);
+        let a = transpose(&at, k, m);
+        let r = naive_ref(&a, &b, m, k, n);
+        for (x, y) in c_par.iter().zip(&r) {
+            assert!((x - y).abs() < 1e-3, "tn band mismatch");
+        }
     }
 
     #[test]

@@ -3,6 +3,14 @@
 //!
 //! For a row `x` of width `H` with learned gain `g`:
 //! `y_i = g_i * x_i / rms(x)`, `rms(x) = sqrt(mean(x²) + eps)`.
+//!
+//! Rows are independent, so the forward pass and the `dx` half of the
+//! backward pass are split across the pool in row bands with unchanged
+//! per-row arithmetic (bit-identical to sequential). The `dgain` half
+//! accumulates **across** rows and stays a single serial pass in the
+//! original row order.
+
+use super::par::{par_row_bands, RawMut, PAR_MIN_WORK};
 
 /// Forward RMSNorm over each row of an `[rows, h]` matrix.
 ///
@@ -24,19 +32,37 @@ pub fn rmsnorm_forward(
     if let Some(ref ir) = inv_rms {
         assert_eq!(ir.len(), rows);
     }
-    let mut inv_rms = inv_rms;
-    for r in 0..rows {
+    let one_row = |or: &mut [f32], r: usize| -> f32 {
         let xr = &x[r * h..(r + 1) * h];
-        let or = &mut out[r * h..(r + 1) * h];
         let ms = xr.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / h as f64;
         let inv = 1.0 / (ms + eps as f64).sqrt() as f32;
-        if let Some(ir) = inv_rms.as_deref_mut() {
-            ir[r] = inv;
-        }
         for i in 0..h {
             or[i] = gain[i] * xr[i] * inv;
         }
+        inv
+    };
+    if out.len() < PAR_MIN_WORK {
+        let mut inv_rms = inv_rms;
+        for r in 0..rows {
+            let inv = one_row(&mut out[r * h..(r + 1) * h], r);
+            if let Some(ir) = inv_rms.as_deref_mut() {
+                ir[r] = inv;
+            }
+        }
+        return;
     }
+    let op = RawMut(out.as_mut_ptr());
+    let ip = inv_rms.map(|ir| RawMut(ir.as_mut_ptr()));
+    par_row_bands(rows, move |r0, r1| {
+        for r in r0..r1 {
+            let or = unsafe { op.slice(r * h, h) };
+            let inv = one_row(or, r);
+            if let Some(ref ip) = ip {
+                let slot = unsafe { ip.slice(r, 1) };
+                slot[0] = inv;
+            }
+        }
+    });
 }
 
 /// Backward RMSNorm.
@@ -64,7 +90,8 @@ pub fn rmsnorm_backward(
     assert_eq!(x.len(), rows * h);
     assert_eq!(gain.len(), h);
     assert_eq!(inv_rms.len(), rows);
-    for r in 0..rows {
+    // dx: rows are independent — parallel bands, same per-row order.
+    let dx_row = |dxr: &mut [f32], r: usize| {
         let o = r * h;
         let xr = &x[o..o + h];
         let dyr = &dy[o..o + h];
@@ -72,12 +99,33 @@ pub fn rmsnorm_backward(
         let mut dot = 0.0f64;
         for i in 0..h {
             dot += (dyr[i] * gain[i] * xr[i]) as f64;
-            dgain[i] += dyr[i] * xr[i] * inv;
         }
         let coef = inv as f64 * inv as f64 * inv as f64 * dot / h as f64;
-        let dxr = &mut dx[o..o + h];
         for i in 0..h {
             dxr[i] += inv * gain[i] * dyr[i] - (coef as f32) * xr[i];
+        }
+    };
+    if dx.len() < PAR_MIN_WORK {
+        for r in 0..rows {
+            dx_row(&mut dx[r * h..(r + 1) * h], r);
+        }
+    } else {
+        let dxp = RawMut(dx.as_mut_ptr());
+        par_row_bands(rows, move |r0, r1| {
+            for r in r0..r1 {
+                dx_row(unsafe { dxp.slice(r * h, h) }, r);
+            }
+        });
+    }
+    // dgain accumulates across rows: keep it a serial pass in the original
+    // row order so results stay bit-identical whatever the pool width.
+    for r in 0..rows {
+        let o = r * h;
+        let xr = &x[o..o + h];
+        let dyr = &dy[o..o + h];
+        let inv = inv_rms[r];
+        for i in 0..h {
+            dgain[i] += dyr[i] * xr[i] * inv;
         }
     }
 }

@@ -75,12 +75,26 @@ impl RopeTable {
 
     fn apply(&self, x: &mut [f32], seq: usize, heads: usize, dir: f32) {
         assert_eq!(x.len(), seq * heads * self.head_dim);
-        for p in 0..seq {
+        let stride = heads * self.head_dim;
+        let one_pos = |row: &mut [f32], p: usize| {
             for h in 0..heads {
-                let o = (p * heads + h) * self.head_dim;
-                self.rotate(&mut x[o..o + self.head_dim], p, dir);
+                let o = h * self.head_dim;
+                self.rotate(&mut row[o..o + self.head_dim], p, dir);
             }
+        };
+        if x.len() < super::par::PAR_MIN_WORK {
+            for (p, row) in x.chunks_mut(stride).enumerate() {
+                one_pos(row, p);
+            }
+            return;
         }
+        // Positions are independent: split the sequence across the pool.
+        let xp = super::par::RawMut(x.as_mut_ptr());
+        super::par::par_row_bands(seq, move |p0, p1| {
+            for p in p0..p1 {
+                one_pos(unsafe { xp.slice(p * stride, stride) }, p);
+            }
+        });
     }
 }
 

@@ -1,12 +1,28 @@
 //! Row softmax and its backward pass.
+//!
+//! Rows are independent, so both kernels split the row range across the
+//! pool ([`par_row_bands`]); per-row arithmetic order is unchanged, keeping
+//! the parallel result bit-identical to the sequential one.
+
+use super::par::{par_row_bands, RawMut, PAR_MIN_WORK};
 
 /// In-place, numerically stable softmax over each row of an `[rows, cols]`
 /// matrix.
 pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
     assert_eq!(x.len(), rows * cols);
-    for row in x.chunks_mut(cols) {
-        softmax_row(row);
+    if x.len() < PAR_MIN_WORK {
+        for row in x.chunks_mut(cols) {
+            softmax_row(row);
+        }
+        return;
     }
+    let xp = RawMut(x.as_mut_ptr());
+    par_row_bands(rows, move |r0, r1| {
+        let band = unsafe { xp.slice(r0 * cols, (r1 - r0) * cols) };
+        for row in band.chunks_mut(cols) {
+            softmax_row(row);
+        }
+    });
 }
 
 /// In-place softmax of a single row.
@@ -36,16 +52,28 @@ pub fn softmax_rows_backward(dx: &mut [f32], dy: &[f32], y: &[f32], rows: usize,
     assert_eq!(dx.len(), rows * cols);
     assert_eq!(dy.len(), rows * cols);
     assert_eq!(y.len(), rows * cols);
-    for r in 0..rows {
+    let one_row = |dxr: &mut [f32], r: usize| {
         let o = r * cols;
         let yr = &y[o..o + cols];
         let dyr = &dy[o..o + cols];
         let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
-        let dxr = &mut dx[o..o + cols];
         for j in 0..cols {
             dxr[j] += yr[j] * (dyr[j] - dot);
         }
+    };
+    if dx.len() < PAR_MIN_WORK {
+        for r in 0..rows {
+            one_row(&mut dx[r * cols..(r + 1) * cols], r);
+        }
+        return;
     }
+    let dxp = RawMut(dx.as_mut_ptr());
+    par_row_bands(rows, move |r0, r1| {
+        for r in r0..r1 {
+            let dxr = unsafe { dxp.slice(r * cols, cols) };
+            one_row(dxr, r);
+        }
+    });
 }
 
 #[cfg(test)]

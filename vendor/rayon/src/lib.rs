@@ -1,15 +1,223 @@
 //! Offline workalike for the subset of `rayon` this workspace uses:
-//! `slice.par_chunks_mut(n).enumerate().for_each(..)` and
-//! `current_num_threads()`.
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` (optionally zipped
+//! with `par_chunks`), the index-level [`par_indices`], and
+//! [`current_num_threads`].
 //!
-//! Parallelism is real (scoped OS threads, chunks dealt round-robin), just
-//! without rayon's work-stealing pool: each call spins up at most
-//! `current_num_threads()` scoped threads. That is the right trade for this
-//! workspace, whose only data-parallel site is a coarse-banded matmul.
+//! Parallelism is real, but unlike earlier revisions of this crate the
+//! worker threads are spawned **once** into a persistent pool and every
+//! dispatch is **allocation-free**: the caller publishes a raw pointer to a
+//! stack-resident job descriptor, workers claim task indices with a single
+//! `fetch_add`, and the caller participates in the work itself while it
+//! waits. This matters because the training hot path asserts zero heap
+//! allocations per step (see `wp-nn`'s counting-allocator test) — a pool
+//! that collected chunk vectors or spawned scoped threads per call would
+//! fail that bar.
+//!
+//! Pool size is `WP_THREADS` (if set to a positive integer) or else
+//! `std::thread::available_parallelism()`, decided once at first use.
+//! [`force_sequential`] runs a closure with parallel dispatch disabled on
+//! the current thread, which is how the bit-identity checks compare the
+//! parallel path against the sequential one in-process.
 
-/// Number of worker threads a parallel operation will use.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Number of worker threads a parallel operation may use (the pool size,
+/// including the calling thread). Unaffected by [`force_sequential`] so
+/// that band/chunk geometry — and therefore task decomposition — is
+/// identical in sequential and parallel runs.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    pool().threads
+}
+
+thread_local! {
+    /// Depth of `force_sequential` scopes on this thread.
+    static SEQ_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    /// True while this thread is executing tasks inside a pool job; nested
+    /// parallel calls run inline instead of deadlocking on the pool.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with parallel dispatch disabled on this thread: every parallel
+/// operation started while `f` runs executes inline, in task-index order.
+/// Task geometry (chunk boundaries, band sizes) is unchanged, so a kernel
+/// that is bit-identical per task produces bit-identical buffers either way
+/// — the property the kernel test suites assert.
+pub fn force_sequential<R>(f: impl FnOnce() -> R) -> R {
+    SEQ_DEPTH.with(|d| d.set(d.get() + 1));
+    let out = f();
+    SEQ_DEPTH.with(|d| d.set(d.get() - 1));
+    out
+}
+
+/// True when dispatch must run inline on this thread.
+fn sequential_here() -> bool {
+    SEQ_DEPTH.with(|d| d.get() > 0) || IN_WORKER.with(|w| w.get())
+}
+
+/// Run `f(i)` for every `i in 0..ntasks`, distributing indices across the
+/// pool. Each index is executed exactly once; distinct indices may run
+/// concurrently, so `f` must only touch disjoint data per index (or data
+/// safe to share). Executes inline under [`force_sequential`], from inside
+/// another parallel task, or when the pool has a single thread.
+pub fn par_indices<F: Fn(usize) + Sync>(ntasks: usize, f: F) {
+    if ntasks == 0 {
+        return;
+    }
+    let p = pool();
+    if ntasks == 1 || p.threads <= 1 || sequential_here() {
+        for i in 0..ntasks {
+            f(i);
+        }
+        return;
+    }
+    p.run(ntasks, &f);
+}
+
+/// A published job: a borrowed task closure plus claim/served counters.
+/// Lives on the publishing caller's stack; workers hold a raw pointer to it
+/// only between publication and the final `active` decrement, and the
+/// caller does not return (and thus pop the frame) before that.
+struct JobDesc {
+    /// Fat pointer to the task body (`for<'a> fn(usize)` shaped closure).
+    func: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// One past the last task index.
+    ntasks: usize,
+    /// Set when any task panicked; the caller re-panics after the join.
+    panicked: AtomicBool,
+}
+
+/// Mutex-guarded pool state. `job` is a `*const JobDesc` stored as usize
+/// (0 = idle) so the guard stays `Send`.
+struct PoolInner {
+    job: usize,
+    /// Bumped once per published job; sleeping workers watch for a change.
+    epoch: u64,
+    /// Workers still attached to the current job.
+    active: usize,
+}
+
+struct Pool {
+    threads: usize,
+    inner: Mutex<PoolInner>,
+    /// Signalled when a new job is published.
+    work: Condvar,
+    /// Signalled when the current job fully drains (`active == 0`).
+    done: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = std::env::var("WP_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        let pool = Pool {
+            threads,
+            inner: Mutex::new(PoolInner { job: 0, epoch: 0, active: 0 }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        };
+        // The calling thread participates in every job, so spawn one fewer
+        // worker than the pool width.
+        for _ in 1..threads {
+            std::thread::Builder::new()
+                .name("wp-rayon-worker".into())
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop() {
+    let p = pool();
+    let mut seen = 0u64;
+    loop {
+        let desc = {
+            let mut g = p.inner.lock().expect("pool lock");
+            while g.epoch == seen {
+                g = p.work.wait(g).expect("pool wait");
+            }
+            seen = g.epoch;
+            g.job as *const JobDesc
+        };
+        // Publication set `active` for every worker before notifying, and
+        // nulls `job` only after the last decrement below, so `desc` is
+        // alive for exactly as long as we use it.
+        let desc = unsafe { &*desc };
+        IN_WORKER.with(|w| w.set(true));
+        let r = catch_unwind(AssertUnwindSafe(|| run_tasks(desc)));
+        IN_WORKER.with(|w| w.set(false));
+        if r.is_err() {
+            desc.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut g = p.inner.lock().expect("pool lock");
+        g.active -= 1;
+        if g.active == 0 {
+            g.job = 0;
+            p.done.notify_all();
+        }
+    }
+}
+
+/// Claim and run task indices until the job is exhausted.
+fn run_tasks(desc: &JobDesc) {
+    let f = unsafe { &*desc.func };
+    loop {
+        let i = desc.next.fetch_add(1, Ordering::Relaxed);
+        if i >= desc.ntasks {
+            return;
+        }
+        f(i);
+    }
+}
+
+impl Pool {
+    /// Publish `f` over `ntasks` indices, participate, and wait for the
+    /// drain. Serializes concurrent callers (one job in flight at a time).
+    fn run(&self, ntasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        let desc = JobDesc {
+            func: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &(dyn Fn(usize) + Sync)>(f)
+            },
+            next: AtomicUsize::new(0),
+            ntasks,
+            panicked: AtomicBool::new(false),
+        };
+        {
+            let mut g = self.inner.lock().expect("pool lock");
+            while g.job != 0 {
+                g = self.done.wait(g).expect("pool wait");
+            }
+            g.job = &desc as *const JobDesc as usize;
+            g.epoch += 1;
+            g.active = self.threads - 1;
+            self.work.notify_all();
+        }
+        // Participate; even if our own slice panics we must not unwind (and
+        // free `desc`) while workers still hold a pointer to it.
+        let r = catch_unwind(AssertUnwindSafe(|| run_tasks(&desc)));
+        if r.is_err() {
+            desc.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut g = self.inner.lock().expect("pool lock");
+        while g.active != 0 {
+            g = self.done.wait(g).expect("pool wait");
+        }
+        g.job = 0;
+        drop(g);
+        if desc.panicked.load(Ordering::Relaxed) {
+            panic!("parallel task panicked");
+        }
+    }
 }
 
 /// The traits user code imports, mirroring `rayon::prelude`.
@@ -18,8 +226,19 @@ pub mod prelude {
 }
 
 /// Parallel slice operations, mirroring `rayon::slice`.
+///
+/// Unlike earlier revisions these adapters never collect chunks into a
+/// `Vec`: they carry the base pointer and chunk geometry and materialize
+/// each chunk lazily inside the claiming task, keeping dispatch
+/// allocation-free.
 pub mod slice {
-    use super::current_num_threads;
+    use super::par_indices;
+    use std::marker::PhantomData;
+
+    /// Number of `chunk`-sized pieces covering `len` elements.
+    fn chunk_count(len: usize, chunk: usize) -> usize {
+        len.div_ceil(chunk)
+    }
 
     /// Extension trait adding `par_chunks_mut` to mutable slices.
     pub trait ParallelSliceMut<T: Send> {
@@ -31,7 +250,12 @@ pub mod slice {
     impl<T: Send> ParallelSliceMut<T> for [T] {
         fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
             assert!(chunk_size > 0, "chunk size must be positive");
-            ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+            ParChunksMut {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                chunk: chunk_size,
+                _marker: PhantomData,
+            }
         }
     }
 
@@ -45,32 +269,75 @@ pub mod slice {
     impl<T: Sync> ParallelSlice<T> for [T] {
         fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
             assert!(chunk_size > 0, "chunk size must be positive");
-            ParChunks { chunks: self.chunks(chunk_size).collect() }
+            ParChunks { ptr: self.as_ptr(), len: self.len(), chunk: chunk_size, _marker: PhantomData }
         }
     }
 
-    /// Parallel iterator over shared chunks.
+    /// Parallel iterator over shared chunks (geometry only; chunks are
+    /// sliced lazily per task).
     pub struct ParChunks<'a, T> {
-        chunks: Vec<&'a [T]>,
+        ptr: *const T,
+        len: usize,
+        chunk: usize,
+        _marker: PhantomData<&'a [T]>,
     }
 
-    /// Parallel iterator over mutable chunks.
+    /// Parallel iterator over mutable chunks (geometry only; chunks are
+    /// sliced lazily per task and are disjoint by construction).
     pub struct ParChunksMut<'a, T> {
-        chunks: Vec<&'a mut [T]>,
+        ptr: *mut T,
+        len: usize,
+        chunk: usize,
+        _marker: PhantomData<&'a mut [T]>,
+    }
+
+    /// `i`-th chunk of a `(ptr, len, chunk)` mutable decomposition.
+    ///
+    /// # Safety
+    /// `i < chunk_count(len, chunk)` and no two live slices for the same
+    /// `i` — guaranteed by the exactly-once index dispatch.
+    unsafe fn chunk_at_mut<'a, T>(ptr: *mut T, len: usize, chunk: usize, i: usize) -> &'a mut [T] {
+        let start = i * chunk;
+        let n = chunk.min(len - start);
+        unsafe { std::slice::from_raw_parts_mut(ptr.add(start), n) }
+    }
+
+    /// `i`-th chunk of a `(ptr, len, chunk)` shared decomposition.
+    ///
+    /// # Safety
+    /// `i < chunk_count(len, chunk)`.
+    unsafe fn chunk_at<'a, T>(ptr: *const T, len: usize, chunk: usize, i: usize) -> &'a [T] {
+        let start = i * chunk;
+        let n = chunk.min(len - start);
+        unsafe { std::slice::from_raw_parts(ptr.add(start), n) }
+    }
+
+    /// Wrapper making a raw base pointer `Send + Sync` for dispatch into
+    /// pool tasks; soundness comes from the disjointness of per-index
+    /// chunks, not from this type.
+    struct SendPtr<T>(T);
+    unsafe impl<T> Send for SendPtr<T> {}
+    unsafe impl<T> Sync for SendPtr<T> {}
+
+    impl<T: Copy> SendPtr<T> {
+        /// Read the wrapped pointer. A method (rather than field access)
+        /// so closures capture the whole `Sync` wrapper under RFC 2229
+        /// disjoint capture, not the bare non-`Sync` pointer field.
+        fn get(&self) -> T {
+            self.0
+        }
     }
 
     impl<'a, T: Send> ParChunksMut<'a, T> {
         /// Pair each chunk with its index.
         pub fn enumerate(self) -> EnumeratedChunks<'a, T> {
-            EnumeratedChunks { chunks: self.chunks }
+            EnumeratedChunks { inner: self }
         }
 
         /// Pair each mutable chunk with the matching shared chunk
         /// (truncating to the shorter side, like `Iterator::zip`).
         pub fn zip<'b, U: Sync>(self, other: ParChunks<'b, U>) -> ZippedChunks<'a, 'b, T, U> {
-            ZippedChunks {
-                pairs: self.chunks.into_iter().zip(other.chunks).collect(),
-            }
+            ZippedChunks { a: self, b: other }
         }
 
         /// Apply `f` to every chunk in parallel.
@@ -84,7 +351,8 @@ pub mod slice {
 
     /// Mutable chunks zipped with shared chunks.
     pub struct ZippedChunks<'a, 'b, T, U> {
-        pairs: Vec<(&'a mut [T], &'b [U])>,
+        a: ParChunksMut<'a, T>,
+        b: ParChunks<'b, U>,
     }
 
     impl<'a, 'b, T: Send, U: Sync> ZippedChunks<'a, 'b, T, U> {
@@ -94,34 +362,20 @@ pub mod slice {
         where
             F: Fn((&'a mut [T], &'b [U])) + Send + Sync,
         {
-            let workers = current_num_threads().min(self.pairs.len()).max(1);
-            if workers <= 1 {
-                for pair in self.pairs {
-                    f(pair);
-                }
-                return;
-            }
-            let mut buckets: Vec<Vec<(&'a mut [T], &'b [U])>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (i, pair) in self.pairs.into_iter().enumerate() {
-                buckets[i % workers].push(pair);
-            }
-            let f = &f;
-            std::thread::scope(|s| {
-                for bucket in buckets {
-                    s.spawn(move || {
-                        for pair in bucket {
-                            f(pair);
-                        }
-                    });
-                }
+            let n = chunk_count(self.a.len, self.a.chunk).min(chunk_count(self.b.len, self.b.chunk));
+            let (ap, al, ac) = (SendPtr(self.a.ptr), self.a.len, self.a.chunk);
+            let (bp, bl, bc) = (SendPtr(self.b.ptr), self.b.len, self.b.chunk);
+            par_indices(n, move |i| {
+                let da = unsafe { chunk_at_mut(ap.get(), al, ac, i) };
+                let sb = unsafe { chunk_at(bp.get(), bl, bc, i) };
+                f((da, sb));
             });
         }
     }
 
     /// Enumerated parallel iterator over mutable chunks.
     pub struct EnumeratedChunks<'a, T> {
-        chunks: Vec<&'a mut [T]>,
+        inner: ParChunksMut<'a, T>,
     }
 
     impl<'a, T: Send> EnumeratedChunks<'a, T> {
@@ -130,31 +384,11 @@ pub mod slice {
         where
             F: Fn((usize, &'a mut [T])) + Send + Sync,
         {
-            let items: Vec<(usize, &'a mut [T])> =
-                self.chunks.into_iter().enumerate().collect();
-            let workers = current_num_threads().min(items.len()).max(1);
-            if workers <= 1 {
-                for item in items {
-                    f(item);
-                }
-                return;
-            }
-            // Deal chunks round-robin so band `i` always lands on worker
-            // `i % workers` — deterministic assignment, disjoint buffers.
-            let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (i, item) in items.into_iter().enumerate() {
-                buckets[i % workers].push(item);
-            }
-            let f = &f;
-            std::thread::scope(|s| {
-                for bucket in buckets {
-                    s.spawn(move || {
-                        for item in bucket {
-                            f(item);
-                        }
-                    });
-                }
+            let n = chunk_count(self.inner.len, self.inner.chunk);
+            let (p, l, c) = (SendPtr(self.inner.ptr), self.inner.len, self.inner.chunk);
+            par_indices(n, move |i| {
+                let chunk = unsafe { chunk_at_mut(p.get(), l, c, i) };
+                f((i, chunk));
             });
         }
     }
@@ -203,5 +437,68 @@ mod tests {
             }
         });
         assert!(dst.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn par_indices_each_index_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+        super::par_indices(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn force_sequential_matches_parallel() {
+        let run = |seq: bool| -> Vec<u64> {
+            let mut v = vec![0u64; 500];
+            let body = |v: &mut Vec<u64>| {
+                v.par_chunks_mut(13).enumerate().for_each(|(i, c)| {
+                    for (j, x) in c.iter_mut().enumerate() {
+                        *x = (i as u64) * 1000 + j as u64;
+                    }
+                });
+            };
+            if seq {
+                super::force_sequential(|| body(&mut v));
+            } else {
+                body(&mut v);
+            }
+            v
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let total = AtomicU32::new(0);
+        super::par_indices(8, |_| {
+            // A nested dispatch must not deadlock on the single-job pool.
+            super::par_indices(8, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_without_deadlock() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let total = AtomicU32::new(0);
+        let total = &total;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        super::par_indices(16, |_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 16);
     }
 }
