@@ -25,7 +25,7 @@
 
 use crate::setup::TrainSetup;
 use std::collections::HashMap;
-use wp_comm::{CommError, Communicator};
+use wp_comm::{CommError, Communicator, Request};
 use wp_nn::block::{
     block_backward_data, block_backward_full, block_backward_recompute, block_backward_weight,
     block_forward, BPassCtx, BlockCtx,
@@ -121,6 +121,11 @@ pub struct RankRuntime {
     dy_out: HashMap<(usize, usize), ScratchBuf>,
     heads_saved: HashMap<usize, HeadSaved>,
     dgrads: HashMap<usize, Vec<f32>>,
+    /// Outstanding pre-posted receives (the double-buffered ring): a
+    /// `PrePost` op parks the [`Request`] here, the matching `WaitReq`
+    /// redeems it. Empty at every iteration boundary (the validator
+    /// guarantees pairing).
+    pending_reqs: HashMap<MsgKey, Request>,
     shard_grads: HashMap<usize, Vec<f32>>,
     embed_grads: Vec<f32>,
     head_grads: Vec<f32>,
@@ -213,6 +218,7 @@ impl RankRuntime {
             dy_out: HashMap::new(),
             heads_saved: HashMap::new(),
             dgrads: HashMap::new(),
+            pending_reqs: HashMap::new(),
             shard_grads: HashMap::new(),
             embed_grads: Vec::new(),
             head_grads: Vec::new(),
@@ -516,6 +522,33 @@ impl RankRuntime {
     fn exec_recv(&mut self, k: &MsgKey) -> Result<(), CommError> {
         let tag = tag_of(k);
         let data = self.comm.recv(k.src, tag)?;
+        self.store_payload(k, data);
+        Ok(())
+    }
+
+    /// Post the receive for a message the schedule will wait on later
+    /// (the irecv half of the double-buffered weight ring, §4.3). Never
+    /// fails: faults surface at the matching [`Self::exec_waitreq`].
+    fn exec_prepost(&mut self, k: &MsgKey) {
+        let req = self.comm.irecv(k.src, tag_of(k));
+        let prev = self.pending_reqs.insert(*k, req);
+        debug_assert!(prev.is_none(), "rank {}: double pre-post for {k:?}", self.rank);
+    }
+
+    /// Redeem a pre-posted receive and route its payload exactly as a
+    /// blocking recv would.
+    fn exec_waitreq(&mut self, k: &MsgKey) -> Result<(), CommError> {
+        let req = self
+            .pending_reqs
+            .remove(k)
+            .unwrap_or_else(|| panic!("rank {}: wait without pre-post for {k:?}", self.rank));
+        let data = self.comm.wait_recv(req)?;
+        self.store_payload(k, data);
+        Ok(())
+    }
+
+    /// Route a received payload into rank state by message kind.
+    fn store_payload(&mut self, k: &MsgKey, data: Vec<f32>) {
         match k.kind {
             MsgKind::Weights => {
                 self.slots.insert((k.chunk, k.mb), data);
@@ -539,7 +572,6 @@ impl RankRuntime {
                 self.dy_out.insert((k.mb, k.chunk), self.scratch.adopt(data));
             }
         }
-        Ok(())
     }
 
     fn exec_all_gather(&mut self, chunk: usize) -> Result<(), CommError> {
@@ -615,6 +647,7 @@ impl RankRuntime {
         self.bctx_saved.clear();
         self.dy_out.clear();
         self.heads_saved.clear();
+        self.pending_reqs.clear();
         self.loss_sum = 0.0;
         self.loss_count = 0;
 
@@ -649,6 +682,8 @@ impl RankRuntime {
                 }
                 OpKind::Send(k) => self.exec_send(k)?,
                 OpKind::Recv(k) => self.exec_recv(k)?,
+                OpKind::PrePost(k) => self.exec_prepost(k),
+                OpKind::WaitReq(k) => self.exec_waitreq(k)?,
                 OpKind::AllGatherW { chunk, .. } => self.exec_all_gather(*chunk)?,
                 OpKind::ReduceScatterD { chunk, .. } => self.exec_reduce_scatter(*chunk)?,
                 OpKind::AllReduceD { chunk, .. } => self.exec_all_reduce(*chunk)?,
@@ -711,6 +746,18 @@ impl RankRuntime {
         let p = self.comm.world_size();
         let offset = if self.strategy == Strategy::WeiPipeInterleave { 1 } else { 2 };
         let wire = self.setup.wire;
+        // Nonblocking exchange: post every incoming reseed first, then ship
+        // outgoing copies, then redeem — so a rank that both sends and
+        // receives never serialises the boundary on its own recv.
+        let mut incoming: Vec<(usize, Request)> = Vec::new();
+        for chunk in 0..self.chunks {
+            let owner = schedule.initial_holder[chunk];
+            let holder = (chunk + offset) % p;
+            let tag = (1u64 << 40) | ((iter as u64) << 16) | chunk as u64;
+            if owner != holder && self.rank == holder {
+                incoming.push((chunk, self.comm.irecv(owner, tag)));
+            }
+        }
         for chunk in 0..self.chunks {
             let owner = schedule.initial_holder[chunk];
             let holder = (chunk + offset) % p;
@@ -723,10 +770,11 @@ impl RankRuntime {
             } else if self.rank == owner {
                 let fresh = self.slots.get(&(chunk, FLOW_FWD)).expect("owner slot").clone();
                 self.comm.send(holder, tag, &fresh, wire)?;
-            } else if self.rank == holder {
-                let fresh = self.comm.recv(owner, tag)?;
-                self.slots.insert((chunk, FLOW_BWD), fresh);
             }
+        }
+        for (chunk, req) in incoming {
+            let fresh = self.comm.wait_recv(req)?;
+            self.slots.insert((chunk, FLOW_BWD), fresh);
         }
         Ok(())
     }

@@ -53,6 +53,7 @@ pub fn run_distributed_per_rank(
     } else {
         PipelineSpec::new(ranks, setup.microbatches).without_recompute()
     };
+    let spec = spec.with_overlap(setup.overlap);
     let schedule = build(strategy, spec);
     validate(&schedule).expect("builder produced an invalid schedule");
 

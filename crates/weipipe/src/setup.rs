@@ -122,6 +122,11 @@ pub struct TrainSetup {
     pub link: LinkModel,
     /// Activation checkpointing in pipelines.
     pub recompute: bool,
+    /// Double-buffered weight ring (§4.3): pre-post next-round receives and
+    /// relay outgoing chunks before compute, waiting only at the round
+    /// boundary. Bit-identical to the blocking path; only wall clock and
+    /// span shapes differ. Ignored by non-weight-passing strategies.
+    pub overlap: bool,
     /// Training data.
     pub data: DataSource,
     /// Deterministic fault plan injected into the communication ring
@@ -153,11 +158,69 @@ impl TrainSetup {
             wire: DType::F32,
             link: LinkModel::instant(),
             recompute: false,
+            overlap: true,
             data: DataSource::Synthetic,
             faults: None,
             comm: CommConfig::default(),
             trace: TraceConfig::off(),
         }
+    }
+
+    /// Set the communication policy (timeouts, retry budget).
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use weipipe::{CommConfig, TrainSetup};
+    ///
+    /// let setup = TrainSetup::tiny(2, 4)
+    ///     .with_comm_config(CommConfig { recv_timeout: Duration::from_millis(500), ..Default::default() });
+    /// assert_eq!(setup.comm.recv_timeout, Duration::from_millis(500));
+    /// ```
+    pub fn with_comm_config(mut self, comm: CommConfig) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Inject a deterministic fault plan into the communication ring.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use weipipe::{FaultPlan, TrainSetup};
+    ///
+    /// let setup = TrainSetup::tiny(2, 4)
+    ///     .with_fault_plan(FaultPlan::new(2).with_stall(0, 1, 3, 2, Duration::from_millis(5)));
+    /// assert!(setup.faults.is_some());
+    /// ```
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enable span tracing with the given policy.
+    ///
+    /// ```
+    /// use weipipe::TrainSetup;
+    /// use wp_trace::TraceConfig;
+    ///
+    /// let setup = TrainSetup::tiny(2, 4).with_trace(TraceConfig::on());
+    /// assert!(setup.trace.enabled);
+    /// ```
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Toggle the double-buffered weight ring (on by default).
+    ///
+    /// ```
+    /// use weipipe::TrainSetup;
+    ///
+    /// let setup = TrainSetup::tiny(2, 4).with_overlap(false);
+    /// assert!(!setup.overlap);
+    /// ```
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
     }
 
     /// The (ids, targets) pair for microbatch `mb` of iteration `iter`.

@@ -154,6 +154,50 @@ fn corrupted_weight_chunk_is_detected_not_trained_on() {
 }
 
 #[test]
+fn destructive_chaos_parity_between_overlapped_and_blocking_rings() {
+    // A rank dies while the double-buffered ring has pre-posted requests
+    // outstanding: every rank must surface the same typed error the
+    // blocking ring produces, within the receive budget — no hangs, no
+    // request left dangling.
+    let victim = 2;
+    for overlap in [true, false] {
+        let mut setup = TrainSetup::tiny(4, 8).with_overlap(overlap);
+        setup.faults = Some(FaultPlan::new(23).with_dead_rank(victim, 8));
+        setup.comm = fast();
+        let budget = setup.comm.total_recv_budget() + Duration::from_secs(2);
+        let started = Instant::now();
+        let results = run_distributed_per_rank(Strategy::WeiPipeInterleave, 4, &setup);
+        let elapsed = started.elapsed();
+        assert!(elapsed < budget, "overlap={overlap}: tear-down took {elapsed:?}");
+        for (rank, r) in results.iter().enumerate() {
+            match r {
+                Err(CommError::PeerDead { rank: dead }) => assert_eq!(*dead, victim),
+                Err(CommError::Aborted { origin, .. }) => assert_eq!(*origin, victim),
+                other => panic!("overlap={overlap} rank {rank}: got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_is_detected_by_both_ring_modes() {
+    for overlap in [true, false] {
+        let mut setup = TrainSetup::tiny(2, 4).with_overlap(overlap);
+        setup.faults = Some(FaultPlan::new(31).with_corruption(0, 1, 1));
+        setup.comm = fast();
+        let results = run_distributed_per_rank(Strategy::WeiPipeInterleave, 2, &setup);
+        assert!(
+            results.iter().all(|r| r.is_err()),
+            "overlap={overlap}: no rank may trust a corrupted run"
+        );
+        let detected = results
+            .iter()
+            .any(|r| matches!(r, Err(CommError::Corrupt { src, .. }) if *src == 0));
+        assert!(detected, "overlap={overlap}: checksum mismatch undetected: {results:?}");
+    }
+}
+
+#[test]
 fn chaos_outcome_is_deterministic_per_seed() {
     // Same destructive plan, run twice: byte-identical error surface.
     let mut setup = TrainSetup::tiny(2, 4);

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run --release -p wp-bench --bin trace -- \
-//!     [--trace-out trace.json] [--validate] [--ranks 4] [--microbatches 8]
+//!     [--trace-out trace.json] [--validate] [--ranks 4] [--microbatches 8] \
+//!     [--blocking]
 //! ```
 //!
 //! `--trace-out` writes the Chrome trace-event JSON (open at
@@ -38,22 +39,29 @@ fn main() {
         flag_value(&args, "--ranks").map_or(4, |v| v.parse().expect("--ranks"));
     let microbatches: usize = flag_value(&args, "--microbatches")
         .map_or(2 * ranks, |v| v.parse().expect("--microbatches"));
+    // `--blocking` traces the blocking weight ring instead of the default
+    // double-buffered (overlapped) one, on both the measured and simulated
+    // sides — so the drift report can compare overlap against its ablation.
+    let overlap = !args.iter().any(|a| a == "--blocking");
 
     // One traced iteration of a real run. Layers = ranks keeps the tiny
     // model legal for any P.
-    let mut setup = TrainSetup::tiny(ranks, microbatches);
+    let mut setup = TrainSetup::tiny(ranks, microbatches).with_overlap(overlap);
     setup.iters = 1;
     setup.trace = TraceConfig::on();
     let strategy = Strategy::WeiPipeInterleave;
     println!(
-        "tracing {strategy:?}: P={ranks}, {microbatches} microbatches, 1 iteration…\n"
+        "tracing {strategy:?}: P={ranks}, {microbatches} microbatches, 1 iteration, {} ring…\n",
+        if overlap { "overlapped" } else { "blocking" }
     );
     let out = run_distributed(strategy, ranks, &setup).expect("healthy world");
     let trace = out.trace.as_ref().expect("tracing was enabled");
     let measured = measured_result(trace);
 
     // The simulator's view of the *same schedule IR*, timed on A800s.
-    let spec = PipelineSpec::new(ranks, microbatches).without_recompute();
+    let spec = PipelineSpec::new(ranks, microbatches)
+        .without_recompute()
+        .with_overlap(overlap);
     let sched = build(strategy, spec);
     let dims = ModelDims::paper(1024, ranks, 4096, microbatches);
     let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);

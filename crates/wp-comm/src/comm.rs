@@ -201,17 +201,73 @@ pub struct Communicator {
     /// One-slot reorder buffer per destination: a held message is delivered
     /// after the *next* message on the same link (see [`crate::fault`]).
     held: Vec<Option<Msg>>,
+    /// Per-destination link availability: when the directed link
+    /// `self.rank → dst` finishes its current transfer. Mirrors the
+    /// simulator's one-DMA-path-per-directed-link model, so back-to-back
+    /// sends to the same neighbour serialise on bandwidth instead of each
+    /// getting a private wire. `None` until the link is first used (or
+    /// always, for instant links).
+    link_busy: Vec<Option<Instant>>,
     /// Span recorder for this rank's track, when the world is traced.
     tracer: Option<RankTracer>,
 }
 
-/// Handle returned by [`Communicator::irecv`]; redeem with
-/// [`Communicator::wait`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[must_use = "an irecv that is never waited on receives nothing"]
-pub struct RecvHandle {
-    src: usize,
-    tag: u64,
+/// A nonblocking operation in flight, returned by [`Communicator::isend`]
+/// and [`Communicator::irecv`]. Redeem with [`Communicator::wait`] (or the
+/// [`wait_recv`](Communicator::wait_recv) / [`wait_all`](Communicator::wait_all)
+/// conveniences); poll without blocking via [`Communicator::test`].
+///
+/// Send requests follow buffered-isend semantics: the payload is on the wire
+/// — and the meter charged — before `isend` returns, so a send request is
+/// complete at creation and `wait` never blocks on it. Receive requests
+/// record the post instant and the reorder-buffer depth observed at post
+/// time; the match happens at `wait`, so the `RecvWait` trace span covers
+/// the full post→complete interval.
+#[derive(Debug)]
+#[must_use = "a request that is never waited on completes nothing"]
+pub struct Request {
+    inner: ReqInner,
+}
+
+#[derive(Debug)]
+enum ReqInner {
+    Send { dst: usize },
+    Recv { src: usize, tag: u64, t0: Option<u64>, depth: usize },
+}
+
+impl Request {
+    /// Whether this request was produced by [`Communicator::irecv`] — its
+    /// completion carries a payload.
+    pub fn is_recv(&self) -> bool {
+        matches!(self.inner, ReqInner::Recv { .. })
+    }
+
+    /// The peer rank this request communicates with.
+    pub fn peer(&self) -> usize {
+        match self.inner {
+            ReqInner::Send { dst } => dst,
+            ReqInner::Recv { src, .. } => src,
+        }
+    }
+}
+
+/// Successful completion of a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completion {
+    /// A send request completed (its payload was already on the wire).
+    Sent,
+    /// A receive request matched its message; the payload.
+    Received(Vec<f32>),
+}
+
+impl Completion {
+    /// The received payload, if this completion came from a receive request.
+    pub fn into_payload(self) -> Option<Vec<f32>> {
+        match self {
+            Completion::Sent => None,
+            Completion::Received(data) => Some(data),
+        }
+    }
 }
 
 impl Communicator {
@@ -287,8 +343,10 @@ impl Communicator {
         Ok(())
     }
 
-    /// Send `data` to `dst` with a user `tag`, charged (and quantized) at
-    /// the given wire dtype. Never blocks.
+    /// Nonblocking send of `data` to `dst` with a user `tag`, charged (and
+    /// quantized) at the given wire dtype. The payload is on the wire when
+    /// this returns (buffered-isend semantics), so the returned [`Request`]
+    /// is already complete; [`wait`](Self::wait) on it never blocks.
     ///
     /// # Errors
     /// [`CommError::InvalidTag`] for tags reserved for collectives;
@@ -298,11 +356,22 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics if `dst` is out of range or equals this rank (API misuse).
-    pub fn send(&mut self, dst: usize, tag: u64, data: &[f32], dtype: DType) -> Result<(), CommError> {
+    pub fn isend(&mut self, dst: usize, tag: u64, data: &[f32], dtype: DType) -> Result<Request, CommError> {
         if tag >= COLLECTIVE_TAG_BASE {
             return Err(CommError::InvalidTag { tag });
         }
-        self.send_internal(dst, tag, data, dtype, TrafficClass::P2p)
+        self.send_internal(dst, tag, data, dtype, TrafficClass::P2p)?;
+        Ok(Request { inner: ReqInner::Send { dst } })
+    }
+
+    /// Blocking send: [`isend`](Self::isend) immediately redeemed. Thin
+    /// wrapper kept for callers with nothing to overlap.
+    ///
+    /// # Errors
+    /// Same as [`isend`](Self::isend).
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[f32], dtype: DType) -> Result<(), CommError> {
+        let req = self.isend(dst, tag, data, dtype)?;
+        self.wait(req).map(|_| ())
     }
 
     fn send_internal(
@@ -353,7 +422,18 @@ impl Communicator {
         let mut deliver_at = if self.link.is_instant() {
             None
         } else {
-            Some(Instant::now() + self.link.transfer_duration(bytes as usize))
+            // The directed link is a single DMA path (as in wp-sim): this
+            // transfer starts once the previous send to `dst` has drained,
+            // occupies the link for bytes/bandwidth, and lands one latency
+            // after that.
+            let now = Instant::now();
+            let issue = match self.link_busy[dst] {
+                Some(busy) if busy > now => busy,
+                _ => now,
+            };
+            let drained = issue + self.link.occupancy_duration(bytes as usize);
+            self.link_busy[dst] = Some(drained);
+            Some(drained + Duration::from_secs_f64(self.link.latency_s))
         };
         let mut hold = false;
         let mut corrupt = false;
@@ -436,23 +516,127 @@ impl Communicator {
     }
 
     /// Post a receive for `(src, tag)` without blocking; redeem with
-    /// [`wait`](Self::wait). (Matching happens at `wait`; the handle exists
-    /// to make prefetching schedules read like their `batch_isend_irecv`
-    /// originals.)
-    pub fn irecv(&self, src: usize, tag: u64) -> RecvHandle {
+    /// [`wait`](Self::wait) / [`wait_recv`](Self::wait_recv). Posting is
+    /// infallible — matching, fault checks, and timeouts all surface at
+    /// `wait`, so a fault striking while the request is outstanding is
+    /// reported as the same typed [`CommError`] the blocking path returns.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range or equals this rank (API misuse).
+    pub fn irecv(&self, src: usize, tag: u64) -> Request {
         assert!(src < self.world, "src {src} out of range");
-        RecvHandle { src, tag }
+        assert_ne!(src, self.rank, "self-recv is not supported");
+        Request {
+            inner: ReqInner::Recv {
+                src,
+                tag,
+                // Trace bookkeeping: the blocked-wait span starts when the
+                // receive is posted, and the queue depth recorded is the
+                // reorder-buffer depth observed at post time.
+                t0: self.tracer.as_ref().map(|t| t.now_ns()),
+                depth: self.pending[src].len(),
+            },
+        }
     }
 
-    /// Block until the handle's message arrives and return its payload.
+    /// Block until `req` completes. Send requests are complete at creation
+    /// and return [`Completion::Sent`] immediately; receive requests block
+    /// until their message arrives and return [`Completion::Received`].
+    ///
+    /// # Errors
+    /// For receive requests, same as [`recv`](Self::recv).
+    pub fn wait(&mut self, req: Request) -> Result<Completion, CommError> {
+        match req.inner {
+            ReqInner::Send { .. } => Ok(Completion::Sent),
+            ReqInner::Recv { src, tag, t0, depth } => {
+                self.complete_recv(src, tag, t0, depth).map(Completion::Received)
+            }
+        }
+    }
+
+    /// [`wait`](Self::wait) specialised to receive requests: returns the
+    /// payload directly.
     ///
     /// # Errors
     /// Same as [`recv`](Self::recv).
-    pub fn wait(&mut self, h: RecvHandle) -> Result<Vec<f32>, CommError> {
-        self.recv(h.src, h.tag)
+    ///
+    /// # Panics
+    /// Panics if `req` is a send request (API misuse).
+    pub fn wait_recv(&mut self, req: Request) -> Result<Vec<f32>, CommError> {
+        assert!(req.is_recv(), "wait_recv called on a send request");
+        match self.wait(req)? {
+            Completion::Received(data) => Ok(data),
+            Completion::Sent => unreachable!("asserted is_recv above"),
+        }
     }
 
-    /// Blocking receive of the message with `tag` from `src`.
+    /// Complete every request in posting order, first error wins.
+    ///
+    /// # Errors
+    /// The first failure aborts the rest of the batch (outstanding receive
+    /// requests are dropped; their messages stay in the reorder buffer).
+    pub fn wait_all(&mut self, reqs: Vec<Request>) -> Result<Vec<Completion>, CommError> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Nonblocking completion probe. Send requests always test true. A
+    /// receive request tests true once a matching message has arrived *and*
+    /// the link model says its transfer has fully landed — a subsequent
+    /// [`wait`](Self::wait) will not block.
+    ///
+    /// `test` never consumes the request and never sleeps; it drains
+    /// already-arrived messages into the reorder buffer and checks for a
+    /// match. It does not advance the fault plan's per-operation clock (it
+    /// is a probe, not an operation), but a standing abort, a corrupt
+    /// arrival, or a dead peer surface here with the same typed errors the
+    /// blocking path returns.
+    ///
+    /// # Errors
+    /// [`CommError::Corrupt`] when an arriving payload fails its checksum;
+    /// [`CommError::PeerDead`] when the source endpoint closed with no
+    /// match buffered; a propagated abort error when the world failed.
+    pub fn test(&mut self, req: &Request) -> Result<bool, CommError> {
+        let (src, tag) = match req.inner {
+            ReqInner::Send { .. } => return Ok(true),
+            ReqInner::Recv { src, tag, .. } => (src, tag),
+        };
+        if self.abort.is_tripped() {
+            return Err(self.abort.cause_for(self.rank));
+        }
+        self.flush_held()?;
+        loop {
+            match self.inbox[src].try_recv() {
+                Ok(msg) => {
+                    if !msg.verify() {
+                        let e = CommError::Corrupt { src, tag: msg.tag };
+                        self.fail(&e);
+                        return Err(e);
+                    }
+                    self.pending[src].push_back(msg);
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    if self.pending[src].iter().any(|m| m.tag == tag) {
+                        break;
+                    }
+                    if self.abort.is_tripped() {
+                        return Err(self.abort.cause_for(self.rank));
+                    }
+                    let e = CommError::PeerDead { rank: src };
+                    self.fail(&e);
+                    return Err(e);
+                }
+            }
+        }
+        let now = Instant::now();
+        Ok(self.pending[src]
+            .iter()
+            .any(|m| m.tag == tag && m.deliver_at.is_none_or(|at| at <= now)))
+    }
+
+    /// Blocking receive of the message with `tag` from `src`:
+    /// [`irecv`](Self::irecv) immediately redeemed. Thin wrapper kept for
+    /// callers with nothing to overlap.
     ///
     /// Messages from `src` with other tags are parked and delivered to later
     /// matching receives in FIFO order.
@@ -464,14 +648,23 @@ impl Communicator {
     /// payload fails its checksum; a propagated abort error when another
     /// rank failed first.
     pub fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
-        assert!(src < self.world, "src {src} out of range");
-        assert_ne!(src, self.rank, "self-recv is not supported");
+        let req = self.irecv(src, tag);
+        self.wait_recv(req)
+    }
+
+    /// The engine behind [`wait`](Self::wait) for receive requests: one
+    /// fault-plan operation, then match against the reorder buffer and poll
+    /// the inbox under the configured timeout policy. `t0`/`depth` are the
+    /// trace bookkeeping captured when the receive was posted.
+    fn complete_recv(
+        &mut self,
+        src: usize,
+        tag: u64,
+        t0: Option<u64>,
+        depth: usize,
+    ) -> Result<Vec<f32>, CommError> {
         self.precheck()?;
         self.flush_held()?;
-        // Trace bookkeeping: wait starts when the receive is posted, and the
-        // queue depth the ISSUE asks for is the reorder-buffer depth *now*.
-        let t0 = self.tracer.as_ref().map(|t| t.now_ns());
-        let depth = self.pending[src].len();
         // Check the reorder buffer first.
         if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
             let msg = self.pending[src].remove(pos).expect("position just found");
@@ -591,12 +784,15 @@ impl Communicator {
         recvs: &[(usize, u64)],
         dtype: DType,
     ) -> Result<Vec<Vec<f32>>, CommError> {
+        let mut reqs = Vec::with_capacity(sends.len() + recvs.len());
         for &(dst, tag, data) in sends {
-            self.send(dst, tag, data, dtype)?;
+            reqs.push(self.isend(dst, tag, data, dtype)?);
         }
-        let handles: Vec<RecvHandle> =
-            recvs.iter().map(|&(src, tag)| self.irecv(src, tag)).collect();
-        handles.into_iter().map(|h| self.wait(h)).collect()
+        for &(src, tag) in recvs {
+            reqs.push(self.irecv(src, tag));
+        }
+        let done = self.wait_all(reqs)?;
+        Ok(done.into_iter().filter_map(Completion::into_payload).collect())
     }
 
     // ---- Collectives (ring algorithms) ------------------------------------
@@ -664,8 +860,9 @@ impl Communicator {
             let recv_idx = (self.rank + p - s - 1) % p;
             let sr = Self::chunk_range(n, p, send_idx);
             let send_copy = buf[sr].to_vec();
+            let req = self.irecv(self.prev_rank(), tag + (s as u64) * 2);
             self.send_internal(next, tag + (s as u64) * 2, &send_copy, dtype, TrafficClass::Collective)?;
-            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2)?;
+            let incoming = self.wait_recv(req)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             for (b, x) in buf[rr].iter_mut().zip(&incoming) {
                 *b += x;
@@ -677,8 +874,9 @@ impl Communicator {
             let recv_idx = (self.rank + p - s) % p;
             let sr = Self::chunk_range(n, p, send_idx);
             let send_copy = buf[sr].to_vec();
+            let req = self.irecv(self.prev_rank(), tag + (s as u64) * 2 + 1);
             self.send_internal(next, tag + (s as u64) * 2 + 1, &send_copy, dtype, TrafficClass::Collective)?;
-            let incoming = self.recv(self.prev_rank(), tag + (s as u64) * 2 + 1)?;
+            let incoming = self.wait_recv(req)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             buf[rr].copy_from_slice(&incoming);
         }
@@ -710,8 +908,9 @@ impl Communicator {
             let recv_idx = (self.rank + 2 * p - s - 2) % p;
             let sr = Self::chunk_range(n, p, send_idx);
             let send_copy = work[sr].to_vec();
+            let req = self.irecv(self.prev_rank(), tag + s as u64);
             self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective)?;
-            let incoming = self.recv(self.prev_rank(), tag + s as u64)?;
+            let incoming = self.wait_recv(req)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             for (b, x) in work[rr].iter_mut().zip(&incoming) {
                 *b += x;
@@ -744,8 +943,9 @@ impl Communicator {
             let send_idx = (self.rank + p - s) % p;
             let recv_idx = (self.rank + p - s - 1) % p;
             let send_copy = out[send_idx * m..(send_idx + 1) * m].to_vec();
+            let req = self.irecv(self.prev_rank(), tag + s as u64);
             self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective)?;
-            let incoming = self.recv(self.prev_rank(), tag + s as u64)?;
+            let incoming = self.wait_recv(req)?;
             assert_eq!(incoming.len(), m, "all_gather requires equal chunk sizes");
             out[recv_idx * m..(recv_idx + 1) * m].copy_from_slice(&incoming);
         }
@@ -768,7 +968,8 @@ impl Communicator {
         let tag = self.next_coll_tag();
         let dist = (self.rank + p - root) % p;
         if dist > 0 {
-            *buf = self.recv(self.prev_rank(), tag)?;
+            let req = self.irecv(self.prev_rank(), tag);
+            *buf = self.wait_recv(req)?;
         }
         if dist < p - 1 {
             let out = buf.clone();
@@ -926,6 +1127,7 @@ impl WorldBuilder {
                 abort: abort.clone(),
                 faults: self.faults.clone().map(|plan| RankInjector::new(plan, rank, p)),
                 held: (0..p).map(|_| None).collect(),
+                link_busy: (0..p).map(|_| None).collect(),
                 tracer: self.trace.as_ref().map(|tc| tc.tracer(rank)),
             });
         }
@@ -1209,6 +1411,29 @@ mod tests {
     }
 
     #[test]
+    fn back_to_back_sends_serialise_on_the_directed_link() {
+        // Two 1 MB messages over the same 100 MB/s directed link: the link
+        // is a single DMA path, so the second starts only after the first
+        // drains — both delivered ≈ 20 ms after the sends were posted.
+        let slow = LinkModel { bandwidth_bps: 100e6, latency_s: 0.0 };
+        let start = Instant::now();
+        World::run(2, slow, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &vec![0.0f32; 250_000], DType::F32).unwrap();
+                c.send(1, 1, &vec![0.0f32; 250_000], DType::F32).unwrap();
+            } else {
+                c.recv(0, 0).unwrap();
+                c.recv(0, 1).unwrap();
+            }
+        });
+        assert!(
+            start.elapsed() >= Duration::from_millis(18),
+            "serialised transfers should take ≈20ms, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
     fn barrier_orders_effects() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let before = AtomicUsize::new(0);
@@ -1232,10 +1457,152 @@ mod tests {
             } else {
                 let h = c.irecv(0, 5);
                 // ... compute would overlap here ...
-                c.wait(h).unwrap()[0]
+                c.wait_recv(h).unwrap()[0]
             }
         });
         assert_eq!(vals[1], 8.0);
+    }
+
+    #[test]
+    fn isend_completes_at_creation() {
+        let (vals, meter) = World::run(2, LinkModel::instant(), |mut c| {
+            if c.rank() == 0 {
+                let req = c.isend(1, 3, &[4.0, 5.0], DType::F32).unwrap();
+                assert!(!req.is_recv());
+                assert_eq!(req.peer(), 1);
+                assert!(c.test(&req).unwrap(), "send requests are complete at creation");
+                assert_eq!(c.wait(req).unwrap(), Completion::Sent);
+                0.0
+            } else {
+                c.recv(0, 3).unwrap().iter().sum::<f32>()
+            }
+        });
+        assert_eq!(vals[1], 9.0);
+        assert_eq!(meter.rank(0).p2p_bytes, 8, "charged at isend time");
+    }
+
+    #[test]
+    fn test_polls_without_consuming() {
+        use std::sync::atomic::AtomicBool;
+        let sent = AtomicBool::new(false);
+        let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
+            if c.rank() == 0 {
+                // Give rank 1 time to observe "not yet arrived".
+                std::thread::sleep(Duration::from_millis(20));
+                sent.store(true, Ordering::SeqCst);
+                c.send(1, 9, &[2.0], DType::F32).unwrap();
+                0.0
+            } else {
+                let req = c.irecv(0, 9);
+                assert!(req.is_recv());
+                if !sent.load(Ordering::SeqCst) {
+                    // Nothing can have arrived before the peer sent it.
+                    assert!(!c.test(&req).unwrap());
+                }
+                // Poll until the message lands, then wait must not block.
+                while !c.test(&req).unwrap() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                assert!(c.test(&req).unwrap(), "test never consumes the match");
+                c.wait_recv(req).unwrap()[0]
+            }
+        });
+        assert_eq!(vals[1], 2.0);
+    }
+
+    #[test]
+    fn test_respects_link_pacing() {
+        // 1 MB over a 100 MB/s link ≈ 10 ms: test must report false until
+        // the transfer has fully landed, so a test-true wait never sleeps.
+        let slow = LinkModel { bandwidth_bps: 100e6, latency_s: 0.0 };
+        let (_, _) = World::run(2, slow, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &vec![0.0f32; 250_000], DType::F32).unwrap();
+            } else {
+                let req = c.irecv(0, 0);
+                while !c.test(&req).unwrap() {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let t0 = Instant::now();
+                c.wait_recv(req).unwrap();
+                assert!(
+                    t0.elapsed() < Duration::from_millis(5),
+                    "wait after test-true should be immediate, took {:?}",
+                    t0.elapsed()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn wait_all_completes_mixed_batches_in_order() {
+        let p = 4;
+        let (outs, _) = World::run(p, LinkModel::instant(), |mut c| {
+            let r = c.rank() as f32;
+            let next = c.next_rank();
+            let prev = c.prev_rank();
+            let reqs = vec![
+                c.isend(next, 1, &[r], DType::F32).unwrap(),
+                c.isend(prev, 2, &[r + 100.0], DType::F32).unwrap(),
+                c.irecv(prev, 1),
+                c.irecv(next, 2),
+            ];
+            let done = c.wait_all(reqs).unwrap();
+            assert_eq!(done[0], Completion::Sent);
+            assert_eq!(done[1], Completion::Sent);
+            let payloads: Vec<Vec<f32>> =
+                done.into_iter().filter_map(Completion::into_payload).collect();
+            (payloads[0][0], payloads[1][0])
+        });
+        for (r, &(from_prev, from_next)) in outs.iter().enumerate() {
+            assert_eq!(from_prev, ((r + p - 1) % p) as f32);
+            assert_eq!(from_next, ((r + 1) % p) as f32 + 100.0);
+        }
+    }
+
+    #[test]
+    fn outstanding_request_surfaces_typed_abort() {
+        // Rank 1 has a receive request outstanding when rank 0 dies; the
+        // wait must unwind with the typed PeerDead cause, not hang.
+        let cfg = CommConfig::fail_fast(Duration::from_secs(5));
+        let (results, _) = World::builder(2).config(cfg).try_run(|mut c| {
+            if c.rank() == 0 {
+                return Err(CommError::PeerDead { rank: 0 });
+            }
+            let req = c.irecv(0, 7);
+            let t0 = Instant::now();
+            let r = c.wait_recv(req);
+            assert!(t0.elapsed() < Duration::from_secs(5), "abort must interrupt the wait");
+            r
+        });
+        // try_run returns rank 0's own error; rank 1's outstanding request
+        // observes the same typed cause through the abort cell.
+        assert!(results[0].is_err());
+        match results[1].as_ref().unwrap_err() {
+            CommError::PeerDead { rank: 0 } | CommError::Aborted { origin: 0, .. } => {}
+            other => panic!("expected the propagated rank-0 death, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn irecv_posted_before_fault_reports_corruption_at_wait() {
+        // A corruption injected while the request is outstanding surfaces
+        // as the same typed Corrupt error the blocking path returns.
+        let plan = FaultPlan::new(3).with_corruption(0, 1, 0);
+        let cfg = CommConfig::fail_fast(Duration::from_secs(2));
+        let (results, _) = World::builder(2).config(cfg).faults(plan).try_run(|mut c| {
+            if c.rank() == 0 {
+                c.send(1, 4, &[1.0, 2.0], DType::F32)?;
+                Ok(vec![])
+            } else {
+                let req = c.irecv(0, 4);
+                c.wait_recv(req)
+            }
+        });
+        match results[1].as_ref().unwrap_err() {
+            CommError::Corrupt { src: 0, tag: 4 } => {}
+            other => panic!("expected Corrupt from wait on outstanding request, got {other:?}"),
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod fault;
 pub mod link;
 pub mod meter;
 
-pub use comm::{CommConfig, Communicator, RecvHandle, World, WorldBuilder};
+pub use comm::{CommConfig, Communicator, Completion, Request, World, WorldBuilder};
 pub use error::CommError;
 pub use fault::FaultPlan;
 pub use link::LinkModel;

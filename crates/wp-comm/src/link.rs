@@ -56,6 +56,16 @@ impl LinkModel {
         Duration::from_secs_f64(self.transfer_time_s(bytes))
     }
 
+    /// Link-occupancy time for `bytes` bytes (bandwidth term only, no
+    /// latency): how long the directed link is busy before the next message
+    /// can start transferring.
+    pub fn occupancy_duration(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bps.is_infinite() {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
     /// True if this link injects no delay.
     pub fn is_instant(&self) -> bool {
         self.bandwidth_bps.is_infinite() && self.latency_s == 0.0

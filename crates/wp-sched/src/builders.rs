@@ -36,18 +36,31 @@ pub struct PipelineSpec {
     /// backward. Split-backward strategies (ZB/WZB) force this off — the
     /// deferred W pass needs the full forward context.
     pub recompute: bool,
+    /// Double-buffered weight movement (paper §4.3): the ring builders emit
+    /// explicit [`OpKind::PrePost`]/[`OpKind::WaitReq`] pairs so round
+    /// `t+1`'s weight/grad transfers are posted before round `t`'s compute
+    /// and waited on only at the round boundary. Off falls back to blocking
+    /// `Recv` ops at the top of each turn. Only affects the weight-passing
+    /// ring schedules; results are bit-identical either way.
+    pub overlap: bool,
 }
 
 impl PipelineSpec {
     /// A spec with activation checkpointing on (the paper's long-context
-    /// default).
+    /// default) and double-buffered weight movement enabled.
     pub fn new(ranks: usize, microbatches: usize) -> Self {
-        PipelineSpec { ranks, microbatches, recompute: true }
+        PipelineSpec { ranks, microbatches, recompute: true, overlap: true }
     }
 
     /// The same spec with activation checkpointing off.
     pub fn without_recompute(mut self) -> Self {
         self.recompute = false;
+        self
+    }
+
+    /// Enable or disable double-buffered weight movement.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
         self
     }
 }
@@ -164,14 +177,82 @@ pub mod weipipe {
                     dst: r,
                 };
                 let d_in = MsgKey { kind: MsgKind::WeightGrads, mb: NO_MB, ..bwd_in };
+                let fwd_out = MsgKey {
+                    kind: MsgKind::Weights,
+                    chunk: wf(r, t),
+                    mb: FLOW_FWD,
+                    round: t,
+                    src: r,
+                    dst: next,
+                };
+                let w_out = MsgKey {
+                    kind: MsgKind::Weights,
+                    chunk: wb(r, t),
+                    mb: FLOW_BWD,
+                    round: t,
+                    src: r,
+                    dst: next,
+                };
+                let d_out = MsgKey { kind: MsgKind::WeightGrads, mb: NO_MB, ..w_out };
+                // The seeded chunks of turn 0 depart with nothing to wait for.
+                let seed_send = |key: MsgKey| Op {
+                    kind: OpKind::Send(key),
+                    needs: Vec::new(),
+                    after_compute: false,
+                    mem: Vec::new(),
+                };
 
-                // 1. Post this turn's ring arrivals.
+                // 1. This turn's ring arrivals. Blocking mode receives them
+                //    all here, so each turn pays its transfers in sequence
+                //    with its compute; overlap mode instead redeems requests
+                //    pre-posted one turn earlier, waiting for each flow only
+                //    at the point its payload is first consumed.
                 if t >= 1 {
-                    if t <= hf {
-                        stream.push(Op::recv(fwd_in));
+                    if spec.overlap {
+                        if t <= hf {
+                            stream.push(Op::wait_req(fwd_in));
+                        }
+                    } else {
+                        if t <= hf {
+                            stream.push(Op::recv(fwd_in));
+                        }
+                        stream.push(Op::recv(bwd_in));
+                        stream.push(Op::recv(d_in));
                     }
-                    stream.push(Op::recv(bwd_in));
-                    stream.push(Op::recv(d_in));
+                }
+
+                // 1b. Overlap mode (§4.3 double buffering): the forward-flow
+                //     chunk relays onward the moment it lands — its next hop
+                //     streams while this rank computes — and the receive
+                //     requests for round t+1 are posted before any of round
+                //     t's compute starts.
+                if spec.overlap {
+                    if t < hf {
+                        stream.push(if t == 0 {
+                            seed_send(fwd_out)
+                        } else {
+                            Op::forward_send(fwd_out, fwd_in)
+                        });
+                    }
+                    if t < hf {
+                        stream.push(Op::pre_post(MsgKey {
+                            chunk: wf(r, t + 1),
+                            round: t,
+                            ..fwd_in
+                        }));
+                    }
+                    if t < hb {
+                        stream.push(Op::pre_post(MsgKey {
+                            chunk: wb(r, t + 1),
+                            round: t,
+                            ..bwd_in
+                        }));
+                        stream.push(Op::pre_post(MsgKey {
+                            chunk: wb(r, t + 1),
+                            round: t,
+                            ..d_in
+                        }));
+                    }
                 }
 
                 // 2. Forward compute: group g of this rank's microbatches
@@ -188,6 +269,26 @@ pub mod weipipe {
                             op = op.needs(fwd_in);
                         }
                         stream.push(op);
+                    }
+                }
+
+                // 2b. Overlap mode: the backward flow (weights + gradient
+                //     accumulator) is waited on only now, after the forward
+                //     compute it was hiding under, and the weight half
+                //     relays onward before the local backward uses it.
+                //     (The gradient half cannot leave yet — the backward
+                //     below still accumulates into it.)
+                if spec.overlap {
+                    if t >= 1 {
+                        stream.push(Op::wait_req(bwd_in));
+                        stream.push(Op::wait_req(d_in));
+                    }
+                    if t < hb {
+                        stream.push(if t == 0 {
+                            seed_send(w_out)
+                        } else {
+                            Op::forward_send(w_out, bwd_in)
+                        });
                     }
                 }
 
@@ -225,59 +326,33 @@ pub mod weipipe {
                     }
                 }
 
-                // 4. Ring departures for this turn.
-                if t < hf {
-                    let out = MsgKey {
-                        kind: MsgKind::Weights,
-                        chunk: wf(r, t),
-                        mb: FLOW_FWD,
-                        round: t,
-                        src: r,
-                        dst: next,
-                    };
+                // 4. Remaining ring departures for this turn. Blocking mode
+                //    relays both weight flows here — round-synchronous, after
+                //    this rank's compute for the turn, which is what gives
+                //    the ring its serialized compute+comm cost. Overlap mode
+                //    already relayed the weights above; only the gradient
+                //    chunk departs here, in both modes, because it must carry
+                //    the local backward's contribution (every variant).
+                if !spec.overlap && t < hf {
                     if t == 0 {
-                        // Seeded chunk: nothing to wait for.
-                        stream.push(Op {
-                            kind: OpKind::Send(out),
-                            needs: Vec::new(),
-                            after_compute: false,
-                            mem: Vec::new(),
-                        });
+                        stream.push(seed_send(fwd_out));
                     } else {
-                        // Round-synchronous relay: a chunk received in round
-                        // t−1 departs in round t's batched isend — after this
-                        // rank's compute for the turn (§4.3). This hop-per-
-                        // round pacing is what gives the ring its fill/drain
-                        // bubble.
-                        stream.push(Op::send(out).needs(fwd_in));
+                        stream.push(Op::send(fwd_out).needs(fwd_in));
                     }
                 }
                 if t < hb {
-                    let w_out = MsgKey {
-                        kind: MsgKind::Weights,
-                        chunk: wb(r, t),
-                        mb: FLOW_BWD,
-                        round: t,
-                        src: r,
-                        dst: next,
-                    };
-                    if t == 0 {
-                        stream.push(Op {
-                            kind: OpKind::Send(w_out),
-                            needs: Vec::new(),
-                            after_compute: false,
-                            mem: Vec::new(),
-                        });
-                    } else {
-                        // Backward weights relay one hop per round as well;
-                        // what the interleaved schedule removes vs naive is
-                        // the second full circulation (hb is ~half as many
-                        // rounds), not the per-hop pacing (§4.2.2).
-                        stream.push(Op::send(w_out).needs(bwd_in));
+                    if !spec.overlap {
+                        if t == 0 {
+                            stream.push(seed_send(w_out));
+                        } else {
+                            // Backward weights relay one hop per round as
+                            // well; what the interleaved schedule removes vs
+                            // naive is the second full circulation (hb is
+                            // ~half as many rounds), not the per-hop pacing
+                            // (§4.2.2).
+                            stream.push(Op::send(w_out).needs(bwd_in));
+                        }
                     }
-                    // Gradients leave only after the local backward that
-                    // accumulated into them (every variant).
-                    let d_out = MsgKey { kind: MsgKind::WeightGrads, mb: NO_MB, ..w_out };
                     let mut op = Op::send(d_out);
                     if t >= 1 {
                         op = op.needs(d_in);
@@ -679,6 +754,39 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.sends, 4 * (12 + 14 + 14) + 4);
         assert_eq!(st.recvs, st.sends);
+    }
+
+    #[test]
+    fn overlap_emits_prepost_wait_pairs_without_changing_traffic() {
+        use std::collections::HashSet;
+        for strat in [Strategy::WeiPipeNaive, Strategy::WeiPipeInterleave] {
+            let spec = PipelineSpec::new(4, 8);
+            let blocking = build(strat, spec.with_overlap(false));
+            let overlapped = build(strat, spec.with_overlap(true));
+            let (bs, os) = (blocking.stats(), overlapped.stats());
+            // Same messages on the wire either way; only the posting style
+            // differs (Recv vs PrePost+WaitReq).
+            assert_eq!(bs.sends, os.sends, "{strat:?}");
+            assert_eq!(bs.recvs, os.recvs, "{strat:?}");
+            assert_eq!(bs.waits, 0, "{strat:?}");
+            assert!(os.waits > 0, "{strat:?}");
+            // Every wait redeems a pre-post issued earlier on the same rank.
+            for ops in &overlapped.ops {
+                let mut posted: HashSet<MsgKey> = HashSet::new();
+                for op in ops {
+                    match op.kind {
+                        OpKind::PrePost(k) => {
+                            assert!(posted.insert(k), "{strat:?}: double post {k:?}");
+                        }
+                        OpKind::WaitReq(k) => {
+                            assert!(posted.remove(&k), "{strat:?}: wait before post {k:?}");
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(posted.is_empty(), "{strat:?}: unredeemed pre-posts");
+            }
+        }
     }
 
     #[test]

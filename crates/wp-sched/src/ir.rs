@@ -19,6 +19,12 @@
 //!   gates nothing by itself — consumers name the message in `needs`. It
 //!   exists for validation (every arrival must be expected) and for memory
 //!   accounting (buffers appear at arrival).
+//! * `PrePost`/`WaitReq` split a receive into its `irecv` posting and its
+//!   blocking `wait`. `PrePost` is free — it gates nothing and costs no
+//!   time; `WaitReq` blocks the issuing rank's program until the message
+//!   has arrived. The pair is how the WeiPipe builders express the
+//!   double-buffered weight ring: post round `t+1`'s receive before round
+//!   `t`'s compute, wait only at the round boundary.
 //! * Collectives rendezvous: all ranks' instances of the same collective
 //!   start together (at the latest participant) and complete together.
 //!
@@ -128,6 +134,16 @@ pub enum OpKind {
     Send(MsgKey),
     /// Non-blocking point-to-point receive posting (this rank is `key.dst`).
     Recv(MsgKey),
+    /// Post (pre-post) a nonblocking receive request for a message that a
+    /// later [`OpKind::WaitReq`] on the same rank will redeem — the
+    /// `irecv` half of a double-buffered transfer. Posting is free: it
+    /// blocks on nothing and completes immediately.
+    PrePost(MsgKey),
+    /// Redeem the request pre-posted for the same key: blocks until the
+    /// message has arrived — the `wait` half of a double-buffered transfer.
+    /// Every `WaitReq` must be preceded (in the same rank's program order)
+    /// by its matching `PrePost`.
+    WaitReq(MsgKey),
     /// Ring all-gather of a weight chunk (FSDP).
     AllGatherW {
         /// Chunk index.
@@ -210,6 +226,17 @@ impl Op {
     /// A receive posting.
     pub fn recv(key: MsgKey) -> Self {
         Op { kind: OpKind::Recv(key), needs: Vec::new(), after_compute: false, mem: Vec::new() }
+    }
+
+    /// Pre-post the receive request for `key` (the `irecv` half of a
+    /// double-buffered transfer).
+    pub fn pre_post(key: MsgKey) -> Self {
+        Op { kind: OpKind::PrePost(key), needs: Vec::new(), after_compute: false, mem: Vec::new() }
+    }
+
+    /// Redeem the pre-posted request for `key` (the blocking `wait` half).
+    pub fn wait_req(key: MsgKey) -> Self {
+        Op { kind: OpKind::WaitReq(key), needs: Vec::new(), after_compute: false, mem: Vec::new() }
     }
 
     /// A collective op. It gates on the latest preceding compute op (the
@@ -320,8 +347,11 @@ pub struct ScheduleStats {
     pub updates: usize,
     /// Point-to-point sends.
     pub sends: usize,
-    /// Receive postings.
+    /// Receive postings (`Recv` and `PrePost` — one per expected message,
+    /// whichever form posts it).
     pub recvs: usize,
+    /// Blocking waits on pre-posted requests (`WaitReq`).
+    pub waits: usize,
     /// Collective ops (all kinds).
     pub collectives: usize,
 }
@@ -351,8 +381,11 @@ impl Schedule {
                 OpKind::BwdWeight { .. } => s.bwd_weight += 1,
                 OpKind::Update { .. } => s.updates += 1,
                 OpKind::Send(_) => s.sends += 1,
-                OpKind::Recv(_) => s.recvs += 1,
-                _ => s.collectives += 1,
+                OpKind::Recv(_) | OpKind::PrePost(_) => s.recvs += 1,
+                OpKind::WaitReq(_) => s.waits += 1,
+                OpKind::AllGatherW { .. }
+                | OpKind::ReduceScatterD { .. }
+                | OpKind::AllReduceD { .. } => s.collectives += 1,
             }
         }
         s

@@ -4,7 +4,10 @@
 //! simulator or runtime touches it:
 //!
 //! 1. **Message consistency** — every send has exactly one matching receive
-//!    (same key) and vice versa, emitted on the key's `src`/`dst` ranks.
+//!    posting (a `Recv`, or a `PrePost`/`WaitReq` pair) and vice versa,
+//!    emitted on the key's `src`/`dst` ranks; every `WaitReq` is preceded
+//!    in its rank's program order by its matching `PrePost`, and every
+//!    `PrePost` is redeemed by exactly one `WaitReq`.
 //! 2. **Compute coverage** — every (microbatch × chunk) is forwarded exactly
 //!    once and backwarded exactly once (fused, or B-then-W on one rank);
 //!    every chunk is updated at least once.
@@ -66,6 +69,10 @@ pub fn validate(s: &Schedule) -> Result<(), ValidationError> {
 fn check_messages(s: &Schedule) -> Result<(), ValidationError> {
     let mut sends: HashMap<MsgKey, usize> = HashMap::new();
     let mut recvs: HashMap<MsgKey, usize> = HashMap::new();
+    // Pre-posted requests not yet redeemed by a WaitReq, per (rank, key).
+    // iter_ops yields each rank's stream in program order, so ordering
+    // violations (wait before post) surface as a missing entry here.
+    let mut open: HashSet<(usize, MsgKey)> = HashSet::new();
     for (rank, op) in s.iter_ops() {
         match &op.kind {
             OpKind::Send(k) => {
@@ -87,8 +94,34 @@ fn check_messages(s: &Schedule) -> Result<(), ValidationError> {
                 }
                 *recvs.entry(*k).or_insert(0) += 1;
             }
+            OpKind::PrePost(k) => {
+                if k.dst != rank {
+                    return Err(ValidationError(format!(
+                        "pre-post {k:?} emitted on rank {rank}, not its dst"
+                    )));
+                }
+                open.insert((rank, *k));
+                *recvs.entry(*k).or_insert(0) += 1;
+            }
+            OpKind::WaitReq(k) => {
+                if k.dst != rank {
+                    return Err(ValidationError(format!(
+                        "wait {k:?} emitted on rank {rank}, not its dst"
+                    )));
+                }
+                if !open.remove(&(rank, *k)) {
+                    return Err(ValidationError(format!(
+                        "rank {rank}: wait for {k:?} without an earlier pre-post"
+                    )));
+                }
+            }
             _ => {}
         }
+    }
+    if let Some((rank, k)) = open.iter().next() {
+        return Err(ValidationError(format!(
+            "rank {rank}: pre-posted request {k:?} is never waited on"
+        )));
     }
     for (k, &n) in &sends {
         if n != 1 {
@@ -219,8 +252,10 @@ fn check_executable(s: &Schedule) -> Result<(), ValidationError> {
                     break;
                 }
                 match &op.kind {
-                    OpKind::Recv(k)
-                        // A recv is passable only once the message arrived.
+                    // A recv is passable only once the message arrived; a
+                    // wait on a pre-posted request blocks the same way. The
+                    // pre-post itself is free (it gates nothing).
+                    OpKind::Recv(k) | OpKind::WaitReq(k)
                         if !arrived.contains(k) => {
                             break;
                         }
@@ -317,6 +352,47 @@ mod tests {
                 validate(&s).unwrap_or_else(|e| panic!("{strat:?} P={p}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn blocking_mode_validates_across_sizes() {
+        for p in [2usize, 4] {
+            let n = 2 * p;
+            for strat in [Strategy::WeiPipeNaive, Strategy::WeiPipeInterleave] {
+                let s = build(strat, PipelineSpec::new(p, n).with_overlap(false));
+                validate(&s).unwrap_or_else(|e| panic!("{strat:?} P={p} blocking: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn detects_wait_without_prepost() {
+        let mut s = build(Strategy::WeiPipeInterleave, PipelineSpec::new(2, 4));
+        // Turn one PrePost into its WaitReq: the wait now precedes any post.
+        'outer: for ops in &mut s.ops {
+            for op in ops.iter_mut() {
+                if let OpKind::PrePost(k) = op.kind {
+                    op.kind = OpKind::WaitReq(k);
+                    break 'outer;
+                }
+            }
+        }
+        let err = validate(&s).unwrap_err();
+        assert!(err.0.contains("pre-post"), "{err}");
+    }
+
+    #[test]
+    fn detects_unredeemed_prepost() {
+        let mut s = build(Strategy::WeiPipeInterleave, PipelineSpec::new(2, 4));
+        // Drop one WaitReq: its PrePost is never redeemed.
+        for ops in &mut s.ops {
+            if let Some(pos) = ops.iter().position(|o| matches!(o.kind, OpKind::WaitReq(_))) {
+                ops.remove(pos);
+                break;
+            }
+        }
+        let err = validate(&s).unwrap_err();
+        assert!(err.0.contains("never waited"), "{err}");
     }
 
     #[test]

@@ -233,12 +233,22 @@ pub fn simulate(
                         p2p_bytes[r] += bytes;
                         end_time = arrive;
                     }
-                    OpKind::Recv(k) => {
+                    // A wait on a pre-posted request completes when the
+                    // message lands, exactly like a blocking recv — the
+                    // overlap win comes from *where the builder places* the
+                    // wait, not from a cheaper wait.
+                    OpKind::Recv(k) | OpKind::WaitReq(k) => {
                         match arrivals.get(k) {
                             Some(&a) => end_time = a,
                             // Matching send not yet timed: retry later.
                             None => break,
                         }
+                    }
+                    OpKind::PrePost(_) => {
+                        // Posting the receive buffer is free and gates
+                        // nothing; memory for the in-flight slot is already
+                        // in the strategy's static footprint (cost.rs).
+                        end_time = needs_t;
                     }
                     kind => {
                         // Collective: record entry; complete at rendezvous.

@@ -80,6 +80,7 @@ fn main() {
         faults: None,
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
+        overlap: true,
     };
 
     println!("training {} params on 4 ranks with WeiPipe-Interleave…", model.total_params());

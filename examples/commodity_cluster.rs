@@ -64,6 +64,7 @@ fn main() {
         faults: None,
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
+        overlap: true,
     };
     for strategy in [Strategy::OneFOneB, Strategy::WeiPipeInterleave] {
         let t0 = Instant::now();

@@ -32,6 +32,7 @@ fn traffic_for(seq: usize, strategy: Strategy) -> u64 {
         faults: None,
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
+        overlap: true,
     };
     run_distributed(strategy, 4, &setup).expect("healthy world").bytes_sent
 }

@@ -51,6 +51,7 @@ fn main() {
         } else {
             weipipe::TraceConfig::off()
         },
+        overlap: true,
     };
 
     println!("training 4-layer model on 4 ranks with WeiPipe-Interleave…\n");
