@@ -278,9 +278,9 @@ impl RankRuntime {
             let (ids, _) = self.setup.batch_for(self.iter, mb);
             embed_forward(&self.cfg, &self.embed, &ids, &self.scratch)
         } else {
-            self.acts
-                .remove(&(mb, chunk))
-                .unwrap_or_else(|| panic!("rank {}: missing input for Fwd({mb},{chunk})", self.rank))
+            self.acts.remove(&(mb, chunk)).unwrap_or_else(|| {
+                panic!("rank {}: missing input for Fwd({mb},{chunk})", self.rank)
+            })
         };
         let key = self.weight_slot_key(needs, chunk, FLOW_FWD);
         let w = self.slots.get(&key).expect("slot resolved").clone();
@@ -300,7 +300,11 @@ impl RankRuntime {
         }
         self.fwd_saved.insert(
             (mb, chunk),
-            if recompute { FwdSaved::Inputs(saved_inputs) } else { FwdSaved::Ctxs(saved_ctxs) },
+            if recompute {
+                FwdSaved::Inputs(saved_inputs)
+            } else {
+                FwdSaved::Ctxs(saved_ctxs)
+            },
         );
         if chunk + 1 < self.chunks {
             self.acts.insert((mb, chunk + 1), x);
@@ -379,10 +383,26 @@ impl RankRuntime {
             let dgl = &mut dgrad[l * self.block_len..(l + 1) * self.block_len];
             dy = match &saved {
                 FwdSaved::Inputs(inputs) => block_backward_recompute(
-                    &self.cfg, &self.rope, wl, &inputs[l], &dy, dgl, g, s, &self.scratch,
+                    &self.cfg,
+                    &self.rope,
+                    wl,
+                    &inputs[l],
+                    &dy,
+                    dgl,
+                    g,
+                    s,
+                    &self.scratch,
                 ),
                 FwdSaved::Ctxs(ctxs) => block_backward_full(
-                    &self.cfg, &self.rope, wl, &ctxs[l], &dy, dgl, g, s, &self.scratch,
+                    &self.cfg,
+                    &self.rope,
+                    wl,
+                    &ctxs[l],
+                    &dy,
+                    dgl,
+                    g,
+                    s,
+                    &self.scratch,
                 ),
             };
         }
@@ -409,13 +429,23 @@ impl RankRuntime {
         let mut bctxs: Vec<Option<BPassCtx>> = (0..self.lpc).map(|_| None).collect();
         for l in (0..self.lpc).rev() {
             let wl = &w[l * self.block_len..(l + 1) * self.block_len];
-            let (dx, bctx) =
-                block_backward_data(&self.cfg, &self.rope, wl, &ctxs[l], &dy, g, s, &self.scratch);
+            let (dx, bctx) = block_backward_data(
+                &self.cfg,
+                &self.rope,
+                wl,
+                &ctxs[l],
+                &dy,
+                g,
+                s,
+                &self.scratch,
+            );
             bctxs[l] = Some(bctx);
             dy = dx;
         }
-        self.bctx_saved
-            .insert((mb, chunk), bctxs.into_iter().map(|b| b.expect("filled")).collect());
+        self.bctx_saved.insert(
+            (mb, chunk),
+            bctxs.into_iter().map(|b| b.expect("filled")).collect(),
+        );
         self.downstream_dx(mb, chunk, dy);
     }
 
@@ -458,7 +488,10 @@ impl RankRuntime {
             let optim = &self.setup.optim;
             let wire = self.setup.wire;
             let (master, opt) = self.shard_opt.entry(chunk).or_insert_with(|| {
-                (MasterWeights::capture(shard, wire), optim.build(shard.len()))
+                (
+                    MasterWeights::capture(shard, wire),
+                    optim.build(shard.len()),
+                )
             });
             master.step_traced(opt.as_mut(), shard, &grads, lr, tracer.as_ref());
             return;
@@ -472,9 +505,10 @@ impl RankRuntime {
         let slot = self.slots.get_mut(&key).expect("slot resolved");
         let optim = &self.setup.optim;
         let wire = self.setup.wire;
-        let (master, opt) = self.chunk_opt.entry(chunk).or_insert_with(|| {
-            (MasterWeights::capture(slot, wire), optim.build(slot.len()))
-        });
+        let (master, opt) = self
+            .chunk_opt
+            .entry(chunk)
+            .or_insert_with(|| (MasterWeights::capture(slot, wire), optim.build(slot.len())));
         master.step_traced(opt.as_mut(), slot, &grads, lr, tracer.as_ref());
     }
 
@@ -489,7 +523,11 @@ impl RankRuntime {
                     .slots
                     .get(&(k.chunk, k.mb))
                     .unwrap_or_else(|| {
-                        panic!("rank {}: sending unknown weight slot {:?}", self.rank, (k.chunk, k.mb))
+                        panic!(
+                            "rank {}: sending unknown weight slot {:?}",
+                            self.rank,
+                            (k.chunk, k.mb)
+                        )
                     })
                     .clone();
                 self.comm.send(k.dst, tag, &slot, wire)?;
@@ -532,7 +570,11 @@ impl RankRuntime {
     fn exec_prepost(&mut self, k: &MsgKey) {
         let req = self.comm.irecv(k.src, tag_of(k));
         let prev = self.pending_reqs.insert(*k, req);
-        debug_assert!(prev.is_none(), "rank {}: double pre-post for {k:?}", self.rank);
+        debug_assert!(
+            prev.is_none(),
+            "rank {}: double pre-post for {k:?}",
+            self.rank
+        );
     }
 
     /// Redeem a pre-posted receive and route its payload exactly as a
@@ -553,23 +595,22 @@ impl RankRuntime {
             MsgKind::Weights => {
                 self.slots.insert((k.chunk, k.mb), data);
             }
-            MsgKind::WeightGrads => {
-                match self.dgrads.get_mut(&k.chunk) {
-                    Some(acc) => {
-                        for (a, b) in acc.iter_mut().zip(&data) {
-                            *a += b;
-                        }
-                    }
-                    None => {
-                        self.dgrads.insert(k.chunk, data);
+            MsgKind::WeightGrads => match self.dgrads.get_mut(&k.chunk) {
+                Some(acc) => {
+                    for (a, b) in acc.iter_mut().zip(&data) {
+                        *a += b;
                     }
                 }
-            }
+                None => {
+                    self.dgrads.insert(k.chunk, data);
+                }
+            },
             MsgKind::Act => {
                 self.acts.insert((k.mb, k.chunk), self.scratch.adopt(data));
             }
             MsgKind::ActGrad => {
-                self.dy_out.insert((k.mb, k.chunk), self.scratch.adopt(data));
+                self.dy_out
+                    .insert((k.mb, k.chunk), self.scratch.adopt(data));
             }
         }
     }
@@ -709,18 +750,22 @@ impl RankRuntime {
         let optim = &self.setup.optim;
         let embed = &mut self.embed;
         let (master, opt) = self.embed_opt.get_or_insert_with(|| {
-            (MasterWeights::capture(embed, wire), optim.build(embed.len()))
+            (
+                MasterWeights::capture(embed, wire),
+                optim.build(embed.len()),
+            )
         });
         master.step_traced(opt.as_mut(), embed, &eg, lr, tracer.as_ref());
         let head = &mut self.head;
-        let (master, opt) = self.head_opt.get_or_insert_with(|| {
-            (MasterWeights::capture(head, wire), optim.build(head.len()))
-        });
+        let (master, opt) = self
+            .head_opt
+            .get_or_insert_with(|| (MasterWeights::capture(head, wire), optim.build(head.len())));
         master.step_traced(opt.as_mut(), head, &hg, lr, tracer.as_ref());
 
         // Mean loss across ranks.
         let mut stats = [self.loss_sum as f32, self.loss_count as f32];
-        self.comm.all_reduce_sum(&mut stats, wp_tensor::DType::F32)?;
+        self.comm
+            .all_reduce_sum(&mut stats, wp_tensor::DType::F32)?;
         assert_eq!(
             stats[1] as usize, self.setup.microbatches,
             "every microbatch must contribute exactly one loss"
@@ -740,11 +785,18 @@ impl RankRuntime {
     /// # Errors
     /// Propagates any [`CommError`] from the reseed exchange.
     pub fn reseed_bwd_flow(&mut self, schedule: &Schedule, iter: usize) -> Result<(), CommError> {
-        if !matches!(self.strategy, Strategy::WeiPipeInterleave | Strategy::WeiPipeNaive) {
+        if !matches!(
+            self.strategy,
+            Strategy::WeiPipeInterleave | Strategy::WeiPipeNaive
+        ) {
             return Ok(());
         }
         let p = self.comm.world_size();
-        let offset = if self.strategy == Strategy::WeiPipeInterleave { 1 } else { 2 };
+        let offset = if self.strategy == Strategy::WeiPipeInterleave {
+            1
+        } else {
+            2
+        };
         let wire = self.setup.wire;
         // Nonblocking exchange: post every incoming reseed first, then ship
         // outgoing copies, then redeem — so a rank that both sends and
@@ -764,11 +816,19 @@ impl RankRuntime {
             let tag = (1u64 << 40) | ((iter as u64) << 16) | chunk as u64;
             if owner == holder {
                 if self.rank == owner {
-                    let fresh = self.slots.get(&(chunk, FLOW_FWD)).expect("owner slot").clone();
+                    let fresh = self
+                        .slots
+                        .get(&(chunk, FLOW_FWD))
+                        .expect("owner slot")
+                        .clone();
                     self.slots.insert((chunk, FLOW_BWD), fresh);
                 }
             } else if self.rank == owner {
-                let fresh = self.slots.get(&(chunk, FLOW_FWD)).expect("owner slot").clone();
+                let fresh = self
+                    .slots
+                    .get(&(chunk, FLOW_FWD))
+                    .expect("owner slot")
+                    .clone();
                 self.comm.send(holder, tag, &fresh, wire)?;
             }
         }
@@ -785,10 +845,7 @@ impl RankRuntime {
     ///
     /// # Errors
     /// Propagates any [`CommError`] from the assembly collectives.
-    pub fn assemble(
-        &mut self,
-        schedule: &Schedule,
-    ) -> Result<AssembledModel, CommError> {
+    pub fn assemble(&mut self, schedule: &Schedule) -> Result<AssembledModel, CommError> {
         let wire = wp_tensor::DType::F32; // assembly is exact
         let mut blocks = Vec::with_capacity(self.cfg.layers);
         for chunk in 0..self.chunks {
@@ -802,7 +859,8 @@ impl RankRuntime {
                     .ops
                     .iter()
                     .position(|ops| {
-                        ops.iter().any(|op| matches!(op.kind, OpKind::Update { chunk: c } if c == chunk))
+                        ops.iter()
+                            .any(|op| matches!(op.kind, OpKind::Update { chunk: c } if c == chunk))
                     })
                     .expect("every chunk has an updater");
                 let mut buf = if self.rank == updater {
@@ -821,4 +879,3 @@ impl RankRuntime {
         Ok((self.embed.clone(), blocks, self.head.clone()))
     }
 }
-

@@ -79,7 +79,15 @@ pub fn run_distributed_per_rank(
             }
             let wall_seconds = t0.elapsed().as_secs_f64();
             let (embed, blocks, head) = rt.assemble(&schedule)?;
-            Ok(RunOutput { losses, embed, blocks, head, bytes_sent: 0, wall_seconds, trace: None })
+            Ok(RunOutput {
+                losses,
+                embed,
+                blocks,
+                head,
+                bytes_sent: 0,
+                wall_seconds,
+                trace: None,
+            })
         });
     let bytes = meter.total_bytes();
     // Snapshot once after every rank thread has joined (the race-free
@@ -152,7 +160,10 @@ mod tests {
             out.losses,
             reference.losses
         );
-        assert!(param_diff < 2e-3, "{strategy:?} P={ranks}: param diff {param_diff}");
+        assert!(
+            param_diff < 2e-3,
+            "{strategy:?} P={ranks}: param diff {param_diff}"
+        );
         assert!(out.bytes_sent > 0, "{strategy:?} must actually communicate");
     }
 

@@ -25,12 +25,20 @@ impl OptimKind {
     /// Instantiate the optimizer for a flat buffer of `n` parameters.
     pub fn build(&self, n: usize) -> Box<dyn Optimizer + Send> {
         match *self {
-            OptimKind::Sgd { lr } => {
-                Box::new(Sgd::new(n, SgdConfig { lr, ..Default::default() }))
-            }
-            OptimKind::AdamW { lr } => {
-                Box::new(AdamW::new(n, AdamConfig { lr, ..Default::default() }))
-            }
+            OptimKind::Sgd { lr } => Box::new(Sgd::new(
+                n,
+                SgdConfig {
+                    lr,
+                    ..Default::default()
+                },
+            )),
+            OptimKind::AdamW { lr } => Box::new(AdamW::new(
+                n,
+                AdamConfig {
+                    lr,
+                    ..Default::default()
+                },
+            )),
         }
     }
 }
@@ -225,7 +233,8 @@ impl TrainSetup {
 
     /// The (ids, targets) pair for microbatch `mb` of iteration `iter`.
     pub fn batch_for(&self, iter: usize, mb: usize) -> (Vec<u32>, Vec<u32>) {
-        self.data.batch(self.model.vocab, self.microbatch, self.seq, iter, mb)
+        self.data
+            .batch(self.model.vocab, self.microbatch, self.seq, iter, mb)
     }
 
     /// Base learning rate of the configured optimizer.
@@ -298,7 +307,11 @@ impl RunOutput {
 
     /// Largest absolute per-iteration loss difference against another run.
     pub fn max_loss_diff(&self, other: &RunOutput) -> f32 {
-        assert_eq!(self.losses.len(), other.losses.len(), "iteration counts differ");
+        assert_eq!(
+            self.losses.len(),
+            other.losses.len(),
+            "iteration counts differ"
+        );
         self.losses
             .iter()
             .zip(&other.losses)

@@ -14,8 +14,11 @@ pub fn run_single(setup: &TrainSetup) -> RunOutput {
 
     let mut opt_embed = setup.optim.build(model.embed.len());
     let mut master_embed = MasterWeights::capture(&model.embed, DType::F32);
-    let mut opt_blocks: Vec<_> =
-        model.blocks.iter().map(|b| setup.optim.build(b.len())).collect();
+    let mut opt_blocks: Vec<_> = model
+        .blocks
+        .iter()
+        .map(|b| setup.optim.build(b.len()))
+        .collect();
     let mut master_blocks: Vec<_> = model
         .blocks
         .iter()
@@ -44,9 +47,17 @@ pub fn run_single(setup: &TrainSetup) -> RunOutput {
 
         if setup.loss_scale != 1.0 {
             let inv = 1.0 / setup.loss_scale;
-            for g in grads.embed.iter_mut() { *g *= inv; }
-            for b in grads.blocks.iter_mut() { for g in b.iter_mut() { *g *= inv; } }
-            for g in grads.head.iter_mut() { *g *= inv; }
+            for g in grads.embed.iter_mut() {
+                *g *= inv;
+            }
+            for b in grads.blocks.iter_mut() {
+                for g in b.iter_mut() {
+                    *g *= inv;
+                }
+            }
+            for g in grads.head.iter_mut() {
+                *g *= inv;
+            }
         }
         let lr = setup.lr_at(iter);
         master_embed.step(opt_embed.as_mut(), &mut model.embed, &grads.embed, lr);

@@ -15,8 +15,7 @@
 
 use std::time::{Duration, Instant};
 use weipipe::{
-    run_distributed, run_distributed_per_rank, run_single, runtime_strategies, Strategy,
-    TrainSetup,
+    run_distributed, run_distributed_per_rank, run_single, runtime_strategies, Strategy, TrainSetup,
 };
 use wp_comm::{CommConfig, CommError, FaultPlan};
 
@@ -46,8 +45,14 @@ fn every_strategy_survives_benign_chaos_and_matches_reference() {
             .unwrap_or_else(|e| panic!("{strategy:?} under benign chaos: {e:?}"));
         let dl = out.max_loss_diff(&reference);
         let dp = out.max_param_diff(&reference);
-        assert!(dl <= 2e-4, "{strategy:?}: loss diff {dl} under delay/reorder chaos");
-        assert!(dp <= 2e-3, "{strategy:?}: param diff {dp} under delay/reorder chaos");
+        assert!(
+            dl <= 2e-4,
+            "{strategy:?}: loss diff {dl} under delay/reorder chaos"
+        );
+        assert!(
+            dp <= 2e-3,
+            "{strategy:?}: param diff {dp} under delay/reorder chaos"
+        );
     }
 }
 
@@ -56,7 +61,11 @@ fn benign_chaos_is_bitwise_invisible_to_the_faulty_strategy_run() {
     // Stronger than tolerance-equivalence: tag matching means a jittered,
     // reordered world computes the *identical* floats as a healthy one.
     let clean = TrainSetup::tiny(4, 8);
-    for strategy in [Strategy::WeiPipeInterleave, Strategy::Fsdp, Strategy::OneFOneB] {
+    for strategy in [
+        Strategy::WeiPipeInterleave,
+        Strategy::Fsdp,
+        Strategy::OneFOneB,
+    ] {
         let healthy = run_distributed(strategy, 4, &clean).expect("healthy world");
         for seed in [1u64, 9090] {
             let mut setup = clean.clone();
@@ -82,10 +91,13 @@ fn stalled_link_slows_but_does_not_change_weipipe_training() {
     let healthy = run_distributed(Strategy::WeiPipeInterleave, 2, &clean).expect("healthy");
     let mut setup = clean;
     // Brown out the 0→1 link for its first 6 messages.
-    setup.faults =
-        Some(FaultPlan::new(17).with_stall(0, 1, 0, 6, Duration::from_millis(5)));
+    setup.faults = Some(FaultPlan::new(17).with_stall(0, 1, 0, 6, Duration::from_millis(5)));
     let stalled = run_distributed(Strategy::WeiPipeInterleave, 2, &setup).expect("stall");
-    assert_eq!(stalled.max_param_diff(&healthy), 0.0, "stall changed the weights");
+    assert_eq!(
+        stalled.max_param_diff(&healthy),
+        0.0,
+        "stall changed the weights"
+    );
 }
 
 #[test]
@@ -113,9 +125,9 @@ fn dead_rank_mid_training_fails_every_rank_with_typed_error() {
             Err(CommError::Aborted { origin, .. }) => {
                 assert_eq!(*origin, victim, "rank {rank} abort must name the victim");
             }
-            other => panic!(
-                "rank {rank}: expected PeerDead/Aborted naming rank {victim}, got {other:?}"
-            ),
+            other => {
+                panic!("rank {rank}: expected PeerDead/Aborted naming rank {victim}, got {other:?}")
+            }
         }
     }
 }
@@ -128,8 +140,8 @@ fn dead_rank_fails_every_runtime_strategy_not_just_weipipe() {
     setup.faults = Some(FaultPlan::new(5).with_dead_rank(1, 4));
     setup.comm = fast();
     for strategy in runtime_strategies() {
-        let err = run_distributed(strategy, 2, &setup)
-            .expect_err("a dead rank must fail the whole run");
+        let err =
+            run_distributed(strategy, 2, &setup).expect_err("a dead rank must fail the whole run");
         match err {
             CommError::PeerDead { rank } => assert_eq!(rank, 1, "{strategy:?}"),
             CommError::Aborted { origin, .. } => assert_eq!(origin, 1, "{strategy:?}"),
@@ -146,11 +158,17 @@ fn corrupted_weight_chunk_is_detected_not_trained_on() {
     setup.faults = Some(FaultPlan::new(31).with_corruption(0, 1, 1));
     setup.comm = fast();
     let results = run_distributed_per_rank(Strategy::WeiPipeInterleave, 2, &setup);
-    assert!(results.iter().all(|r| r.is_err()), "no rank may trust a corrupted run");
-    let detected = results.iter().any(|r| {
-        matches!(r, Err(CommError::Corrupt { src, .. }) if *src == 0)
-    });
-    assert!(detected, "the receiver must detect the checksum mismatch: {results:?}");
+    assert!(
+        results.iter().all(|r| r.is_err()),
+        "no rank may trust a corrupted run"
+    );
+    let detected = results
+        .iter()
+        .any(|r| matches!(r, Err(CommError::Corrupt { src, .. }) if *src == 0));
+    assert!(
+        detected,
+        "the receiver must detect the checksum mismatch: {results:?}"
+    );
 }
 
 #[test]
@@ -168,7 +186,10 @@ fn destructive_chaos_parity_between_overlapped_and_blocking_rings() {
         let started = Instant::now();
         let results = run_distributed_per_rank(Strategy::WeiPipeInterleave, 4, &setup);
         let elapsed = started.elapsed();
-        assert!(elapsed < budget, "overlap={overlap}: tear-down took {elapsed:?}");
+        assert!(
+            elapsed < budget,
+            "overlap={overlap}: tear-down took {elapsed:?}"
+        );
         for (rank, r) in results.iter().enumerate() {
             match r {
                 Err(CommError::PeerDead { rank: dead }) => assert_eq!(*dead, victim),
@@ -193,7 +214,10 @@ fn corruption_is_detected_by_both_ring_modes() {
         let detected = results
             .iter()
             .any(|r| matches!(r, Err(CommError::Corrupt { src, .. }) if *src == 0));
-        assert!(detected, "overlap={overlap}: checksum mismatch undetected: {results:?}");
+        assert!(
+            detected,
+            "overlap={overlap}: checksum mismatch undetected: {results:?}"
+        );
     }
 }
 
@@ -204,9 +228,14 @@ fn chaos_outcome_is_deterministic_per_seed() {
     setup.faults = Some(FaultPlan::new(77).with_dead_rank(0, 6));
     setup.comm = fast();
     let fmt = |rs: &[Result<weipipe::RunOutput, CommError>]| -> Vec<String> {
-        rs.iter().map(|r| format!("{:?}", r.as_ref().map(|_| ()))).collect()
+        rs.iter()
+            .map(|r| format!("{:?}", r.as_ref().map(|_| ())))
+            .collect()
     };
     let a = fmt(&run_distributed_per_rank(Strategy::WeiPipeNaive, 2, &setup));
     let b = fmt(&run_distributed_per_rank(Strategy::WeiPipeNaive, 2, &setup));
-    assert_eq!(a, b, "same seed must produce the same per-rank error surface");
+    assert_eq!(
+        a, b,
+        "same seed must produce the same per-rank error surface"
+    );
 }

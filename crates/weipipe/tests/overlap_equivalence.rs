@@ -38,11 +38,13 @@ fn overlap_is_bit_identical_to_blocking_across_variants_and_sizes() {
 fn overlap_preserves_traffic_volume() {
     // Same messages on the wire either way: total bytes must be identical.
     let setup = TrainSetup::tiny(4, 8);
-    let overlapped =
-        run_distributed(Strategy::WeiPipeInterleave, 4, &setup.clone().with_overlap(true))
-            .expect("overlapped");
-    let blocking =
-        run_distributed(Strategy::WeiPipeInterleave, 4, &setup.with_overlap(false))
-            .expect("blocking");
+    let overlapped = run_distributed(
+        Strategy::WeiPipeInterleave,
+        4,
+        &setup.clone().with_overlap(true),
+    )
+    .expect("overlapped");
+    let blocking = run_distributed(Strategy::WeiPipeInterleave, 4, &setup.with_overlap(false))
+        .expect("blocking");
     assert_eq!(overlapped.bytes_sent, blocking.bytes_sent);
 }

@@ -28,22 +28,44 @@ fn traced_weipipe_run_records_every_phase_on_every_rank() {
     assert_eq!(trace.tracks.len(), 4, "one track per rank");
     assert!(trace.makespan_ns() > 0);
     let bubble = trace.bubble_ratio();
-    assert!((0.0..1.0).contains(&bubble), "bubble ratio {bubble} out of range");
+    assert!(
+        (0.0..1.0).contains(&bubble),
+        "bubble ratio {bubble} out of range"
+    );
 
     for track in &trace.tracks {
         let r = track.rank;
-        assert_eq!(track.overwritten, 0, "rank {r}: default capacity must not overflow");
+        assert_eq!(
+            track.overwritten, 0,
+            "rank {r}: default capacity must not overflow"
+        );
         assert!(track.has_kind(SpanKind::Fwd), "rank {r}: no forward spans");
         let backward = track.has_kind(SpanKind::BwdFull)
             || (track.has_kind(SpanKind::BwdData) && track.has_kind(SpanKind::BwdWeight));
         assert!(backward, "rank {r}: no backward spans");
-        assert!(track.has_kind(SpanKind::Update), "rank {r}: no update spans");
-        assert!(track.has_kind(SpanKind::OptimStep), "rank {r}: no optimizer-step spans");
+        assert!(
+            track.has_kind(SpanKind::Update),
+            "rank {r}: no update spans"
+        );
+        assert!(
+            track.has_kind(SpanKind::OptimStep),
+            "rank {r}: no optimizer-step spans"
+        );
         assert!(track.has_kind(SpanKind::Send), "rank {r}: no send spans");
-        assert!(track.has_kind(SpanKind::RecvWait), "rank {r}: no recv-wait spans");
-        assert!(track.has_kind(SpanKind::Fault), "rank {r}: no fault instants under jitter");
+        assert!(
+            track.has_kind(SpanKind::RecvWait),
+            "rank {r}: no recv-wait spans"
+        );
+        assert!(
+            track.has_kind(SpanKind::Fault),
+            "rank {r}: no fault instants under jitter"
+        );
         let iters: Vec<_> = track.of_kind(SpanKind::Iteration).collect();
-        assert_eq!(iters.len(), setup.iters, "rank {r}: one iteration span per iteration");
+        assert_eq!(
+            iters.len(),
+            setup.iters,
+            "rank {r}: one iteration span per iteration"
+        );
         // Weight/grad chunk sends must carry their payload size (a few
         // messages — e.g. barrier tokens — are legitimately tiny).
         assert!(
@@ -71,14 +93,25 @@ fn traced_run_exports_valid_chrome_json() {
 fn tracing_is_bitwise_invisible_to_training() {
     let base = TrainSetup::tiny(4, 8);
     let untraced = run_distributed(Strategy::WeiPipeInterleave, 4, &base).expect("healthy");
-    assert!(untraced.trace.is_none(), "tracing off must produce no trace");
+    assert!(
+        untraced.trace.is_none(),
+        "tracing off must produce no trace"
+    );
 
     let mut traced_setup = base.clone();
     traced_setup.trace = TraceConfig::on();
     let traced = run_distributed(Strategy::WeiPipeInterleave, 4, &traced_setup).expect("healthy");
     assert!(traced.trace.is_some());
-    assert_eq!(traced.max_param_diff(&untraced), 0.0, "tracing changed the weights");
-    assert_eq!(traced.max_loss_diff(&untraced), 0.0, "tracing changed the losses");
+    assert_eq!(
+        traced.max_param_diff(&untraced),
+        0.0,
+        "tracing changed the weights"
+    );
+    assert_eq!(
+        traced.max_loss_diff(&untraced),
+        0.0,
+        "tracing changed the losses"
+    );
 
     // And the traced run still matches the single-process reference.
     let reference = run_single(&base);
@@ -92,8 +125,8 @@ fn every_runtime_strategy_produces_a_coherent_trace() {
         let mut setup = TrainSetup::tiny(2, 4);
         setup.iters = 2;
         setup.trace = TraceConfig::on();
-        let out = run_distributed(strategy, 2, &setup)
-            .unwrap_or_else(|e| panic!("{strategy:?}: {e:?}"));
+        let out =
+            run_distributed(strategy, 2, &setup).unwrap_or_else(|e| panic!("{strategy:?}: {e:?}"));
         let trace = out.trace.as_ref().expect("tracing was enabled");
         assert_eq!(trace.tracks.len(), 2, "{strategy:?}");
         for track in &trace.tracks {
@@ -102,16 +135,22 @@ fn every_runtime_strategy_produces_a_coherent_trace() {
                 "{strategy:?} rank {}: no forward spans",
                 track.rank
             );
-            assert!(track.busy_ns() > 0, "{strategy:?} rank {}: idle track", track.rank);
+            assert!(
+                track.busy_ns() > 0,
+                "{strategy:?} rank {}: idle track",
+                track.rank
+            );
             // Spans never run backwards and land inside the makespan.
             for s in &track.spans {
                 assert!(s.end_ns >= s.start_ns, "{strategy:?}: span runs backwards");
-                assert!(s.end_ns <= trace.end_ns(), "{strategy:?}: span escapes makespan");
+                assert!(
+                    s.end_ns <= trace.end_ns(),
+                    "{strategy:?}: span escapes makespan"
+                );
             }
         }
         let json = export_chrome_json(trace);
-        validate_chrome_json(&json)
-            .unwrap_or_else(|e| panic!("{strategy:?}: invalid export: {e}"));
+        validate_chrome_json(&json).unwrap_or_else(|e| panic!("{strategy:?}: invalid export: {e}"));
     }
 }
 
@@ -124,6 +163,9 @@ fn tiny_trace_capacity_overwrites_instead_of_blocking() {
     let trace = out.trace.as_ref().expect("tracing was enabled");
     for track in &trace.tracks {
         assert!(track.spans.len() <= 8, "ring must cap retained spans");
-        assert!(track.overwritten > 0, "a 2-iteration run must overflow 8 slots");
+        assert!(
+            track.overwritten > 0,
+            "a 2-iteration run must overflow 8 slots"
+        );
     }
 }

@@ -80,7 +80,17 @@ fn bench_block(c: &mut Criterion) {
         let mut dw = vec![0.0f32; w.len()];
         bench.iter(|| {
             dw.fill(0.0);
-            block_backward_full(&cfg, &rope, &w, &ctx, black_box(&dy), &mut dw, batch, seq, &sc)
+            block_backward_full(
+                &cfg,
+                &rope,
+                &w,
+                &ctx,
+                black_box(&dy),
+                &mut dw,
+                batch,
+                seq,
+                &sc,
+            )
         });
     });
     group.finish();

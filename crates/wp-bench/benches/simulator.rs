@@ -14,7 +14,9 @@ fn bench_builders(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("weipipe_interleave", format!("p{p}_n{n}")),
             &(p, n),
-            |b, &(p, n)| b.iter(|| black_box(build(Strategy::WeiPipeInterleave, PipelineSpec::new(p, n)))),
+            |b, &(p, n)| {
+                b.iter(|| black_box(build(Strategy::WeiPipeInterleave, PipelineSpec::new(p, n))))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("1f1b", format!("p{p}_n{n}")),
@@ -37,9 +39,7 @@ fn bench_engine(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        simulate(&sched, &cost, &cluster, SimOptions::default()).expect("ok"),
-                    )
+                    black_box(simulate(&sched, &cost, &cluster, SimOptions::default()).expect("ok"))
                 })
             },
         );
@@ -50,11 +50,21 @@ fn bench_engine(c: &mut Criterion) {
 fn bench_table_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("table_cell");
     group.sample_size(10);
-    let row = RowConfig { hidden: 2048, seq: 8192, microbatch: 8 };
+    let row = RowConfig {
+        hidden: 2048,
+        seq: 8192,
+        microbatch: 8,
+    };
     let cluster = ClusterSpec::nvlink_16();
     group.bench_function("weipipe_16gpu", |b| {
         b.iter(|| {
-            black_box(run_cell(Strategy::WeiPipeInterleave, row, 32, &cluster, 8 * 16 * 8))
+            black_box(run_cell(
+                Strategy::WeiPipeInterleave,
+                row,
+                32,
+                &cluster,
+                8 * 16 * 8,
+            ))
         })
     });
     group.finish();

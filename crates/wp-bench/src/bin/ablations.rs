@@ -6,7 +6,9 @@
 //! ```
 
 use wp_sched::{analysis, build, PipelineSpec, Strategy};
-use wp_sim::experiments::{hybrid_tp_sweep, run_cell, sim_options, straggler_sensitivity, RowConfig};
+use wp_sim::experiments::{
+    hybrid_tp_sweep, run_cell, sim_options, straggler_sensitivity, RowConfig,
+};
 use wp_sim::{simulate, ClusterSpec, CostModel, GpuSpec, MemUnit, ModelDims, SimOptions};
 
 /// Sweep the §3 crossover quantity `G·S/(12H)` and show where weight-passing
@@ -18,13 +20,27 @@ fn crossover() {
         "S", "G", "GS/(12H)", "1F1B", "WeiPipe", "winner"
     );
     let cluster = ClusterSpec::ethernet_16();
-    for (seq, g) in [(512usize, 1usize), (1024, 2), (4096, 4), (8192, 8), (16384, 16)] {
-        let row = RowConfig { hidden: 2048, seq, microbatch: g };
+    for (seq, g) in [
+        (512usize, 1usize),
+        (1024, 2),
+        (4096, 4),
+        (8192, 8),
+        (16384, 16),
+    ] {
+        let row = RowConfig {
+            hidden: 2048,
+            seq,
+            microbatch: g,
+        };
         let samples = 8 * cluster.ranks * g;
         let f1b = run_cell(Strategy::OneFOneB, row, 32, &cluster, samples);
         let wp = run_cell(Strategy::WeiPipeInterleave, row, 32, &cluster, samples);
         let ratio = analysis::crossover_ratio(g, seq, 2048);
-        let winner = if wp.throughput > f1b.throughput { "WeiPipe" } else { "1F1B" };
+        let winner = if wp.throughput > f1b.throughput {
+            "WeiPipe"
+        } else {
+            "1F1B"
+        };
         println!(
             "{seq:>6} {g:>4} {ratio:>10.3} | {:>10.0} {:>10.0} {winner:>8}",
             f1b.throughput, wp.throughput
@@ -42,8 +58,20 @@ fn overlap() {
     let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
     let cluster = ClusterSpec::scaling(p, 1); // every hop Ethernet
     for (label, opts) in [
-        ("overlap ON ", SimOptions { overlap: true, ..Default::default() }),
-        ("overlap OFF", SimOptions { overlap: false, ..Default::default() }),
+        (
+            "overlap ON ",
+            SimOptions {
+                overlap: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "overlap OFF",
+            SimOptions {
+                overlap: false,
+                ..Default::default()
+            },
+        ),
     ] {
         let r = simulate(&sched, &cost, &cluster, opts).expect("simulates");
         println!(
@@ -82,8 +110,15 @@ fn interleave() {
 /// Throughput as the inter-node link degrades NVLink → PCIe → 10 GbE.
 fn bandwidth() {
     println!("## Ablation: inter-node bandwidth sweep (16 GPUs, H=2048, S=16384, G=4)\n");
-    let row = RowConfig { hidden: 2048, seq: 16384, microbatch: 4 };
-    println!("{:>22} | {:>10} {:>10} {:>10}", "inter-node link", "1F1B", "FSDP", "WeiPipe");
+    let row = RowConfig {
+        hidden: 2048,
+        seq: 16384,
+        microbatch: 4,
+    };
+    println!(
+        "{:>22} | {:>10} {:>10} {:>10}",
+        "inter-node link", "1F1B", "FSDP", "WeiPipe"
+    );
     for (label, inter) in [
         ("NVLink 400 GB/s", wp_sim::Link::nvlink_a800()),
         ("PCIe4 32 GB/s", wp_sim::Link::pcie4()),
@@ -126,11 +161,10 @@ fn memory() {
         let sched = build(Strategy::OneFOneB, spec);
         let mut cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
         cost.flash_attention = flash;
-        let r = simulate(&sched, &cost, &cluster, sim_options(Strategy::OneFOneB))
-            .expect("simulates");
+        let r =
+            simulate(&sched, &cost, &cluster, sim_options(Strategy::OneFOneB)).expect("simulates");
         let peak = *r.peak_mem.iter().max().expect("ranks") as f64 / (1u64 << 30) as f64;
-        let ctx_gib =
-            cost.mem_unit_bytes(MemUnit::FwdCtx) as f64 / (1u64 << 30) as f64;
+        let ctx_gib = cost.mem_unit_bytes(MemUnit::FwdCtx) as f64 / (1u64 << 30) as f64;
         println!(
             "{label}: peak {:>7.1} GiB (per-chunk ctx {:.2} GiB){}",
             peak,
@@ -145,8 +179,15 @@ fn memory() {
 /// paper's §7.3 future work, explored).
 fn hybrid_tp() {
     println!("## Ablation: WeiPipe × TP hybrid (32 GPUs total, H=4096, S=16384, G=4)\n");
-    println!("{:>4} {:>6} | {:>12} {:>9}", "TP", "ring P", "tok/s/GPU", "bubble");
-    let row = RowConfig { hidden: 4096, seq: 16384, microbatch: 4 };
+    println!(
+        "{:>4} {:>6} | {:>12} {:>9}",
+        "TP", "ring P", "tok/s/GPU", "bubble"
+    );
+    let row = RowConfig {
+        hidden: 4096,
+        seq: 16384,
+        microbatch: 4,
+    };
     for (tp, p, tput, bubble) in hybrid_tp_sweep(32, row, 32) {
         println!("{tp:>4} {p:>6} | {tput:>12.0} {:>8.1}%", bubble * 100.0);
     }
@@ -177,7 +218,11 @@ fn straggler() {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let only = args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1)).cloned();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let run = |name: &str| only.as_deref().is_none_or(|o| o == name);
     if run("crossover") {
         crossover();

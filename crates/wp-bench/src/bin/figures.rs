@@ -46,10 +46,26 @@ fn main() {
         .cloned();
 
     let figs = [
-        (1u32, Strategy::WeiPipeNaive, "Figure 1 — WeiPipe-Naive schedule (P=4)"),
-        (2, Strategy::WeiPipeInterleave, "Figure 2 — WeiPipe-Interleave schedule (P=4)"),
-        (3, Strategy::Wzb1, "Figure 3 — WeiPipe-zero-bubble 1 (WZB1) schedule (P=4)"),
-        (4, Strategy::Wzb2, "Figure 4 — WeiPipe-zero-bubble 2 (WZB2) schedule (P=4)"),
+        (
+            1u32,
+            Strategy::WeiPipeNaive,
+            "Figure 1 — WeiPipe-Naive schedule (P=4)",
+        ),
+        (
+            2,
+            Strategy::WeiPipeInterleave,
+            "Figure 2 — WeiPipe-Interleave schedule (P=4)",
+        ),
+        (
+            3,
+            Strategy::Wzb1,
+            "Figure 3 — WeiPipe-zero-bubble 1 (WZB1) schedule (P=4)",
+        ),
+        (
+            4,
+            Strategy::Wzb2,
+            "Figure 4 — WeiPipe-zero-bubble 2 (WZB2) schedule (P=4)",
+        ),
     ];
     for (id, strategy, title) in figs {
         if which.is_some() && which != Some(id) {

@@ -7,14 +7,17 @@
 //! dispatch, so the table shows the speedup directly.
 //!
 //! Run with `--smoke` for a fast CI-sized configuration; smoke mode also
-//! asserts (a) the parallel path is bit-identical to the sequential one and
+//! checks (a) the parallel path is bit-identical to the sequential one and
 //! (b) steady-state kernel iterations perform zero heap allocations once
-//! the scratch arena is warm.
+//! the scratch arena is warm. Failed checks exit nonzero with a one-line
+//! reason (no backtrace), and every run writes the measured speedups and
+//! alloc counts to `results/bench_kernels.json` for the regression gate.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use wp_bench::ci::{self, Report};
 use wp_nn::attention::{streaming_backward, streaming_forward, AttnDims};
 use wp_nn::block::{block_backward_full, block_forward};
 use wp_nn::config::{AttnKind, ModelConfig};
@@ -77,15 +80,13 @@ impl AttnData {
     }
 }
 
-fn bench_attention(seq: usize, reps: usize) {
+fn bench_attention(seq: usize, reps: usize, report: &mut Report) {
     let d = AttnData::new(seq);
     let n = d.q.len();
     let sc = Scratch::new();
     let mut o = vec![0.0f32; n];
 
-    let run_fwd = |o: &mut [f32], sc: &Scratch| {
-        streaming_forward(o, &d.q, &d.k, &d.v, d.dims, sc)
-    };
+    let run_fwd = |o: &mut [f32], sc: &Scratch| streaming_forward(o, &d.q, &d.k, &d.v, d.dims, sc);
     let fwd_seq = time_best(reps, || {
         rayon::force_sequential(|| {
             let _ = run_fwd(&mut o, &sc);
@@ -117,9 +118,12 @@ fn bench_attention(seq: usize, reps: usize) {
         bwd_seq * 1e3,
         bwd_seq / bwd_par,
     );
+    report
+        .metric("attn_fwd_speedup", fwd_seq / fwd_par)
+        .metric("attn_bwd_speedup", bwd_seq / bwd_par);
 }
 
-fn bench_block(seq: usize, reps: usize) {
+fn bench_block(seq: usize, reps: usize, report: &mut Report) {
     let mut cfg = ModelConfig::llama_like(256, 4, 1, 64, seq);
     cfg.attn = AttnKind::Streaming;
     let rope = cfg.rope_table();
@@ -158,11 +162,14 @@ fn bench_block(seq: usize, reps: usize) {
         bwd_seq * 1e3,
         bwd_seq / bwd_par,
     );
+    report
+        .metric("block_fwd_speedup", fwd_seq / fwd_par)
+        .metric("block_bwd_speedup", bwd_seq / bwd_par);
 }
 
 /// Smoke check 1: the parallel dispatch must be bit-identical to the forced
 /// sequential path for the same inputs.
-fn check_bit_identity(seq: usize) {
+fn check_bit_identity(seq: usize) -> Result<(), String> {
     let d = AttnData::new(seq);
     let n = d.q.len();
     let sc = Scratch::new();
@@ -178,16 +185,23 @@ fn check_bit_identity(seq: usize) {
     };
     let par = run(&sc);
     let seq_out = rayon::force_sequential(|| run(&sc));
-    assert_eq!(par.0, seq_out.0, "attention forward not bit-identical");
-    assert_eq!(par.1, seq_out.1, "attention dq not bit-identical");
-    assert_eq!(par.2, seq_out.2, "attention dk not bit-identical");
-    assert_eq!(par.3, seq_out.3, "attention dv not bit-identical");
-    println!("bit-identity: parallel == sequential (attention fwd+bwd, S={seq}) .. ok");
+    for (got, want, what) in [
+        (&par.0, &seq_out.0, "forward"),
+        (&par.1, &seq_out.1, "dq"),
+        (&par.2, &seq_out.2, "dk"),
+        (&par.3, &seq_out.3, "dv"),
+    ] {
+        if got != want {
+            return Err(format!("attention {what} not bit-identical (S={seq})"));
+        }
+    }
+    Ok(())
 }
 
 /// Smoke check 2: once the scratch arena is warm, a full block
-/// forward + backward iteration performs zero heap allocations.
-fn check_zero_alloc(seq: usize) {
+/// forward + backward iteration performs zero heap allocations. Returns
+/// the allocation count of the measured iteration.
+fn check_zero_alloc(seq: usize) -> (usize, Result<(), String>) {
     let mut cfg = ModelConfig::llama_like(128, 4, 1, 32, seq);
     cfg.attn = AttnKind::Streaming;
     let rope = cfg.rope_table();
@@ -209,8 +223,14 @@ fn check_zero_alloc(seq: usize) {
     let before = ALLOCS.load(Ordering::SeqCst);
     iterate(&mut dw);
     let delta = ALLOCS.load(Ordering::SeqCst) - before;
-    assert_eq!(delta, 0, "warm block fwd+bwd iteration performed {delta} heap allocations");
-    println!("zero-alloc: warm block fwd+bwd iteration allocates nothing .. ok");
+    let verdict = if delta == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "warm block fwd+bwd iteration performed {delta} heap allocations"
+        ))
+    };
+    (delta, verdict)
 }
 
 fn main() {
@@ -220,10 +240,25 @@ fn main() {
         "# wp-bench kernels  (S={seq}, best of {reps}, {} threads)",
         rayon::current_num_threads()
     );
-    bench_attention(seq, reps);
-    bench_block(seq, reps);
+    let mut report = Report::new("kernels");
+    bench_attention(seq, reps, &mut report);
+    bench_block(seq, reps, &mut report);
     if smoke {
-        check_bit_identity(192);
-        check_zero_alloc(seq);
+        ci::check(
+            "kernels",
+            "bit-identity: parallel == sequential (attention fwd+bwd, S=192)",
+            check_bit_identity(192),
+        );
+        let (allocs, verdict) = check_zero_alloc(seq);
+        report.metric("warm_allocs", allocs as f64);
+        ci::check(
+            "kernels",
+            "zero-alloc: warm block fwd+bwd iteration",
+            verdict,
+        );
+    }
+    match report.write(std::path::Path::new("results")) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => ci::fail("kernels", &e),
     }
 }

@@ -9,17 +9,21 @@
 //! every turn, while the overlapped ring hides the weight hops behind
 //! compute and exposes only the tail of the gradient-chunk transfer.
 //!
-//! Run with `--smoke` for a fast CI-sized configuration; smoke mode asserts
+//! Run with `--smoke` for a fast CI-sized configuration; smoke mode checks
 //! (a) the overlapped ring is no slower than the blocking one (with a real
 //! speedup floor), (b) both rings produce bit-identical results, and
 //! (c) warm kernel iterations still perform zero heap allocations. The
-//! full-size run (`S = 2048`) asserts the paper-level claim: overlap is at
+//! full-size run (`S = 2048`) checks the paper-level claim: overlap is at
 //! least 1.3× faster than blocking when communication is the bottleneck.
+//! Failed checks exit nonzero with a one-line reason (no backtrace), and
+//! every run writes the measured speedup and alloc count to
+//! `results/bench_overlap.json` for the regression gate.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use weipipe::{run_distributed, Strategy, TrainSetup};
+use wp_bench::ci::{self, Report};
 use wp_comm::LinkModel;
 use wp_nn::block::{block_backward_full, block_forward};
 use wp_nn::config::ModelConfig;
@@ -58,8 +62,11 @@ struct Config {
 }
 
 fn config(smoke: bool) -> Config {
-    let (hidden, heads, seq, min_speedup) =
-        if smoke { (64, 2, 192, 1.15) } else { (32, 2, 2048, 1.3) };
+    let (hidden, heads, seq, min_speedup) = if smoke {
+        (64, 2, 192, 1.15)
+    } else {
+        (32, 2, 2048, 1.3)
+    };
     let ranks = 2;
     let layers = 2;
     // N = 8 microbatches: enough steady-state turns that the iteration
@@ -69,7 +76,11 @@ fn config(smoke: bool) -> Config {
     setup.model = ModelConfig::llama_like(hidden, heads, layers, 64, seq);
     setup.seq = seq;
     setup.iters = 3;
-    Config { ranks, setup, min_speedup }
+    Config {
+        ranks,
+        setup,
+        min_speedup,
+    }
 }
 
 /// Calibrate a comm-bound link for `setup`: measure the compute-only wall
@@ -78,15 +89,16 @@ fn config(smoke: bool) -> Config {
 /// messages per turn share one directed link, so the blocking ring's turn
 /// is then dominated by communication.
 fn comm_bound_link(ranks: usize, setup: &TrainSetup) -> (LinkModel, f64, f64) {
-    let compute_only = run_distributed(Strategy::WeiPipeInterleave, ranks, &setup.clone())
-        .expect("calibration run");
+    let compute_only = match run_distributed(Strategy::WeiPipeInterleave, ranks, &setup.clone()) {
+        Ok(r) => r,
+        Err(e) => ci::fail("overlap", &format!("calibration run failed: {e}")),
+    };
     // Steady-state turns per iteration for WeiPipe-Interleave: the
     // backward/grad horizon hb = (nl + 2)·P − 2, nl = N/P.
     let nl = setup.microbatches / ranks;
     let turns = (nl + 2) * ranks - 2;
     let turn_secs = compute_only.wall_seconds / (setup.iters * turns) as f64;
-    let chunk_bytes =
-        (setup.model.layers / ranks) * BlockLayout::new(&setup.model).len() * 4;
+    let chunk_bytes = (setup.model.layers / ranks) * BlockLayout::new(&setup.model).len() * 4;
     // One third of a turn per message: the three per-turn messages then
     // cost a full turn of serialised link time — the blocking ring's turn
     // doubles, while the overlapped ring still (just) hides the transfers.
@@ -101,7 +113,7 @@ fn comm_bound_link(ranks: usize, setup: &TrainSetup) -> (LinkModel, f64, f64) {
 /// Smoke check: once the scratch arena is warm, a full block
 /// forward + backward iteration performs zero heap allocations — the
 /// overlap machinery must not have re-introduced hot-path allocation.
-fn check_zero_alloc(cfg: &ModelConfig) {
+fn check_zero_alloc(cfg: &ModelConfig) -> (usize, Result<(), String>) {
     let seq = cfg.max_seq.min(192);
     let rope = cfg.rope_table();
     let w = init_block(cfg, 11, 0);
@@ -121,8 +133,14 @@ fn check_zero_alloc(cfg: &ModelConfig) {
     let before = ALLOCS.load(Ordering::SeqCst);
     iterate(&mut dw);
     let delta = ALLOCS.load(Ordering::SeqCst) - before;
-    assert_eq!(delta, 0, "warm block fwd+bwd iteration performed {delta} heap allocations");
-    println!("zero-alloc: warm block fwd+bwd iteration allocates nothing .. ok");
+    let verdict = if delta == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "warm block fwd+bwd iteration performed {delta} heap allocations"
+        ))
+    };
+    (delta, verdict)
 }
 
 fn main() {
@@ -146,10 +164,22 @@ fn main() {
 
     let mut setup = cfg.setup.clone();
     setup.link = link;
-    let blocking = run_distributed(Strategy::WeiPipeInterleave, cfg.ranks, &setup.clone().with_overlap(false))
-        .expect("blocking run");
-    let overlapped = run_distributed(Strategy::WeiPipeInterleave, cfg.ranks, &setup.with_overlap(true))
-        .expect("overlapped run");
+    let run = |overlap: bool, setup: &TrainSetup| match run_distributed(
+        Strategy::WeiPipeInterleave,
+        cfg.ranks,
+        &setup.clone().with_overlap(overlap),
+    ) {
+        Ok(r) => r,
+        Err(e) => ci::fail(
+            "overlap",
+            &format!(
+                "{} run failed: {e}",
+                if overlap { "overlapped" } else { "blocking" }
+            ),
+        ),
+    };
+    let blocking = run(false, &setup);
+    let overlapped = run(true, &setup);
 
     let speedup = blocking.wall_seconds / overlapped.wall_seconds;
     println!(
@@ -160,27 +190,57 @@ fn main() {
     );
 
     // The overlapped ring is a pure scheduling change: identical floats.
-    assert_eq!(overlapped.losses, blocking.losses, "overlap changed the losses");
-    assert_eq!(
-        overlapped.max_param_diff(&blocking),
-        0.0,
-        "overlap changed the weights"
+    ci::check(
+        "overlap",
+        "bit-identity: overlapped == blocking (losses, params, bytes)",
+        if overlapped.losses != blocking.losses {
+            Err("overlap changed the losses".to_string())
+        } else if overlapped.max_param_diff(&blocking) != 0.0 {
+            Err("overlap changed the weights".to_string())
+        } else if overlapped.bytes_sent != blocking.bytes_sent {
+            Err("overlap changed traffic volume".to_string())
+        } else {
+            Ok(())
+        },
     );
-    assert_eq!(overlapped.bytes_sent, blocking.bytes_sent, "overlap changed traffic volume");
-    println!("bit-identity: overlapped == blocking (losses, params, bytes) .. ok");
 
-    assert!(
-        overlapped.wall_seconds <= blocking.wall_seconds,
-        "overlapped ring must not be slower: {:.1} ms vs {:.1} ms",
-        overlapped.wall_seconds * 1e3,
-        blocking.wall_seconds * 1e3
+    ci::check(
+        "overlap",
+        &format!(
+            "speedup x{speedup:.2} >= x{:.2} on comm-bound link",
+            cfg.min_speedup
+        ),
+        if overlapped.wall_seconds > blocking.wall_seconds {
+            Err(format!(
+                "overlapped ring slower than blocking: {:.1} ms vs {:.1} ms",
+                overlapped.wall_seconds * 1e3,
+                blocking.wall_seconds * 1e3
+            ))
+        } else if speedup < cfg.min_speedup {
+            Err(format!(
+                "comm-bound overlap speedup x{speedup:.2} below the x{:.2} floor",
+                cfg.min_speedup
+            ))
+        } else {
+            Ok(())
+        },
     );
-    assert!(
-        speedup >= cfg.min_speedup,
-        "comm-bound overlap speedup x{speedup:.2} below the x{:.2} floor",
-        cfg.min_speedup
-    );
-    println!("speedup: x{speedup:.2} >= x{:.2} on comm-bound link .. ok", cfg.min_speedup);
 
-    check_zero_alloc(&cfg.setup.model);
+    let (allocs, verdict) = check_zero_alloc(&cfg.setup.model);
+    ci::check(
+        "overlap",
+        "zero-alloc: warm block fwd+bwd iteration",
+        verdict,
+    );
+
+    let mut report = Report::new("overlap");
+    report
+        .metric("speedup", speedup)
+        .metric("blocking_ms", blocking.wall_seconds * 1e3)
+        .metric("overlapped_ms", overlapped.wall_seconds * 1e3)
+        .metric("warm_allocs", allocs as f64);
+    match report.write(std::path::Path::new("results")) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => ci::fail("overlap", &e),
+    }
 }

@@ -6,9 +6,7 @@
 //! ```
 
 use wp_bench::format_scaling;
-use wp_sim::experiments::{
-    fig6_weak_small, fig7_weak_large, fig8_strong_small, fig9_strong_large,
-};
+use wp_sim::experiments::{fig6_weak_small, fig7_weak_large, fig8_strong_small, fig9_strong_large};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -20,7 +20,11 @@ fn main() {
         .position(|a| a == "--csv-dir")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let maybe_csv = |id: u32, rows: &[(wp_sim::experiments::RowConfig, Vec<wp_sim::experiments::CellResult>)]| {
+    let maybe_csv = |id: u32,
+                     rows: &[(
+        wp_sim::experiments::RowConfig,
+        Vec<wp_sim::experiments::CellResult>,
+    )]| {
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
             let path = format!("{dir}/table{id}.csv");

@@ -19,8 +19,8 @@ use weipipe::{run_distributed, Strategy, TraceConfig, TrainSetup};
 use wp_bench::drift::drift_report;
 use wp_sched::{build, PipelineSpec};
 use wp_sim::{
-    measured_result, render::ascii_timeline, simulate, ClusterSpec, CostModel, GpuSpec,
-    ModelDims, SimOptions,
+    measured_result, render::ascii_timeline, simulate, ClusterSpec, CostModel, GpuSpec, ModelDims,
+    SimOptions,
 };
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -35,8 +35,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trace_out = flag_value(&args, "--trace-out");
     let validate = args.iter().any(|a| a == "--validate");
-    let ranks: usize =
-        flag_value(&args, "--ranks").map_or(4, |v| v.parse().expect("--ranks"));
+    let ranks: usize = flag_value(&args, "--ranks").map_or(4, |v| v.parse().expect("--ranks"));
     let microbatches: usize = flag_value(&args, "--microbatches")
         .map_or(2 * ranks, |v| v.parse().expect("--microbatches"));
     // `--blocking` traces the blocking weight ring instead of the default
@@ -65,7 +64,11 @@ fn main() {
     let sched = build(strategy, spec);
     let dims = ModelDims::paper(1024, ranks, 4096, microbatches);
     let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
-    let cluster = ClusterSpec { ranks, node_size: ranks, ..ClusterSpec::nvlink_16() };
+    let cluster = ClusterSpec {
+        ranks,
+        node_size: ranks,
+        ..ClusterSpec::nvlink_16()
+    };
     let sim = simulate(&sched, &cost, &cluster, SimOptions::default()).expect("fits");
 
     println!("measured timeline ({} spans):", trace.span_count());

@@ -49,7 +49,11 @@ pub fn profile(result: &SimResult) -> TimelineProfile {
         .map(|o| o.end)
         .fold(0.0, f64::max)
         .clamp(fill_end, makespan);
-    let windows = [(0.0, fill_end), (fill_end, drain_start), (drain_start, makespan)];
+    let windows = [
+        (0.0, fill_end),
+        (fill_end, drain_start),
+        (drain_start, makespan),
+    ];
 
     let mut phase_bubble = [0.0; 3];
     let mut phase_share = [0.0; 3];
@@ -58,8 +62,9 @@ pub fn profile(result: &SimResult) -> TimelineProfile {
         if span <= 0.0 {
             continue;
         }
-        let busy: f64 =
-            ops().map(|o| (o.end.min(w1) - o.start.max(w0)).max(0.0)).sum();
+        let busy: f64 = ops()
+            .map(|o| (o.end.min(w1) - o.start.max(w0)).max(0.0))
+            .sum();
         phase_bubble[i] = (1.0 - busy / (p * span)).max(0.0);
         phase_share[i] = if makespan > 0.0 { span / makespan } else { 0.0 };
     }
@@ -139,12 +144,19 @@ pub fn drift_report(title: &str, sim: &SimResult, measured: &SimResult) -> Strin
         ));
     }
     // Union of classes, in character order.
-    let mut classes: Vec<char> =
-        s.class_share.iter().chain(&m.class_share).map(|&(c, _)| c).collect();
+    let mut classes: Vec<char> = s
+        .class_share
+        .iter()
+        .chain(&m.class_share)
+        .map(|&(c, _)| c)
+        .collect();
     classes.sort_unstable();
     classes.dedup();
     let share = |prof: &TimelineProfile, c: char| {
-        prof.class_share.iter().find(|&&(k, _)| k == c).map_or(0.0, |&(_, v)| v)
+        prof.class_share
+            .iter()
+            .find(|&&(k, _)| k == c)
+            .map_or(0.0, |&(_, v)| v)
     };
     for c in classes {
         let (sv, mv) = (share(&s, c), share(&m, c));
@@ -176,13 +188,21 @@ mod tests {
     use wp_sim::TimedOp;
 
     fn op(start: f64, end: f64, class: char) -> TimedOp {
-        TimedOp { start, end, class, mb: 0, chunk: 0 }
+        TimedOp {
+            start,
+            end,
+            class,
+            mb: 0,
+            chunk: 0,
+        }
     }
 
     fn result(makespan: f64, timeline: Vec<Vec<TimedOp>>) -> SimResult {
         let p = timeline.len();
-        let busy: Vec<f64> =
-            timeline.iter().map(|ops| ops.iter().map(|o| o.end - o.start).sum()).collect();
+        let busy: Vec<f64> = timeline
+            .iter()
+            .map(|ops| ops.iter().map(|o| o.end - o.start).sum())
+            .collect();
         let total: f64 = busy.iter().sum();
         SimResult {
             makespan,

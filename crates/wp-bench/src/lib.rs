@@ -1,17 +1,25 @@
-//! Shared formatting helpers for the table/figure binaries, plus the
-//! measured-vs-simulated [`drift`] analysis behind the `trace` binary.
+//! Shared formatting helpers for the table/figure binaries, the
+//! measured-vs-simulated [`drift`] analysis behind the `trace` binary, and
+//! the [`ci`] report/floor plumbing behind the perf-regression gate.
 
+pub mod ci;
 pub mod drift;
 
 use wp_sim::experiments::{CellResult, RowConfig, ScalingPoint};
 
 /// Render one table in the paper's layout (model config columns, one
 /// throughput column per strategy, memory columns).
-pub fn format_table(title: &str, rows: &[(RowConfig, Vec<CellResult>)], with_memory: bool) -> String {
+pub fn format_table(
+    title: &str,
+    rows: &[(RowConfig, Vec<CellResult>)],
+    with_memory: bool,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n\n"));
-    let strategies: Vec<&str> =
-        rows.first().map(|(_, cells)| cells.iter().map(|c| c.strategy.label()).collect()).unwrap_or_default();
+    let strategies: Vec<&str> = rows
+        .first()
+        .map(|(_, cells)| cells.iter().map(|c| c.strategy.label()).collect())
+        .unwrap_or_default();
     out.push_str(&format!("{:>6} {:>6} {:>4} |", "H", "S", "G"));
     for s in &strategies {
         out.push_str(&format!(" {s:>9}"));
@@ -22,7 +30,10 @@ pub fn format_table(title: &str, rows: &[(RowConfig, Vec<CellResult>)], with_mem
     }
     out.push('\n');
     for (row, cells) in rows {
-        out.push_str(&format!("{:>6} {:>6} {:>4} |", row.hidden, row.seq, row.microbatch));
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>4} |",
+            row.hidden, row.seq, row.microbatch
+        ));
         for c in cells {
             out.push_str(&format!(" {:>9}", c.throughput_str()));
         }
@@ -47,7 +58,11 @@ pub fn format_scaling(title: &str, points: &[ScalingPoint]) -> String {
         .unwrap_or_default();
     out.push_str(&format!("{:>5} {:>6} |", "GPUs", "batch"));
     for s in &strategies {
-        out.push_str(&format!(" {:>10} {:>10}", format!("{s} tot"), format!("{s}/gpu")));
+        out.push_str(&format!(
+            " {:>10} {:>10}",
+            format!("{s} tot"),
+            format!("{s}/gpu")
+        ));
     }
     out.push('\n');
     for p in points {
@@ -57,7 +72,10 @@ pub fn format_scaling(title: &str, points: &[ScalingPoint]) -> String {
             let (t, g) = if c.oom {
                 ("OOM".to_string(), "OOM".to_string())
             } else {
-                (format!("{:.0}", total / 1000.0), format!("{:.2}", c.throughput / 1000.0))
+                (
+                    format!("{:.0}", total / 1000.0),
+                    format!("{:.2}", c.throughput / 1000.0),
+                )
             };
             out.push_str(&format!(" {t:>10} {g:>10}"));
         }
@@ -70,8 +88,9 @@ pub fn format_scaling(title: &str, points: &[ScalingPoint]) -> String {
 /// Serialize a table as CSV (one row per model config × strategy) for
 /// downstream plotting.
 pub fn table_csv(rows: &[(RowConfig, Vec<CellResult>)]) -> String {
-    let mut out =
-        String::from("hidden,seq,microbatch,strategy,throughput_tokens_per_gpu,mem_gib,oom,bubble_ratio\n");
+    let mut out = String::from(
+        "hidden,seq,microbatch,strategy,throughput_tokens_per_gpu,mem_gib,oom,bubble_ratio\n",
+    );
     for (row, cells) in rows {
         for c in cells {
             out.push_str(&format!(
@@ -111,14 +130,24 @@ pub fn scaling_csv(points: &[ScalingPoint]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wp_sched::Strategy;
     use wp_sim::experiments::{run_cell, RowConfig};
     use wp_sim::ClusterSpec;
-    use wp_sched::Strategy;
 
     #[test]
     fn table_formatting_includes_all_cells() {
-        let row = RowConfig { hidden: 1024, seq: 4096, microbatch: 4 };
-        let cell = run_cell(Strategy::WeiPipeInterleave, row, 16, &ClusterSpec::nvlink_8(), 32);
+        let row = RowConfig {
+            hidden: 1024,
+            seq: 4096,
+            microbatch: 4,
+        };
+        let cell = run_cell(
+            Strategy::WeiPipeInterleave,
+            row,
+            16,
+            &ClusterSpec::nvlink_8(),
+            32,
+        );
         let txt = format_table("T", &[(row, vec![cell])], true);
         assert!(txt.contains("WeiPipe"));
         assert!(txt.contains("1024"));

@@ -42,7 +42,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wp_tensor::dtype::quantize_slice;
 use wp_tensor::DType;
-use wp_trace::{fault_aux, recv_aux, send_aux, FaultFlags, RankTracer, SpanKind, TraceCollector, NO_ID};
+use wp_trace::{
+    fault_aux, recv_aux, send_aux, FaultFlags, RankTracer, SpanKind, TraceCollector, NO_ID,
+};
 
 /// Tags ≥ this value are reserved for collectives.
 pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
@@ -79,7 +81,9 @@ impl CommConfig {
     pub fn fail_fast(recv_timeout: Duration) -> Self {
         CommConfig {
             recv_timeout,
-            poll_interval: Duration::from_millis(1).min(recv_timeout / 4).max(Duration::from_micros(100)),
+            poll_interval: Duration::from_millis(1)
+                .min(recv_timeout / 4)
+                .max(Duration::from_micros(100)),
             retries: 0,
             backoff: 2.0,
         }
@@ -168,10 +172,14 @@ impl AbortCell {
             Some((origin, e)) if *origin == me => e.clone(),
             Some((_, e @ CommError::PeerDead { .. })) => e.clone(),
             Some((_, e @ CommError::Aborted { .. })) => e.clone(),
-            Some((origin, e)) => {
-                CommError::Aborted { origin: *origin, reason: e.to_string() }
-            }
-            None => CommError::Aborted { origin: me, reason: "world aborted".into() },
+            Some((origin, e)) => CommError::Aborted {
+                origin: *origin,
+                reason: e.to_string(),
+            },
+            None => CommError::Aborted {
+                origin: me,
+                reason: "world aborted".into(),
+            },
         }
     }
 }
@@ -231,8 +239,15 @@ pub struct Request {
 
 #[derive(Debug)]
 enum ReqInner {
-    Send { dst: usize },
-    Recv { src: usize, tag: u64, t0: Option<u64>, depth: usize },
+    Send {
+        dst: usize,
+    },
+    Recv {
+        src: usize,
+        tag: u64,
+        t0: Option<u64>,
+        depth: usize,
+    },
 }
 
 impl Request {
@@ -333,7 +348,12 @@ impl Communicator {
                 if let Some(tr) = self.tracer.as_ref() {
                     tr.instant(
                         SpanKind::Fault,
-                        fault_aux(FaultFlags { delay: false, hold: false, corrupt: false, dead: true }),
+                        fault_aux(FaultFlags {
+                            delay: false,
+                            hold: false,
+                            corrupt: false,
+                            dead: true,
+                        }),
                     );
                 }
                 self.fail(&e);
@@ -356,12 +376,20 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics if `dst` is out of range or equals this rank (API misuse).
-    pub fn isend(&mut self, dst: usize, tag: u64, data: &[f32], dtype: DType) -> Result<Request, CommError> {
+    pub fn isend(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[f32],
+        dtype: DType,
+    ) -> Result<Request, CommError> {
         if tag >= COLLECTIVE_TAG_BASE {
             return Err(CommError::InvalidTag { tag });
         }
         self.send_internal(dst, tag, data, dtype, TrafficClass::P2p)?;
-        Ok(Request { inner: ReqInner::Send { dst } })
+        Ok(Request {
+            inner: ReqInner::Send { dst },
+        })
     }
 
     /// Blocking send: [`isend`](Self::isend) immediately redeemed. Thin
@@ -369,7 +397,13 @@ impl Communicator {
     ///
     /// # Errors
     /// Same as [`isend`](Self::isend).
-    pub fn send(&mut self, dst: usize, tag: u64, data: &[f32], dtype: DType) -> Result<(), CommError> {
+    pub fn send(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[f32],
+        dtype: DType,
+    ) -> Result<(), CommError> {
         let req = self.isend(dst, tag, data, dtype)?;
         self.wait(req).map(|_| ())
     }
@@ -548,9 +582,14 @@ impl Communicator {
     pub fn wait(&mut self, req: Request) -> Result<Completion, CommError> {
         match req.inner {
             ReqInner::Send { .. } => Ok(Completion::Sent),
-            ReqInner::Recv { src, tag, t0, depth } => {
-                self.complete_recv(src, tag, t0, depth).map(Completion::Received)
-            }
+            ReqInner::Recv {
+                src,
+                tag,
+                t0,
+                depth,
+            } => self
+                .complete_recv(src, tag, t0, depth)
+                .map(Completion::Received),
         }
     }
 
@@ -736,7 +775,11 @@ impl Communicator {
     /// blocked-wait span (post → match), pace out the link-model transfer
     /// under its own span (match → fully arrived), and hand back the payload.
     fn deliver(&mut self, src: usize, depth: usize, t0: Option<u64>, msg: Msg) -> Vec<f32> {
-        let class = if msg.collective { TrafficClass::Collective } else { TrafficClass::P2p };
+        let class = if msg.collective {
+            TrafficClass::Collective
+        } else {
+            TrafficClass::P2p
+        };
         self.meter.record_recv(self.rank, msg.wire_bytes, class);
         match self.tracer.as_ref() {
             Some(tr) => {
@@ -760,7 +803,12 @@ impl Communicator {
     /// # Errors
     /// Any error from the underlying [`send`](Self::send) or
     /// [`recv`](Self::recv).
-    pub fn ring_exchange(&mut self, tag: u64, data: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
+    pub fn ring_exchange(
+        &mut self,
+        tag: u64,
+        data: &[f32],
+        dtype: DType,
+    ) -> Result<Vec<f32>, CommError> {
         let next = self.next_rank();
         let prev = self.prev_rank();
         self.send(next, tag, data, dtype)?;
@@ -792,7 +840,10 @@ impl Communicator {
             reqs.push(self.irecv(src, tag));
         }
         let done = self.wait_all(reqs)?;
-        Ok(done.into_iter().filter_map(Completion::into_payload).collect())
+        Ok(done
+            .into_iter()
+            .filter_map(Completion::into_payload)
+            .collect())
     }
 
     // ---- Collectives (ring algorithms) ------------------------------------
@@ -861,7 +912,13 @@ impl Communicator {
             let sr = Self::chunk_range(n, p, send_idx);
             let send_copy = buf[sr].to_vec();
             let req = self.irecv(self.prev_rank(), tag + (s as u64) * 2);
-            self.send_internal(next, tag + (s as u64) * 2, &send_copy, dtype, TrafficClass::Collective)?;
+            self.send_internal(
+                next,
+                tag + (s as u64) * 2,
+                &send_copy,
+                dtype,
+                TrafficClass::Collective,
+            )?;
             let incoming = self.wait_recv(req)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             for (b, x) in buf[rr].iter_mut().zip(&incoming) {
@@ -875,7 +932,13 @@ impl Communicator {
             let sr = Self::chunk_range(n, p, send_idx);
             let send_copy = buf[sr].to_vec();
             let req = self.irecv(self.prev_rank(), tag + (s as u64) * 2 + 1);
-            self.send_internal(next, tag + (s as u64) * 2 + 1, &send_copy, dtype, TrafficClass::Collective)?;
+            self.send_internal(
+                next,
+                tag + (s as u64) * 2 + 1,
+                &send_copy,
+                dtype,
+                TrafficClass::Collective,
+            )?;
             let incoming = self.wait_recv(req)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             buf[rr].copy_from_slice(&incoming);
@@ -889,7 +952,9 @@ impl Communicator {
     /// # Errors
     /// Any error from the underlying ring sends/receives.
     pub fn reduce_scatter_sum(&mut self, buf: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
-        self.with_coll_span(SpanKind::ReduceScatter, |c| c.reduce_scatter_inner(buf, dtype))
+        self.with_coll_span(SpanKind::ReduceScatter, |c| {
+            c.reduce_scatter_inner(buf, dtype)
+        })
     }
 
     fn reduce_scatter_inner(&mut self, buf: &[f32], dtype: DType) -> Result<Vec<f32>, CommError> {
@@ -909,7 +974,13 @@ impl Communicator {
             let sr = Self::chunk_range(n, p, send_idx);
             let send_copy = work[sr].to_vec();
             let req = self.irecv(self.prev_rank(), tag + s as u64);
-            self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective)?;
+            self.send_internal(
+                next,
+                tag + s as u64,
+                &send_copy,
+                dtype,
+                TrafficClass::Collective,
+            )?;
             let incoming = self.wait_recv(req)?;
             let rr = Self::chunk_range(n, p, recv_idx);
             for (b, x) in work[rr].iter_mut().zip(&incoming) {
@@ -944,7 +1015,13 @@ impl Communicator {
             let recv_idx = (self.rank + p - s - 1) % p;
             let send_copy = out[send_idx * m..(send_idx + 1) * m].to_vec();
             let req = self.irecv(self.prev_rank(), tag + s as u64);
-            self.send_internal(next, tag + s as u64, &send_copy, dtype, TrafficClass::Collective)?;
+            self.send_internal(
+                next,
+                tag + s as u64,
+                &send_copy,
+                dtype,
+                TrafficClass::Collective,
+            )?;
             let incoming = self.wait_recv(req)?;
             assert_eq!(incoming.len(), m, "all_gather requires equal chunk sizes");
             out[recv_idx * m..(recv_idx + 1) * m].copy_from_slice(&incoming);
@@ -956,11 +1033,21 @@ impl Communicator {
     ///
     /// # Errors
     /// Any error from the underlying ring sends/receives.
-    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>, dtype: DType) -> Result<(), CommError> {
+    pub fn broadcast(
+        &mut self,
+        root: usize,
+        buf: &mut Vec<f32>,
+        dtype: DType,
+    ) -> Result<(), CommError> {
         self.with_coll_span(SpanKind::Broadcast, |c| c.broadcast_inner(root, buf, dtype))
     }
 
-    fn broadcast_inner(&mut self, root: usize, buf: &mut Vec<f32>, dtype: DType) -> Result<(), CommError> {
+    fn broadcast_inner(
+        &mut self,
+        root: usize,
+        buf: &mut Vec<f32>,
+        dtype: DType,
+    ) -> Result<(), CommError> {
         let p = self.world;
         if p == 1 {
             return Ok(());
@@ -984,7 +1071,9 @@ impl Communicator {
     /// Any error from the underlying all-reduce.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let mut token = [0.0f32];
-        self.with_coll_span(SpanKind::Barrier, |c| c.all_reduce_inner(&mut token, DType::F32))
+        self.with_coll_span(SpanKind::Barrier, |c| {
+            c.all_reduce_inner(&mut token, DType::F32)
+        })
     }
 }
 
@@ -1110,10 +1199,14 @@ impl WorldBuilder {
         for (rank, (outs, ins)) in senders.into_iter().zip(receivers).enumerate() {
             // Self-channels are never used; fill with a dummy pair so
             // indexing stays direct.
-            let outbox: Vec<Sender<Msg>> =
-                outs.into_iter().map(|o| o.unwrap_or_else(|| channel().0)).collect();
-            let inbox: Vec<Receiver<Msg>> =
-                ins.into_iter().map(|i| i.unwrap_or_else(|| channel().1)).collect();
+            let outbox: Vec<Sender<Msg>> = outs
+                .into_iter()
+                .map(|o| o.unwrap_or_else(|| channel().0))
+                .collect();
+            let inbox: Vec<Receiver<Msg>> = ins
+                .into_iter()
+                .map(|i| i.unwrap_or_else(|| channel().1))
+                .collect();
             comms.push(Communicator {
                 rank,
                 world: p,
@@ -1125,7 +1218,10 @@ impl WorldBuilder {
                 coll_seq: 0,
                 config: self.config,
                 abort: abort.clone(),
-                faults: self.faults.clone().map(|plan| RankInjector::new(plan, rank, p)),
+                faults: self
+                    .faults
+                    .clone()
+                    .map(|plan| RankInjector::new(plan, rank, p)),
                 held: (0..p).map(|_| None).collect(),
                 link_busy: (0..p).map(|_| None).collect(),
                 tracer: self.trace.as_ref().map(|tc| tc.tracer(rank)),
@@ -1157,7 +1253,10 @@ impl WorldBuilder {
                             Ok(r) => r,
                             Err(p) => {
                                 let reason = panic_reason(p.as_ref());
-                                let e = CommError::Aborted { origin: rank, reason };
+                                let e = CommError::Aborted {
+                                    origin: rank,
+                                    reason,
+                                };
                                 abort.trip(rank, e.clone());
                                 Err(e)
                             }
@@ -1194,7 +1293,13 @@ impl WorldBuilder {
                             Ok(v) => v,
                             Err(p) => {
                                 let reason = panic_reason(p.as_ref());
-                                abort.trip(rank, CommError::Aborted { origin: rank, reason });
+                                abort.trip(
+                                    rank,
+                                    CommError::Aborted {
+                                        origin: rank,
+                                        reason,
+                                    },
+                                );
                                 std::panic::resume_unwind(p)
                             }
                         }
@@ -1307,8 +1412,7 @@ mod tests {
     fn all_reduce_sums_everywhere() {
         for p in [1usize, 2, 3, 4, 7] {
             let (vals, _) = World::run(p, LinkModel::instant(), |mut c| {
-                let mut buf: Vec<f32> =
-                    (0..10).map(|i| (c.rank() * 10 + i) as f32).collect();
+                let mut buf: Vec<f32> = (0..10).map(|i| (c.rank() * 10 + i) as f32).collect();
                 c.all_reduce_sum(&mut buf, DType::F32).unwrap();
                 buf
             });
@@ -1367,7 +1471,11 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let (vals, _) = World::run(5, LinkModel::instant(), |mut c| {
-            let mut buf = if c.rank() == 2 { vec![42.0, 7.0] } else { vec![] };
+            let mut buf = if c.rank() == 2 {
+                vec![42.0, 7.0]
+            } else {
+                vec![]
+            };
             c.broadcast(2, &mut buf, DType::F32).unwrap();
             buf
         });
@@ -1394,7 +1502,10 @@ mod tests {
     #[test]
     fn link_pacing_delays_delivery() {
         // 1 MB over a 100 MB/s link ≈ 10 ms.
-        let slow = LinkModel { bandwidth_bps: 100e6, latency_s: 0.0 };
+        let slow = LinkModel {
+            bandwidth_bps: 100e6,
+            latency_s: 0.0,
+        };
         let start = Instant::now();
         let (_, _) = World::run(2, slow, |mut c| {
             if c.rank() == 0 {
@@ -1415,7 +1526,10 @@ mod tests {
         // Two 1 MB messages over the same 100 MB/s directed link: the link
         // is a single DMA path, so the second starts only after the first
         // drains — both delivered ≈ 20 ms after the sends were posted.
-        let slow = LinkModel { bandwidth_bps: 100e6, latency_s: 0.0 };
+        let slow = LinkModel {
+            bandwidth_bps: 100e6,
+            latency_s: 0.0,
+        };
         let start = Instant::now();
         World::run(2, slow, |mut c| {
             if c.rank() == 0 {
@@ -1470,7 +1584,10 @@ mod tests {
                 let req = c.isend(1, 3, &[4.0, 5.0], DType::F32).unwrap();
                 assert!(!req.is_recv());
                 assert_eq!(req.peer(), 1);
-                assert!(c.test(&req).unwrap(), "send requests are complete at creation");
+                assert!(
+                    c.test(&req).unwrap(),
+                    "send requests are complete at creation"
+                );
                 assert_eq!(c.wait(req).unwrap(), Completion::Sent);
                 0.0
             } else {
@@ -1514,7 +1631,10 @@ mod tests {
     fn test_respects_link_pacing() {
         // 1 MB over a 100 MB/s link ≈ 10 ms: test must report false until
         // the transfer has fully landed, so a test-true wait never sleeps.
-        let slow = LinkModel { bandwidth_bps: 100e6, latency_s: 0.0 };
+        let slow = LinkModel {
+            bandwidth_bps: 100e6,
+            latency_s: 0.0,
+        };
         let (_, _) = World::run(2, slow, |mut c| {
             if c.rank() == 0 {
                 c.send(1, 0, &vec![0.0f32; 250_000], DType::F32).unwrap();
@@ -1550,8 +1670,10 @@ mod tests {
             let done = c.wait_all(reqs).unwrap();
             assert_eq!(done[0], Completion::Sent);
             assert_eq!(done[1], Completion::Sent);
-            let payloads: Vec<Vec<f32>> =
-                done.into_iter().filter_map(Completion::into_payload).collect();
+            let payloads: Vec<Vec<f32>> = done
+                .into_iter()
+                .filter_map(Completion::into_payload)
+                .collect();
             (payloads[0][0], payloads[1][0])
         });
         for (r, &(from_prev, from_next)) in outs.iter().enumerate() {
@@ -1572,7 +1694,10 @@ mod tests {
             let req = c.irecv(0, 7);
             let t0 = Instant::now();
             let r = c.wait_recv(req);
-            assert!(t0.elapsed() < Duration::from_secs(5), "abort must interrupt the wait");
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "abort must interrupt the wait"
+            );
             r
         });
         // try_run returns rank 0's own error; rank 1's outstanding request
@@ -1636,8 +1761,15 @@ mod tests {
     fn reserved_tags_rejected() {
         let mut comms = World::new(2);
         let mut c = comms.remove(0);
-        let err = c.send(1, COLLECTIVE_TAG_BASE, &[0.0], DType::F32).unwrap_err();
-        assert_eq!(err, CommError::InvalidTag { tag: COLLECTIVE_TAG_BASE });
+        let err = c
+            .send(1, COLLECTIVE_TAG_BASE, &[0.0], DType::F32)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CommError::InvalidTag {
+                tag: COLLECTIVE_TAG_BASE
+            }
+        );
         assert!(!err.is_fatal(), "API misuse must not poison the world");
     }
 
@@ -1654,7 +1786,14 @@ mod tests {
         let cell = AbortCell::default();
         assert!(!cell.is_tripped());
         cell.trip(2, CommError::PeerDead { rank: 2 });
-        cell.trip(3, CommError::Timeout { src: 0, tag: 1, waited_ms: 5 });
+        cell.trip(
+            3,
+            CommError::Timeout {
+                src: 0,
+                tag: 1,
+                waited_ms: 5,
+            },
+        );
         assert!(cell.is_tripped());
         // PeerDead propagates verbatim to every rank.
         assert_eq!(cell.cause_for(0), CommError::PeerDead { rank: 2 });
@@ -1710,7 +1849,10 @@ mod tests {
         // Both ranks: an all-reduce outer span charged with the ring bytes,
         // and its constituent hops nested within its interval.
         for track in &trace.tracks {
-            let ar = track.of_kind(SpanKind::AllReduce).next().expect("all-reduce span");
+            let ar = track
+                .of_kind(SpanKind::AllReduce)
+                .next()
+                .expect("all-reduce span");
             assert_eq!(ar.bytes, 2 * (4 / 2) * 4, "2·(P−1)/P·n bytes at f32");
             let hop = track
                 .of_kind(SpanKind::Send)
@@ -1745,7 +1887,10 @@ mod tests {
             assert!(f.is_instant());
             assert!(wp_trace::fault_aux_decode(f.aux).delay);
         }
-        assert!(!trace.tracks[1].has_kind(SpanKind::Fault), "receiver injected nothing");
+        assert!(
+            !trace.tracks[1].has_kind(SpanKind::Fault),
+            "receiver injected nothing"
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommError::PeerDead { rank } => write!(f, "peer rank {rank} is dead"),
-            CommError::Timeout { src, tag, waited_ms } => write!(
+            CommError::Timeout {
+                src,
+                tag,
+                waited_ms,
+            } => write!(
                 f,
                 "timed out after {waited_ms} ms waiting for tag {tag} from rank {src}"
             ),
@@ -96,7 +100,11 @@ mod tests {
     fn display_names_the_peer() {
         let e = CommError::PeerDead { rank: 3 };
         assert!(e.to_string().contains("rank 3"));
-        let t = CommError::Timeout { src: 1, tag: 9, waited_ms: 250 };
+        let t = CommError::Timeout {
+            src: 1,
+            tag: 9,
+            waited_ms: 250,
+        };
         assert!(t.to_string().contains("250 ms"));
         assert!(t.to_string().contains("tag 9"));
     }

@@ -115,7 +115,13 @@ impl FaultPlan {
         count: u64,
         extra: Duration,
     ) -> Self {
-        self.stalls.push(StallSpec { src, dst, after, count, extra });
+        self.stalls.push(StallSpec {
+            src,
+            dst,
+            after,
+            count,
+            extra,
+        });
         self
     }
 
@@ -210,7 +216,13 @@ impl RankInjector {
                 LinkFaultState { rng: s, sent: 0 }
             })
             .collect();
-        RankInjector { plan, rank, links, ops: 0, dead: false }
+        RankInjector {
+            plan,
+            rank,
+            links,
+            ops: 0,
+            dead: false,
+        }
     }
 
     /// Called at the start of every communication operation on this rank.
@@ -290,7 +302,8 @@ mod tests {
             .with_reorder(0.3);
         let decide = |plan: FaultPlan| -> Vec<SendFaults> {
             let mut inj = RankInjector::new(plan, 1, 4);
-            (0..64).map(|i| inj.on_send((i % 3) + 1 - usize::from((i % 3) + 1 == 1)))
+            (0..64)
+                .map(|i| inj.on_send((i % 3) + 1 - usize::from((i % 3) + 1 == 1)))
                 .collect::<Vec<_>>()
         };
         // Simpler: fixed dst sequence.
@@ -302,7 +315,9 @@ mod tests {
         let a = seq(plan.clone());
         let b = seq(plan.clone());
         assert_eq!(a, b, "same plan must inject identically");
-        let c = seq(FaultPlan::new(100).with_delay_jitter(Duration::from_micros(500)).with_reorder(0.3));
+        let c = seq(FaultPlan::new(100)
+            .with_delay_jitter(Duration::from_micros(500))
+            .with_reorder(0.3));
         assert_ne!(a, c, "different seed must differ somewhere");
     }
 

@@ -23,23 +23,35 @@ impl LinkModel {
     /// A link so fast it never costs anything — the default for
     /// correctness-only runs of the thread runtime.
     pub const fn instant() -> Self {
-        LinkModel { bandwidth_bps: f64::INFINITY, latency_s: 0.0 }
+        LinkModel {
+            bandwidth_bps: f64::INFINITY,
+            latency_s: 0.0,
+        }
     }
 
     /// NVLink on an A800: capped at 400 GB/s (the paper's point that A800
     /// NVLink is cut down from the A100's 600 GB/s).
     pub const fn nvlink_a800() -> Self {
-        LinkModel { bandwidth_bps: 400e9, latency_s: 5e-6 }
+        LinkModel {
+            bandwidth_bps: 400e9,
+            latency_s: 5e-6,
+        }
     }
 
     /// PCIe 4.0 x16 effective GPU-to-GPU bandwidth.
     pub const fn pcie4() -> Self {
-        LinkModel { bandwidth_bps: 32e9, latency_s: 10e-6 }
+        LinkModel {
+            bandwidth_bps: 32e9,
+            latency_s: 10e-6,
+        }
     }
 
     /// 10 Gb Ethernet between clusters: 1.25 GB/s with LAN latency.
     pub const fn ethernet_10g() -> Self {
-        LinkModel { bandwidth_bps: 1.25e9, latency_s: 50e-6 }
+        LinkModel {
+            bandwidth_bps: 1.25e9,
+            latency_s: 50e-6,
+        }
     }
 
     /// Transfer time for `bytes` bytes, in seconds.

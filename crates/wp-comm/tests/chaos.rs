@@ -13,7 +13,9 @@ fn fast() -> CommConfig {
 
 /// Every rank all-reduces in a loop — the simplest workload where every
 /// rank keeps talking to every other rank via the ring.
-fn ring_workload(iters: usize) -> impl Fn(wp_comm::Communicator) -> Result<f32, CommError> + Send + Sync {
+fn ring_workload(
+    iters: usize,
+) -> impl Fn(wp_comm::Communicator) -> Result<f32, CommError> + Send + Sync {
     move |mut c| {
         let mut acc = 0.0f32;
         for i in 0..iters {
@@ -48,7 +50,9 @@ fn dead_rank_fails_every_survivor_with_peer_dead() {
             Err(CommError::PeerDead { rank: dead }) => {
                 assert_eq!(*dead, victim, "rank {rank} must learn who died");
             }
-            other => panic!("rank {rank}: expected Err(PeerDead {{ rank: {victim} }}), got {other:?}"),
+            other => {
+                panic!("rank {rank}: expected Err(PeerDead {{ rank: {victim} }}), got {other:?}")
+            }
         }
     }
 }
@@ -56,7 +60,10 @@ fn dead_rank_fails_every_survivor_with_peer_dead() {
 #[test]
 fn dead_rank_at_op_zero_kills_the_world_immediately() {
     let plan = FaultPlan::new(0).with_dead_rank(0, 0);
-    let (results, _) = World::builder(3).config(fast()).faults(plan).try_run(ring_workload(5));
+    let (results, _) = World::builder(3)
+        .config(fast())
+        .faults(plan)
+        .try_run(ring_workload(5));
     for (rank, r) in results.iter().enumerate() {
         assert_eq!(
             r.as_ref().unwrap_err(),
@@ -81,10 +88,17 @@ fn recv_from_silent_peer_times_out_with_typed_error() {
         }
     });
     match results[1].as_ref().unwrap_err() {
-        CommError::Timeout { src, tag, waited_ms } => {
+        CommError::Timeout {
+            src,
+            tag,
+            waited_ms,
+        } => {
             assert_eq!(*src, 0);
             assert_eq!(*tag, 42);
-            assert!(*waited_ms >= 100, "must wait out the window, waited {waited_ms} ms");
+            assert!(
+                *waited_ms >= 100,
+                "must wait out the window, waited {waited_ms} ms"
+            );
         }
         other => panic!("expected Timeout, got {other:?}"),
     }
@@ -117,7 +131,10 @@ fn retries_extend_the_deadline_with_backoff() {
 fn corrupted_payload_is_detected_by_checksum() {
     // Corrupt the 3rd message on link 0→1 of a ring all-reduce.
     let plan = FaultPlan::new(3).with_corruption(0, 1, 2);
-    let (results, _) = World::builder(2).config(fast()).faults(plan).try_run(ring_workload(10));
+    let (results, _) = World::builder(2)
+        .config(fast())
+        .faults(plan)
+        .try_run(ring_workload(10));
     // Rank 1 detects the corruption on arrival.
     match results[1].as_ref().unwrap_err() {
         CommError::Corrupt { src, .. } => assert_eq!(*src, 0),
@@ -168,7 +185,10 @@ fn reorder_heavy_plan_preserves_results_across_world_sizes() {
                 .try_run(ring_workload(6));
             let faulty: Vec<f32> = faulty.into_iter().map(|r| r.unwrap()).collect();
             assert_eq!(clean, faulty, "p={p} seed={seed}");
-            assert!(meter.total_faults() > 0, "plan must have injected something");
+            assert!(
+                meter.total_faults() > 0,
+                "plan must have injected something"
+            );
         }
     }
 }
@@ -176,8 +196,13 @@ fn reorder_heavy_plan_preserves_results_across_world_sizes() {
 #[test]
 fn fault_injection_is_deterministic_per_seed() {
     let run = |seed: u64| {
-        let plan = FaultPlan::new(seed).with_reorder(0.3).with_delay_jitter(Duration::from_micros(40));
-        let (results, meter) = World::builder(3).config(fast()).faults(plan).try_run(ring_workload(8));
+        let plan = FaultPlan::new(seed)
+            .with_reorder(0.3)
+            .with_delay_jitter(Duration::from_micros(40));
+        let (results, meter) = World::builder(3)
+            .config(fast())
+            .faults(plan)
+            .try_run(ring_workload(8));
         let vals: Vec<f32> = results.into_iter().map(|r| r.unwrap()).collect();
         let faults: Vec<u64> = meter.all().iter().map(|m| m.faults_injected).collect();
         (vals, faults)
@@ -185,9 +210,15 @@ fn fault_injection_is_deterministic_per_seed() {
     let (v1, f1) = run(123);
     let (v2, f2) = run(123);
     assert_eq!(v1, v2);
-    assert_eq!(f1, f2, "same seed must inject the same fault count per rank");
+    assert_eq!(
+        f1, f2,
+        "same seed must inject the same fault count per rank"
+    );
     let (_, f3) = run(124);
-    assert_ne!(f1, f3, "different seeds should differ (holds for these seeds)");
+    assert_ne!(
+        f1, f3,
+        "different seeds should differ (holds for these seeds)"
+    );
 }
 
 #[test]
@@ -201,7 +232,10 @@ fn panicking_rank_aborts_survivors_instead_of_hanging() {
         c.all_reduce_sum(&mut buf, DType::F32)?;
         Ok(buf[0])
     });
-    assert!(started.elapsed() < Duration::from_secs(5), "survivors must not hang");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "survivors must not hang"
+    );
     match results[1].as_ref().unwrap_err() {
         CommError::Aborted { origin, reason } => {
             assert_eq!(*origin, 1);
@@ -245,20 +279,23 @@ fn error_poisons_subsequent_operations() {
     // After the world aborts, every later operation on any rank fails
     // immediately instead of attempting fresh communication.
     let plan = FaultPlan::new(4).with_dead_rank(1, 0);
-    let (results, _) = World::builder(2).config(fast()).faults(plan).try_run(|mut c| {
-        let mut buf = vec![0.0f32; 2];
-        let first = c.all_reduce_sum(&mut buf, DType::F32);
-        assert!(first.is_err(), "rank {} first op must fail", c.rank());
-        let started = Instant::now();
-        let second = c.all_reduce_sum(&mut buf, DType::F32);
-        assert!(second.is_err());
-        assert!(
-            started.elapsed() < Duration::from_millis(100),
-            "poisoned ops must fail fast, took {:?}",
-            started.elapsed()
-        );
-        second.map(|_| 0.0)
-    });
+    let (results, _) = World::builder(2)
+        .config(fast())
+        .faults(plan)
+        .try_run(|mut c| {
+            let mut buf = vec![0.0f32; 2];
+            let first = c.all_reduce_sum(&mut buf, DType::F32);
+            assert!(first.is_err(), "rank {} first op must fail", c.rank());
+            let started = Instant::now();
+            let second = c.all_reduce_sum(&mut buf, DType::F32);
+            assert!(second.is_err());
+            assert!(
+                started.elapsed() < Duration::from_millis(100),
+                "poisoned ops must fail fast, took {:?}",
+                started.elapsed()
+            );
+            second.map(|_| 0.0)
+        });
     for r in &results {
         assert_eq!(r.as_ref().unwrap_err(), &CommError::PeerDead { rank: 1 });
     }

@@ -138,7 +138,11 @@ fn collectives_under(
     plan: Option<FaultPlan>,
 ) -> (CollectiveOuts, Vec<wp_comm::RankTraffic>) {
     let inputs: Vec<Vec<f32>> = (0..p)
-        .map(|r| (0..n).map(|i| ((seed + r as u64 * 5 + i as u64 * 11) % 89) as f32 - 44.0).collect())
+        .map(|r| {
+            (0..n)
+                .map(|i| ((seed + r as u64 * 5 + i as u64 * 11) % 89) as f32 - 44.0)
+                .collect()
+        })
         .collect();
     let inputs_ref = &inputs;
     let (outs, meter) = World::builder(p)
@@ -152,8 +156,10 @@ fn collectives_under(
             c.all_reduce_sum(&mut reduced, DType::F32)?;
             Ok((gathered, reduced))
         });
-    let outs: Vec<(Vec<f32>, Vec<f32>)> =
-        outs.into_iter().map(|r| r.expect("delay-only faults must not fail any rank")).collect();
+    let outs: Vec<(Vec<f32>, Vec<f32>)> = outs
+        .into_iter()
+        .map(|r| r.expect("delay-only faults must not fail any rank"))
+        .collect();
     (outs, meter.all())
 }
 

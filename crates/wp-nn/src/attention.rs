@@ -73,7 +73,13 @@ pub struct AttnDims {
 impl AttnDims {
     /// Multi-head dims (`kv_heads = heads`).
     pub fn mha(batch: usize, seq: usize, heads: usize, head_dim: usize) -> Self {
-        AttnDims { batch, seq, heads, kv_heads: heads, head_dim }
+        AttnDims {
+            batch,
+            seq,
+            heads,
+            kv_heads: heads,
+            head_dim,
+        }
     }
 
     #[inline]
@@ -118,8 +124,10 @@ impl AttnDims {
     }
 
     fn check(&self) {
-        assert!(self.kv_heads >= 1 && self.heads.is_multiple_of(self.kv_heads),
-            "kv_heads must divide heads");
+        assert!(
+            self.kv_heads >= 1 && self.heads.is_multiple_of(self.kv_heads),
+            "kv_heads must divide heads"
+        );
     }
 }
 
@@ -146,7 +154,13 @@ pub fn naive_forward(
     scratch: &Scratch,
 ) -> AttnCtx {
     dims.check();
-    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let AttnDims {
+        batch,
+        seq,
+        heads,
+        head_dim,
+        ..
+    } = dims;
     let n = batch * seq * dims.hidden();
     let nkv = batch * seq * dims.kv_dim();
     assert_eq!(q.len(), n);
@@ -214,7 +228,13 @@ pub fn naive_backward(
     scratch: &Scratch,
 ) {
     dims.check();
-    let AttnDims { batch, seq, heads, kv_heads, head_dim } = dims;
+    let AttnDims {
+        batch,
+        seq,
+        heads,
+        kv_heads,
+        head_dim,
+    } = dims;
     let probs = match ctx {
         AttnCtx::Naive { probs } => probs,
         _ => panic!("naive_backward needs a Naive ctx"),
@@ -294,7 +314,13 @@ pub fn streaming_forward(
     scratch: &Scratch,
 ) -> AttnCtx {
     dims.check();
-    let AttnDims { batch, seq, heads, head_dim, .. } = dims;
+    let AttnDims {
+        batch,
+        seq,
+        heads,
+        head_dim,
+        ..
+    } = dims;
     let n = batch * seq * dims.hidden();
     let nkv = batch * seq * dims.kv_dim();
     assert_eq!(q.len(), n);
@@ -327,8 +353,7 @@ pub fn streaming_forward(
                     let kj = &k[koff..koff + head_dim];
                     for r in j.saturating_sub(i0)..ti {
                         let qoff = dims.off(g, i0 + r, h);
-                        rows_t[r * seq + j] =
-                            dot(&q[qoff..qoff + head_dim], kj) * scale;
+                        rows_t[r * seq + j] = dot(&q[qoff..qoff + head_dim], kj) * scale;
                     }
                 }
                 let mut inv = [0.0f32; QTILE];
@@ -387,7 +412,13 @@ pub fn streaming_backward(
     scratch: &Scratch,
 ) {
     dims.check();
-    let AttnDims { batch, seq, heads, kv_heads, head_dim } = dims;
+    let AttnDims {
+        batch,
+        seq,
+        heads,
+        kv_heads,
+        head_dim,
+    } = dims;
     let lse = match ctx {
         AttnCtx::Streaming { lse } => lse,
         _ => panic!("streaming_backward needs a Streaming ctx"),
@@ -551,7 +582,9 @@ mod tests {
         let mut o = vec![0.0; n];
         let ctx = streaming_forward(&mut o, &q, &k, &v, d, &sc);
         let (mut dq, mut dk, mut dv) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        streaming_backward(&mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, d, &sc);
+        streaming_backward(
+            &mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, d, &sc,
+        );
         let h = 1e-2;
         for i in 0..n {
             let mut qp = q.clone();
@@ -587,7 +620,9 @@ mod tests {
         let mut o = vec![0.0; n];
         let nctx = naive_forward(&mut o, &q, &k, &v, d, &sc);
         let (mut dq1, mut dk1, mut dv1) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        naive_backward(&mut dq1, &mut dk1, &mut dv1, &dout, &q, &k, &v, &nctx, d, &sc);
+        naive_backward(
+            &mut dq1, &mut dk1, &mut dv1, &dout, &q, &k, &v, &nctx, d, &sc,
+        );
         let sctx = streaming_forward(&mut o, &q, &k, &v, d, &sc);
         let (mut dq2, mut dk2, mut dv2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
         streaming_backward(
@@ -617,7 +652,13 @@ mod tests {
     fn parallel_attention_bit_identical_to_sequential() {
         // Big enough to cross the dispatch threshold, with GQA so the
         // backward's (batch, kv-head) split is exercised.
-        let d = AttnDims { batch: 2, seq: 48, heads: 4, kv_heads: 2, head_dim: 16 };
+        let d = AttnDims {
+            batch: 2,
+            seq: 48,
+            heads: 4,
+            kv_heads: 2,
+            head_dim: 16,
+        };
         let sc = Scratch::new();
         let (q, _, _) = rand_qkv(d, 57);
         let nkv = d.batch * d.seq * d.kv_dim();

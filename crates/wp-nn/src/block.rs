@@ -136,7 +136,15 @@ pub fn block_forward(
     // --- attention half ---
     let mut x1 = scratch.take(tokens * h);
     let mut inv_rms1 = scratch.take(tokens);
-    rmsnorm_forward(&mut x1, Some(&mut inv_rms1), x, &w[lay.attn_norm()], tokens, h, cfg.eps);
+    rmsnorm_forward(
+        &mut x1,
+        Some(&mut inv_rms1),
+        x,
+        &w[lay.attn_norm()],
+        tokens,
+        h,
+        cfg.eps,
+    );
 
     let kv = cfg.kv_dim();
     let mut q = scratch.take(tokens * h);
@@ -168,7 +176,15 @@ pub fn block_forward(
     // --- FFN half ---
     let mut x3 = scratch.take(tokens * h);
     let mut inv_rms2 = scratch.take(tokens);
-    rmsnorm_forward(&mut x3, Some(&mut inv_rms2), &x2, &w[lay.ffn_norm()], tokens, h, cfg.eps);
+    rmsnorm_forward(
+        &mut x3,
+        Some(&mut inv_rms2),
+        &x2,
+        &w[lay.ffn_norm()],
+        tokens,
+        h,
+        cfg.eps,
+    );
 
     let mut gate = scratch.take(tokens * f);
     let mut up = scratch.take(tokens * f);
@@ -276,12 +292,20 @@ pub fn block_backward_data(
     let mut dv = scratch.take(tokens * kv);
     match cfg.attn {
         AttnKind::Naive => naive_backward(
-            &mut dq, &mut dk, &mut dv, &d_attn_o, &ctx.q, &ctx.k, &ctx.v, &ctx.attn, dims,
-            scratch,
+            &mut dq, &mut dk, &mut dv, &d_attn_o, &ctx.q, &ctx.k, &ctx.v, &ctx.attn, dims, scratch,
         ),
         AttnKind::Streaming => streaming_backward(
-            &mut dq, &mut dk, &mut dv, &d_attn_o, &ctx.q, &ctx.k, &ctx.v, &ctx.attn_o, &ctx.attn,
-            dims, scratch,
+            &mut dq,
+            &mut dk,
+            &mut dv,
+            &d_attn_o,
+            &ctx.q,
+            &ctx.k,
+            &ctx.v,
+            &ctx.attn_o,
+            &ctx.attn,
+            dims,
+            scratch,
         ),
     }
     // Undo RoPE on the q/k gradients (rotation is orthogonal).
@@ -343,7 +367,14 @@ pub fn block_backward_weight(
     matmul_tn(&mut dw[lay.wd()], &bctx.d_down, &ctx.hg, h, tokens, f);
     matmul_tn(&mut dw[lay.wg()], &bctx.dgate, &ctx.x3, f, tokens, h);
     matmul_tn(&mut dw[lay.wu()], &bctx.dup, &ctx.x3, f, tokens, h);
-    matmul_tn(&mut dw[lay.wo()], &bctx.d_attn_out, &ctx.attn_o, h, tokens, h);
+    matmul_tn(
+        &mut dw[lay.wo()],
+        &bctx.d_attn_out,
+        &ctx.attn_o,
+        h,
+        tokens,
+        h,
+    );
     let kv = cfg.kv_dim();
     matmul_tn(&mut dw[lay.wq()], &bctx.dq_pre, &ctx.x1, h, tokens, h);
     matmul_tn(&mut dw[lay.wk()], &bctx.dk_pre, &ctx.x1, kv, tokens, h);

@@ -29,7 +29,10 @@ struct CountingHashWriter<W: Write> {
 
 impl<W: Write> CountingHashWriter<W> {
     fn new(inner: W) -> Self {
-        CountingHashWriter { inner, hash: 0xcbf2_9ce4_8422_2325 }
+        CountingHashWriter {
+            inner,
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
     }
 }
 
@@ -76,12 +79,17 @@ fn read_f32s<R: Read>(r: &mut R, expected: usize) -> io::Result<Vec<f32>> {
     if n != expected {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("buffer length {n} does not match the {expected} elements implied by the config"),
+            format!(
+                "buffer length {n} does not match the {expected} elements implied by the config"
+            ),
         ));
     }
     let mut bytes = vec![0u8; n * 4];
     r.read_exact(&mut bytes)?;
-    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
 }
 
 /// Serialize a model into any writer.
@@ -126,18 +134,27 @@ pub fn load_model_from<R: Read>(mut r: R) -> io::Result<Model> {
     let mut all = Vec::new();
     r.read_to_end(&mut all)?;
     if all.len() < MAGIC.len() + 8 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "checkpoint too short"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checkpoint too short",
+        ));
     }
     let (body, tail) = all.split_at(all.len() - 8);
     let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
     if fnv1a(body) != stored {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "checkpoint checksum mismatch"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checkpoint checksum mismatch",
+        ));
     }
     let mut r = body;
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a WPCKPT01 checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a WPCKPT01 checkpoint",
+        ));
     }
     let hidden = read_u64(&mut r)? as usize;
     let heads = read_u64(&mut r)? as usize;
@@ -180,12 +197,19 @@ pub fn load_model_from<R: Read>(mut r: R) -> io::Result<Model> {
         max_seq,
         eps,
         rope_theta,
-        attn: if streaming { AttnKind::Streaming } else { AttnKind::Naive },
+        attn: if streaming {
+            AttnKind::Streaming
+        } else {
+            AttnKind::Naive
+        },
     };
     let embed = read_f32s(&mut r, cfg.embed_params())?;
     let nblocks = read_u64(&mut r)? as usize;
     if nblocks != layers {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "block count mismatch"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "block count mismatch",
+        ));
     }
     let mut blocks = Vec::with_capacity(nblocks);
     for _ in 0..nblocks {

@@ -52,9 +52,21 @@ impl ModelConfig {
     }
 
     /// A paper-shaped config: `F = 8H/3`, RoPE θ = 10⁴, ε = 1e-5.
-    pub fn llama_like(hidden: usize, heads: usize, layers: usize, vocab: usize, max_seq: usize) -> Self {
-        assert!(hidden.is_multiple_of(heads), "hidden must divide evenly into heads");
-        assert!((hidden / heads).is_multiple_of(2), "head_dim must be even for RoPE");
+    pub fn llama_like(
+        hidden: usize,
+        heads: usize,
+        layers: usize,
+        vocab: usize,
+        max_seq: usize,
+    ) -> Self {
+        assert!(
+            hidden.is_multiple_of(heads),
+            "hidden must divide evenly into heads"
+        );
+        assert!(
+            (hidden / heads).is_multiple_of(2),
+            "head_dim must be even for RoPE"
+        );
         ModelConfig {
             hidden,
             heads,
@@ -79,7 +91,10 @@ impl ModelConfig {
 
     /// Switch to grouped-query attention with `kv_heads` key/value heads.
     pub fn with_gqa(mut self, kv_heads: usize) -> Self {
-        assert!(kv_heads >= 1 && self.heads.is_multiple_of(kv_heads), "kv_heads must divide heads");
+        assert!(
+            kv_heads >= 1 && self.heads.is_multiple_of(kv_heads),
+            "kv_heads must divide heads"
+        );
         self.kv_heads = kv_heads;
         self
     }
@@ -143,7 +158,10 @@ mod tests {
         let c = ModelConfig::llama_like(1024, 32, 32, 32000, 4096);
         let p = c.block_params() as f64;
         let twelve_h2 = 12.0 * 1024.0 * 1024.0;
-        assert!((p / twelve_h2 - 1.0).abs() < 0.02, "block params {p} vs 12H² {twelve_h2}");
+        assert!(
+            (p / twelve_h2 - 1.0).abs() < 0.02,
+            "block params {p} vs 12H² {twelve_h2}"
+        );
     }
 
     #[test]
@@ -154,7 +172,10 @@ mod tests {
         let sp = small.total_params();
         let bp = big.total_params();
         assert!(sp > 300_000_000 && sp < 600_000_000, "H=1024 params {sp}");
-        assert!(bp > 5_000_000_000 && bp < 8_000_000_000, "H=4096 params {bp}");
+        assert!(
+            bp > 5_000_000_000 && bp < 8_000_000_000,
+            "H=4096 params {bp}"
+        );
     }
 
     #[test]

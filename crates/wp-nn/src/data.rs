@@ -13,12 +13,7 @@ use rand::{Rng, SeedableRng};
 
 /// Generate one microbatch of `[batch, seq]` input ids and next-token
 /// targets. Deterministic in `seed`.
-pub fn synthetic_batch(
-    vocab: usize,
-    batch: usize,
-    seq: usize,
-    seed: u64,
-) -> (Vec<u32>, Vec<u32>) {
+pub fn synthetic_batch(vocab: usize, batch: usize, seq: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
     assert!(vocab >= 4, "vocab too small for the synthetic task");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_DA7A);
     let mut ids = Vec::with_capacity(batch * seq);
@@ -71,7 +66,11 @@ mod tests {
         let (ids, tg) = synthetic_batch(11, 2, 6, 1);
         for g in 0..2 {
             for t in 0..5 {
-                assert_eq!(tg[g * 6 + t], ids[g * 6 + t + 1], "target must be next input");
+                assert_eq!(
+                    tg[g * 6 + t],
+                    ids[g * 6 + t + 1],
+                    "target must be next input"
+                );
             }
         }
     }

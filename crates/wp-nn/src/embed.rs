@@ -48,7 +48,11 @@ impl HeadCtx {
 
     /// Placeholder ctx holding nothing (pre-first-forward state).
     pub fn empty() -> Self {
-        HeadCtx { x: ScratchBuf::empty(), xn: ScratchBuf::empty(), inv_rms: ScratchBuf::empty() }
+        HeadCtx {
+            x: ScratchBuf::empty(),
+            xn: ScratchBuf::empty(),
+            inv_rms: ScratchBuf::empty(),
+        }
     }
 }
 
@@ -66,10 +70,25 @@ pub fn head_forward(
     assert_eq!(head_w.len(), lay.len());
     let mut xn = scratch.take(tokens * h);
     let mut inv_rms = scratch.take(tokens);
-    rmsnorm_forward(&mut xn, Some(&mut inv_rms), x, &head_w[lay.norm()], tokens, h, cfg.eps);
+    rmsnorm_forward(
+        &mut xn,
+        Some(&mut inv_rms),
+        x,
+        &head_w[lay.norm()],
+        tokens,
+        h,
+        cfg.eps,
+    );
     let mut logits = scratch.take(tokens * cfg.vocab);
     matmul_nt(&mut logits, &xn, &head_w[lay.wout()], tokens, h, cfg.vocab);
-    (logits, HeadCtx { x: scratch.take_copy(x), xn, inv_rms })
+    (
+        logits,
+        HeadCtx {
+            x: scratch.take_copy(x),
+            xn,
+            inv_rms,
+        },
+    )
 }
 
 /// Fused loss + head backward.
@@ -168,8 +187,7 @@ mod tests {
 
         let (logits, ctx) = head_forward(&c, &hw, &x, &sc);
         let mut dhead = vec![0.0f32; hw.len()];
-        let (loss, dx) =
-            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut dhead, 1.0, &sc);
+        let (loss, dx) = head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut dhead, 1.0, &sc);
         assert!((loss - loss_fn(&hw, &x)).abs() < 1e-5);
 
         let step = 5e-3;
@@ -179,7 +197,11 @@ mod tests {
             let mut wm = hw.clone();
             wm[i] -= step;
             let num = (loss_fn(&wp, &x) - loss_fn(&wm, &x)) / (2.0 * step);
-            assert!((dhead[i] - num).abs() < 2e-2, "dhead[{i}] {} vs {num}", dhead[i]);
+            assert!(
+                (dhead[i] - num).abs() < 2e-2,
+                "dhead[{i}] {} vs {num}",
+                dhead[i]
+            );
         }
         for i in (0..x.len()).step_by(5) {
             let mut xp = x.clone();
@@ -200,11 +222,9 @@ mod tests {
         let targets = [0u32, 4];
         let (logits, ctx) = head_forward(&c, &hw, &x, &sc);
         let mut d1 = vec![0.0f32; hw.len()];
-        let (l1, dx1) =
-            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d1, 1.0, &sc);
+        let (l1, dx1) = head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d1, 1.0, &sc);
         let mut d2 = vec![0.0f32; hw.len()];
-        let (l2, dx2) =
-            head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d2, 0.5, &sc);
+        let (l2, dx2) = head_loss_backward(&c, &hw, &ctx, &logits, &targets, &mut d2, 0.5, &sc);
         assert_eq!(l1, l2);
         for i in 0..hw.len() {
             assert!((d2[i] - 0.5 * d1[i]).abs() < 1e-6);

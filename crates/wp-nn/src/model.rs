@@ -153,9 +153,20 @@ impl Model {
             }
         }
         if head.len() != cfg.head_params() {
-            return Err(format!("head buffer {} != expected {}", head.len(), cfg.head_params()));
+            return Err(format!(
+                "head buffer {} != expected {}",
+                head.len(),
+                cfg.head_params()
+            ));
         }
-        Ok(Model { rope: cfg.rope_table(), cfg, embed, blocks, head, scratch: Scratch::new() })
+        Ok(Model {
+            rope: cfg.rope_table(),
+            cfg,
+            embed,
+            blocks,
+            head,
+            scratch: Scratch::new(),
+        })
     }
 
     /// Deterministically initialise a model from a seed.
@@ -311,7 +322,10 @@ mod tests {
         }
         let ctx = m.forward(&ids, 2, 8);
         let loss1 = m.loss(&ctx, &targets);
-        assert!(loss1 < loss0, "SGD step must reduce loss: {loss0} -> {loss1}");
+        assert!(
+            loss1 < loss0,
+            "SGD step must reduce loss: {loss0} -> {loss1}"
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct BlockLayout {
 impl BlockLayout {
     /// Layout for a config's dimensions.
     pub fn new(cfg: &ModelConfig) -> Self {
-        BlockLayout { h: cfg.hidden, f: cfg.ffn, kv: cfg.kv_dim() }
+        BlockLayout {
+            h: cfg.hidden,
+            f: cfg.ffn,
+            kv: cfg.kv_dim(),
+        }
     }
 
     /// Total element count of the flat buffer.
@@ -116,8 +120,7 @@ pub fn init_embed(cfg: &ModelConfig, base_seed: u64) -> Vec<f32> {
 
 /// Output head: `final_norm_gain (H) | W_out [vocab, H]`.
 pub fn init_head(cfg: &ModelConfig, base_seed: u64) -> Vec<f32> {
-    let mut w =
-        Tensor::randn([cfg.head_params()], 0.02, base_seed.wrapping_add(0x4EAD)).into_vec();
+    let mut w = Tensor::randn([cfg.head_params()], 0.02, base_seed.wrapping_add(0x4EAD)).into_vec();
     w[..cfg.hidden].fill(1.0);
     w
 }
@@ -132,7 +135,10 @@ pub struct HeadLayout {
 impl HeadLayout {
     /// Layout for a config.
     pub fn new(cfg: &ModelConfig) -> Self {
-        HeadLayout { h: cfg.hidden, vocab: cfg.vocab }
+        HeadLayout {
+            h: cfg.hidden,
+            vocab: cfg.vocab,
+        }
     }
 
     /// Final RMSNorm gain.

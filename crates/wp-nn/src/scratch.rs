@@ -51,7 +51,10 @@ impl Scratch {
             }
             None => vec![0.0; len],
         };
-        ScratchBuf { data, home: Some(self.inner.clone()) }
+        ScratchBuf {
+            data,
+            home: Some(self.inner.clone()),
+        }
     }
 
     /// A buffer holding a copy of `src` (pooled; no zero-fill pass).
@@ -63,13 +66,19 @@ impl Scratch {
             }
             None => src.to_vec(),
         };
-        ScratchBuf { data, home: Some(self.inner.clone()) }
+        ScratchBuf {
+            data,
+            home: Some(self.inner.clone()),
+        }
     }
 
     /// Wrap an externally allocated vector so its memory joins this pool
     /// when dropped.
     pub fn adopt(&self, data: Vec<f32>) -> ScratchBuf {
-        ScratchBuf { data, home: Some(self.inner.clone()) }
+        ScratchBuf {
+            data,
+            home: Some(self.inner.clone()),
+        }
     }
 
     /// Total `f32` elements currently parked in the pool (diagnostics).
@@ -98,7 +107,10 @@ pub struct ScratchBuf {
 impl ScratchBuf {
     /// A zero-length buffer with no backing pool (placeholder state).
     pub fn empty() -> Self {
-        ScratchBuf { data: Vec::new(), home: None }
+        ScratchBuf {
+            data: Vec::new(),
+            home: None,
+        }
     }
 
     /// Detach the underlying vector (it will no longer recycle).
@@ -153,7 +165,10 @@ impl Clone for ScratchBuf {
             }
             None => self.data.clone(),
         };
-        ScratchBuf { data, home: self.home.clone() }
+        ScratchBuf {
+            data,
+            home: self.home.clone(),
+        }
     }
 }
 

@@ -74,7 +74,10 @@ fn warm_train_iteration() {
         model.forward_into(&ids, batch, seq, &mut fwd);
         let _ = model.backward(&fwd, &targets, &mut grads, 1.0);
     });
-    assert_eq!(delta, 0, "warm forward+backward iteration performed {delta} heap allocations");
+    assert_eq!(
+        delta, 0,
+        "warm forward+backward iteration performed {delta} heap allocations"
+    );
 }
 
 fn warm_split_bw_pass() {
@@ -97,5 +100,8 @@ fn warm_split_bw_pass() {
         dw.fill(0.0);
         block_backward_weight(&cfg, &ctx, &bctx, &mut dw, batch, seq);
     });
-    assert_eq!(delta, 0, "warm split B/W pass performed {delta} heap allocations");
+    assert_eq!(
+        delta, 0,
+        "warm split B/W pass performed {delta} heap allocations"
+    );
 }

@@ -28,7 +28,13 @@ fn gqa_shrinks_kv_projections() {
 
 #[test]
 fn gqa_streaming_matches_naive() {
-    let dims = AttnDims { batch: 2, seq: 6, heads: 4, kv_heads: 2, head_dim: 4 };
+    let dims = AttnDims {
+        batch: 2,
+        seq: 6,
+        heads: 4,
+        kv_heads: 2,
+        head_dim: 4,
+    };
     let nq = dims.batch * dims.seq * dims.heads * dims.head_dim;
     let nkv = dims.batch * dims.seq * dims.kv_dim();
     let q = Tensor::rand_uniform([nq], -1.0, 1.0, 1).into_vec();
@@ -48,7 +54,13 @@ fn gqa_streaming_matches_naive() {
 fn gqa_groups_share_kv() {
     // With kv_heads = 1 (multi-query), every query head attends to the SAME
     // k/v — identical q rows across heads must give identical outputs.
-    let dims = AttnDims { batch: 1, seq: 4, heads: 2, kv_heads: 1, head_dim: 4 };
+    let dims = AttnDims {
+        batch: 1,
+        seq: 4,
+        heads: 2,
+        kv_heads: 1,
+        head_dim: 4,
+    };
     let nkv = dims.seq * dims.kv_dim();
     let qrow = Tensor::rand_uniform([dims.seq * dims.head_dim], -1.0, 1.0, 4).into_vec();
     // Both heads get the same queries.
@@ -75,7 +87,13 @@ fn gqa_groups_share_kv() {
 
 #[test]
 fn gqa_backward_gradcheck() {
-    let dims = AttnDims { batch: 1, seq: 4, heads: 4, kv_heads: 2, head_dim: 2 };
+    let dims = AttnDims {
+        batch: 1,
+        seq: 4,
+        heads: 4,
+        kv_heads: 2,
+        head_dim: 2,
+    };
     let nq = dims.seq * dims.heads * dims.head_dim;
     let nkv = dims.seq * dims.kv_dim();
     let q = Tensor::rand_uniform([nq], -1.0, 1.0, 7).into_vec();
@@ -91,7 +109,9 @@ fn gqa_backward_gradcheck() {
     let mut o = vec![0.0; nq];
     let ctx = streaming_forward(&mut o, &q, &k, &v, dims, &sc);
     let (mut dq, mut dk, mut dv) = (vec![0.0; nq], vec![0.0; nkv], vec![0.0; nkv]);
-    streaming_backward(&mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, dims, &sc);
+    streaming_backward(
+        &mut dq, &mut dk, &mut dv, &dout, &q, &k, &v, &o, &ctx, dims, &sc,
+    );
     let h = 1e-2;
     for i in 0..nkv {
         let mut kp = k.clone();

@@ -24,7 +24,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -43,7 +49,12 @@ pub struct AdamW {
 impl AdamW {
     /// Optimizer for `n` parameters.
     pub fn new(n: usize, cfg: AdamConfig) -> Self {
-        AdamW { cfg, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        AdamW {
+            cfg,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// Steps taken so far.
@@ -89,7 +100,13 @@ mod tests {
     #[test]
     fn converges_on_quadratic() {
         let mut p = vec![5.0f32, -3.0];
-        let mut opt = AdamW::new(2, AdamConfig { lr: 0.1, ..Default::default() });
+        let mut opt = AdamW::new(
+            2,
+            AdamConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
+        );
         for _ in 0..300 {
             let g: Vec<f32> = p.iter().map(|&x| 2.0 * x).collect();
             opt.step(&mut p, &g);
@@ -101,7 +118,13 @@ mod tests {
     fn first_step_is_lr_sized() {
         // With bias correction, the first Adam step ≈ lr · sign(g).
         let mut p = vec![0.0f32];
-        let mut opt = AdamW::new(1, AdamConfig { lr: 0.01, ..Default::default() });
+        let mut opt = AdamW::new(
+            1,
+            AdamConfig {
+                lr: 0.01,
+                ..Default::default()
+            },
+        );
         opt.step(&mut p, &[123.456]);
         assert!((p[0] + 0.01).abs() < 1e-4, "{}", p[0]);
     }
@@ -112,7 +135,14 @@ mod tests {
         // constant leaves the trajectory (nearly) unchanged.
         let run = |scale: f32| -> f32 {
             let mut p = vec![2.0f32];
-            let mut opt = AdamW::new(1, AdamConfig { lr: 0.05, eps: 1e-12, ..Default::default() });
+            let mut opt = AdamW::new(
+                1,
+                AdamConfig {
+                    lr: 0.05,
+                    eps: 1e-12,
+                    ..Default::default()
+                },
+            );
             for _ in 0..20 {
                 let g = vec![2.0 * p[0] * scale];
                 opt.step(&mut p, &g);
@@ -126,8 +156,14 @@ mod tests {
     fn weight_decay_decouples_from_moments() {
         // With zero gradient, AdamW still decays weights; Adam (wd=0) does not.
         let mut p = vec![1.0f32];
-        let mut opt =
-            AdamW::new(1, AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() });
+        let mut opt = AdamW::new(
+            1,
+            AdamConfig {
+                lr: 0.1,
+                weight_decay: 0.1,
+                ..Default::default()
+            },
+        );
         opt.step(&mut p, &[0.0]);
         assert!((p[0] - (1.0 - 0.1 * 0.1)).abs() < 1e-6);
     }

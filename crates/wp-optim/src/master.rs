@@ -23,7 +23,10 @@ pub struct MasterWeights {
 impl MasterWeights {
     /// Capture the master copy from the current working values.
     pub fn capture(working: &[f32], working_dtype: DType) -> Self {
-        MasterWeights { master: working.to_vec(), working_dtype }
+        MasterWeights {
+            master: working.to_vec(),
+            working_dtype,
+        }
     }
 
     /// The fp32 master values.
@@ -111,7 +114,13 @@ mod tests {
         let mut working = vec![1.0f32];
         quantize_slice(&mut working, DType::F16);
         let mut mw = MasterWeights::capture(&working, DType::F16);
-        let mut opt = Sgd::new(1, SgdConfig { lr: 1.0, ..Default::default() });
+        let mut opt = Sgd::new(
+            1,
+            SgdConfig {
+                lr: 1.0,
+                ..Default::default()
+            },
+        );
         for _ in 0..10 {
             mw.step(&mut opt, &mut working, &[-1e-4], 1.0);
         }
@@ -124,7 +133,13 @@ mod tests {
     fn working_copy_is_quantized() {
         let mut working = vec![0.0f32];
         let mut mw = MasterWeights::capture(&working, DType::F16);
-        let mut opt = Sgd::new(1, SgdConfig { lr: 1.0, ..Default::default() });
+        let mut opt = Sgd::new(
+            1,
+            SgdConfig {
+                lr: 1.0,
+                ..Default::default()
+            },
+        );
         mw.step(&mut opt, &mut working, &[-(1.0 + 2f32.powi(-13))], 1.0);
         // Master holds the exact value; working is the fp16 rounding.
         assert_eq!(mw.master()[0], 1.0 + 2f32.powi(-13));
@@ -133,8 +148,20 @@ mod tests {
 
     #[test]
     fn step_traced_matches_step_and_records() {
-        let mut opt_a = Sgd::new(1, SgdConfig { lr: 1.0, ..Default::default() });
-        let mut opt_b = Sgd::new(1, SgdConfig { lr: 1.0, ..Default::default() });
+        let mut opt_a = Sgd::new(
+            1,
+            SgdConfig {
+                lr: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut opt_b = Sgd::new(
+            1,
+            SgdConfig {
+                lr: 1.0,
+                ..Default::default()
+            },
+        );
         let mut wa = vec![1.0f32];
         let mut wb = vec![1.0f32];
         let mut ma = MasterWeights::capture(&wa, DType::F32);
@@ -174,8 +201,15 @@ mod tests {
         // Overflowed gradients: the step must be skipped wholesale.
         let mut bad = vec![f32::INFINITY, 1.0];
         assert!(!mw.step_scaled(&mut opt, &mut working, &mut bad, 1e-3, &mut scaler));
-        assert_eq!(opt, opt_before, "optimizer state (m, v, t) must not move on a skip");
-        assert_eq!(opt.steps(), 1, "bias-correction step count must not advance");
+        assert_eq!(
+            opt, opt_before,
+            "optimizer state (m, v, t) must not move on a skip"
+        );
+        assert_eq!(
+            opt.steps(),
+            1,
+            "bias-correction step count must not advance"
+        );
         assert_eq!(mw.master(), &master_before[..]);
         assert_eq!(working, working_before);
         assert_eq!(scaler.skipped_steps(), 1);
@@ -213,7 +247,13 @@ mod tests {
     fn f32_working_dtype_is_lossless() {
         let mut working = vec![0.5f32, -0.25];
         let mut mw = MasterWeights::capture(&working, DType::F32);
-        let mut opt = Sgd::new(2, SgdConfig { lr: 0.1, ..Default::default() });
+        let mut opt = Sgd::new(
+            2,
+            SgdConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
+        );
         mw.step(&mut opt, &mut working, &[1.0, 2.0], 0.1);
         assert_eq!(working, mw.master());
     }

@@ -36,9 +36,15 @@ impl LrSchedule {
             ));
         }
         if !(0.0..=1.0).contains(&min_ratio) {
-            return Err(format!("WarmupCosine min_ratio must be in [0, 1], got {min_ratio}"));
+            return Err(format!(
+                "WarmupCosine min_ratio must be in [0, 1], got {min_ratio}"
+            ));
         }
-        Ok(LrSchedule::WarmupCosine { warmup, total, min_ratio })
+        Ok(LrSchedule::WarmupCosine {
+            warmup,
+            total,
+            min_ratio,
+        })
     }
 
     /// Multiplier at `step` (0-based).
@@ -56,7 +62,11 @@ impl LrSchedule {
                     (step + 1) as f32 / warmup as f32
                 }
             }
-            LrSchedule::WarmupCosine { warmup, total, min_ratio } => {
+            LrSchedule::WarmupCosine {
+                warmup,
+                total,
+                min_ratio,
+            } => {
                 if warmup > 0 && step < warmup {
                     return (step + 1) as f32 / warmup as f32;
                 }
@@ -68,8 +78,7 @@ impl LrSchedule {
                 if total <= warmup {
                     return min_ratio;
                 }
-                let progress =
-                    ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
+                let progress = ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                 min_ratio + (1.0 - min_ratio) * cos
             }
@@ -103,7 +112,11 @@ mod tests {
 
     #[test]
     fn cosine_decays_to_min() {
-        let s = LrSchedule::WarmupCosine { warmup: 2, total: 12, min_ratio: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            warmup: 2,
+            total: 12,
+            min_ratio: 0.1,
+        };
         assert!(s.multiplier(0) < s.multiplier(1));
         let peak = s.multiplier(2);
         assert!((peak - 1.0).abs() < 1e-6);
@@ -143,13 +156,21 @@ mod tests {
     #[cfg(debug_assertions)]
     fn degenerate_warmup_cosine_debug_asserts() {
         // Built directly, bypassing the validated constructor.
-        let s = LrSchedule::WarmupCosine { warmup: 10, total: 5, min_ratio: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            warmup: 10,
+            total: 5,
+            min_ratio: 0.1,
+        };
         let _ = s.multiplier(10);
     }
 
     #[test]
     fn degenerate_warmup_cosine_never_yields_nan() {
-        let s = LrSchedule::WarmupCosine { warmup: 10, total: 5, min_ratio: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            warmup: 10,
+            total: 5,
+            min_ratio: 0.1,
+        };
         // Warmup steps are unaffected by the degenerate decay phase.
         assert_eq!(s.multiplier(0), 0.1);
         if !cfg!(debug_assertions) {

@@ -16,7 +16,11 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 }
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -30,7 +34,11 @@ pub struct Sgd {
 impl Sgd {
     /// Optimizer for `n` parameters.
     pub fn new(n: usize, cfg: SgdConfig) -> Self {
-        let velocity = if cfg.momentum != 0.0 { vec![0.0; n] } else { Vec::new() };
+        let velocity = if cfg.momentum != 0.0 {
+            vec![0.0; n]
+        } else {
+            Vec::new()
+        };
         Sgd { cfg, velocity }
     }
 }
@@ -39,7 +47,11 @@ impl Optimizer for Sgd {
     fn step_with_lr(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
         if self.cfg.momentum != 0.0 {
-            assert_eq!(self.velocity.len(), params.len(), "state sized for another buffer");
+            assert_eq!(
+                self.velocity.len(),
+                params.len(),
+                "state sized for another buffer"
+            );
             for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
                 *v = self.cfg.momentum * *v + g;
                 *p -= lr * (*v + self.cfg.weight_decay * *p);
@@ -68,7 +80,13 @@ mod tests {
     fn plain_sgd_descends_quadratic() {
         // f(p) = p², grad = 2p. lr 0.25 converges.
         let mut p = vec![4.0f32];
-        let mut opt = Sgd::new(1, SgdConfig { lr: 0.25, ..Default::default() });
+        let mut opt = Sgd::new(
+            1,
+            SgdConfig {
+                lr: 0.25,
+                ..Default::default()
+            },
+        );
         for _ in 0..50 {
             let g = vec![2.0 * p[0]];
             opt.step(&mut p, &g);
@@ -79,7 +97,14 @@ mod tests {
     #[test]
     fn momentum_accumulates_velocity() {
         let mut p = vec![0.0f32];
-        let mut opt = Sgd::new(1, SgdConfig { lr: 1.0, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            1,
+            SgdConfig {
+                lr: 1.0,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
         opt.step(&mut p, &[1.0]);
         assert_eq!(p[0], -1.0);
         opt.step(&mut p, &[1.0]);
@@ -90,7 +115,14 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_params_without_gradient() {
         let mut p = vec![10.0f32];
-        let mut opt = Sgd::new(1, SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        let mut opt = Sgd::new(
+            1,
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.5,
+            },
+        );
         opt.step(&mut p, &[0.0]);
         assert!((p[0] - (10.0 - 0.1 * 0.5 * 10.0)).abs() < 1e-6);
     }
@@ -99,7 +131,13 @@ mod tests {
     fn no_momentum_allocates_no_state() {
         let opt = Sgd::new(1000, SgdConfig::default());
         assert_eq!(opt.state_elems(), 0);
-        let opt = Sgd::new(1000, SgdConfig { momentum: 0.9, ..Default::default() });
+        let opt = Sgd::new(
+            1000,
+            SgdConfig {
+                momentum: 0.9,
+                ..Default::default()
+            },
+        );
         assert_eq!(opt.state_elems(), 1000);
     }
 }

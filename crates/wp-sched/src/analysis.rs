@@ -171,7 +171,10 @@ mod tests {
         let expect = 3 * p * turns;
         let lo = expect * 3 / 4;
         let hi = expect * 5 / 4;
-        assert!(sends >= lo && sends <= hi, "sends={sends}, expected ≈{expect}");
+        assert!(
+            sends >= lo && sends <= hi,
+            "sends={sends}, expected ≈{expect}"
+        );
     }
 
     #[test]
@@ -198,9 +201,14 @@ mod tests {
         let t2 = total_traffic(&s, &bm(2000, 7));
         assert!(t2 > t1);
         let per_rank = traffic(&s, &bm(1000, 7));
-        assert!(per_rank.iter().all(|r| r.p2p == 0), "FSDP is collective-only");
+        assert!(
+            per_rank.iter().all(|r| r.p2p == 0),
+            "FSDP is collective-only"
+        );
         // Symmetric across ranks.
-        assert!(per_rank.iter().all(|r| r.collective == per_rank[0].collective));
+        assert!(per_rank
+            .iter()
+            .all(|r| r.collective == per_rank[0].collective));
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub const ALL_STRATEGIES: &[Strategy] = &[
 /// What every builder needs to know about the run.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineSpec {
-    /// World size `P`. Chunk count equals `P` for every strategy.
+    /// World size `P`. The pipeline/ring strategies divide the model into
+    /// exactly `P` chunks; FSDP and DDP default to `P` but accept a
+    /// [`Self::with_chunks`] override.
     pub ranks: usize,
     /// Microbatches per iteration `N`.
     pub microbatches: usize,
@@ -43,13 +45,33 @@ pub struct PipelineSpec {
     /// `Recv` ops at the top of each turn. Only affects the weight-passing
     /// ring schedules; results are bit-identical either way.
     pub overlap: bool,
+    /// W-pass lag for the split-backward schedules: how many B passes may
+    /// run ahead of their deferred W pass. `None` keeps the strategy
+    /// default (2 for ZB1 — the ZB-H1 shape — and `P/2` for WZB1). Larger
+    /// lags fill more bubble at the price of holding more B contexts; the
+    /// autotuner sweeps this dimension. Ignored by non-split strategies.
+    pub w_lag: Option<usize>,
+    /// Chunk-count override for the collective strategies (FSDP, DDP):
+    /// how many pieces the model is gathered/reduced in. `None` keeps the
+    /// default of `P`. Coarser chunks amortize collective latency; finer
+    /// chunks shrink the transient gathered-weights footprint. Ignored by
+    /// the pipeline/ring strategies, whose chunk count is structurally `P`.
+    pub chunks: Option<usize>,
 }
 
 impl PipelineSpec {
     /// A spec with activation checkpointing on (the paper's long-context
-    /// default) and double-buffered weight movement enabled.
+    /// default), double-buffered weight movement enabled, and default
+    /// W-lag / chunking.
     pub fn new(ranks: usize, microbatches: usize) -> Self {
-        PipelineSpec { ranks, microbatches, recompute: true, overlap: true }
+        PipelineSpec {
+            ranks,
+            microbatches,
+            recompute: true,
+            overlap: true,
+            w_lag: None,
+            chunks: None,
+        }
     }
 
     /// The same spec with activation checkpointing off.
@@ -63,6 +85,18 @@ impl PipelineSpec {
         self.overlap = on;
         self
     }
+
+    /// Override the split-backward W-pass lag (ZB1 / WZB1).
+    pub fn with_w_lag(mut self, lag: usize) -> Self {
+        self.w_lag = Some(lag);
+        self
+    }
+
+    /// Override the collective chunk count (FSDP / DDP).
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        self.chunks = Some(chunks);
+        self
+    }
 }
 
 /// Build the schedule for `strategy` under `spec`.
@@ -72,10 +106,9 @@ impl PipelineSpec {
 /// (weight-passing, FSDP and DDP need `N % P == 0`; WZB1 needs even `P`).
 pub fn build(strategy: Strategy, spec: PipelineSpec) -> Schedule {
     match strategy {
-        Strategy::WeiPipeNaive
-        | Strategy::WeiPipeInterleave
-        | Strategy::Wzb1
-        | Strategy::Wzb2 => weipipe::build_ring(strategy, spec),
+        Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave | Strategy::Wzb1 | Strategy::Wzb2 => {
+            weipipe::build_ring(strategy, spec)
+        }
         Strategy::GPipe | Strategy::OneFOneB | Strategy::Zb1 | Strategy::Zb2 => {
             build_act_pipe(strategy, spec)
         }
@@ -137,16 +170,25 @@ pub mod weipipe {
         if strategy == Strategy::Wzb1 {
             assert!(p.is_multiple_of(2), "WZB1 requires even P by construction");
         }
+        let wzb1_lag = spec.w_lag.unwrap_or(p / 2);
         let offset = if naive { 2 } else { 1 };
         // Split-backward keeps full forward contexts for the W pass.
         let recompute = spec.recompute && !split;
-        let ctx = if recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+        let ctx = if recompute {
+            MemUnit::CkptInput
+        } else {
+            MemUnit::FwdCtx
+        };
 
         // Ring horizon: forward flow runs hf hops (back to its owner);
         // backward flow runs hb hops (gradients land one rank short of the
         // owner and are delivered point-to-point at the end).
         let hf = (nl + 1) * p;
-        let hb = if naive { 2 * (nl + 1) * p - 3 } else { (nl + 2) * p - 2 };
+        let hb = if naive {
+            2 * (nl + 1) * p - 3
+        } else {
+            (nl + 2) * p - 2
+        };
 
         // Chunk held by rank r at turn t, per flow.
         let wf = |r: usize, t: usize| wrap(t as isize - r as isize, p);
@@ -176,7 +218,11 @@ pub mod weipipe {
                     src: prev,
                     dst: r,
                 };
-                let d_in = MsgKey { kind: MsgKind::WeightGrads, mb: NO_MB, ..bwd_in };
+                let d_in = MsgKey {
+                    kind: MsgKind::WeightGrads,
+                    mb: NO_MB,
+                    ..bwd_in
+                };
                 let fwd_out = MsgKey {
                     kind: MsgKind::Weights,
                     chunk: wf(r, t),
@@ -193,7 +239,11 @@ pub mod weipipe {
                     src: r,
                     dst: next,
                 };
-                let d_out = MsgKey { kind: MsgKind::WeightGrads, mb: NO_MB, ..w_out };
+                let d_out = MsgKey {
+                    kind: MsgKind::WeightGrads,
+                    mb: NO_MB,
+                    ..w_out
+                };
                 // The seeded chunks of turn 0 depart with nothing to wait for.
                 let seed_send = |key: MsgKey| Op {
                     kind: OpKind::Send(key),
@@ -263,8 +313,7 @@ pub mod weipipe {
                         let mb = (k / p) * p + r;
                         let chunk = k % p;
                         debug_assert_eq!(chunk, wf(r, t));
-                        let mut op =
-                            Op::compute(OpKind::Fwd { mb, chunk }).mem(ctx, 1);
+                        let mut op = Op::compute(OpKind::Fwd { mb, chunk }).mem(ctx, 1);
                         if t >= 1 {
                             op = op.needs(fwd_in);
                         }
@@ -309,18 +358,26 @@ pub mod weipipe {
                         OpKind::BwdFull { mb, chunk }
                     };
                     let mut op = Op::compute(kind).needs(bwd_in);
-                    op = if split { op.mem(MemUnit::BCtx, 1) } else { op.mem(ctx, -1) };
+                    op = if split {
+                        op.mem(MemUnit::BCtx, 1)
+                    } else {
+                        op.mem(ctx, -1)
+                    };
                     stream.push(op);
                     if split {
                         w_queue.push_back((mb, chunk));
-                        // WZB1 bounds in-flight B contexts at P/2; WZB2
-                        // defers every W pass to the end of the iteration.
-                        if strategy == Strategy::Wzb1 && w_queue.len() > p / 2 {
+                        // WZB1 bounds in-flight B contexts (default P/2,
+                        // tunable via `w_lag`); WZB2 defers every W pass to
+                        // the end of the iteration.
+                        if strategy == Strategy::Wzb1 && w_queue.len() > wzb1_lag {
                             let (wmb, wchunk) = w_queue.pop_front().expect("non-empty");
                             stream.push(
-                                Op::compute(OpKind::BwdWeight { mb: wmb, chunk: wchunk })
-                                    .mem(MemUnit::FwdCtx, -1)
-                                    .mem(MemUnit::BCtx, -1),
+                                Op::compute(OpKind::BwdWeight {
+                                    mb: wmb,
+                                    chunk: wchunk,
+                                })
+                                .mem(MemUnit::FwdCtx, -1)
+                                .mem(MemUnit::BCtx, -1),
                             );
                         }
                     }
@@ -364,9 +421,12 @@ pub mod weipipe {
             // WZB2: flush every deferred W pass.
             for (wmb, wchunk) in w_queue.drain(..) {
                 stream.push(
-                    Op::compute(OpKind::BwdWeight { mb: wmb, chunk: wchunk })
-                        .mem(MemUnit::FwdCtx, -1)
-                        .mem(MemUnit::BCtx, -1),
+                    Op::compute(OpKind::BwdWeight {
+                        mb: wmb,
+                        chunk: wchunk,
+                    })
+                    .mem(MemUnit::FwdCtx, -1)
+                    .mem(MemUnit::BCtx, -1),
                 );
             }
 
@@ -460,7 +520,11 @@ fn build_act_pipe(strategy: Strategy, spec: PipelineSpec) -> Schedule {
     assert!(p >= 1, "need at least one stage");
     let split = matches!(strategy, Strategy::Zb1 | Strategy::Zb2);
     let recompute = spec.recompute && !split;
-    let ctx = if recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+    let ctx = if recompute {
+        MemUnit::CkptInput
+    } else {
+        MemUnit::FwdCtx
+    };
 
     let act_in = |r: usize, mb: usize| MsgKey {
         kind: MsgKind::Act,
@@ -510,7 +574,11 @@ fn build_act_pipe(strategy: Strategy, spec: PipelineSpec) -> Schedule {
             if r < p - 1 {
                 op = op.needs(ag_in(r, mb)).mem(MemUnit::ActGradBoundary, -1);
             }
-            op = if split { op.mem(MemUnit::BCtx, 1) } else { op.mem(ctx, -1) };
+            op = if split {
+                op.mem(MemUnit::BCtx, 1)
+            } else {
+                op.mem(ctx, -1)
+            };
             if r > 0 {
                 op = op.mem(MemUnit::ActGradBoundary, 1);
             }
@@ -556,7 +624,7 @@ fn build_act_pipe(strategy: Strategy, spec: PipelineSpec) -> Schedule {
                 // passes fill what would otherwise be bubble — at the price
                 // of holding the full forward ctx and B ctx of the lagged
                 // microbatches, the memory blow-up Table 2 charges ZB for.
-                const W_LAG: usize = 2;
+                let w_lag = spec.w_lag.unwrap_or(2);
                 let warm = (p - 1 - r).min(n);
                 let mut w_queue = std::collections::VecDeque::new();
                 for mb in 0..warm {
@@ -566,14 +634,14 @@ fn build_act_pipe(strategy: Strategy, spec: PipelineSpec) -> Schedule {
                     push_fwd(stream, warm + i);
                     push_bwd(stream, i);
                     w_queue.push_back(i);
-                    if w_queue.len() > W_LAG {
+                    if w_queue.len() > w_lag {
                         push_w(stream, w_queue.pop_front().expect("non-empty"));
                     }
                 }
                 for mb in n - warm..n {
                     push_bwd(stream, mb);
                     w_queue.push_back(mb);
-                    if w_queue.len() > W_LAG {
+                    if w_queue.len() > w_lag {
                         push_w(stream, w_queue.pop_front().expect("non-empty"));
                     }
                 }
@@ -630,7 +698,13 @@ fn build_fsdp(spec: PipelineSpec) -> Schedule {
         n.is_multiple_of(p),
         "FSDP needs microbatches ({n}) divisible by ranks ({p})"
     );
-    let ctx = if spec.recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+    let chunks = spec.chunks.unwrap_or(p);
+    assert!(chunks >= 1, "FSDP needs at least one chunk");
+    let ctx = if spec.recompute {
+        MemUnit::CkptInput
+    } else {
+        MemUnit::FwdCtx
+    };
     let pseudo = |kind: MsgKind, c: usize, round: usize, r: usize| MsgKey {
         kind,
         chunk: c,
@@ -645,10 +719,13 @@ fn build_fsdp(spec: PipelineSpec) -> Schedule {
     for (r, stream) in ops.iter_mut().enumerate() {
         for i in 0..local {
             let mb = i * p + r;
-            for c in 0..p {
+            for c in 0..chunks {
                 stream.push(
-                    Op::compute_collective(OpKind::AllGatherW { chunk: c, round: 2 * i })
-                        .mem(MemUnit::WeightChunk, 1),
+                    Op::compute_collective(OpKind::AllGatherW {
+                        chunk: c,
+                        round: 2 * i,
+                    })
+                    .mem(MemUnit::WeightChunk, 1),
                 );
                 stream.push(
                     Op::compute(OpKind::Fwd { mb, chunk: c })
@@ -657,10 +734,13 @@ fn build_fsdp(spec: PipelineSpec) -> Schedule {
                         .mem(MemUnit::WeightChunk, -1),
                 );
             }
-            for c in (0..p).rev() {
+            for c in (0..chunks).rev() {
                 stream.push(
-                    Op::compute_collective(OpKind::AllGatherW { chunk: c, round: 2 * i + 1 })
-                        .mem(MemUnit::WeightChunk, 1),
+                    Op::compute_collective(OpKind::AllGatherW {
+                        chunk: c,
+                        round: 2 * i + 1,
+                    })
+                    .mem(MemUnit::WeightChunk, 1),
                 );
                 stream.push(
                     Op::compute(OpKind::BwdFull { mb, chunk: c })
@@ -675,21 +755,23 @@ fn build_fsdp(spec: PipelineSpec) -> Schedule {
                 );
             }
         }
-        for c in 0..p {
-            stream.push(
-                Op::compute(OpKind::Update { chunk: c })
-                    .needs(pseudo(MsgKind::WeightGrads, c, local - 1, r)),
-            );
+        for c in 0..chunks {
+            stream.push(Op::compute(OpKind::Update { chunk: c }).needs(pseudo(
+                MsgKind::WeightGrads,
+                c,
+                local - 1,
+                r,
+            )));
         }
     }
 
     Schedule {
         strategy: Strategy::Fsdp,
         ranks: p,
-        chunks: p,
+        chunks,
         microbatches: n,
         ops,
-        initial_holder: (0..p).collect(),
+        initial_holder: (0..chunks).map(|c| c % p).collect(),
         recompute: spec.recompute,
     }
 }
@@ -704,22 +786,31 @@ fn build_ddp(spec: PipelineSpec) -> Schedule {
         n.is_multiple_of(p),
         "DDP needs microbatches ({n}) divisible by ranks ({p})"
     );
-    let ctx = if spec.recompute { MemUnit::CkptInput } else { MemUnit::FwdCtx };
+    let chunks = spec.chunks.unwrap_or(p);
+    assert!(chunks >= 1, "DDP needs at least one chunk");
+    let ctx = if spec.recompute {
+        MemUnit::CkptInput
+    } else {
+        MemUnit::FwdCtx
+    };
 
     let mut ops: Vec<Vec<Op>> = vec![Vec::new(); p];
     for (r, stream) in ops.iter_mut().enumerate() {
         for mb in (r..n).step_by(p) {
-            for c in 0..p {
+            for c in 0..chunks {
                 stream.push(Op::compute(OpKind::Fwd { mb, chunk: c }).mem(ctx, 1));
             }
-            for c in (0..p).rev() {
+            for c in (0..chunks).rev() {
                 stream.push(Op::compute(OpKind::BwdFull { mb, chunk: c }).mem(ctx, -1));
             }
         }
-        for c in 0..p {
-            stream.push(Op::compute_collective(OpKind::AllReduceD { chunk: c, round: 0 }));
+        for c in 0..chunks {
+            stream.push(Op::compute_collective(OpKind::AllReduceD {
+                chunk: c,
+                round: 0,
+            }));
         }
-        for c in 0..p {
+        for c in 0..chunks {
             stream.push(Op::compute(OpKind::Update { chunk: c }).needs(MsgKey {
                 kind: MsgKind::WeightGrads,
                 chunk: c,
@@ -734,10 +825,10 @@ fn build_ddp(spec: PipelineSpec) -> Schedule {
     Schedule {
         strategy: Strategy::Ddp,
         ranks: p,
-        chunks: p,
+        chunks,
         microbatches: n,
         ops,
-        initial_holder: (0..p).collect(),
+        initial_holder: (0..chunks).map(|c| c % p).collect(),
         recompute: spec.recompute,
     }
 }
@@ -842,5 +933,45 @@ mod tests {
     #[should_panic(expected = "divisible")]
     fn weipipe_rejects_ragged_microbatches() {
         build(Strategy::WeiPipeInterleave, PipelineSpec::new(4, 6));
+    }
+
+    #[test]
+    fn w_lag_override_shifts_w_passes_without_changing_census() {
+        let default = build(Strategy::Zb1, PipelineSpec::new(4, 8));
+        let deep = build(Strategy::Zb1, PipelineSpec::new(4, 8).with_w_lag(5));
+        crate::validate(&deep).expect("zb1 lag=5 is valid");
+        let (ds, xs) = (default.stats(), deep.stats());
+        assert_eq!(
+            ds.bwd_weight, xs.bwd_weight,
+            "lag moves W passes, never drops them"
+        );
+        assert_ne!(
+            default.ops[0]
+                .iter()
+                .map(|o| format!("{:?}", o.kind))
+                .collect::<Vec<_>>(),
+            deep.ops[0]
+                .iter()
+                .map(|o| format!("{:?}", o.kind))
+                .collect::<Vec<_>>(),
+        );
+        let tight = build(Strategy::Wzb1, PipelineSpec::new(4, 8).with_w_lag(1));
+        crate::validate(&tight).expect("wzb1 lag=1 is valid");
+        assert_eq!(tight.stats().bwd_weight, tight.stats().bwd_data);
+    }
+
+    #[test]
+    fn chunk_override_reshapes_collective_strategies() {
+        for chunks in [1usize, 2, 8] {
+            for strat in [Strategy::Fsdp, Strategy::Ddp] {
+                let s = build(strat, PipelineSpec::new(4, 8).with_chunks(chunks));
+                assert_eq!(s.chunks, chunks, "{strat:?}");
+                assert_eq!(s.initial_holder.len(), chunks, "{strat:?}");
+                crate::validate(&s).unwrap_or_else(|e| panic!("{strat:?} chunks={chunks}: {e}"));
+            }
+        }
+        // The default stays the bit-identical P-chunk schedule.
+        let d = build(Strategy::Fsdp, PipelineSpec::new(4, 8));
+        assert_eq!(d.chunks, 4);
     }
 }

@@ -208,35 +208,65 @@ impl Op {
     /// A compute op with no message dependencies.
     pub fn compute(kind: OpKind) -> Self {
         debug_assert!(kind.is_compute());
-        Op { kind, needs: Vec::new(), after_compute: false, mem: Vec::new() }
+        Op {
+            kind,
+            needs: Vec::new(),
+            after_compute: false,
+            mem: Vec::new(),
+        }
     }
 
     /// A send that waits for the preceding compute op (locally produced
     /// payload).
     pub fn send(key: MsgKey) -> Self {
-        Op { kind: OpKind::Send(key), needs: Vec::new(), after_compute: true, mem: Vec::new() }
+        Op {
+            kind: OpKind::Send(key),
+            needs: Vec::new(),
+            after_compute: true,
+            mem: Vec::new(),
+        }
     }
 
     /// A forwarding send: fires as soon as `arrived` is in, regardless of
     /// local compute.
     pub fn forward_send(key: MsgKey, arrived: MsgKey) -> Self {
-        Op { kind: OpKind::Send(key), needs: vec![arrived], after_compute: false, mem: Vec::new() }
+        Op {
+            kind: OpKind::Send(key),
+            needs: vec![arrived],
+            after_compute: false,
+            mem: Vec::new(),
+        }
     }
 
     /// A receive posting.
     pub fn recv(key: MsgKey) -> Self {
-        Op { kind: OpKind::Recv(key), needs: Vec::new(), after_compute: false, mem: Vec::new() }
+        Op {
+            kind: OpKind::Recv(key),
+            needs: Vec::new(),
+            after_compute: false,
+            mem: Vec::new(),
+        }
     }
 
     /// Pre-post the receive request for `key` (the `irecv` half of a
     /// double-buffered transfer).
     pub fn pre_post(key: MsgKey) -> Self {
-        Op { kind: OpKind::PrePost(key), needs: Vec::new(), after_compute: false, mem: Vec::new() }
+        Op {
+            kind: OpKind::PrePost(key),
+            needs: Vec::new(),
+            after_compute: false,
+            mem: Vec::new(),
+        }
     }
 
     /// Redeem the pre-posted request for `key` (the blocking `wait` half).
     pub fn wait_req(key: MsgKey) -> Self {
-        Op { kind: OpKind::WaitReq(key), needs: Vec::new(), after_compute: false, mem: Vec::new() }
+        Op {
+            kind: OpKind::WaitReq(key),
+            needs: Vec::new(),
+            after_compute: false,
+            mem: Vec::new(),
+        }
     }
 
     /// A collective op. It gates on the latest preceding compute op (the
@@ -244,7 +274,12 @@ impl Op {
     /// engine so later compute overlaps it.
     pub fn compute_collective(kind: OpKind) -> Self {
         debug_assert!(kind.is_collective());
-        Op { kind, needs: Vec::new(), after_compute: true, mem: Vec::new() }
+        Op {
+            kind,
+            needs: Vec::new(),
+            after_compute: true,
+            mem: Vec::new(),
+        }
     }
 
     /// Add a message dependency.
@@ -405,7 +440,14 @@ mod tests {
     use super::*;
 
     fn key() -> MsgKey {
-        MsgKey { kind: MsgKind::Weights, chunk: 0, mb: NO_MB, round: 3, src: 0, dst: 1 }
+        MsgKey {
+            kind: MsgKind::Weights,
+            chunk: 0,
+            mb: NO_MB,
+            round: 3,
+            src: 0,
+            dst: 1,
+        }
     }
 
     #[test]
@@ -418,7 +460,10 @@ mod tests {
         assert!(s.after_compute, "locally-produced sends gate on compute");
 
         let f = Op::forward_send(key(), key());
-        assert!(!f.after_compute, "forwarding sends must not gate on compute");
+        assert!(
+            !f.after_compute,
+            "forwarding sends must not gate on compute"
+        );
         assert_eq!(f.needs.len(), 1);
 
         let r = Op::recv(key());
@@ -459,7 +504,10 @@ mod tests {
         // Microbatch-per-worker design: compute is evenly spread.
         let min = balance.iter().min().copied().expect("ranks");
         let max = balance.iter().max().copied().expect("ranks");
-        assert!(max - min <= 1, "WeiPipe compute should balance: {balance:?}");
+        assert!(
+            max - min <= 1,
+            "WeiPipe compute should balance: {balance:?}"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   (matched messages, full compute coverage, balanced buffers, deadlock
 //!   freedom);
 //! * [`analysis`] counts bytes and carries the paper's §3 closed forms
-//!   (crossover ratio, 36H² per turn, 2·M_A per microbatch).
+//!   (crossover ratio, 36H² per turn, 2·M_A per microbatch);
+//! * [`tune`] frames the builder knobs (strategy, microbatches, W-lag,
+//!   overlap, chunking) as a search space and provides grid/beam
+//!   schedulers over a pluggable cost oracle (`wp-sim` supplies the
+//!   DES-backed one).
 //!
 //! The builders ([`builders`]) encode the schedules themselves — including
 //! the ring position algebra of weight circulation, which is documented in
@@ -27,8 +31,13 @@
 pub mod analysis;
 pub mod builders;
 pub mod ir;
+pub mod tune;
 pub mod validate;
 
 pub use builders::{build, PipelineSpec, ALL_STRATEGIES};
 pub use ir::{MemUnit, MsgKey, MsgKind, Op, OpKind, Schedule, Strategy, EMBED_HEAD, NO_MB};
+pub use tune::{
+    BeamScheduler, Candidate, CostOracle, GridScheduler, ScheduleCost, Scheduler, TuneOutcome,
+    TuneSpace,
+};
 pub use validate::{validate, ValidationError};

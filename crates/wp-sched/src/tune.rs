@@ -1,0 +1,547 @@
+//! Schedule autotuning: candidate space, cost oracles, and search.
+//!
+//! The paper's headline numbers depend on picking the right schedule shape
+//! for a given (model, cluster) point: strategy, microbatch count `N`,
+//! W-pass lag, overlap, and collective chunking all trade bubble against
+//! memory against wire time. This module turns that choice into a search
+//! problem over the builder knobs of [`crate::builders::PipelineSpec`]:
+//!
+//! * [`Candidate`] — one point in knob space, convertible to a spec.
+//! * [`TuneSpace`] — the grid of candidates, filtered to structurally
+//!   valid combinations (divisibility, even-`P` WZB1, per-strategy knobs).
+//! * [`CostOracle`] — prices a candidate. The real implementation lives in
+//!   `wp-sim` (`DesOracle`: analytic estimate + discrete-event simulation);
+//!   this crate only defines the interface so the IR layer stays free of
+//!   simulator dependencies.
+//! * [`Scheduler`] — a search policy. [`GridScheduler`] exhaustively
+//!   evaluates the space; [`BeamScheduler`] ranks by the cheap estimate,
+//!   fully evaluates only the top of the beam plus a seeded random
+//!   exploration tail, and is deterministic for a fixed seed.
+//!
+//! All schedulers skip infeasible candidates (builder/validator rejection
+//! or simulated OOM) rather than failing, and break cost ties by earliest
+//! enumeration order, so results are reproducible across runs.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::builders::PipelineSpec;
+use crate::ir::Strategy;
+
+/// One point in the schedule-knob space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// Training strategy.
+    pub strategy: Strategy,
+    /// Microbatches per iteration `N`.
+    pub microbatches: usize,
+    /// Communication/computation overlap (builder double-buffering and
+    /// engine-level overlap together).
+    pub overlap: bool,
+    /// W-pass lag override (split-backward strategies only).
+    pub w_lag: Option<usize>,
+    /// Collective chunk-count override (FSDP/DDP only).
+    pub chunks: Option<usize>,
+}
+
+impl Candidate {
+    /// The default builder configuration for `strategy` at `(P, N)`:
+    /// overlap on, strategy-default lag and chunking. This is the baseline
+    /// the autotuner must beat.
+    pub fn default_for(strategy: Strategy, microbatches: usize) -> Self {
+        Candidate {
+            strategy,
+            microbatches,
+            overlap: true,
+            w_lag: None,
+            chunks: None,
+        }
+    }
+
+    /// Whether `strategy` splits backward into B and W passes (and hence
+    /// forces activation checkpointing off and accepts a W-lag knob).
+    pub fn split_backward(&self) -> bool {
+        matches!(
+            self.strategy,
+            Strategy::Zb1 | Strategy::Zb2 | Strategy::Wzb1 | Strategy::Wzb2
+        )
+    }
+
+    /// Structural validity at world size `p` — the constraints the builders
+    /// would otherwise panic on, plus knob/strategy applicability.
+    pub fn check(&self, p: usize) -> Result<(), String> {
+        let needs_divisible = matches!(
+            self.strategy,
+            Strategy::WeiPipeNaive
+                | Strategy::WeiPipeInterleave
+                | Strategy::Wzb1
+                | Strategy::Wzb2
+                | Strategy::Fsdp
+                | Strategy::Ddp
+        );
+        if self.microbatches == 0 {
+            return Err("microbatches must be >= 1".into());
+        }
+        if needs_divisible && !self.microbatches.is_multiple_of(p) {
+            return Err(format!(
+                "{} needs N % P == 0 (N={}, P={})",
+                self.strategy.label(),
+                self.microbatches,
+                p
+            ));
+        }
+        if self.strategy == Strategy::Wzb1 && !p.is_multiple_of(2) {
+            return Err(format!("WZB1 needs even P (P={p})"));
+        }
+        if self.w_lag.is_some() && !matches!(self.strategy, Strategy::Zb1 | Strategy::Wzb1) {
+            return Err(format!("{} takes no W-lag knob", self.strategy.label()));
+        }
+        if self.chunks.is_some() && !matches!(self.strategy, Strategy::Fsdp | Strategy::Ddp) {
+            return Err(format!("{} takes no chunk knob", self.strategy.label()));
+        }
+        if self.chunks == Some(0) {
+            return Err("chunk count must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The builder spec this candidate encodes at world size `p`.
+    /// Split-backward strategies force recompute off (the deferred W pass
+    /// needs the full forward context); everything else keeps the paper's
+    /// long-context default of activation checkpointing on.
+    pub fn spec(&self, p: usize) -> PipelineSpec {
+        let mut spec = PipelineSpec::new(p, self.microbatches).with_overlap(self.overlap);
+        if self.split_backward() {
+            spec = spec.without_recompute();
+        }
+        if let Some(lag) = self.w_lag {
+            spec = spec.with_w_lag(lag);
+        }
+        if let Some(chunks) = self.chunks {
+            spec = spec.with_chunks(chunks);
+        }
+        spec
+    }
+
+    /// Compact human label, e.g. `WZB1 N=16 lag=4 overlap`.
+    pub fn label(&self) -> String {
+        let mut s = format!("{} N={}", self.strategy.label(), self.microbatches);
+        if let Some(lag) = self.w_lag {
+            s.push_str(&format!(" lag={lag}"));
+        }
+        if let Some(chunks) = self.chunks {
+            s.push_str(&format!(" chunks={chunks}"));
+        }
+        s.push_str(if self.overlap {
+            " overlap"
+        } else {
+            " no-overlap"
+        });
+        s
+    }
+}
+
+/// The candidate grid for one (model, cluster) point.
+#[derive(Debug, Clone)]
+pub struct TuneSpace {
+    /// World size `P` (fixed by the cluster).
+    pub ranks: usize,
+    /// Strategies to consider.
+    pub strategies: Vec<Strategy>,
+    /// Microbatch counts `N` to sweep. Keep `G·N` (tokens per iteration)
+    /// constant across entries if makespans are to be compared directly.
+    pub microbatches: Vec<usize>,
+    /// W-pass lags to sweep on split-backward strategies. The strategy
+    /// default (`None`) is always included.
+    pub w_lags: Vec<usize>,
+    /// Collective chunk counts to sweep on FSDP/DDP. The default (`None`,
+    /// i.e. `P`) is always included.
+    pub chunk_counts: Vec<usize>,
+    /// Overlap settings to sweep.
+    pub overlap: Vec<bool>,
+}
+
+impl TuneSpace {
+    /// A space holding only each strategy's default configuration at the
+    /// given `(P, N)` — the degenerate grid the baselines come from.
+    pub fn defaults(ranks: usize, microbatches: usize, strategies: &[Strategy]) -> Self {
+        TuneSpace {
+            ranks,
+            strategies: strategies.to_vec(),
+            microbatches: vec![microbatches],
+            w_lags: Vec::new(),
+            chunk_counts: Vec::new(),
+            overlap: vec![true],
+        }
+    }
+
+    /// Enumerate every structurally valid candidate, in a deterministic
+    /// order (strategy-major, then `N`, lag, chunks, overlap). Knobs that a
+    /// strategy does not accept contribute only their `None` default, so
+    /// the grid never contains redundant duplicates.
+    pub fn enumerate(&self) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for &strategy in &self.strategies {
+            let lags: Vec<Option<usize>> = if matches!(strategy, Strategy::Zb1 | Strategy::Wzb1) {
+                std::iter::once(None)
+                    .chain(self.w_lags.iter().copied().map(Some))
+                    .collect()
+            } else {
+                vec![None]
+            };
+            let chunking: Vec<Option<usize>> = if matches!(strategy, Strategy::Fsdp | Strategy::Ddp)
+            {
+                std::iter::once(None)
+                    .chain(self.chunk_counts.iter().copied().map(Some))
+                    .collect()
+            } else {
+                vec![None]
+            };
+            for &n in &self.microbatches {
+                for &w_lag in &lags {
+                    for &chunks in &chunking {
+                        for &overlap in &self.overlap {
+                            let c = Candidate {
+                                strategy,
+                                microbatches: n,
+                                overlap,
+                                w_lag,
+                                chunks,
+                            };
+                            if c.check(self.ranks).is_ok() {
+                                out.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fully evaluated cost of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleCost {
+    /// Simulated iteration wall-clock, seconds.
+    pub iter_s: f64,
+    /// Idle fraction of all compute engines.
+    pub bubble_ratio: f64,
+    /// Worst per-rank peak memory, bytes.
+    pub peak_mem_bytes: u64,
+    /// Whether any rank exceeds device memory (infeasible).
+    pub oom: bool,
+}
+
+/// Prices candidates. `estimate` is a cheap analytic proxy used only to
+/// rank candidates inside a beam; `evaluate` is the ground truth (in
+/// `wp-sim`, a full discrete-event simulation) and is what schedulers
+/// ultimately compare.
+pub trait CostOracle {
+    /// Cheap analytic cost proxy, seconds. Must be deterministic; need not
+    /// be accurate, only roughly monotone with `evaluate`.
+    fn estimate(&self, c: &Candidate) -> f64;
+    /// Ground-truth cost. `Err` marks a structurally invalid candidate
+    /// (builder or validator rejection) and is skipped by schedulers.
+    fn evaluate(&self, c: &Candidate) -> Result<ScheduleCost, String>;
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The winning candidate.
+    pub best: Candidate,
+    /// Its fully evaluated cost.
+    pub cost: ScheduleCost,
+    /// Candidates priced with the full oracle.
+    pub evaluated: usize,
+    /// Candidates skipped as infeasible (oracle `Err` or OOM).
+    pub infeasible: usize,
+}
+
+/// A search policy over a [`TuneSpace`]. Returns `None` when no feasible
+/// candidate exists.
+pub trait Scheduler {
+    /// Search `space`, pricing candidates through `oracle`.
+    fn tune(&mut self, space: &TuneSpace, oracle: &dyn CostOracle) -> Option<TuneOutcome>;
+}
+
+/// Pick the cheaper of `best` and `(c, cost)`, skipping OOM and keeping
+/// the earlier candidate on exact ties (strict `<`) so the result is
+/// independent of evaluation order refinements.
+fn fold_best(
+    best: &mut Option<(Candidate, ScheduleCost)>,
+    c: Candidate,
+    cost: ScheduleCost,
+) -> bool {
+    if cost.oom {
+        return false;
+    }
+    match best {
+        Some((_, b)) if cost.iter_s >= b.iter_s => {}
+        _ => *best = Some((c, cost)),
+    }
+    true
+}
+
+/// Exhaustive search: evaluates every candidate in the space with the full
+/// oracle. The gold standard for small grids and the reference the beam
+/// search is tested against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridScheduler;
+
+impl Scheduler for GridScheduler {
+    fn tune(&mut self, space: &TuneSpace, oracle: &dyn CostOracle) -> Option<TuneOutcome> {
+        let mut best: Option<(Candidate, ScheduleCost)> = None;
+        let mut evaluated = 0usize;
+        let mut infeasible = 0usize;
+        for c in space.enumerate() {
+            match oracle.evaluate(&c) {
+                Ok(cost) => {
+                    evaluated += 1;
+                    if !fold_best(&mut best, c, cost) {
+                        infeasible += 1;
+                    }
+                }
+                Err(_) => infeasible += 1,
+            }
+        }
+        best.map(|(best, cost)| TuneOutcome {
+            best,
+            cost,
+            evaluated,
+            infeasible,
+        })
+    }
+}
+
+/// Beam search: ranks the whole space by the cheap [`CostOracle::estimate`],
+/// fully evaluates only the best `beam_width` candidates plus `explore`
+/// seeded-random picks from the remainder, and returns the evaluated
+/// minimum. For a fixed seed the outcome is fully deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct BeamScheduler {
+    /// How many estimate-ranked candidates get a full evaluation.
+    pub beam_width: usize,
+    /// How many additional candidates outside the beam are sampled (without
+    /// replacement) for full evaluation — insurance against a misleading
+    /// estimate.
+    pub explore: usize,
+    /// RNG seed for the exploration sample.
+    pub seed: u64,
+}
+
+impl BeamScheduler {
+    /// A beam of `beam_width` with a small fixed exploration tail.
+    pub fn new(beam_width: usize, seed: u64) -> Self {
+        BeamScheduler {
+            beam_width,
+            explore: beam_width / 2,
+            seed,
+        }
+    }
+}
+
+impl Scheduler for BeamScheduler {
+    fn tune(&mut self, space: &TuneSpace, oracle: &dyn CostOracle) -> Option<TuneOutcome> {
+        let all = space.enumerate();
+        // Rank by estimate; ties break by enumeration order (stable sort).
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        let scores: Vec<f64> = all.iter().map(|c| oracle.estimate(c)).collect();
+        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("estimate is NaN"));
+
+        let beam = self.beam_width.min(order.len());
+        let (head, tail) = order.split_at(beam);
+        let mut picks: Vec<usize> = head.to_vec();
+
+        // Seeded sample without replacement from the tail (partial
+        // Fisher–Yates over a copy).
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tail: Vec<usize> = tail.to_vec();
+        for _ in 0..self.explore.min(tail.len()) {
+            let i = rng.random_range(0..tail.len());
+            picks.push(tail.swap_remove(i));
+        }
+
+        let mut best: Option<(Candidate, ScheduleCost)> = None;
+        let mut evaluated = 0usize;
+        let mut infeasible = 0usize;
+        for idx in picks {
+            let c = all[idx];
+            match oracle.evaluate(&c) {
+                Ok(cost) => {
+                    evaluated += 1;
+                    if !fold_best(&mut best, c, cost) {
+                        infeasible += 1;
+                    }
+                }
+                Err(_) => infeasible += 1,
+            }
+        }
+        best.map(|(best, cost)| TuneOutcome {
+            best,
+            cost,
+            evaluated,
+            infeasible,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::ALL_STRATEGIES;
+
+    /// Deterministic fake oracle: cost is a hash-free closed form of the
+    /// knobs, so tests can predict the argmin exactly.
+    struct FakeOracle {
+        /// Candidates (by label) to report as OOM.
+        oom: Vec<String>,
+    }
+
+    impl FakeOracle {
+        fn cost(c: &Candidate) -> f64 {
+            // Favor WZB2, more microbatches, overlap, lag 4, chunks 2.
+            let strat = match c.strategy {
+                Strategy::Wzb2 => 0.0,
+                Strategy::WeiPipeInterleave => 1.0,
+                _ => 2.0,
+            };
+            let lag = match c.w_lag {
+                Some(4) => 0.0,
+                _ => 0.1,
+            };
+            let chunks = match c.chunks {
+                Some(2) => 0.0,
+                _ => 0.1,
+            };
+            strat + 1.0 / c.microbatches as f64 + if c.overlap { 0.0 } else { 0.5 } + lag + chunks
+        }
+    }
+
+    impl CostOracle for FakeOracle {
+        fn estimate(&self, c: &Candidate) -> f64 {
+            Self::cost(c)
+        }
+        fn evaluate(&self, c: &Candidate) -> Result<ScheduleCost, String> {
+            Ok(ScheduleCost {
+                iter_s: Self::cost(c),
+                bubble_ratio: 0.0,
+                peak_mem_bytes: 1,
+                oom: self.oom.contains(&c.label()),
+            })
+        }
+    }
+
+    fn space4() -> TuneSpace {
+        TuneSpace {
+            ranks: 4,
+            strategies: ALL_STRATEGIES.to_vec(),
+            microbatches: vec![4, 8],
+            w_lags: vec![1, 4],
+            chunk_counts: vec![2],
+            overlap: vec![true, false],
+        }
+    }
+
+    #[test]
+    fn enumerate_filters_structural_invalids_and_knob_applicability() {
+        let mut space = space4();
+        space.ranks = 3; // odd P: WZB1 must vanish entirely
+        space.microbatches = vec![3, 4];
+        let cands = space.enumerate();
+        assert!(cands.iter().all(|c| c.check(3).is_ok()));
+        assert!(!cands.iter().any(|c| c.strategy == Strategy::Wzb1));
+        // Ring strategies only appear at N=3 (divisible), act-pipe at both.
+        assert!(cands
+            .iter()
+            .filter(|c| c.strategy == Strategy::WeiPipeInterleave)
+            .all(|c| c.microbatches == 3));
+        assert!(cands
+            .iter()
+            .any(|c| c.strategy == Strategy::OneFOneB && c.microbatches == 4));
+        // Knobs only on strategies that take them.
+        assert!(cands
+            .iter()
+            .all(|c| c.w_lag.is_none() || matches!(c.strategy, Strategy::Zb1 | Strategy::Wzb1)));
+        assert!(cands
+            .iter()
+            .all(|c| c.chunks.is_none() || matches!(c.strategy, Strategy::Fsdp | Strategy::Ddp)));
+    }
+
+    #[test]
+    fn grid_finds_global_argmin() {
+        let out = GridScheduler
+            .tune(&space4(), &FakeOracle { oom: vec![] })
+            .unwrap();
+        // Closed-form argmin of FakeOracle::cost over the valid space.
+        assert_eq!(out.best.strategy, Strategy::Wzb2);
+        assert_eq!(out.best.microbatches, 8);
+        assert!(out.best.overlap);
+        assert_eq!(out.infeasible, 0);
+        assert!(out.evaluated > 50, "grid should cover the space");
+    }
+
+    #[test]
+    fn grid_skips_oom_candidates() {
+        let space = space4();
+        // Mark every WZB2 candidate OOM: the winner must fall back.
+        let oom: Vec<String> = space
+            .enumerate()
+            .iter()
+            .filter(|c| c.strategy == Strategy::Wzb2)
+            .map(|c| c.label())
+            .collect();
+        let n_oom = oom.len();
+        let out = GridScheduler.tune(&space, &FakeOracle { oom }).unwrap();
+        assert_ne!(out.best.strategy, Strategy::Wzb2);
+        assert_eq!(out.best.strategy, Strategy::WeiPipeInterleave);
+        assert_eq!(out.infeasible, n_oom);
+    }
+
+    #[test]
+    fn no_feasible_candidate_returns_none() {
+        let space = space4();
+        let oom: Vec<String> = space.enumerate().iter().map(|c| c.label()).collect();
+        assert!(GridScheduler.tune(&space, &FakeOracle { oom }).is_none());
+    }
+
+    #[test]
+    fn beam_is_deterministic_and_matches_grid_on_honest_estimate() {
+        let space = space4();
+        let oracle = FakeOracle { oom: vec![] };
+        let grid = GridScheduler.tune(&space, &oracle).unwrap();
+        let a = BeamScheduler::new(8, 42).tune(&space, &oracle).unwrap();
+        let b = BeamScheduler::new(8, 42).tune(&space, &oracle).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.evaluated, b.evaluated);
+        // With estimate == evaluate the true optimum leads the beam.
+        assert_eq!(a.best, grid.best);
+        // The beam evaluated far fewer candidates than the grid.
+        assert!(a.evaluated < grid.evaluated / 2);
+    }
+
+    #[test]
+    fn candidate_spec_maps_knobs_onto_builder_spec() {
+        let c = Candidate {
+            strategy: Strategy::Wzb1,
+            microbatches: 8,
+            overlap: false,
+            w_lag: Some(3),
+            chunks: None,
+        };
+        let spec = c.spec(4);
+        assert_eq!(spec.ranks, 4);
+        assert_eq!(spec.microbatches, 8);
+        assert!(!spec.overlap);
+        assert!(!spec.recompute, "split backward forces recompute off");
+        assert_eq!(spec.w_lag, Some(3));
+
+        let d = Candidate::default_for(Strategy::OneFOneB, 16);
+        let spec = d.spec(4);
+        assert!(spec.recompute);
+        assert!(spec.overlap);
+        assert_eq!(spec.w_lag, None);
+        assert_eq!(spec.chunks, None);
+    }
+}

@@ -255,10 +255,9 @@ fn check_executable(s: &Schedule) -> Result<(), ValidationError> {
                     // A recv is passable only once the message arrived; a
                     // wait on a pre-posted request blocks the same way. The
                     // pre-post itself is free (it gates nothing).
-                    OpKind::Recv(k) | OpKind::WaitReq(k)
-                        if !arrived.contains(k) => {
-                            break;
-                        }
+                    OpKind::Recv(k) | OpKind::WaitReq(k) if !arrived.contains(k) => {
+                        break;
+                    }
                     OpKind::Send(k) => {
                         arrived.insert(*k);
                     }
@@ -299,15 +298,16 @@ fn check_executable(s: &Schedule) -> Result<(), ValidationError> {
         for r in 0..p {
             if cursor[r] < s.ops[r].len() {
                 let op = &s.ops[r][cursor[r]];
-                let missing: Vec<_> =
-                    op.needs.iter().filter(|k| !arrived.contains(k)).collect();
+                let missing: Vec<_> = op.needs.iter().filter(|k| !arrived.contains(k)).collect();
                 return Err(ValidationError(format!(
                     "deadlock: rank {r} stuck at op {} ({:?}), missing {missing:?}",
                     cursor[r], op.kind
                 )));
             }
         }
-        return Err(ValidationError("deadlock with no identifiable blocker".into()));
+        return Err(ValidationError(
+            "deadlock with no identifiable blocker".into(),
+        ));
     }
     Ok(())
 }
@@ -386,7 +386,10 @@ mod tests {
         let mut s = build(Strategy::WeiPipeInterleave, PipelineSpec::new(2, 4));
         // Drop one WaitReq: its PrePost is never redeemed.
         for ops in &mut s.ops {
-            if let Some(pos) = ops.iter().position(|o| matches!(o.kind, OpKind::WaitReq(_))) {
+            if let Some(pos) = ops
+                .iter()
+                .position(|o| matches!(o.kind, OpKind::WaitReq(_)))
+            {
                 ops.remove(pos);
                 break;
             }
@@ -412,13 +415,19 @@ mod tests {
     fn detects_missing_backward() {
         let mut s = build(Strategy::GPipe, PipelineSpec::new(2, 2));
         for ops in &mut s.ops {
-            if let Some(pos) = ops.iter().position(|o| matches!(o.kind, OpKind::BwdFull { .. })) {
+            if let Some(pos) = ops
+                .iter()
+                .position(|o| matches!(o.kind, OpKind::BwdFull { .. }))
+            {
                 ops.remove(pos);
                 break;
             }
         }
         let err = validate(&s).unwrap_err();
-        assert!(err.0.contains("backward") || err.0.contains("leak"), "{err}");
+        assert!(
+            err.0.contains("backward") || err.0.contains("leak"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -18,7 +18,14 @@ fn main() {
             let m: Vec<String> = cells.iter().map(|c| format!("{:.1}", c.mem_gib)).collect();
             println!(
                 "{:>5} {:>6} {:>3} | {:>9} {:>9} {:>9} {:>9} {:>9} | {}",
-                row.hidden, row.seq, row.microbatch, t[0], t[1], t[2], t[3], t[4],
+                row.hidden,
+                row.seq,
+                row.microbatch,
+                t[0],
+                t[1],
+                t[2],
+                t[3],
+                t[4],
                 m.join("/")
             );
         }
@@ -35,13 +42,25 @@ fn main() {
                 .iter()
                 .map(|c| format!("{:?}={}", c.strategy, c.throughput_str()))
                 .collect();
-            println!("  gpus={:>2} batch={:>3}: {}", p.gpus, p.batch, cells.join("  "));
+            println!(
+                "  gpus={:>2} batch={:>3}: {}",
+                p.gpus,
+                p.batch,
+                cells.join("  ")
+            );
         }
     }
     println!("=== WZB2 bubble ===");
-    let row = RowConfig { hidden: 2048, seq: 8192, microbatch: 8 };
+    let row = RowConfig {
+        hidden: 2048,
+        seq: 8192,
+        microbatch: 8,
+    };
     let cluster = ClusterSpec::nvlink_island(8);
     let wp = run_cell(Strategy::WeiPipeInterleave, row, 32, &cluster, 8 * 8 * 8);
     let wzb2 = run_cell(Strategy::Wzb2, row, 32, &cluster, 8 * 8 * 8);
-    println!("  WP bubble={:.5}  WZB2 bubble={:.5}", wp.bubble_ratio, wzb2.bubble_ratio);
+    println!(
+        "  WP bubble={:.5}  WZB2 bubble={:.5}",
+        wp.bubble_ratio, wzb2.bubble_ratio
+    );
 }

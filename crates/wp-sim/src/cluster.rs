@@ -12,17 +12,26 @@ pub struct Link {
 impl Link {
     /// A800 NVLink (cut to 400 GB/s — the paper's point in §5.4).
     pub const fn nvlink_a800() -> Self {
-        Link { bandwidth: 400e9, latency: 5e-6 }
+        Link {
+            bandwidth: 400e9,
+            latency: 5e-6,
+        }
     }
 
     /// PCIe 4.0 ×16 effective.
     pub const fn pcie4() -> Self {
-        Link { bandwidth: 32e9, latency: 10e-6 }
+        Link {
+            bandwidth: 32e9,
+            latency: 10e-6,
+        }
     }
 
     /// 10 Gb Ethernet.
     pub const fn ethernet_10g() -> Self {
-        Link { bandwidth: 1.25e9, latency: 50e-6 }
+        Link {
+            bandwidth: 1.25e9,
+            latency: 50e-6,
+        }
     }
 
     /// Seconds to move `bytes` over this link.
@@ -54,30 +63,55 @@ impl ClusterSpec {
     /// its FSDP/WeiPipe absolute numbers are consistent with ~10 GbE
     /// between the two halves).
     pub fn nvlink_16() -> Self {
-        ClusterSpec { ranks: 16, node_size: 8, intra: Link::nvlink_a800(), inter: Link::ethernet_10g() }
+        ClusterSpec {
+            ranks: 16,
+            node_size: 8,
+            intra: Link::nvlink_a800(),
+            inter: Link::ethernet_10g(),
+        }
     }
 
     /// A fully NVLinked island of `ranks` GPUs (no slow hop anywhere).
     pub fn nvlink_island(ranks: usize) -> Self {
-        ClusterSpec { ranks, node_size: ranks, intra: Link::nvlink_a800(), inter: Link::nvlink_a800() }
+        ClusterSpec {
+            ranks,
+            node_size: ranks,
+            intra: Link::nvlink_a800(),
+            inter: Link::nvlink_a800(),
+        }
     }
 
     /// The paper's 8-GPU NVLink environment (Table 4).
     pub fn nvlink_8() -> Self {
-        ClusterSpec { ranks: 8, node_size: 8, intra: Link::nvlink_a800(), inter: Link::nvlink_a800() }
+        ClusterSpec {
+            ranks: 8,
+            node_size: 8,
+            intra: Link::nvlink_a800(),
+            inter: Link::nvlink_a800(),
+        }
     }
 
     /// The paper's PCIe + Ethernet environment: NVLink-class PCIe inside
     /// each cluster, 10 Gb Ethernet between clusters (Table 3: 16 GPUs in
     /// 4-GPU groups).
     pub fn ethernet_16() -> Self {
-        ClusterSpec { ranks: 16, node_size: 4, intra: Link::pcie4(), inter: Link::ethernet_10g() }
+        ClusterSpec {
+            ranks: 16,
+            node_size: 4,
+            intra: Link::pcie4(),
+            inter: Link::ethernet_10g(),
+        }
     }
 
     /// Scaling-figure clusters: `ranks` GPUs, `node_size` per server, NVLink
     /// inside, Ethernet between (Figs 6–9).
     pub fn scaling(ranks: usize, node_size: usize) -> Self {
-        ClusterSpec { ranks, node_size, intra: Link::nvlink_a800(), inter: Link::ethernet_10g() }
+        ClusterSpec {
+            ranks,
+            node_size,
+            intra: Link::nvlink_a800(),
+            inter: Link::ethernet_10g(),
+        }
     }
 
     /// The link a ring hop from `src` to `(src+1) % ranks` rides.
@@ -127,7 +161,9 @@ mod tests {
         assert_eq!(c.ring_link(3), Link::ethernet_10g());
         assert_eq!(c.ring_link(7), Link::ethernet_10g());
         assert_eq!(c.ring_link(15), Link::ethernet_10g());
-        let crossings = (0..16).filter(|&r| c.ring_link(r) == Link::ethernet_10g()).count();
+        let crossings = (0..16)
+            .filter(|&r| c.ring_link(r) == Link::ethernet_10g())
+            .count();
         assert_eq!(crossings, 4);
     }
 
@@ -140,9 +176,15 @@ mod tests {
 
     #[test]
     fn bottleneck_is_ethernet_when_multi_node() {
-        assert_eq!(ClusterSpec::ethernet_16().bottleneck(), Link::ethernet_10g());
+        assert_eq!(
+            ClusterSpec::ethernet_16().bottleneck(),
+            Link::ethernet_10g()
+        );
         assert_eq!(ClusterSpec::nvlink_16().bottleneck(), Link::ethernet_10g());
-        assert_eq!(ClusterSpec::scaling(8, 4).bottleneck(), Link::ethernet_10g());
+        assert_eq!(
+            ClusterSpec::scaling(8, 4).bottleneck(),
+            Link::ethernet_10g()
+        );
         assert_eq!(ClusterSpec::scaling(4, 4).bottleneck(), Link::nvlink_a800());
     }
 
@@ -157,7 +199,10 @@ mod tests {
 
     #[test]
     fn transfer_time_formula() {
-        let l = Link { bandwidth: 1e9, latency: 1e-3 };
+        let l = Link {
+            bandwidth: 1e9,
+            latency: 1e-3,
+        };
         assert!((l.transfer_s(1_000_000_000) - 1.001).abs() < 1e-9);
     }
 }

@@ -34,7 +34,11 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// NVIDIA A800: 312 TFLOP/s fp16/bf16 tensor cores, 80 GB HBM (§5.4).
     pub const fn a800() -> Self {
-        GpuSpec { peak_flops: 312e12, mem_bytes: 80 * (1 << 30), mfu: 0.42 }
+        GpuSpec {
+            peak_flops: 312e12,
+            mem_bytes: 80 * (1 << 30),
+            mfu: 0.42,
+        }
     }
 }
 
@@ -59,7 +63,14 @@ impl ModelDims {
     /// Paper-shaped dims: `F` = `8H/3` rounded to 8, 32 heads.
     pub fn paper(hidden: usize, layers: usize, seq: usize, microbatch: usize) -> Self {
         let f = (8 * hidden).div_ceil(3).div_ceil(8) * 8;
-        ModelDims { hidden, ffn: f, layers, heads: 32, seq, microbatch }
+        ModelDims {
+            hidden,
+            ffn: f,
+            layers,
+            heads: 32,
+            seq,
+            microbatch,
+        }
     }
 
     /// Parameters in one layer (`4H² + 3HF + 2H ≈ 12H²`).
@@ -90,12 +101,20 @@ pub struct TpOverlay {
 impl TpOverlay {
     /// TP disabled.
     pub fn off() -> Self {
-        TpOverlay { degree: 1, link: crate::cluster::Link::nvlink_a800(), efficiency: 1.0 }
+        TpOverlay {
+            degree: 1,
+            link: crate::cluster::Link::nvlink_a800(),
+            efficiency: 1.0,
+        }
     }
 
     /// `degree`-way TP over NVLink.
     pub fn nvlink(degree: usize) -> Self {
-        TpOverlay { degree, link: crate::cluster::Link::nvlink_a800(), efficiency: 0.92 }
+        TpOverlay {
+            degree,
+            link: crate::cluster::Link::nvlink_a800(),
+            efficiency: 0.92,
+        }
     }
 
     /// Ring all-reduce time of `bytes` within the TP group.
@@ -330,37 +349,37 @@ impl CostModel {
         let total_chunks = self.chunks as u64;
         Self::FRAMEWORK_OVERHEAD_BYTES
             + match strategy {
-            Strategy::GPipe | Strategy::OneFOneB | Strategy::Zb1 | Strategy::Zb2 => {
-                // Own chunk: fp16 weights + fp16 grads + fp32 opt state.
-                chunk_w + chunk_g + opt_per_chunk
-            }
-            Strategy::Fsdp => {
-                // Everything sharded 1/P. The transient gathered-chunk and
-                // reduce-scatter staging buffers are charged dynamically by
-                // the schedule's per-microbatch gather/free ops.
-                (total_chunks * (chunk_w + chunk_g + opt_per_chunk)) / ranks as u64
-            }
-            Strategy::Ddp => total_chunks * (chunk_w + chunk_g + opt_per_chunk),
-            Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave => {
-                // Two circulating weight copies + one gradient chunk, each
-                // double-buffered for the in-flight recv, plus owned
-                // optimizer state for one chunk.
-                2 * (2 * chunk_w) + 2 * chunk_g + opt_per_chunk
-            }
-            Strategy::Wzb1 => 2 * (2 * chunk_w) + 2 * chunk_g + opt_per_chunk,
-            Strategy::Wzb2 => {
-                // Worker P−1 holds ALL optimizer state (§4.2.3.2); worker 0
-                // retains up to C/2 forked weight copies between F and B.
-                let base = 2 * (2 * chunk_w) + 2 * chunk_g;
-                if rank == ranks - 1 {
-                    base + total_chunks * opt_per_chunk
-                } else if rank == 0 {
-                    base + (total_chunks / 2) * chunk_w
-                } else {
-                    base
+                Strategy::GPipe | Strategy::OneFOneB | Strategy::Zb1 | Strategy::Zb2 => {
+                    // Own chunk: fp16 weights + fp16 grads + fp32 opt state.
+                    chunk_w + chunk_g + opt_per_chunk
+                }
+                Strategy::Fsdp => {
+                    // Everything sharded 1/P. The transient gathered-chunk and
+                    // reduce-scatter staging buffers are charged dynamically by
+                    // the schedule's per-microbatch gather/free ops.
+                    (total_chunks * (chunk_w + chunk_g + opt_per_chunk)) / ranks as u64
+                }
+                Strategy::Ddp => total_chunks * (chunk_w + chunk_g + opt_per_chunk),
+                Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave => {
+                    // Two circulating weight copies + one gradient chunk, each
+                    // double-buffered for the in-flight recv, plus owned
+                    // optimizer state for one chunk.
+                    2 * (2 * chunk_w) + 2 * chunk_g + opt_per_chunk
+                }
+                Strategy::Wzb1 => 2 * (2 * chunk_w) + 2 * chunk_g + opt_per_chunk,
+                Strategy::Wzb2 => {
+                    // Worker P−1 holds ALL optimizer state (§4.2.3.2); worker 0
+                    // retains up to C/2 forked weight copies between F and B.
+                    let base = 2 * (2 * chunk_w) + 2 * chunk_g;
+                    if rank == ranks - 1 {
+                        base + total_chunks * opt_per_chunk
+                    } else if rank == 0 {
+                        base + (total_chunks / 2) * chunk_w
+                    } else {
+                        base
+                    }
                 }
             }
-        }
     }
 }
 
@@ -396,7 +415,10 @@ mod tests {
         // B + W ≈ 2×F up to the attention-recompute term.
         let c = cm(false);
         let sum = c.t_bwd_data() + c.t_bwd_weight();
-        assert!(sum >= c.t_bwd_full() * 0.95 && sum <= c.t_bwd_full() * 1.4, "{sum}");
+        assert!(
+            sum >= c.t_bwd_full() * 0.95 && sum <= c.t_bwd_full() * 1.4,
+            "{sum}"
+        );
     }
 
     #[test]
@@ -405,7 +427,10 @@ mod tests {
         // One layer ≈ 12H² params → chunk (2 layers) ≈ 24H² × 2 B.
         let expect = 24.0 * 1024.0 * 1024.0 * 2.0;
         let got = c.weight_chunk_bytes() as f64;
-        assert!((got / expect - 1.0).abs() < 0.05, "got {got}, expect {expect}");
+        assert!(
+            (got / expect - 1.0).abs() < 0.05,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]
@@ -424,7 +449,10 @@ mod tests {
         let with = c.mem_unit_bytes(MemUnit::FwdCtx);
         c.flash_attention = false;
         let without = c.mem_unit_bytes(MemUnit::FwdCtx);
-        assert!(without > 4 * with, "naive attention must dominate ctx memory");
+        assert!(
+            without > 4 * with,
+            "naive attention must dominate ctx memory"
+        );
     }
 
     #[test]

@@ -1,0 +1,727 @@
+//! The component/min-heap discrete-event core behind [`crate::engine::simulate`].
+//!
+//! Every simulated hardware unit is a *component*: one compute engine per
+//! rank ([`RankComp`]) and one DMA path per directed ring link
+//! ([`LinkDma`]), each exposing a `next_tick`/`tick` interface. A global
+//! min-heap of `(time, component)` wake-ups drives execution: a component
+//! ticks only when one of its dependencies actually resolves. Compare the
+//! reference walk ([`crate::engine::simulate_reference`]), which re-scans
+//! every rank round-robin until a fixpoint — `O(rounds × P)` passes that
+//! make thousand-rank sweeps minutes-slow. The event core turns the same
+//! computation into `O(ops · log P)` heap traffic, so fleet-scale grids
+//! (P in the thousands) complete in seconds.
+//!
+//! ## Equivalence contract
+//!
+//! This core computes **bit-identical** results to the reference walk —
+//! same timelines, busy seconds, bubble fractions, memory peaks and byte
+//! counts — enforced by the unit tests below, by
+//! `tests/engine_equivalence.rs`, and by the experiment-cell checks in CI.
+//! The argument:
+//!
+//! * every op's start/end time is a `max`/`+` combination of (a) message
+//!   arrival times, (b) its own rank's engine state and (c) its own link's
+//!   occupancy — all fully determined *before* the op can run, whichever
+//!   order the engines visit ops in. `f64::max` is exact and
+//!   order-insensitive, and every sum has a fixed operand order, so the
+//!   fixpoint both engines reach is unique;
+//! * each directed ring link has a single writer (its source rank), so
+//!   link occupancy serializes in that rank's program order under both
+//!   engines;
+//! * per-rank side effects (timeline pushes, busy accumulation, memory
+//!   events) happen in program order under both engines, so the stable
+//!   sorts and running sums in [`crate::engine::finalize_result`] see
+//!   identical sequences.
+//!
+//! Because a directed link is a single-writer FIFO, a transfer's issue
+//! time — `max(ready, link free)` — is fixed the moment its writer
+//! enqueues it. The core therefore ticks a link *inline at enqueue time*
+//! rather than bouncing through the heap: the result is identical to a
+//! heap-scheduled tick at the same timestamp, and the sender (which needs
+//! the link's occupancy for the non-overlap ablation) reads it back
+//! synchronously, exactly like the reference engine.
+
+use crate::cluster::ClusterSpec;
+use crate::cost::CostModel;
+use crate::engine::{
+    collective_pseudo_key, finalize_result, msg_bytes, SimError, SimOptions, SimResult, TimedOp,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use wp_sched::{MsgKey, Op, OpKind, Schedule};
+
+/// A fast, deterministic hasher (FxHash-style rotate-xor-multiply) for the
+/// hot arrival/waiter maps. The std SipHash dominates the profile at fleet
+/// scale — tens of millions of [`MsgKey`] lookups per run — and this is
+/// the standard compiler-internals replacement: deterministic across runs
+/// and platforms, which the fixed-seed autotuner smoke relies on.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// One wake-up in the global event queue.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    /// Simulated wake-up time, seconds.
+    time: f64,
+    /// Monotonic tie-break: equal-time events pop in push order, keeping
+    /// runs deterministic (results are order-insensitive regardless — see
+    /// the module docs).
+    seq: u64,
+    /// Component index to tick.
+    comp: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Min-heap of component wake-ups keyed by `(next_tick, push order)`.
+#[derive(Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn push(&mut self, time: f64, comp: usize) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            comp,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+}
+
+/// What a component reports back from [`Component::tick`].
+enum Tick {
+    /// All runnable work done; the component sleeps until re-woken.
+    Idle,
+    /// Blocked on a message: the core parks the component on the key's
+    /// waiter list and wakes it at the key's arrival time.
+    WaitingOn(MsgKey),
+}
+
+/// A simulated hardware unit driven by the event core.
+///
+/// [`RankComp`] implements this directly; [`LinkDma`] exposes the same
+/// `next_tick`/`tick` shape as inherent methods because its single-writer
+/// FIFO discipline lets the core tick it inline at enqueue time (see the
+/// module docs) — it never round-trips through the heap.
+trait Component {
+    /// When this component next wants to run, if it has runnable work.
+    fn next_tick(&self) -> Option<f64>;
+    /// Advance as far as dependencies allow. `now` is the wake-up time;
+    /// op timing derives from arrival/occupancy state, not from `now`.
+    fn tick(&mut self, now: f64, shared: &mut Shared<'_>) -> Tick;
+}
+
+/// One in-flight point-to-point transfer queued on a link.
+struct Transfer {
+    key: MsgKey,
+    /// Earliest issue time (needs arrivals plus program-order gates).
+    ready: f64,
+    /// Seconds the DMA path is occupied: `bytes / bandwidth`.
+    occupy: f64,
+    /// Wire latency added after occupancy.
+    latency: f64,
+}
+
+/// One directed ring link: a DMA path serializing transfers in FIFO
+/// order. Each directed link has exactly one writer (its source rank), so
+/// FIFO order *is* that rank's program order — matching the reference
+/// engine's occupancy accounting exactly.
+struct LinkDma {
+    /// Time the DMA path frees up.
+    free: f64,
+    /// Transfers enqueued and not yet started.
+    queue: VecDeque<Transfer>,
+}
+
+impl LinkDma {
+    fn new() -> Self {
+        LinkDma {
+            free: 0.0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// When the head-of-line transfer would issue, if any is queued.
+    fn next_tick(&self) -> Option<f64> {
+        self.queue.front().map(|t| t.ready.max(self.free))
+    }
+
+    /// Drain the FIFO: each transfer issues at `max(ready, free)`,
+    /// occupies the path, and arrives one latency later. Completions are
+    /// appended to `completed` as `(key, arrival)`. Every queued transfer
+    /// is startable (its `ready` was resolved before enqueue), so
+    /// draining is total.
+    fn tick(&mut self, completed: &mut Vec<(MsgKey, f64)>) {
+        while let Some(t) = self.queue.pop_front() {
+            let issue = t.ready.max(self.free);
+            self.free = issue + t.occupy;
+            completed.push((t.key, issue + t.occupy + t.latency));
+        }
+    }
+}
+
+/// Collective rendezvous bookkeeping (mirrors the reference engine).
+struct CollGroup {
+    readies: Vec<(usize, f64)>,
+    kind: OpKind,
+}
+
+/// State shared between components: message arrivals, parked waiters,
+/// per-rank engine clocks, link DMA paths, collective groups and the
+/// output accumulators.
+struct Shared<'a> {
+    cost: &'a CostModel,
+    cluster: &'a ClusterSpec,
+    opts: SimOptions,
+    p: usize,
+    /// Arrival time of every resolved message (write-once).
+    arrivals: FxMap<MsgKey, f64>,
+    /// Components parked until a key resolves.
+    waiters: FxMap<MsgKey, Vec<usize>>,
+    /// Keys resolved during the current tick, for waiter wake-up. The
+    /// arrival is already in `arrivals` when a key lands here.
+    newly: Vec<(MsgKey, f64)>,
+    /// Directed link components, keyed by `(src, dst)`.
+    links: FxMap<(usize, usize), LinkDma>,
+    /// Scratch buffer for link completions (reused across sends).
+    link_done: Vec<(MsgKey, f64)>,
+    /// Per-rank compute-engine availability.
+    compute_free: Vec<f64>,
+    /// Per-rank end of the latest compute op.
+    last_compute_end: Vec<f64>,
+    /// Per-rank collective-engine availability.
+    coll_free: Vec<f64>,
+    /// Open collective groups keyed by `(kind, chunk, round)`.
+    coll_groups: FxMap<(u8, usize, usize), CollGroup>,
+    /// Per-rank compute-engine busy seconds.
+    busy: Vec<f64>,
+    /// Per-rank bytes sent point-to-point.
+    p2p_bytes: Vec<u64>,
+    /// Per-rank bytes sent in collectives (ring-charged).
+    collective_bytes: Vec<u64>,
+    /// Per-rank timed compute ops.
+    timeline: Vec<Vec<TimedOp>>,
+    /// Per-rank memory events `(time, signed bytes)` in program order.
+    mem_events: Vec<Vec<(f64, i64)>>,
+    /// Latest op end time seen.
+    makespan: f64,
+}
+
+impl<'a> Shared<'a> {
+    fn new(
+        cost: &'a CostModel,
+        cluster: &'a ClusterSpec,
+        opts: SimOptions,
+        p: usize,
+        sends: usize,
+    ) -> Self {
+        Shared {
+            cost,
+            cluster,
+            opts,
+            p,
+            // Sized up front: at fleet scale the arrival table holds
+            // millions of keys, and letting it grow by doubling would
+            // re-hash the multi-GB table ~20 times.
+            arrivals: FxMap::with_capacity_and_hasher(sends * 2, Default::default()),
+            waiters: FxMap::default(),
+            newly: Vec::new(),
+            links: FxMap::default(),
+            link_done: Vec::new(),
+            compute_free: vec![0.0; p],
+            last_compute_end: vec![0.0; p],
+            coll_free: vec![0.0; p],
+            coll_groups: FxMap::default(),
+            busy: vec![0.0; p],
+            p2p_bytes: vec![0; p],
+            collective_bytes: vec![0; p],
+            timeline: vec![Vec::new(); p],
+            mem_events: vec![Vec::new(); p],
+            makespan: 0.0,
+        }
+    }
+
+    /// Record a resolved message and queue its waiters for wake-up.
+    fn resolve(&mut self, key: MsgKey, t: f64) {
+        self.arrivals.insert(key, t);
+        self.newly.push((key, t));
+    }
+}
+
+/// One rank's compute engine: walks the rank's instruction stream in
+/// program order, parking on the first unresolved message dependency.
+struct RankComp<'a> {
+    rank: usize,
+    ops: &'a [Op],
+    cursor: usize,
+}
+
+impl Component for RankComp<'_> {
+    fn next_tick(&self) -> Option<f64> {
+        (self.cursor < self.ops.len()).then_some(0.0)
+    }
+
+    fn tick(&mut self, _now: f64, sh: &mut Shared<'_>) -> Tick {
+        let r = self.rank;
+        let p = sh.p;
+        while self.cursor < self.ops.len() {
+            let op = &self.ops[self.cursor];
+            // All explicit message dependencies must have known times.
+            let mut needs_t = 0.0f64;
+            let mut blocked = None;
+            for k in &op.needs {
+                match sh.arrivals.get(k) {
+                    Some(&a) => needs_t = needs_t.max(a),
+                    None => {
+                        blocked = Some(*k);
+                        break;
+                    }
+                }
+            }
+            if let Some(k) = blocked {
+                return Tick::WaitingOn(k);
+            }
+
+            let end_time;
+            match &op.kind {
+                kind if kind.is_compute() => {
+                    let dur = match kind {
+                        OpKind::Fwd { .. } => sh.cost.t_fwd(),
+                        OpKind::BwdFull { .. } => sh.cost.t_bwd_full(),
+                        OpKind::BwdData { .. } => sh.cost.t_bwd_data(),
+                        OpKind::BwdWeight { .. } => sh.cost.t_bwd_weight(),
+                        OpKind::Update { .. } => sh.cost.t_update(),
+                        _ => unreachable!(),
+                    };
+                    let dur = match sh.opts.straggler {
+                        Some((sr, slow)) if sr == r => dur * slow,
+                        _ => dur,
+                    };
+                    let start = sh.compute_free[r].max(needs_t);
+                    let end = start + dur;
+                    sh.compute_free[r] = end;
+                    sh.last_compute_end[r] = end;
+                    sh.busy[r] += dur;
+                    end_time = end;
+                    // A checkpointed backward rematerialises the full
+                    // forward ctx for its duration — a real peak-memory
+                    // contributor (and why ZB gains nothing from
+                    // recompute, §4.3).
+                    if sh.cost.recompute && matches!(kind, OpKind::BwdFull { .. }) {
+                        let t = sh.cost.recompute_transient_bytes() as i64;
+                        sh.mem_events[r].push((start, t));
+                        sh.mem_events[r].push((end, -t));
+                    }
+                    let (class, mb, chunk) = match *kind {
+                        OpKind::Fwd { mb, chunk } => ('F', mb, chunk),
+                        OpKind::BwdFull { mb, chunk } => ('B', mb, chunk),
+                        OpKind::BwdData { mb, chunk } => ('b', mb, chunk),
+                        OpKind::BwdWeight { mb, chunk } => ('w', mb, chunk),
+                        OpKind::Update { chunk } => ('U', usize::MAX, chunk),
+                        _ => unreachable!(),
+                    };
+                    sh.timeline[r].push(TimedOp {
+                        start,
+                        end,
+                        class,
+                        mb,
+                        chunk,
+                    });
+                }
+                OpKind::Send(k) => {
+                    let bytes = msg_bytes(sh.cost, k);
+                    let link_spec = sh.cluster.ring_link(k.src);
+                    let mut ready = needs_t;
+                    if op.after_compute {
+                        ready = ready.max(sh.last_compute_end[r]);
+                    }
+                    if !sh.opts.overlap {
+                        ready = ready.max(sh.compute_free[r]);
+                    }
+                    // Enqueue on the directed link's DMA component and tick
+                    // it inline: single-writer FIFO, so the completion time
+                    // is already determined (see module docs).
+                    let link = sh.links.entry((k.src, k.dst)).or_insert_with(LinkDma::new);
+                    link.queue.push_back(Transfer {
+                        key: *k,
+                        ready,
+                        occupy: bytes as f64 / link_spec.bandwidth,
+                        latency: link_spec.latency,
+                    });
+                    link.tick(&mut sh.link_done);
+                    if !sh.opts.overlap {
+                        sh.compute_free[r] = link.free;
+                    }
+                    let (_, arrive) = *sh.link_done.last().expect("drained transfer");
+                    while let Some((key, t)) = sh.link_done.pop() {
+                        sh.resolve(key, t);
+                    }
+                    sh.p2p_bytes[r] += bytes;
+                    end_time = arrive;
+                }
+                // A wait on a pre-posted request completes when the
+                // message lands, exactly like a blocking recv — the
+                // overlap win comes from *where the builder places* the
+                // wait, not from a cheaper wait.
+                OpKind::Recv(k) | OpKind::WaitReq(k) => match sh.arrivals.get(k) {
+                    Some(&a) => end_time = a,
+                    None => return Tick::WaitingOn(*k),
+                },
+                OpKind::PrePost(_) => {
+                    // Posting the receive buffer is free and gates
+                    // nothing; memory for the in-flight slot is already
+                    // in the strategy's static footprint (cost.rs).
+                    end_time = needs_t;
+                }
+                kind => {
+                    // Collective: record entry; complete at rendezvous.
+                    let (disc, payload) = match *kind {
+                        OpKind::AllGatherW { chunk, round } => {
+                            ((0u8, chunk, round), sh.cost.weight_chunk_bytes())
+                        }
+                        OpKind::ReduceScatterD { chunk, round } => {
+                            ((1u8, chunk, round), sh.cost.grad_chunk_bytes())
+                        }
+                        OpKind::AllReduceD { chunk, round } => {
+                            ((2u8, chunk, round), sh.cost.grad_chunk_bytes())
+                        }
+                        _ => unreachable!(),
+                    };
+                    let mut ready = needs_t.max(sh.coll_free[r]);
+                    if op.after_compute {
+                        ready = ready.max(sh.last_compute_end[r]);
+                    }
+                    if !sh.opts.overlap {
+                        ready = ready.max(sh.compute_free[r]);
+                    }
+                    let group = sh.coll_groups.entry(disc).or_insert_with(|| CollGroup {
+                        readies: Vec::new(),
+                        kind: kind.clone(),
+                    });
+                    group.readies.push((r, ready));
+                    sh.collective_bytes[r] += match kind {
+                        OpKind::AllReduceD { .. } => 2 * payload * (p as u64 - 1) / p as u64,
+                        _ => payload * (p as u64 - 1) / p as u64,
+                    };
+                    if group.readies.len() == p {
+                        let start = group.readies.iter().fold(0.0f64, |m, &(_, t)| m.max(t));
+                        let dur = match group.kind {
+                            OpKind::AllReduceD { .. } => sh.cluster.all_reduce_s(payload),
+                            _ => sh.cluster.gather_scatter_s(payload),
+                        };
+                        let done = start + dur;
+                        let group_kind = group.kind.clone();
+                        for rr in 0..p {
+                            sh.coll_free[rr] = sh.coll_free[rr].max(done);
+                            if !sh.opts.overlap {
+                                sh.compute_free[rr] = sh.compute_free[rr].max(done);
+                            }
+                            let pseudo = collective_pseudo_key(&group_kind, rr);
+                            sh.resolve(pseudo, done);
+                        }
+                        end_time = done;
+                    } else {
+                        end_time = ready;
+                    }
+                }
+            }
+
+            for &(unit, delta) in &op.mem {
+                sh.mem_events[r].push((end_time, delta * sh.cost.mem_unit_bytes(unit) as i64));
+            }
+            sh.makespan = sh.makespan.max(end_time);
+            self.cursor += 1;
+        }
+        Tick::Idle
+    }
+}
+
+/// Execute `schedule` on `cluster` under `cost` with the event core.
+///
+/// The public entry point is [`crate::engine::simulate`], which delegates
+/// here; [`crate::engine::simulate_reference`] is the legacy walk kept as
+/// the equivalence oracle.
+pub(crate) fn simulate_des(
+    schedule: &Schedule,
+    cost: &CostModel,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<SimResult, SimError> {
+    let p = schedule.ranks;
+    assert_eq!(cluster.ranks, p, "cluster size must match schedule");
+
+    let sends: usize = schedule
+        .ops
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .filter(|o| matches!(o.kind, OpKind::Send(_)))
+                .count()
+        })
+        .sum();
+    let mut sh = Shared::new(cost, cluster, opts, p, sends);
+    for (r, ops) in schedule.ops.iter().enumerate() {
+        sh.timeline[r].reserve(ops.iter().filter(|o| o.kind.is_compute()).count());
+    }
+    let mut queue = EventQueue::default();
+    let mut ranks: Vec<RankComp> = (0..p)
+        .map(|r| RankComp {
+            rank: r,
+            ops: &schedule.ops[r],
+            cursor: 0,
+        })
+        .collect();
+
+    // Seed: every rank component is runnable at t = 0, in rank order —
+    // the same first pass the reference walk makes.
+    for (r, comp) in ranks.iter().enumerate() {
+        if comp.next_tick().is_some() {
+            queue.push(0.0, r);
+        }
+    }
+
+    while let Some(ev) = queue.pop() {
+        match ranks[ev.comp].tick(ev.time, &mut sh) {
+            Tick::Idle => {}
+            Tick::WaitingOn(key) => {
+                // The key cannot have resolved during this same tick: the
+                // rank re-reads `arrivals` (which its own resolutions
+                // update inline) before parking.
+                sh.waiters.entry(key).or_default().push(ev.comp);
+            }
+        }
+        // Wake everything parked on keys this tick resolved.
+        let newly = std::mem::take(&mut sh.newly);
+        for (key, t) in newly {
+            if let Some(parked) = sh.waiters.remove(&key) {
+                for comp in parked {
+                    queue.push(t, comp);
+                }
+            }
+        }
+    }
+
+    // Links are ticked inline by their writers, so none may hold queued
+    // work once the heap drains.
+    debug_assert!(sh.links.values().all(|l| l.next_tick().is_none()));
+
+    for (r, comp) in ranks.iter().enumerate() {
+        if comp.cursor < schedule.ops[r].len() {
+            return Err(SimError(format!(
+                "rank {r} stalled at op {} ({:?})",
+                comp.cursor, schedule.ops[r][comp.cursor].kind
+            )));
+        }
+    }
+
+    let Shared {
+        busy,
+        p2p_bytes,
+        collective_bytes,
+        timeline,
+        mem_events,
+        makespan,
+        ..
+    } = sh;
+    Ok(finalize_result(
+        schedule,
+        cost,
+        makespan,
+        busy,
+        p2p_bytes,
+        collective_bytes,
+        timeline,
+        mem_events,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{GpuSpec, ModelDims};
+    use crate::engine::simulate_reference;
+    use wp_sched::{build, MsgKind, PipelineSpec, Strategy};
+
+    fn setup(strategy: Strategy, p: usize, n: usize) -> (Schedule, CostModel, ClusterSpec) {
+        let sched = build(strategy, PipelineSpec::new(p, n));
+        let dims = ModelDims::paper(1024, 32, 4096, 16);
+        let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
+        let cluster = ClusterSpec {
+            ranks: p,
+            node_size: p,
+            ..ClusterSpec::nvlink_16()
+        };
+        (sched, cost, cluster)
+    }
+
+    fn assert_bit_identical(a: &SimResult, b: &SimResult, tag: &str) {
+        assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "{tag}: makespan"
+        );
+        assert_eq!(
+            a.bubble_ratio.to_bits(),
+            b.bubble_ratio.to_bits(),
+            "{tag}: bubble"
+        );
+        assert_eq!(a.timeline, b.timeline, "{tag}: timeline");
+        assert_eq!(a.busy, b.busy, "{tag}: busy");
+        assert_eq!(a.peak_mem, b.peak_mem, "{tag}: peak_mem");
+        assert_eq!(a.p2p_bytes, b.p2p_bytes, "{tag}: p2p_bytes");
+        assert_eq!(
+            a.collective_bytes, b.collective_bytes,
+            "{tag}: collective_bytes"
+        );
+    }
+
+    #[test]
+    fn des_matches_reference_across_strategies_and_overlap() {
+        for &s in wp_sched::ALL_STRATEGIES {
+            let (sched, cost, cluster) = setup(s, 4, 8);
+            for overlap in [true, false] {
+                let opts = SimOptions {
+                    overlap,
+                    ..Default::default()
+                };
+                let a = simulate_des(&sched, &cost, &cluster, opts).expect("des");
+                let b = simulate_reference(&sched, &cost, &cluster, opts).expect("ref");
+                assert_bit_identical(&a, &b, &format!("{s:?} overlap={overlap}"));
+            }
+        }
+    }
+
+    #[test]
+    fn des_matches_reference_under_straggler() {
+        let (sched, cost, cluster) = setup(Strategy::WeiPipeInterleave, 4, 8);
+        let opts = SimOptions {
+            overlap: true,
+            straggler: Some((2, 1.7)),
+        };
+        let a = simulate_des(&sched, &cost, &cluster, opts).expect("des");
+        let b = simulate_reference(&sched, &cost, &cluster, opts).expect("ref");
+        assert_bit_identical(&a, &b, "straggler");
+    }
+
+    #[test]
+    fn des_detects_stalls_like_reference() {
+        let (mut sched, cost, cluster) = setup(Strategy::GPipe, 2, 2);
+        // Drop one send: its consumers stall in both engines.
+        for ops in &mut sched.ops {
+            if let Some(pos) = ops.iter().position(|o| matches!(o.kind, OpKind::Send(_))) {
+                ops.remove(pos);
+                break;
+            }
+        }
+        let opts = SimOptions::default();
+        assert!(simulate_des(&sched, &cost, &cluster, opts).is_err());
+        assert!(simulate_reference(&sched, &cost, &cluster, opts).is_err());
+    }
+
+    #[test]
+    fn event_queue_orders_by_time_then_push_order() {
+        let mut q = EventQueue::default();
+        q.push(2.0, 0);
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        assert_eq!(q.pop().map(|e| e.comp), Some(1));
+        assert_eq!(q.pop().map(|e| e.comp), Some(2));
+        assert_eq!(q.pop().map(|e| e.comp), Some(0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn link_component_reports_next_tick_and_drains() {
+        let mut l = LinkDma::new();
+        assert!(l.next_tick().is_none());
+        l.queue.push_back(Transfer {
+            key: MsgKey {
+                kind: MsgKind::Weights,
+                chunk: 0,
+                mb: 0,
+                round: 0,
+                src: 0,
+                dst: 1,
+            },
+            ready: 3.0,
+            occupy: 1.0,
+            latency: 0.1,
+        });
+        assert_eq!(l.next_tick(), Some(3.0));
+        let mut done = Vec::new();
+        l.tick(&mut done);
+        assert!(l.next_tick().is_none());
+        assert_eq!(done.len(), 1);
+        assert!((done[0].1 - 4.1).abs() < 1e-12);
+        assert!((l.free - 4.0).abs() < 1e-12);
+    }
+}

@@ -34,7 +34,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { overlap: true, straggler: None }
+        SimOptions {
+            overlap: true,
+            straggler: None,
+        }
     }
 }
 
@@ -101,8 +104,86 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Execute `schedule` on `cluster` under `cost`.
-#[allow(clippy::needless_range_loop)]
+///
+/// Delegates to the component/min-heap discrete-event core in
+/// [`crate::des`], which produces bit-identical results to
+/// [`simulate_reference`] (the original fixpoint walk, kept as the
+/// equivalence oracle) while scaling to thousands of simulated ranks.
 pub fn simulate(
+    schedule: &Schedule,
+    cost: &CostModel,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<SimResult, SimError> {
+    crate::des::simulate_des(schedule, cost, cluster, opts)
+}
+
+/// Wire bytes for one point-to-point message.
+pub(crate) fn msg_bytes(cost: &CostModel, k: &MsgKey) -> u64 {
+    match k.kind {
+        MsgKind::Weights => cost.weight_chunk_bytes(),
+        MsgKind::WeightGrads => cost.grad_chunk_bytes(),
+        MsgKind::Act => cost.act_boundary_bytes(),
+        MsgKind::ActGrad => cost.act_grad_boundary_bytes(),
+    }
+}
+
+/// Fold raw per-rank accumulators into a [`SimResult`]: peak memory from
+/// the event ledger (stable time sort over program-order events, running
+/// sum over the static footprint) and the global bubble fraction. Shared
+/// by both engines so the finalization arithmetic is identical by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finalize_result(
+    schedule: &Schedule,
+    cost: &CostModel,
+    makespan: f64,
+    busy: Vec<f64>,
+    p2p_bytes: Vec<u64>,
+    collective_bytes: Vec<u64>,
+    timeline: Vec<Vec<TimedOp>>,
+    mut mem_events: Vec<Vec<(f64, i64)>>,
+) -> SimResult {
+    let p = schedule.ranks;
+    // Peak memory per rank: static + max running dynamic sum in time order.
+    let mut peak_mem = Vec::with_capacity(p);
+    for (r, events) in mem_events.iter_mut().enumerate() {
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let stat = cost.static_mem_bytes(schedule.strategy, r, p) as i64;
+        let mut cur = stat;
+        let mut peak = stat;
+        for &(_, d) in events.iter() {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak_mem.push(peak.max(0) as u64);
+    }
+
+    let total_busy: f64 = busy.iter().sum();
+    let bubble_ratio = if makespan > 0.0 {
+        1.0 - total_busy / (p as f64 * makespan)
+    } else {
+        0.0
+    };
+
+    SimResult {
+        makespan,
+        busy,
+        bubble_ratio,
+        peak_mem,
+        p2p_bytes,
+        collective_bytes,
+        timeline,
+    }
+}
+
+/// The original strategy-by-strategy fixpoint walk, kept verbatim as the
+/// equivalence oracle for the event core: `tests/engine_equivalence.rs`
+/// asserts both produce bit-identical results on every strategy. Prefer
+/// [`simulate`] — this walk re-scans all ranks until quiescence, which is
+/// quadratic-ish in practice and minutes-slow at fleet scale.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_reference(
     schedule: &Schedule,
     cost: &CostModel,
     cluster: &ClusterSpec,
@@ -134,15 +215,6 @@ pub fn simulate(
     // Memory events (time, signed bytes) per rank.
     let mut mem_events: Vec<Vec<(f64, i64)>> = vec![Vec::new(); p];
     let mut makespan = 0.0f64;
-
-    let msg_bytes = |k: &MsgKey| -> u64 {
-        match k.kind {
-            MsgKind::Weights => cost.weight_chunk_bytes(),
-            MsgKind::WeightGrads => cost.grad_chunk_bytes(),
-            MsgKind::Act => cost.act_boundary_bytes(),
-            MsgKind::ActGrad => cost.act_grad_boundary_bytes(),
-        }
-    };
 
     let mut progress = true;
     while progress {
@@ -210,10 +282,16 @@ pub fn simulate(
                             OpKind::Update { chunk } => ('U', usize::MAX, chunk),
                             _ => unreachable!(),
                         };
-                        timeline[r].push(TimedOp { start, end, class, mb, chunk });
+                        timeline[r].push(TimedOp {
+                            start,
+                            end,
+                            class,
+                            mb,
+                            chunk,
+                        });
                     }
                     OpKind::Send(k) => {
-                        let bytes = msg_bytes(k);
+                        let bytes = msg_bytes(cost, k);
                         let link = cluster.ring_link(k.src);
                         let lf = link_free.entry((k.src, k.dst)).or_insert(0.0);
                         let mut issue = needs_t.max(*lf);
@@ -281,8 +359,7 @@ pub fn simulate(
                             _ => payload * (p as u64 - 1) / p as u64,
                         };
                         if group.readies.len() == p {
-                            let start =
-                                group.readies.iter().fold(0.0f64, |m, &(_, t)| m.max(t));
+                            let start = group.readies.iter().fold(0.0f64, |m, &(_, t)| m.max(t));
                             let dur = match group.kind {
                                 OpKind::AllReduceD { .. } => cluster.all_reduce_s(payload),
                                 _ => cluster.gather_scatter_s(payload),
@@ -322,41 +399,21 @@ pub fn simulate(
         }
     }
 
-    // Peak memory per rank: static + max running dynamic sum in time order.
-    let mut peak_mem = Vec::with_capacity(p);
-    for (r, events) in mem_events.iter_mut().enumerate() {
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-        let stat = cost.static_mem_bytes(schedule.strategy, r, p) as i64;
-        let mut cur = stat;
-        let mut peak = stat;
-        for &(_, d) in events.iter() {
-            cur += d;
-            peak = peak.max(cur);
-        }
-        peak_mem.push(peak.max(0) as u64);
-    }
-
-    let total_busy: f64 = busy.iter().sum();
-    let bubble_ratio = if makespan > 0.0 {
-        1.0 - total_busy / (p as f64 * makespan)
-    } else {
-        0.0
-    };
-
-    Ok(SimResult {
+    Ok(finalize_result(
+        schedule,
+        cost,
         makespan,
         busy,
-        bubble_ratio,
-        peak_mem,
         p2p_bytes,
         collective_bytes,
         timeline,
-    })
+        mem_events,
+    ))
 }
 
 /// The pseudo-key a collective registers on each rank (mirrors
 /// `wp_sched::validate`).
-fn collective_pseudo_key(kind: &OpKind, rank: usize) -> MsgKey {
+pub(crate) fn collective_pseudo_key(kind: &OpKind, rank: usize) -> MsgKey {
     match *kind {
         OpKind::AllGatherW { chunk, round } => MsgKey {
             kind: MsgKind::Weights,
@@ -389,8 +446,15 @@ mod tests {
         let sched = build(strategy, spec);
         let dims = ModelDims::paper(1024, 32, 4096, 16);
         let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
-        let cluster = ClusterSpec { ranks: p, ..ClusterSpec::nvlink_16() };
-        let cluster = ClusterSpec { ranks: p, node_size: p, ..cluster };
+        let cluster = ClusterSpec {
+            ranks: p,
+            ..ClusterSpec::nvlink_16()
+        };
+        let cluster = ClusterSpec {
+            ranks: p,
+            node_size: p,
+            ..cluster
+        };
         let r = simulate(&sched, &cost, &cluster, SimOptions::default()).expect("simulates");
         (r, cost)
     }
@@ -400,7 +464,11 @@ mod tests {
         for &s in wp_sched::ALL_STRATEGIES {
             let (r, _) = sim(s, 4, 8);
             assert!(r.makespan > 0.0, "{s:?}");
-            assert!(r.bubble_ratio >= 0.0 && r.bubble_ratio < 1.0, "{s:?}: {}", r.bubble_ratio);
+            assert!(
+                r.bubble_ratio >= 0.0 && r.bubble_ratio < 1.0,
+                "{s:?}: {}",
+                r.bubble_ratio
+            );
             assert!(r.peak_mem.iter().all(|&m| m > 0), "{s:?}");
         }
     }
@@ -437,7 +505,12 @@ mod tests {
     fn weipipe_interleave_beats_naive() {
         let (naive, _) = sim(Strategy::WeiPipeNaive, 4, 8);
         let (inter, _) = sim(Strategy::WeiPipeInterleave, 4, 8);
-        assert!(inter.makespan < naive.makespan, "{} vs {}", inter.makespan, naive.makespan);
+        assert!(
+            inter.makespan < naive.makespan,
+            "{} vs {}",
+            inter.makespan,
+            naive.makespan
+        );
     }
 
     #[test]
@@ -454,8 +527,26 @@ mod tests {
         let dims = ModelDims::paper(2048, 32, 8192, 8);
         let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
         let cluster = ClusterSpec::scaling(4, 1); // all-Ethernet: comm matters
-        let with = simulate(&sched, &cost, &cluster, SimOptions { overlap: true, ..Default::default() }).unwrap();
-        let without = simulate(&sched, &cost, &cluster, SimOptions { overlap: false, ..Default::default() }).unwrap();
+        let with = simulate(
+            &sched,
+            &cost,
+            &cluster,
+            SimOptions {
+                overlap: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let without = simulate(
+            &sched,
+            &cost,
+            &cluster,
+            SimOptions {
+                overlap: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(
             without.makespan > with.makespan,
             "disabling overlap must cost time: {} vs {}",
@@ -476,10 +567,20 @@ mod tests {
         let run = |strategy: Strategy, cluster: &ClusterSpec, overlap: bool| -> f64 {
             let sched = build(strategy, spec);
             let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
-            simulate(&sched, &cost, cluster, SimOptions { overlap, ..Default::default() }).unwrap().makespan
+            simulate(
+                &sched,
+                &cost,
+                cluster,
+                SimOptions {
+                    overlap,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .makespan
         };
-        let f1b_slowdown = run(Strategy::OneFOneB, &slow, false)
-            / run(Strategy::OneFOneB, &fast, false);
+        let f1b_slowdown =
+            run(Strategy::OneFOneB, &slow, false) / run(Strategy::OneFOneB, &fast, false);
         let wp_slowdown = run(Strategy::WeiPipeInterleave, &slow, true)
             / run(Strategy::WeiPipeInterleave, &fast, true);
         assert!(
@@ -514,8 +615,7 @@ mod tests {
         let r = simulate(&sched, &cost, &cluster, SimOptions::default()).unwrap();
         let measured_tbw = r.p2p_bytes[0] as f64 / r.makespan;
         let turn_secs = cost.t_fwd() + cost.t_bwd_full();
-        let formula_tbw =
-            wp_sched::analysis::weipipe_interleave_tbw(&cost.byte_model(), turn_secs);
+        let formula_tbw = wp_sched::analysis::weipipe_interleave_tbw(&cost.byte_model(), turn_secs);
         let ratio = measured_tbw / formula_tbw;
         assert!(
             (0.7..1.3).contains(&ratio),
@@ -527,8 +627,7 @@ mod tests {
         let r = simulate(&sched, &cost, &cluster, SimOptions::default()).unwrap();
         // A middle rank sends activations forward and gradients backward.
         let measured = r.p2p_bytes[3] as f64 / r.makespan;
-        let formula =
-            wp_sched::analysis::act_pipe_tbw(&cost.byte_model(), n, r.makespan);
+        let formula = wp_sched::analysis::act_pipe_tbw(&cost.byte_model(), n, r.makespan);
         let ratio = measured / formula;
         assert!(
             (0.7..1.3).contains(&ratio),

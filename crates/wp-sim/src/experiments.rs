@@ -69,7 +69,10 @@ pub fn zb_microbatch(seq: usize) -> usize {
 /// Recompute setting per strategy: everything checkpoints except ZB, where
 /// the paper notes recomputation buys nothing (§4.3).
 pub fn uses_recompute(strategy: Strategy) -> bool {
-    !matches!(strategy, Strategy::Zb1 | Strategy::Zb2 | Strategy::Wzb1 | Strategy::Wzb2)
+    !matches!(
+        strategy,
+        Strategy::Zb1 | Strategy::Zb2 | Strategy::Wzb1 | Strategy::Wzb2
+    )
 }
 
 /// The schedule spec every paper-reproduction cell uses. Pins the
@@ -101,11 +104,7 @@ pub fn sim_options(strategy: Strategy) -> SimOptions {
     SimOptions {
         overlap: !matches!(
             strategy,
-            Strategy::GPipe
-                | Strategy::OneFOneB
-                | Strategy::Zb1
-                | Strategy::Zb2
-                | Strategy::Fsdp
+            Strategy::GPipe | Strategy::OneFOneB | Strategy::Zb1 | Strategy::Zb2 | Strategy::Fsdp
         ),
         ..Default::default()
     }
@@ -165,7 +164,11 @@ pub fn table_grid() -> Vec<RowConfig> {
     let mut rows = Vec::new();
     for hidden in [1024usize, 2048, 4096] {
         for (seq, g) in [(4096usize, 16usize), (8192, 8), (16384, 4)] {
-            rows.push(RowConfig { hidden, seq, microbatch: g });
+            rows.push(RowConfig {
+                hidden,
+                seq,
+                microbatch: g,
+            });
         }
     }
     rows
@@ -222,7 +225,11 @@ pub fn fig6_weak_small() -> Vec<ScalingPoint> {
         &[(4, 64), (8, 128), (16, 256)],
         4,
         16,
-        RowConfig { hidden: 2048, seq: 4096, microbatch: 16 },
+        RowConfig {
+            hidden: 2048,
+            seq: 4096,
+            microbatch: 16,
+        },
         &TABLE_STRATEGIES,
     )
 }
@@ -234,8 +241,16 @@ pub fn fig7_weak_large() -> Vec<ScalingPoint> {
         &[(8, 128), (16, 256), (32, 512)],
         8,
         32,
-        RowConfig { hidden: 2048, seq: 4096, microbatch: 16 },
-        &[Strategy::OneFOneB, Strategy::Fsdp, Strategy::WeiPipeInterleave],
+        RowConfig {
+            hidden: 2048,
+            seq: 4096,
+            microbatch: 16,
+        },
+        &[
+            Strategy::OneFOneB,
+            Strategy::Fsdp,
+            Strategy::WeiPipeInterleave,
+        ],
     )
 }
 
@@ -245,7 +260,11 @@ pub fn fig8_strong_small() -> Vec<ScalingPoint> {
         &[(4, 128), (8, 128), (16, 128)],
         4,
         16,
-        RowConfig { hidden: 2048, seq: 4096, microbatch: 16 },
+        RowConfig {
+            hidden: 2048,
+            seq: 4096,
+            microbatch: 16,
+        },
         &TABLE_STRATEGIES,
     )
 }
@@ -256,8 +275,16 @@ pub fn fig9_strong_large() -> Vec<ScalingPoint> {
         &[(8, 256), (16, 256), (32, 256)],
         8,
         32,
-        RowConfig { hidden: 2048, seq: 4096, microbatch: 16 },
-        &[Strategy::OneFOneB, Strategy::Fsdp, Strategy::WeiPipeInterleave],
+        RowConfig {
+            hidden: 2048,
+            seq: 4096,
+            microbatch: 16,
+        },
+        &[
+            Strategy::OneFOneB,
+            Strategy::Fsdp,
+            Strategy::WeiPipeInterleave,
+        ],
     )
 }
 
@@ -306,14 +333,22 @@ pub fn hybrid_tp_sweep(
             continue;
         }
         let n = 8 * p;
-        let sched = build(Strategy::WeiPipeInterleave, paper_spec(Strategy::WeiPipeInterleave, p, n));
+        let sched = build(
+            Strategy::WeiPipeInterleave,
+            paper_spec(Strategy::WeiPipeInterleave, p, n),
+        );
         let dims = ModelDims::paper(row.hidden, layers, row.seq, row.microbatch);
         // Pipeline ring spans nodes of 8 GPUs; TP stays inside a node.
         let cluster = ClusterSpec::scaling(p, (8 / degree).max(1));
         let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched)
             .with_tp(crate::cost::TpOverlay::nvlink(degree));
         let r = simulate(&sched, &cost, &cluster, SimOptions::default()).expect("simulates");
-        out.push((degree, p, r.throughput_tokens_per_gpu(&cost, n), r.bubble_ratio));
+        out.push((
+            degree,
+            p,
+            r.throughput_tokens_per_gpu(&cost, n),
+            r.bubble_ratio,
+        ));
         degree *= 2;
     }
     out
@@ -327,7 +362,11 @@ pub fn straggler_sensitivity(
     slowdown: f64,
     strategies: &[Strategy],
 ) -> Vec<(Strategy, f64)> {
-    let row = RowConfig { hidden: 2048, seq: 8192, microbatch: 8 };
+    let row = RowConfig {
+        hidden: 2048,
+        seq: 8192,
+        microbatch: 8,
+    };
     let n = 8 * p;
     let cluster = ClusterSpec::nvlink_island(p);
     strategies
@@ -357,12 +396,20 @@ pub fn fig5_bubble_vs_microbatches(p: usize) -> Vec<(usize, Vec<(Strategy, f64)>
         Strategy::WeiPipeInterleave,
         Strategy::Wzb2,
     ];
-    let row = RowConfig { hidden: 2048, seq: 8192, microbatch: 8 };
+    let row = RowConfig {
+        hidden: 2048,
+        seq: 8192,
+        microbatch: 8,
+    };
     [2usize, 4, 8]
         .iter()
         .map(|&mult| {
             let n = mult * p;
-            let cluster = ClusterSpec { ranks: p, node_size: p, ..ClusterSpec::nvlink_16() };
+            let cluster = ClusterSpec {
+                ranks: p,
+                node_size: p,
+                ..ClusterSpec::nvlink_16()
+            };
             let cells = strategies
                 .iter()
                 .map(|&s| {
@@ -396,7 +443,11 @@ mod tests {
 
     #[test]
     fn single_cell_runs() {
-        let row = RowConfig { hidden: 1024, seq: 4096, microbatch: 16 };
+        let row = RowConfig {
+            hidden: 1024,
+            seq: 4096,
+            microbatch: 16,
+        };
         let c = run_cell(
             Strategy::WeiPipeInterleave,
             row,
@@ -411,7 +462,11 @@ mod tests {
 
     #[test]
     fn hybrid_tp_sweep_is_well_formed() {
-        let row = RowConfig { hidden: 4096, seq: 8192, microbatch: 8 };
+        let row = RowConfig {
+            hidden: 4096,
+            seq: 8192,
+            microbatch: 8,
+        };
         let sweep = hybrid_tp_sweep(16, row, 32);
         assert!(sweep.len() >= 3, "should cover several TP degrees");
         assert_eq!(sweep[0].0, 1, "starts at pure WeiPipe");
@@ -429,7 +484,11 @@ mod tests {
         let rows = straggler_sensitivity(
             4,
             2.0,
-            &[Strategy::OneFOneB, Strategy::Ddp, Strategy::WeiPipeInterleave],
+            &[
+                Strategy::OneFOneB,
+                Strategy::Ddp,
+                Strategy::WeiPipeInterleave,
+            ],
         );
         for (s, inflation) in rows {
             assert!(
@@ -498,7 +557,11 @@ mod tests {
     fn weipipe_wins_the_ethernet_long_context_cell() {
         // Table 3's headline: S=16384, H=2048 on Ethernet — WeiPipe beats
         // the best baseline by a clear margin.
-        let row = RowConfig { hidden: 2048, seq: 16384, microbatch: 4 };
+        let row = RowConfig {
+            hidden: 2048,
+            seq: 16384,
+            microbatch: 4,
+        };
         let cluster = ClusterSpec::ethernet_16();
         let samples = 8 * cluster.ranks * row.microbatch;
         let wp = run_cell(Strategy::WeiPipeInterleave, row, 32, &cluster, samples);

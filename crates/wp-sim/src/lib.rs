@@ -25,13 +25,16 @@
 
 pub mod cluster;
 pub mod cost;
+mod des;
 pub mod engine;
 pub mod experiments;
 pub mod measured;
 pub mod render;
+pub mod tune;
 
 pub use cluster::{ClusterSpec, Link};
 pub use cost::{CostModel, GpuSpec, ModelDims, TpOverlay};
 pub use engine::{simulate, SimOptions, SimResult, TimedOp};
 pub use measured::measured_result;
+pub use tune::DesOracle;
 pub use wp_sched::MemUnit;

@@ -35,8 +35,16 @@ pub fn measured_result(trace: &Trace) -> SimResult {
                     start: to_s(s.start_ns),
                     end: to_s(s.end_ns),
                     class,
-                    mb: if s.mb == NO_ID { usize::MAX } else { s.mb as usize },
-                    chunk: if s.chunk == NO_ID { usize::MAX } else { s.chunk as usize },
+                    mb: if s.mb == NO_ID {
+                        usize::MAX
+                    } else {
+                        s.mb as usize
+                    },
+                    chunk: if s.chunk == NO_ID {
+                        usize::MAX
+                    } else {
+                        s.chunk as usize
+                    },
                 });
             } else if s.kind == SpanKind::Send {
                 let (_dst, collective) = send_aux_decode(s.aux);
@@ -70,7 +78,15 @@ mod tests {
     }
 
     fn span(kind: SpanKind, start_ns: u64, end_ns: u64) -> SpanRecord {
-        SpanRecord { start_ns, end_ns, kind, mb: 3, chunk: 1, bytes: 0, aux: 0 }
+        SpanRecord {
+            start_ns,
+            end_ns,
+            kind,
+            mb: 3,
+            chunk: 1,
+            bytes: 0,
+            aux: 0,
+        }
     }
 
     #[test]

@@ -100,7 +100,11 @@ mod tests {
         let sched = build(Strategy::WeiPipeInterleave, PipelineSpec::new(4, 8));
         let cost =
             CostModel::for_schedule(ModelDims::paper(1024, 32, 4096, 4), GpuSpec::a800(), &sched);
-        let cluster = ClusterSpec { ranks: 4, node_size: 4, ..ClusterSpec::nvlink_16() };
+        let cluster = ClusterSpec {
+            ranks: 4,
+            node_size: 4,
+            ..ClusterSpec::nvlink_16()
+        };
         simulate(&sched, &cost, &cluster, SimOptions::default()).unwrap()
     }
 
@@ -149,7 +153,13 @@ mod tests {
     }
 
     fn op(start: f64, end: f64, class: char) -> crate::engine::TimedOp {
-        crate::engine::TimedOp { start, end, class, mb: 0, chunk: 0 }
+        crate::engine::TimedOp {
+            start,
+            end,
+            class,
+            mb: 0,
+            chunk: 0,
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Property tests: the component/min-heap discrete-event core behind
+//! [`wp_sim::simulate`] must be observationally *identical* — to the bit —
+//! to the legacy strategy-by-strategy walk kept as
+//! [`wp_sim::engine::simulate_reference`].
+//!
+//! Random valid schedules are drawn across every strategy (both WeiPipe
+//! variants included), P ∈ {2, 4, 8}, random microbatch counts, W-lag /
+//! chunking / recompute knobs, three cluster shapes, overlap on/off and
+//! occasional stragglers. For each, every observable of the two engines is
+//! compared: per-rank timelines, busy seconds, bubble fraction, peak
+//! memory, and wire traffic.
+
+use proptest::prelude::*;
+use wp_sched::{build, validate, PipelineSpec, Strategy as Strat, ALL_STRATEGIES};
+use wp_sim::engine::simulate_reference;
+use wp_sim::{simulate, ClusterSpec, CostModel, GpuSpec, ModelDims, SimOptions};
+
+fn arb_strategy() -> impl Strategy<Value = Strat> {
+    prop::sample::select(ALL_STRATEGIES.to_vec())
+}
+
+fn cluster(kind: usize, p: usize) -> ClusterSpec {
+    match kind {
+        0 => ClusterSpec::nvlink_island(p),
+        1 => ClusterSpec::scaling(p, (p / 2).max(1)),
+        _ => {
+            let mut c = ClusterSpec::nvlink_island(p);
+            c.inter = wp_sim::Link {
+                bandwidth: 1.25e9,
+                latency: 50e-6,
+            };
+            c.node_size = 2;
+            c
+        }
+    }
+}
+
+/// Assert every observable of the two engines matches exactly. Floats are
+/// compared by bit pattern — "close" is not equivalence.
+fn assert_engines_agree(
+    strategy: Strat,
+    spec: PipelineSpec,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+    dims: ModelDims,
+) {
+    let sched = build(strategy, spec);
+    prop_assert!(validate(&sched).is_ok(), "{strategy:?} invalid: {spec:?}");
+    let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
+    let des = simulate(&sched, &cost, cluster, opts);
+    let refr = simulate_reference(&sched, &cost, cluster, opts);
+    match (des, refr) {
+        (Ok(d), Ok(r)) => {
+            prop_assert_eq!(
+                d.makespan.to_bits(),
+                r.makespan.to_bits(),
+                "makespan: {} vs {} ({:?} {:?})",
+                d.makespan,
+                r.makespan,
+                strategy,
+                spec
+            );
+            prop_assert_eq!(d.bubble_ratio.to_bits(), r.bubble_ratio.to_bits());
+            let d_busy: Vec<u64> = d.busy.iter().map(|b| b.to_bits()).collect();
+            let r_busy: Vec<u64> = r.busy.iter().map(|b| b.to_bits()).collect();
+            prop_assert_eq!(d_busy, r_busy);
+            prop_assert_eq!(d.peak_mem, r.peak_mem);
+            prop_assert_eq!(d.p2p_bytes, r.p2p_bytes);
+            prop_assert_eq!(d.collective_bytes, r.collective_bytes);
+            prop_assert_eq!(d.timeline, r.timeline, "per-rank timelines diverged");
+        }
+        (d, r) => {
+            prop_assert!(
+                d.is_err() && r.is_err(),
+                "one engine failed, the other did not: des={:?} ref={:?}",
+                d.err().map(|e| e.to_string()),
+                r.err().map(|e| e.to_string())
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: random valid schedules across every
+    /// strategy, world size, knob setting, cluster shape and sim option
+    /// produce bit-identical results under both engines.
+    #[test]
+    fn des_and_reference_walk_are_bit_identical(
+        strategy in arb_strategy(),
+        p_exp in 1usize..4,            // P ∈ {2, 4, 8}
+        mult in 1usize..4,             // N = 2P·mult satisfies every builder
+        overlap_build in any::<bool>(),
+        overlap_sim in any::<bool>(),
+        recompute in any::<bool>(),
+        w_lag in 0usize..6,
+        chunk_sel in 0usize..4,
+        cluster_kind in 0usize..3,
+        hidden_sel in 0usize..3,
+        straggle in any::<bool>()
+    ) {
+        let p = 1 << p_exp;
+        let n = 2 * p * mult;
+        let mut spec = PipelineSpec::new(p, n).with_overlap(overlap_build);
+        if !recompute || matches!(strategy, Strat::Zb1 | Strat::Zb2 | Strat::Wzb1 | Strat::Wzb2) {
+            spec = spec.without_recompute();
+        }
+        // Knobs only where the strategy accepts them; w_lag 0 means "keep
+        // the default" so defaults stay covered.
+        if w_lag > 0 && matches!(strategy, Strat::Zb1 | Strat::Wzb1) {
+            spec = spec.with_w_lag(w_lag);
+        }
+        if chunk_sel > 0 && matches!(strategy, Strat::Fsdp | Strat::Ddp) {
+            spec = spec.with_chunks(chunk_sel * p / 2 + 1);
+        }
+        let cluster = cluster(cluster_kind, p);
+        let opts = SimOptions {
+            overlap: overlap_sim,
+            straggler: straggle.then_some((p - 1, 1.7)),
+        };
+        let hidden = [1024, 2048, 4096][hidden_sel];
+        let dims = ModelDims::paper(hidden, 2 * p, 4096, 4);
+        assert_engines_agree(strategy, spec, &cluster, opts, dims);
+    }
+
+    /// Focused sweep on the two WeiPipe variants the paper is about, with
+    /// long-context dims and both overlap settings, P ∈ {2, 4, 8}.
+    #[test]
+    fn weipipe_variants_agree_at_long_context(
+        variant in prop::sample::select(vec![Strat::WeiPipeNaive, Strat::WeiPipeInterleave]),
+        p_exp in 1usize..4,
+        mult in 1usize..5,
+        overlap in any::<bool>(),
+        seq_sel in 0usize..3
+    ) {
+        let p = 1 << p_exp;
+        let n = p * mult;
+        let spec = PipelineSpec::new(p, n).with_overlap(overlap);
+        let cluster = ClusterSpec::scaling(p, (p / 2).max(1));
+        let opts = SimOptions { overlap, straggler: None };
+        let seq = [4096, 16384, 65536][seq_sel];
+        let dims = ModelDims::paper(2048, 2 * p, seq, 1);
+        assert_engines_agree(variant, spec, &cluster, opts, dims);
+    }
+}
+
+/// The paper-table configurations themselves (the cells `experiments`
+/// sweeps): every strategy at the 16-GPU environment-1 cluster must
+/// reproduce bit-identically under the DES core.
+#[test]
+fn experiment_cells_reproduce_bit_identically() {
+    let cluster = ClusterSpec::nvlink_16();
+    let p = cluster.ranks;
+    for &(hidden, seq, g) in &[(4096usize, 16384usize, 4usize), (8192, 65536, 1)] {
+        for &strategy in ALL_STRATEGIES {
+            let mult = if strategy == Strat::Wzb1 { 2 * p } else { p };
+            let n = 64usize.div_ceil(mult) * mult;
+            let mut spec = PipelineSpec::new(p, n);
+            if matches!(
+                strategy,
+                Strat::Zb1 | Strat::Zb2 | Strat::Wzb1 | Strat::Wzb2
+            ) {
+                spec = spec.without_recompute();
+            }
+            let sched = build(strategy, spec);
+            let dims = ModelDims::paper(hidden, 32, seq, g);
+            let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
+            let opts = SimOptions::default();
+            let d = simulate(&sched, &cost, &cluster, opts).expect("des");
+            let r = simulate_reference(&sched, &cost, &cluster, opts).expect("reference");
+            assert_eq!(
+                d.makespan.to_bits(),
+                r.makespan.to_bits(),
+                "{strategy:?} H={hidden} S={seq}"
+            );
+            assert_eq!(d.timeline, r.timeline, "{strategy:?} H={hidden} S={seq}");
+            assert_eq!(d.peak_mem, r.peak_mem);
+            assert_eq!(d.bubble_ratio.to_bits(), r.bubble_ratio.to_bits());
+        }
+    }
+}

@@ -189,7 +189,11 @@ mod tests {
     fn f16_exact_small_integers() {
         for i in -2048..=2048 {
             let x = i as f32;
-            assert_eq!(quantize(x, DType::F16), x, "f16 must be exact for |x| <= 2048");
+            assert_eq!(
+                quantize(x, DType::F16),
+                x,
+                "f16 must be exact for |x| <= 2048"
+            );
         }
     }
 
@@ -201,7 +205,11 @@ mod tests {
         assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
         assert_eq!(f32_to_f16_bits(65504.0), 0x7bff);
         assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
-        assert_eq!(f32_to_f16_bits(65536.0), 0x7c00, "overflow saturates to inf");
+        assert_eq!(
+            f32_to_f16_bits(65536.0),
+            0x7c00,
+            "overflow saturates to inf"
+        );
         assert_eq!(f32_to_f16_bits(5.9604645e-8), 0x0001, "smallest subnormal");
     }
 
@@ -246,7 +254,11 @@ mod tests {
             for &v in &vals {
                 let once = quantize(v, dt);
                 let twice = quantize(once, dt);
-                assert_eq!(once.to_bits(), twice.to_bits(), "{dt} quantize not idempotent for {v}");
+                assert_eq!(
+                    once.to_bits(),
+                    twice.to_bits(),
+                    "{dt} quantize not idempotent for {v}"
+                );
             }
         }
         quantize_slice(&mut vals, DType::F16);

@@ -81,13 +81,7 @@ pub fn swiglu_forward(out: &mut [f32], gate: &[f32], up: &[f32]) {
 }
 
 /// Backward of [`swiglu_forward`]: accumulates into `dgate` and `dup`.
-pub fn swiglu_backward(
-    dgate: &mut [f32],
-    dup: &mut [f32],
-    dy: &[f32],
-    gate: &[f32],
-    up: &[f32],
-) {
+pub fn swiglu_backward(dgate: &mut [f32], dup: &mut [f32], dy: &[f32], gate: &[f32], up: &[f32]) {
     let n = dy.len();
     assert_eq!(dgate.len(), n);
     assert_eq!(dup.len(), n);

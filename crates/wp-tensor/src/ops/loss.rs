@@ -131,7 +131,10 @@ mod tests {
         cross_entropy_forward_backward(&mut d, &logits, &[0, 3], vocab);
         for row in d.chunks(vocab) {
             let s: f32 = row.iter().sum();
-            assert!(s.abs() < 1e-6, "softmax-CE grad rows must sum to 0, got {s}");
+            assert!(
+                s.abs() < 1e-6,
+                "softmax-CE grad rows must sum to 0, got {s}"
+            );
         }
     }
 
@@ -140,8 +143,7 @@ mod tests {
         let vocab = 4;
         let logits = Tensor::randn([2 * vocab], 1.0, 43).into_vec();
         let mut d_all = vec![0.0; logits.len()];
-        let loss_one =
-            cross_entropy_forward_backward(&mut d_all, &logits, &[1, u32::MAX], vocab);
+        let loss_one = cross_entropy_forward_backward(&mut d_all, &logits, &[1, u32::MAX], vocab);
         // Same as computing over only the first token.
         let mut d_first = vec![0.0; vocab];
         let loss_first =

@@ -253,7 +253,10 @@ mod tests {
             let (a, b) = (&a[..n], &b[..n]);
             let want: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
             let got = dot(a, b);
-            assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()), "n={n}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-3 * (1.0 + want.abs()),
+                "n={n}: {got} vs {want}"
+            );
             // Deterministic: same inputs, same bits, every time.
             assert_eq!(got.to_bits(), dot(a, b).to_bits());
         }

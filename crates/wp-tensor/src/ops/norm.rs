@@ -200,7 +200,11 @@ mod tests {
             let mut gm = gain.clone();
             gm[i] -= hstep;
             let num = (loss(&x, &gp) - loss(&x, &gm)) / (2.0 * hstep);
-            assert!((dgain[i] - num).abs() < 2e-2, "dgain[{i}] {} vs {num}", dgain[i]);
+            assert!(
+                (dgain[i] - num).abs() < 2e-2,
+                "dgain[{i}] {} vs {num}",
+                dgain[i]
+            );
         }
     }
 

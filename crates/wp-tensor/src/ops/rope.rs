@@ -31,7 +31,12 @@ impl RopeTable {
                 sin.push(angle.sin());
             }
         }
-        RopeTable { cos, sin, head_dim, max_pos }
+        RopeTable {
+            cos,
+            sin,
+            head_dim,
+            max_pos,
+        }
     }
 
     /// Head dimension the table was built for.
@@ -154,7 +159,10 @@ mod tests {
         let d1 = dot_at(5, 2);
         let d2 = dot_at(13, 10);
         let d3 = dot_at(40, 37);
-        assert!((d1 - d2).abs() < 1e-3 && (d2 - d3).abs() < 1e-3, "{d1} {d2} {d3}");
+        assert!(
+            (d1 - d2).abs() < 1e-3 && (d2 - d3).abs() < 1e-3,
+            "{d1} {d2} {d3}"
+        );
     }
 
     #[test]

@@ -238,8 +238,12 @@ mod tests {
         assert_ne!(a, c, "different seeds must differ");
         let mean = a.mean();
         assert!(mean.abs() < 0.15, "mean {mean} too far from 0");
-        let var: f32 =
-            a.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 999.0;
+        let var: f32 = a
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 999.0;
         assert!((var - 1.0).abs() < 0.2, "variance {var} too far from 1");
     }
 

@@ -1,7 +1,9 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
-use wp_tensor::dtype::{bf16_bits_to_f32, f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits, quantize, DType};
+use wp_tensor::dtype::{
+    bf16_bits_to_f32, f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits, quantize, DType,
+};
 use wp_tensor::ops::{matmul_naive, matmul_nn, matmul_nt, matmul_tn, softmax_rows, RopeTable};
 use wp_tensor::Tensor;
 

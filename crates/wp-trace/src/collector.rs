@@ -65,7 +65,11 @@ fn pack_meta(kind: SpanKind, mb: u32, chunk: u32) -> u64 {
 fn unpack_meta(meta: u64) -> Option<(SpanKind, u32, u32)> {
     let kind = SpanKind::from_u8((meta >> 48) as u8)?;
     let unpack_id = |v: u64| if v == ID_SENTINEL { NO_ID } else { v as u32 };
-    Some((kind, unpack_id((meta >> 24) & ID_SENTINEL), unpack_id(meta & ID_SENTINEL)))
+    Some((
+        kind,
+        unpack_id((meta >> 24) & ID_SENTINEL),
+        unpack_id(meta & ID_SENTINEL),
+    ))
 }
 
 /// One rank's pre-sized ring.
@@ -143,7 +147,10 @@ impl TraceCollector {
     /// Panics if `rank` is out of range.
     pub fn tracer(&self, rank: usize) -> RankTracer {
         assert!(rank < self.inner.ranks.len(), "rank {rank} out of range");
-        RankTracer { inner: self.inner.clone(), rank }
+        RankTracer {
+            inner: self.inner.clone(),
+            rank,
+        }
     }
 
     /// Snapshot every rank's records, sorted by start time per track.
@@ -183,7 +190,11 @@ impl TraceCollector {
                     });
                 }
                 spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.end_ns)));
-                RankTrack { rank, spans, overwritten: total.saturating_sub(cap) as u64 }
+                RankTrack {
+                    rank,
+                    spans,
+                    overwritten: total.saturating_sub(cap) as u64,
+                }
             })
             .collect();
         Trace { tracks }
@@ -205,16 +216,40 @@ impl RankTracer {
     /// Record a span that started at `start_ns` (from [`now_ns`](Self::now_ns))
     /// and ends now.
     #[inline]
-    pub fn end_span(&self, kind: SpanKind, start_ns: u64, mb: u32, chunk: u32, bytes: u64, aux: u64) {
+    pub fn end_span(
+        &self,
+        kind: SpanKind,
+        start_ns: u64,
+        mb: u32,
+        chunk: u32,
+        bytes: u64,
+        aux: u64,
+    ) {
         let end = self.now_ns().max(start_ns);
-        self.record(SpanRecord { start_ns, end_ns: end, kind, mb, chunk, bytes, aux });
+        self.record(SpanRecord {
+            start_ns,
+            end_ns: end,
+            kind,
+            mb,
+            chunk,
+            bytes,
+            aux,
+        });
     }
 
     /// Record an instant event (zero-duration span) happening now.
     #[inline]
     pub fn instant(&self, kind: SpanKind, aux: u64) {
         let t = self.now_ns();
-        self.record(SpanRecord { start_ns: t, end_ns: t, kind, mb: NO_ID, chunk: NO_ID, bytes: 0, aux });
+        self.record(SpanRecord {
+            start_ns: t,
+            end_ns: t,
+            kind,
+            mb: NO_ID,
+            chunk: NO_ID,
+            bytes: 0,
+            aux,
+        });
     }
 
     /// Record a fully specified span. Lock-free and allocation-free: one
@@ -231,14 +266,19 @@ impl RankTracer {
         s.end_ns.store(r.end_ns, Ordering::Relaxed);
         s.bytes.store(r.bytes, Ordering::Relaxed);
         s.aux.store(r.aux, Ordering::Relaxed);
-        s.meta.store(pack_meta(r.kind, r.mb, r.chunk), Ordering::Release);
+        s.meta
+            .store(pack_meta(r.kind, r.mb, r.chunk), Ordering::Release);
     }
 }
 
 impl RankTrack {
     /// Nanoseconds spent in top-level compute spans (busy time).
     pub fn busy_ns(&self) -> u64 {
-        self.spans.iter().filter(|s| s.kind.is_compute()).map(|s| s.dur_ns()).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.kind.is_compute())
+            .map(|s| s.dur_ns())
+            .sum()
     }
 
     /// True when the track holds at least one span of `kind`.
@@ -317,7 +357,15 @@ mod tests {
     use super::*;
 
     fn span(kind: SpanKind, t0: u64, t1: u64) -> SpanRecord {
-        SpanRecord { start_ns: t0, end_ns: t1, kind, mb: 0, chunk: 0, bytes: 0, aux: 0 }
+        SpanRecord {
+            start_ns: t0,
+            end_ns: t1,
+            kind,
+            mb: 0,
+            chunk: 0,
+            bytes: 0,
+            aux: 0,
+        }
     }
 
     #[test]
@@ -345,7 +393,11 @@ mod tests {
             t.record(span(SpanKind::Fwd, i, i + 1));
         }
         let tr = c.snapshot();
-        assert_eq!(tr.tracks[0].spans.len(), 4, "ring keeps the newest capacity records");
+        assert_eq!(
+            tr.tracks[0].spans.len(),
+            4,
+            "ring keeps the newest capacity records"
+        );
         assert_eq!(tr.tracks[0].overwritten, 6);
         let starts: Vec<u64> = tr.tracks[0].spans.iter().map(|s| s.start_ns).collect();
         assert_eq!(starts, vec![6, 7, 8, 9]);
@@ -353,7 +405,10 @@ mod tests {
 
     #[test]
     fn meta_packing_roundtrips_and_clamps() {
-        assert_eq!(unpack_meta(pack_meta(SpanKind::BwdData, 3, 7)), Some((SpanKind::BwdData, 3, 7)));
+        assert_eq!(
+            unpack_meta(pack_meta(SpanKind::BwdData, 3, 7)),
+            Some((SpanKind::BwdData, 3, 7))
+        );
         // Sentinels survive.
         assert_eq!(
             unpack_meta(pack_meta(SpanKind::Update, NO_ID, NO_ID)),

@@ -161,11 +161,18 @@ pub fn validate_chrome_json(json: &str) -> Result<TraceStats, String> {
     if events.is_empty() {
         return Err("traceEvents is empty".into());
     }
-    let mut stats = TraceStats { events: events.len(), spans: 0, instants: 0, tracks: 0 };
+    let mut stats = TraceStats {
+        events: events.len(),
+        spans: 0,
+        instants: 0,
+        tracks: 0,
+    };
     // (tid, last_ts) per track, small-world so a vec beats a map.
     let mut last_ts: Vec<(f64, f64)> = Vec::new();
     for (i, ev) in events.iter().enumerate() {
-        let ev = ev.as_obj().ok_or_else(|| format!("event {i} is not an object"))?;
+        let ev = ev
+            .as_obj()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
         let field = |k: &str| ev.iter().find(|(n, _)| n == k).map(|(_, v)| v);
         let ph = field("ph")
             .and_then(Json::as_str)
@@ -258,7 +265,10 @@ struct Parser<'a> {
 }
 
 fn parse_json(s: &str) -> Result<Json, String> {
-    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.i != p.b.len() {
@@ -276,7 +286,10 @@ impl Parser<'_> {
 
     fn peek(&mut self) -> Result<u8, String> {
         self.skip_ws();
-        self.b.get(self.i).copied().ok_or_else(|| "unexpected end of input".into())
+        self.b
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
     }
 
     fn eat(&mut self, c: u8) -> Result<(), String> {
@@ -315,7 +328,10 @@ impl Parser<'_> {
             self.i += 1;
         }
         while self.i < self.b.len()
-            && matches!(self.b[self.i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            && matches!(
+                self.b[self.i],
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+            )
         {
             self.i += 1;
         }
@@ -387,7 +403,12 @@ impl Parser<'_> {
                     self.i += 1;
                     return Ok(Json::Arr(out));
                 }
-                c => return Err(format!("expected , or ] got {:?} at byte {}", c as char, self.i)),
+                c => {
+                    return Err(format!(
+                        "expected , or ] got {:?} at byte {}",
+                        c as char, self.i
+                    ))
+                }
             }
         }
     }
@@ -410,7 +431,12 @@ impl Parser<'_> {
                     self.i += 1;
                     return Ok(Json::Obj(out));
                 }
-                c => return Err(format!("expected , or }} got {:?} at byte {}", c as char, self.i)),
+                c => {
+                    return Err(format!(
+                        "expected , or }} got {:?} at byte {}",
+                        c as char, self.i
+                    ))
+                }
             }
         }
     }
@@ -464,7 +490,12 @@ mod tests {
         });
         t1.instant(
             SpanKind::Fault,
-            fault_aux(FaultFlags { delay: true, hold: false, corrupt: false, dead: false }),
+            fault_aux(FaultFlags {
+                delay: true,
+                hold: false,
+                corrupt: false,
+                dead: false,
+            }),
         );
         c.snapshot()
     }
@@ -476,7 +507,11 @@ mod tests {
         assert_eq!(stats.spans, 3);
         assert_eq!(stats.instants, 1);
         assert_eq!(stats.tracks, 2);
-        assert!(stats.events >= 7, "3 metadata + 4 timed, got {}", stats.events);
+        assert!(
+            stats.events >= 7,
+            "3 metadata + 4 timed, got {}",
+            stats.events
+        );
     }
 
     #[test]
@@ -495,7 +530,10 @@ mod tests {
     fn validator_rejects_malformed_documents() {
         assert!(validate_chrome_json("").is_err());
         assert!(validate_chrome_json("{}").is_err(), "missing traceEvents");
-        assert!(validate_chrome_json("{\"traceEvents\":[]}").is_err(), "empty");
+        assert!(
+            validate_chrome_json("{\"traceEvents\":[]}").is_err(),
+            "empty"
+        );
         assert!(
             validate_chrome_json("{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"tid\":0}]}")
                 .is_err(),

@@ -239,10 +239,7 @@ pub struct FaultFlags {
 
 /// Encode fault flags into a [`SpanKind::Fault`] `aux` word.
 pub fn fault_aux(f: FaultFlags) -> u64 {
-    u64::from(f.delay)
-        | u64::from(f.hold) << 1
-        | u64::from(f.corrupt) << 2
-        | u64::from(f.dead) << 3
+    u64::from(f.delay) | u64::from(f.hold) << 1 | u64::from(f.corrupt) << 2 | u64::from(f.dead) << 3
 }
 
 /// Decode [`fault_aux`].
@@ -269,17 +266,26 @@ pub struct TraceConfig {
 impl TraceConfig {
     /// Tracing disabled (the default; zero overhead beyond one branch).
     pub fn off() -> Self {
-        TraceConfig { enabled: false, capacity_per_rank: 0 }
+        TraceConfig {
+            enabled: false,
+            capacity_per_rank: 0,
+        }
     }
 
     /// Tracing enabled with the default per-rank capacity (64 Ki records).
     pub fn on() -> Self {
-        TraceConfig { enabled: true, capacity_per_rank: 1 << 16 }
+        TraceConfig {
+            enabled: true,
+            capacity_per_rank: 1 << 16,
+        }
     }
 
     /// Tracing enabled with an explicit per-rank ring capacity.
     pub fn with_capacity(capacity_per_rank: usize) -> Self {
-        TraceConfig { enabled: true, capacity_per_rank: capacity_per_rank.max(1) }
+        TraceConfig {
+            enabled: true,
+            capacity_per_rank: capacity_per_rank.max(1),
+        }
     }
 }
 
@@ -310,7 +316,10 @@ mod tests {
             );
         }
         assert!(SpanKind::Fwd.is_compute());
-        assert!(!SpanKind::OptimStep.is_compute(), "nested span must not double-count busy");
+        assert!(
+            !SpanKind::OptimStep.is_compute(),
+            "nested span must not double-count busy"
+        );
         assert!(!SpanKind::Iteration.is_compute());
         assert!(SpanKind::RecvWait.is_comm());
     }
@@ -320,7 +329,12 @@ mod tests {
         assert_eq!(send_aux_decode(send_aux(3, true)), (3, true));
         assert_eq!(send_aux_decode(send_aux(0, false)), (0, false));
         assert_eq!(recv_aux_decode(recv_aux(7, 42)), (7, 42));
-        let f = FaultFlags { delay: true, hold: false, corrupt: true, dead: false };
+        let f = FaultFlags {
+            delay: true,
+            hold: false,
+            corrupt: true,
+            dead: false,
+        };
         assert_eq!(fault_aux_decode(fault_aux(f)), f);
     }
 
@@ -328,7 +342,11 @@ mod tests {
     fn config_defaults_off() {
         assert!(!TraceConfig::default().enabled);
         assert!(TraceConfig::on().enabled);
-        assert_eq!(TraceConfig::with_capacity(0).capacity_per_rank, 1, "clamped");
+        assert_eq!(
+            TraceConfig::with_capacity(0).capacity_per_rank,
+            1,
+            "clamped"
+        );
     }
 
     #[test]

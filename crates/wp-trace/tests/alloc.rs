@@ -49,7 +49,14 @@ fn recording_allocates_nothing() {
         for (r, t) in tracers.iter().enumerate() {
             let t0 = t.now_ns();
             t.end_span(SpanKind::Fwd, t0, 3, 1, 0, 0);
-            t.end_span(SpanKind::Send, t0, NO_ID, NO_ID, 4096, send_aux((r + 1) % 4, false));
+            t.end_span(
+                SpanKind::Send,
+                t0,
+                NO_ID,
+                NO_ID,
+                4096,
+                send_aux((r + 1) % 4, false),
+            );
             t.instant(SpanKind::Fault, 0b01);
         }
     }

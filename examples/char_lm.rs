@@ -36,8 +36,15 @@ impl CharVocab {
         let mut chars: Vec<char> = text.chars().collect();
         chars.sort_unstable();
         chars.dedup();
-        let to_id = chars.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
-        CharVocab { to_id, to_char: chars }
+        let to_id = chars
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        CharVocab {
+            to_id,
+            to_char: chars,
+        }
     }
 
     fn encode(&self, text: &str) -> Vec<u32> {
@@ -71,7 +78,11 @@ fn main() {
         microbatches: 8,
         iters: 60,
         optim: OptimKind::AdamW { lr: 6e-3 },
-        lr_schedule: LrSchedule::WarmupCosine { warmup: 5, total: 60, min_ratio: 0.1 },
+        lr_schedule: LrSchedule::WarmupCosine {
+            warmup: 5,
+            total: 60,
+            min_ratio: 0.1,
+        },
         loss_scale: 1.0,
         wire: DType::F32,
         link: LinkModel::instant(),
@@ -83,7 +94,10 @@ fn main() {
         overlap: true,
     };
 
-    println!("training {} params on 4 ranks with WeiPipe-Interleave…", model.total_params());
+    println!(
+        "training {} params on 4 ranks with WeiPipe-Interleave…",
+        model.total_params()
+    );
     let out = run_distributed(Strategy::WeiPipeInterleave, 4, &setup).expect("healthy world");
     for (i, l) in out.losses.iter().enumerate() {
         if i % 10 == 0 || i + 1 == out.losses.len() {
@@ -121,5 +135,8 @@ fn main() {
         out.max_loss_diff(&reference),
         out.max_param_diff(&reference)
     );
-    assert!(out.losses.last().expect("ran") < &1.0, "model should fit the corpus");
+    assert!(
+        out.losses.last().expect("ran") < &1.0,
+        "model should fit the corpus"
+    );
 }

@@ -22,13 +22,25 @@ fn main() {
     // --- Part 1: paper-scale simulation --------------------------------
     println!("## Simulated: 16×A800, two NVLink boxes, inter-box link sweep");
     println!("   (H=2048, S=16384, G=4, 32 layers — tokens/s/GPU)\n");
-    println!("{:>20} | {:>8} {:>8} {:>8}", "inter-box link", "1F1B", "FSDP", "WeiPipe");
-    let row = RowConfig { hidden: 2048, seq: 16384, microbatch: 4 };
+    println!(
+        "{:>20} | {:>8} {:>8} {:>8}",
+        "inter-box link", "1F1B", "FSDP", "WeiPipe"
+    );
+    let row = RowConfig {
+        hidden: 2048,
+        seq: 16384,
+        microbatch: 4,
+    };
     for (name, inter) in [
         ("NVLink 400 GB/s", Link::nvlink_a800()),
         ("10 GbE 1.25 GB/s", Link::ethernet_10g()),
     ] {
-        let cluster = ClusterSpec { ranks: 16, node_size: 8, intra: Link::nvlink_a800(), inter };
+        let cluster = ClusterSpec {
+            ranks: 16,
+            node_size: 8,
+            intra: Link::nvlink_a800(),
+            inter,
+        };
         let samples = 8 * 16 * row.microbatch;
         let f1b = run_cell(Strategy::OneFOneB, row, 32, &cluster, samples);
         let fsdp = run_cell(Strategy::Fsdp, row, 32, &cluster, samples);
@@ -58,7 +70,10 @@ fn main() {
         loss_scale: 1.0,
         optim: OptimKind::Sgd { lr: 0.1 },
         wire: DType::F32,
-        link: LinkModel { bandwidth_bps: 60e6, latency_s: 2e-4 },
+        link: LinkModel {
+            bandwidth_bps: 60e6,
+            latency_s: 2e-4,
+        },
         recompute: false,
         data: weipipe::DataSource::Synthetic,
         faults: None,

@@ -34,7 +34,9 @@ fn traffic_for(seq: usize, strategy: Strategy) -> u64 {
         trace: weipipe::TraceConfig::off(),
         overlap: true,
     };
-    run_distributed(strategy, 4, &setup).expect("healthy world").bytes_sent
+    run_distributed(strategy, 4, &setup)
+        .expect("healthy world")
+        .bytes_sent
 }
 
 fn main() {
@@ -56,8 +58,8 @@ fn main() {
     }
     // The paper's headline property, measured: WeiPipe's bytes do not grow
     // with context length (weight traffic only), while 1F1B's grow linearly.
-    let spread = *wp_bytes.iter().max().expect("ran") as f64
-        / *wp_bytes.iter().min().expect("ran") as f64;
+    let spread =
+        *wp_bytes.iter().max().expect("ran") as f64 / *wp_bytes.iter().min().expect("ran") as f64;
     println!(
         "\nWeiPipe traffic spread across an 8× context sweep: {spread:.3}× \
          (activation-passing grows ~8×)."

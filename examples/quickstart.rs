@@ -66,7 +66,10 @@ fn main() {
         "\nmax loss difference:  {:.2e}",
         wp.max_loss_diff(&reference)
     );
-    println!("max weight difference: {:.2e}", wp.max_param_diff(&reference));
+    println!(
+        "max weight difference: {:.2e}",
+        wp.max_param_diff(&reference)
+    );
     println!(
         "bytes moved by the weight pipeline: {:.1} MiB",
         wp.bytes_sent as f64 / (1 << 20) as f64
@@ -80,7 +83,10 @@ fn main() {
         let trace = wp.trace.as_ref().expect("tracing was enabled");
         let json = wp_trace::export_chrome_json(trace);
         let stats = wp_trace::validate_chrome_json(&json).expect("export must be valid");
-        assert!(stats.instants > 0, "injected faults must appear as instant events");
+        assert!(
+            stats.instants > 0,
+            "injected faults must appear as instant events"
+        );
         std::fs::write(&path, &json).expect("write trace file");
         println!(
             "\nwrote {} spans across {} ranks to {path} (measured bubble ratio {:.1}%)",

@@ -8,6 +8,12 @@
 //!
 //! Strategies: gpipe | 1f1b | zb1 | zb2 | fsdp | ddp | naive | weipipe |
 //! wzb1 | wzb2.
+//!
+//! To *search* the schedule space instead of inspecting one point, use the
+//! autotuner this explorer grew into: `cargo run --release -p wp-bench
+//! --bin tune` sweeps strategy × microbatches × W-lag × overlap × chunking
+//! with the same simulator as oracle and reports the best validated
+//! schedule per (model, cluster) pair.
 
 use wp_sched::{build, validate, PipelineSpec, Strategy};
 use wp_sim::render::ascii_timeline;
@@ -30,15 +36,21 @@ fn parse_strategy(name: &str) -> Strategy {
 }
 
 fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let strategy =
-        parse_strategy(&arg(&args, "--strategy").unwrap_or_else(|| "weipipe".into()));
-    let ranks: usize = arg(&args, "--ranks").and_then(|v| v.parse().ok()).unwrap_or(4);
-    let n: usize = arg(&args, "--microbatches").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let strategy = parse_strategy(&arg(&args, "--strategy").unwrap_or_else(|| "weipipe".into()));
+    let ranks: usize = arg(&args, "--ranks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let n: usize = arg(&args, "--microbatches")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
 
     let spec = match strategy {
         Strategy::Zb1 | Strategy::Zb2 | Strategy::Wzb1 | Strategy::Wzb2 => {
@@ -60,8 +72,7 @@ fn main() {
     let dims = ModelDims::paper(2048, 32, 4096, 4);
     let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
     let cluster = ClusterSpec::nvlink_island(ranks);
-    let result =
-        simulate(&sched, &cost, &cluster, SimOptions::default()).expect("simulates");
+    let result = simulate(&sched, &cost, &cluster, SimOptions::default()).expect("simulates");
     println!("{}", ascii_timeline(&result, 120));
     println!("legend: F forward · B fused backward · b B-pass · w W-pass · U update · '·' idle");
 }

@@ -12,7 +12,10 @@ fn cell(
     cells: &[wp_sim::experiments::CellResult],
     s: Strategy,
 ) -> &wp_sim::experiments::CellResult {
-    cells.iter().find(|c| c.strategy == s).expect("strategy present")
+    cells
+        .iter()
+        .find(|c| c.strategy == s)
+        .expect("strategy present")
 }
 
 #[test]
@@ -55,7 +58,10 @@ fn table2_headline_factors() {
     let wp = cell(&r2048.1, Strategy::WeiPipeInterleave).throughput;
     let f1b = cell(&r2048.1, Strategy::OneFOneB).throughput;
     let ratio = wp / f1b;
-    assert!((1.2..2.2).contains(&ratio), "H2048/S4096 WeiPipe/1F1B = {ratio:.2}");
+    assert!(
+        (1.2..2.2).contains(&ratio),
+        "H2048/S4096 WeiPipe/1F1B = {ratio:.2}"
+    );
 
     let r4096 = rows
         .iter()
@@ -64,7 +70,10 @@ fn table2_headline_factors() {
     let wp = cell(&r4096.1, Strategy::WeiPipeInterleave).throughput;
     let fsdp = cell(&r4096.1, Strategy::Fsdp).throughput;
     let ratio = wp / fsdp;
-    assert!((1.1..2.5).contains(&ratio), "H4096/S16384 WeiPipe/FSDP = {ratio:.2}");
+    assert!(
+        (1.1..2.5).contains(&ratio),
+        "H4096/S16384 WeiPipe/FSDP = {ratio:.2}"
+    );
 }
 
 #[test]
@@ -195,7 +204,11 @@ fn weipipe_memory_is_balanced_across_ranks_unlike_1f1b() {
 fn wzb2_approaches_zero_bubble() {
     // §4.2.3.2: WZB2's seamless handover nearly eliminates the bubble
     // relative to WeiPipe-Interleave at the same configuration.
-    let row = RowConfig { hidden: 2048, seq: 8192, microbatch: 8 };
+    let row = RowConfig {
+        hidden: 2048,
+        seq: 8192,
+        microbatch: 8,
+    };
     let cluster = ClusterSpec::nvlink_island(8);
     let wp = run_cell(Strategy::WeiPipeInterleave, row, 32, &cluster, 8 * 8 * 8);
     let wzb2 = run_cell(Strategy::Wzb2, row, 32, &cluster, 8 * 8 * 8);

@@ -16,7 +16,10 @@ fn check(strategy: Strategy, ranks: usize, setup: &TrainSetup, tol_loss: f32, to
         out.losses,
         reference.losses
     );
-    assert!(dp <= tol_param, "{strategy:?} P={ranks}: param diff {dp} > {tol_param}");
+    assert!(
+        dp <= tol_param,
+        "{strategy:?} P={ranks}: param diff {dp} > {tol_param}"
+    );
 }
 
 #[test]
@@ -65,7 +68,11 @@ fn adamw_trajectories_match() {
     let mut setup = TrainSetup::tiny(4, 8);
     setup.optim = OptimKind::AdamW { lr: 2e-3 };
     setup.iters = 3;
-    for strategy in [Strategy::WeiPipeInterleave, Strategy::OneFOneB, Strategy::Fsdp] {
+    for strategy in [
+        Strategy::WeiPipeInterleave,
+        Strategy::OneFOneB,
+        Strategy::Fsdp,
+    ] {
         check(strategy, 4, &setup, 3e-4, 3e-3);
     }
 }
@@ -134,12 +141,19 @@ fn loss_scaling_is_numerically_transparent_in_f32() {
     let mut setup = TrainSetup::tiny(4, 8);
     setup.loss_scale = 1024.0;
     setup.iters = 3;
-    for strategy in [Strategy::WeiPipeInterleave, Strategy::Fsdp, Strategy::OneFOneB] {
+    for strategy in [
+        Strategy::WeiPipeInterleave,
+        Strategy::Fsdp,
+        Strategy::OneFOneB,
+    ] {
         check(strategy, 4, &setup, 3e-4, 3e-3);
     }
     // And matches the unscaled single-process run too (scaling is a no-op
     // in f32 up to rounding).
-    let unscaled = run_single(&TrainSetup { loss_scale: 1.0, ..setup.clone() });
+    let unscaled = run_single(&TrainSetup {
+        loss_scale: 1.0,
+        ..setup.clone()
+    });
     let scaled = run_single(&setup);
     assert!(scaled.max_loss_diff(&unscaled) < 1e-4);
     assert!(scaled.max_param_diff(&unscaled) < 1e-3);
@@ -148,8 +162,11 @@ fn loss_scaling_is_numerically_transparent_in_f32() {
 #[test]
 fn lr_schedules_apply_identically_everywhere() {
     let mut setup = TrainSetup::tiny(2, 4);
-    setup.lr_schedule =
-        wp_optim::LrSchedule::WarmupCosine { warmup: 2, total: 6, min_ratio: 0.1 };
+    setup.lr_schedule = wp_optim::LrSchedule::WarmupCosine {
+        warmup: 2,
+        total: 6,
+        min_ratio: 0.1,
+    };
     setup.iters = 5;
     check(Strategy::WeiPipeInterleave, 2, &setup, 2e-4, 2e-3);
     check(Strategy::Ddp, 2, &setup, 2e-4, 2e-3);
@@ -159,7 +176,10 @@ fn lr_schedules_apply_identically_everywhere() {
         ..setup.clone()
     });
     let warmed = run_single(&setup);
-    assert!(warmed.max_param_diff(&constant) > 1e-6, "schedule had no effect");
+    assert!(
+        warmed.max_param_diff(&constant) > 1e-6,
+        "schedule had no effect"
+    );
 }
 
 #[test]
@@ -168,7 +188,11 @@ fn gqa_models_train_equivalently() {
     // circulating chunks and the interpreter must follow.
     let mut setup = TrainSetup::tiny(4, 8);
     setup.model = setup.model.with_gqa(1); // multi-query
-    for strategy in [Strategy::WeiPipeInterleave, Strategy::OneFOneB, Strategy::Fsdp] {
+    for strategy in [
+        Strategy::WeiPipeInterleave,
+        Strategy::OneFOneB,
+        Strategy::Fsdp,
+    ] {
         check(strategy, 4, &setup, 2e-4, 2e-3);
     }
 }

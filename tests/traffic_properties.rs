@@ -40,8 +40,10 @@ fn weipipe_bytes_independent_of_context_and_microbatch() {
 
 #[test]
 fn act_passing_bytes_scale_with_context() {
-    let base = run_distributed(Strategy::OneFOneB, 4, &setup_with(8, 2, 4, 8)).expect("healthy world");
-    let long = run_distributed(Strategy::OneFOneB, 4, &setup_with(32, 2, 4, 8)).expect("healthy world");
+    let base =
+        run_distributed(Strategy::OneFOneB, 4, &setup_with(8, 2, 4, 8)).expect("healthy world");
+    let long =
+        run_distributed(Strategy::OneFOneB, 4, &setup_with(32, 2, 4, 8)).expect("healthy world");
     // Boundary activations quadruple; embed/head all-reduce is unchanged, so
     // expect strictly more but not exactly 4×.
     assert!(
@@ -66,7 +68,10 @@ fn simulated_traffic_equals_measured_traffic() {
     ] {
         let setup = setup_with(8, 2, 4, 8);
         let p = 4;
-        let sched = build(strategy, PipelineSpec::new(p, setup.microbatches).without_recompute());
+        let sched = build(
+            strategy,
+            PipelineSpec::new(p, setup.microbatches).without_recompute(),
+        );
         let cfg = &setup.model;
         let lpc = cfg.layers / p;
         let block_len = wp_nn::params::BlockLayout::new(cfg).len();

@@ -64,7 +64,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `BenchmarkId::new("matmul", 256)` → `matmul/256`.
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{function}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
     }
 }
 
@@ -101,7 +103,11 @@ impl<'a> BenchmarkGroup<'a> {
         if self.skip {
             return self;
         }
-        let mut b = Bencher { iters: self.sample_size as u64, elapsed_ns: 0.0, ran: 0 };
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0.0,
+            ran: 0,
+        };
         f(&mut b);
         let label = if self.name.is_empty() {
             format!("{id}")

@@ -61,7 +61,9 @@ impl TestRng {
             .ok()
             .and_then(|s| s.parse::<u64>().ok())
             .unwrap_or(0);
-        TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ env }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ env,
+        }
     }
 
     /// Next 64 uniformly distributed bits.
@@ -352,12 +354,15 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic_per_name_and_case() {
-        let a: Vec<u64> =
-            (0..4).map(|c| crate::TestRng::deterministic("t", c).next_u64()).collect();
-        let b: Vec<u64> =
-            (0..4).map(|c| crate::TestRng::deterministic("t", c).next_u64()).collect();
-        let c: Vec<u64> =
-            (0..4).map(|c| crate::TestRng::deterministic("u", c).next_u64()).collect();
+        let a: Vec<u64> = (0..4)
+            .map(|c| crate::TestRng::deterministic("t", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| crate::TestRng::deterministic("t", c).next_u64())
+            .collect();
+        let c: Vec<u64> = (0..4)
+            .map(|c| crate::TestRng::deterministic("u", c).next_u64())
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -36,7 +36,9 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // One mixing round so nearby seeds diverge immediately.
-            let mut r = StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 };
+            let mut r = StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            };
             let _ = r.next_u64();
             r
         }

@@ -117,11 +117,17 @@ fn pool() -> &'static Pool {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
         let pool = Pool {
             threads,
-            inner: Mutex::new(PoolInner { job: 0, epoch: 0, active: 0 }),
+            inner: Mutex::new(PoolInner {
+                job: 0,
+                epoch: 0,
+                active: 0,
+            }),
             work: Condvar::new(),
             done: Condvar::new(),
         };
@@ -269,7 +275,12 @@ pub mod slice {
     impl<T: Sync> ParallelSlice<T> for [T] {
         fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
             assert!(chunk_size > 0, "chunk size must be positive");
-            ParChunks { ptr: self.as_ptr(), len: self.len(), chunk: chunk_size, _marker: PhantomData }
+            ParChunks {
+                ptr: self.as_ptr(),
+                len: self.len(),
+                chunk: chunk_size,
+                _marker: PhantomData,
+            }
         }
     }
 
@@ -362,7 +373,8 @@ pub mod slice {
         where
             F: Fn((&'a mut [T], &'b [U])) + Send + Sync,
         {
-            let n = chunk_count(self.a.len, self.a.chunk).min(chunk_count(self.b.len, self.b.chunk));
+            let n =
+                chunk_count(self.a.len, self.a.chunk).min(chunk_count(self.b.len, self.b.chunk));
             let (ap, al, ac) = (SendPtr(self.a.ptr), self.a.len, self.a.chunk);
             let (bp, bl, bc) = (SendPtr(self.b.ptr), self.b.len, self.b.chunk);
             par_indices(n, move |i| {
@@ -431,11 +443,13 @@ mod tests {
     fn zip_pairs_matching_chunks() {
         let src: Vec<u64> = (0..100).collect();
         let mut dst = vec![0u64; 100];
-        dst.par_chunks_mut(7).zip(src.par_chunks(7)).for_each(|(d, s)| {
-            for (x, y) in d.iter_mut().zip(s) {
-                *x = *y * 2;
-            }
-        });
+        dst.par_chunks_mut(7)
+            .zip(src.par_chunks(7))
+            .for_each(|(d, s)| {
+                for (x, y) in d.iter_mut().zip(s) {
+                    *x = *y * 2;
+                }
+            });
         assert!(dst.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
     }
 
