@@ -50,9 +50,11 @@ pub mod runner;
 pub mod setup;
 pub mod single;
 
-pub use runner::{run, run_distributed, run_distributed_per_rank, runtime_strategies};
+pub use runner::{
+    build_schedule, run, run_distributed, run_distributed_per_rank, run_rank, runtime_strategies,
+};
 pub use setup::{DataSource, OptimKind, RunOutput, TrainSetup};
 pub use single::run_single;
-pub use wp_comm::{CommConfig, CommError, FaultPlan};
+pub use wp_comm::{CommConfig, CommError, FaultPlan, TransportKind};
 pub use wp_sched::Strategy;
 pub use wp_trace::{Trace, TraceConfig};

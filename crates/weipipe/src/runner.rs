@@ -4,8 +4,8 @@
 use crate::interp::RankRuntime;
 use crate::setup::{RunOutput, TrainSetup};
 use crate::single::run_single;
-use wp_comm::{CommError, World};
-use wp_sched::{build, validate, PipelineSpec, Strategy};
+use wp_comm::{CommError, Communicator, World};
+use wp_sched::{build, validate, PipelineSpec, Schedule, Strategy};
 use wp_trace::TraceCollector;
 
 /// Strategies the runtime executes (everything the builders produce except
@@ -39,6 +39,42 @@ pub fn run_distributed_per_rank(
     ranks: usize,
     setup: &TrainSetup,
 ) -> Vec<Result<RunOutput, CommError>> {
+    let schedule = build_schedule(strategy, ranks, setup);
+    let collector = setup
+        .trace
+        .enabled
+        .then(|| TraceCollector::new(ranks, setup.trace.capacity_per_rank));
+    let (outs, meter) = World::builder(ranks)
+        .link(setup.link)
+        .config(setup.comm)
+        .transport(setup.transport)
+        .maybe_faults(setup.faults.clone())
+        .maybe_trace(collector.clone())
+        .try_run(|comm| run_rank(setup, &schedule, comm));
+    let bytes = meter.total_bytes();
+    // Snapshot once after every rank thread has joined (the race-free
+    // protocol); each successful rank carries the same world-wide trace.
+    let trace = collector.map(|c| c.snapshot());
+    outs.into_iter()
+        .map(|r| {
+            r.map(|mut out| {
+                out.bytes_sent = bytes;
+                out.trace = trace.clone();
+                out
+            })
+        })
+        .collect()
+}
+
+/// Build and validate the schedule `run_distributed_per_rank` executes.
+/// Public so a multi-process worker can construct the identical schedule in
+/// its own address space.
+///
+/// # Panics
+/// Panics if the configuration violates the strategy's constraints (layers
+/// divisible by ranks, WZB variants being simulator-only) or if the built
+/// schedule fails validation.
+pub fn build_schedule(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> Schedule {
     assert!(
         setup.model.layers.is_multiple_of(ranks),
         "layers ({}) must divide evenly across ranks ({ranks})",
@@ -56,52 +92,42 @@ pub fn run_distributed_per_rank(
     let spec = spec.with_overlap(setup.overlap);
     let schedule = build(strategy, spec);
     validate(&schedule).expect("builder produced an invalid schedule");
+    schedule
+}
 
-    let iters = setup.iters;
-    let collector = setup
-        .trace
-        .enabled
-        .then(|| TraceCollector::new(ranks, setup.trace.capacity_per_rank));
-    let (outs, meter) = World::builder(ranks)
-        .link(setup.link)
-        .config(setup.comm)
-        .maybe_faults(setup.faults.clone())
-        .maybe_trace(collector.clone())
-        .try_run(|comm| {
-            let mut rt = RankRuntime::new(setup, &schedule, comm);
-            let mut losses = Vec::with_capacity(iters);
-            let t0 = std::time::Instant::now();
-            for iter in 0..iters {
-                losses.push(rt.run_iteration(&schedule, iter)?);
-                if iter + 1 < iters {
-                    rt.reseed_bwd_flow(&schedule, iter)?;
-                }
-            }
-            let wall_seconds = t0.elapsed().as_secs_f64();
-            let (embed, blocks, head) = rt.assemble(&schedule)?;
-            Ok(RunOutput {
-                losses,
-                embed,
-                blocks,
-                head,
-                bytes_sent: 0,
-                wall_seconds,
-                trace: None,
-            })
-        });
-    let bytes = meter.total_bytes();
-    // Snapshot once after every rank thread has joined (the race-free
-    // protocol); each successful rank carries the same world-wide trace.
-    let trace = collector.map(|c| c.snapshot());
-    outs.into_iter()
-        .map(|r| {
-            r.map(|mut out| {
-                out.bytes_sent = bytes;
-                out.trace = trace.clone();
-                out
-            })
-        })
-        .collect()
+/// One rank's full training body over an established communicator: the
+/// exact closure `run_distributed_per_rank` hands each rank thread, public
+/// so a multi-process launcher runs *this* code in each worker process over
+/// a TCP endpoint. `bytes_sent` and `trace` are left empty — they are
+/// world-level aggregates the caller fills in after the world quiesces.
+///
+/// # Errors
+/// The typed [`CommError`] this rank unwound with, if the world failed.
+pub fn run_rank(
+    setup: &TrainSetup,
+    schedule: &Schedule,
+    comm: Communicator,
+) -> Result<RunOutput, CommError> {
+    let mut rt = RankRuntime::new(setup, schedule, comm);
+    let mut losses = Vec::with_capacity(setup.iters);
+    let t0 = std::time::Instant::now();
+    for iter in 0..setup.iters {
+        losses.push(rt.run_iteration(schedule, iter)?);
+        if iter + 1 < setup.iters {
+            rt.reseed_bwd_flow(schedule, iter)?;
+        }
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let (embed, blocks, head) = rt.assemble(schedule)?;
+    Ok(RunOutput {
+        losses,
+        embed,
+        blocks,
+        head,
+        bytes_sent: 0,
+        wall_seconds,
+        trace: None,
+    })
 }
 
 /// Train `setup` under `strategy` across `ranks` worker threads.

@@ -1,6 +1,6 @@
 //! Run configuration and results.
 
-use wp_comm::{CommConfig, FaultPlan, LinkModel};
+use wp_comm::{CommConfig, FaultPlan, LinkModel, TransportKind};
 use wp_nn::ModelConfig;
 use wp_optim::{AdamConfig, AdamW, LrSchedule, Optimizer, Sgd, SgdConfig};
 use wp_tensor::DType;
@@ -143,6 +143,11 @@ pub struct TrainSetup {
     pub faults: Option<FaultPlan>,
     /// Timeout/retry policy for blocking receives.
     pub comm: CommConfig,
+    /// Substrate the ranks communicate over: in-process channels (default)
+    /// or real localhost TCP sockets. Training results, traffic, and error
+    /// taxonomy are byte-identical across kinds (the cross-transport
+    /// conformance suite enforces it); only the wires differ.
+    pub transport: TransportKind,
     /// Span tracing policy (default off). When enabled, every rank records
     /// compute/comm spans into a pre-sized ring buffer and the run's
     /// [`RunOutput::trace`] carries the snapshot.
@@ -170,6 +175,7 @@ impl TrainSetup {
             data: DataSource::Synthetic,
             faults: None,
             comm: CommConfig::default(),
+            transport: TransportKind::InProcess,
             trace: TraceConfig::off(),
         }
     }
@@ -215,6 +221,20 @@ impl TrainSetup {
     /// ```
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Select the communication substrate (in-process channels by default).
+    ///
+    /// ```
+    /// use weipipe::TrainSetup;
+    /// use wp_comm::TransportKind;
+    ///
+    /// let setup = TrainSetup::tiny(2, 4).with_transport(TransportKind::TcpLocalhost);
+    /// assert_eq!(setup.transport, TransportKind::TcpLocalhost);
+    /// ```
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 

@@ -1,0 +1,601 @@
+//! Multi-process WeiPipe launcher: one OS process per rank over real
+//! localhost TCP sockets.
+//!
+//! The launcher (default mode) spawns one worker process per rank, wires
+//! the mesh up (each worker binds an ephemeral listener, reports its port
+//! on stdout, and receives the full port list on stdin), collects every
+//! worker's [`RankReport`], merges the per-process traffic meters, and
+//! checks the run's invariants. With `--compare-inprocess` it reruns the
+//! identical setup on in-process channels in its own address space and
+//! asserts the results are bit-identical — the cross-transport conformance
+//! guarantee, proven over genuinely separate processes.
+//!
+//! ```text
+//! cargo run --release -p wp-bench --bin ranks -- --ranks 2 \
+//!     [--strategy weipipe] [--microbatches N] [--iters I] [--blocking] \
+//!     [--faults SPEC] [--recv-timeout-ms MS] [--compare-inprocess] \
+//!     [--trace] [--trace-out FILE] [--kill-rank R --kill-after-ms MS] \
+//!     [--deadline-ms MS]
+//! ```
+//!
+//! `--trace-out` merges the workers' span tracks into one trace, prints the
+//! measured-vs-simulated drift report, and writes validated Chrome
+//! trace-event JSON. `--kill-rank R --kill-after-ms MS` SIGKILLs one worker
+//! mid-run — the chaos-parity check that survivors fail typed instead of
+//! hanging.
+//!
+//! Exit codes: `0` trained and every check passed; `1` at least one rank
+//! failed with a typed `CommError` (or was killed); `2` the watchdog fired
+//! — a hang, the outcome the chaos suite asserts never happens; `3` ranks
+//! trained but a conformance check failed (bit mismatch, traffic
+//! non-conservation, invalid trace export).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use weipipe::{build_schedule, run_rank, CommConfig, FaultPlan, Strategy, TraceConfig, TrainSetup};
+use wp_bench::ranks::{err_kind, parse_strategy, RankReport, ReportStatus};
+use wp_comm::tcp::{bind_localhost, LOCAL_ESTABLISH_TIMEOUT};
+use wp_comm::{TcpTransport, TrafficMeter, World};
+use wp_sched::{build, PipelineSpec};
+use wp_sim::{
+    measured_result, render::ascii_timeline, simulate, ClusterSpec, CostModel, GpuSpec, ModelDims,
+    SimOptions,
+};
+use wp_trace::{RankTrack, Trace, TraceCollector};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{name} needs a value"))
+            .clone()
+    })
+}
+
+/// Training configuration shared verbatim between the launcher, the
+/// workers, and the in-process comparison run — one parser, so all three
+/// construct the identical `TrainSetup`.
+#[derive(Debug, Clone)]
+struct Opts {
+    ranks: usize,
+    strategy: Strategy,
+    microbatches: usize,
+    iters: usize,
+    overlap: bool,
+    faults: Option<String>,
+    recv_timeout_ms: Option<u64>,
+    trace: bool,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let ranks: usize = flag_value(args, "--ranks").map_or(2, |v| v.parse().expect("--ranks"));
+        let strategy = flag_value(args, "--strategy").map_or(Strategy::WeiPipeInterleave, |v| {
+            parse_strategy(&v).unwrap_or_else(|| panic!("unknown strategy {v:?}"))
+        });
+        Opts {
+            ranks,
+            strategy,
+            microbatches: flag_value(args, "--microbatches")
+                .map_or(2 * ranks, |v| v.parse().expect("--microbatches")),
+            iters: flag_value(args, "--iters").map_or(2, |v| v.parse().expect("--iters")),
+            overlap: !args.iter().any(|a| a == "--blocking"),
+            faults: flag_value(args, "--faults"),
+            recv_timeout_ms: flag_value(args, "--recv-timeout-ms")
+                .map(|v| v.parse().expect("--recv-timeout-ms")),
+            trace: args.iter().any(|a| a == "--trace"),
+        }
+    }
+
+    fn setup(&self) -> TrainSetup {
+        let mut setup = TrainSetup::tiny(self.ranks, self.microbatches).with_overlap(self.overlap);
+        setup.iters = self.iters;
+        if let Some(spec) = &self.faults {
+            let plan = FaultPlan::from_spec(spec)
+                .unwrap_or_else(|| panic!("malformed fault spec {spec:?}"));
+            setup = setup.with_fault_plan(plan);
+        }
+        if let Some(ms) = self.recv_timeout_ms {
+            setup = setup.with_comm_config(CommConfig::fail_fast(Duration::from_millis(ms)));
+        }
+        if self.trace {
+            setup = setup.with_trace(TraceConfig::on());
+        }
+        setup
+    }
+
+    /// The flags a worker needs to rebuild this exact configuration.
+    fn forward_args(&self) -> Vec<String> {
+        let mut v = vec![
+            "--ranks".into(),
+            self.ranks.to_string(),
+            "--strategy".into(),
+            self.strategy.label().to_string(),
+            "--microbatches".into(),
+            self.microbatches.to_string(),
+            "--iters".into(),
+            self.iters.to_string(),
+        ];
+        if !self.overlap {
+            v.push("--blocking".into());
+        }
+        if let Some(spec) = &self.faults {
+            v.push("--faults".into());
+            v.push(spec.clone());
+        }
+        if let Some(ms) = self.recv_timeout_ms {
+            v.push("--recv-timeout-ms".into());
+            v.push(ms.to_string());
+        }
+        if self.trace {
+            v.push("--trace".into());
+        }
+        v
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let code = if args.iter().any(|a| a == "--worker") {
+        worker_main(&args)
+    } else {
+        launcher_main(&args)
+    };
+    std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------
+// Worker: one rank, one process, one TCP endpoint.
+// ---------------------------------------------------------------------
+
+fn worker_main(args: &[String]) -> i32 {
+    let opts = Opts::parse(args);
+    let rank: usize = flag_value(args, "--rank")
+        .expect("--worker needs --rank")
+        .parse()
+        .expect("--rank");
+    let out_path = flag_value(args, "--out").expect("--worker needs --out");
+
+    // Bind first, then tell the launcher our port: every peer's listener is
+    // live before anyone learns an address, so connects cannot race binds.
+    let listener = bind_localhost().expect("bind localhost listener");
+    let port = listener.local_addr().expect("listener addr").port();
+    println!("PORT {port}");
+    std::io::stdout().flush().expect("flush PORT line");
+
+    let mut line = String::new();
+    std::io::stdin()
+        .read_line(&mut line)
+        .expect("read PORTS line");
+    let ports: Vec<u16> = line
+        .trim()
+        .strip_prefix("PORTS ")
+        .expect("expected PORTS line on stdin")
+        .split_whitespace()
+        .map(|w| w.parse().expect("port number"))
+        .collect();
+    assert_eq!(ports.len(), opts.ranks, "launcher sent wrong port count");
+    let addrs: Vec<SocketAddr> = ports
+        .iter()
+        .map(|&p| SocketAddr::from(([127, 0, 0, 1], p)))
+        .collect();
+    let transport = TcpTransport::establish(rank, &addrs, listener, LOCAL_ESTABLISH_TIMEOUT)
+        .expect("establish TCP mesh");
+
+    let setup = opts.setup();
+    let collector = setup
+        .trace
+        .enabled
+        .then(|| TraceCollector::new(opts.ranks, setup.trace.capacity_per_rank));
+    let schedule = build_schedule(opts.strategy, opts.ranks, &setup);
+    let comm = World::builder(opts.ranks)
+        .link(setup.link)
+        .config(setup.comm)
+        .maybe_faults(setup.faults.clone())
+        .maybe_trace(collector.clone())
+        .endpoint(Box::new(transport));
+    let meter = comm.meter().clone();
+
+    let result = run_rank(&setup, &schedule, comm);
+
+    let track = collector.map(|c| {
+        c.snapshot()
+            .tracks
+            .into_iter()
+            .nth(rank)
+            .expect("collector covers this rank")
+    });
+    let mut report = match &result {
+        Ok(out) => RankReport {
+            rank,
+            status: ReportStatus::Ok,
+            wall_seconds: out.wall_seconds,
+            losses: out.losses.clone(),
+            embed: out.embed.clone(),
+            blocks: out.blocks.clone(),
+            head: out.head.clone(),
+            traffic: meter.rank(rank),
+            overwritten: 0,
+            spans: Vec::new(),
+        },
+        Err(e) => {
+            let mut r = RankReport::missing(rank, err_kind(e), &e.to_string());
+            r.traffic = meter.rank(rank);
+            r
+        }
+    };
+    if let Some(t) = track {
+        report.overwritten = t.overwritten;
+        report.spans = t.spans;
+    }
+    std::fs::write(&out_path, report.to_text()).expect("write report file");
+    i32::from(result.is_err())
+}
+
+// ---------------------------------------------------------------------
+// Launcher: spawn, wire, watch, collect, check.
+// ---------------------------------------------------------------------
+
+struct Worker {
+    child: Child,
+    report_path: PathBuf,
+    killed: bool,
+    status: Option<std::process::ExitStatus>,
+}
+
+fn launcher_main(args: &[String]) -> i32 {
+    let opts = {
+        let mut o = Opts::parse(args);
+        // A drift report needs spans; --trace-out implies tracing.
+        o.trace = o.trace || args.iter().any(|a| a == "--trace-out");
+        o
+    };
+    let compare_inprocess = args.iter().any(|a| a == "--compare-inprocess");
+    let trace_out = flag_value(args, "--trace-out");
+    let kill_rank: Option<usize> =
+        flag_value(args, "--kill-rank").map(|v| v.parse().expect("--kill-rank"));
+    let kill_after = Duration::from_millis(
+        flag_value(args, "--kill-after-ms").map_or(50, |v| v.parse().expect("--kill-after-ms")),
+    );
+    let deadline = Duration::from_millis(
+        flag_value(args, "--deadline-ms").map_or(120_000, |v| v.parse().expect("--deadline-ms")),
+    );
+    let p = opts.ranks;
+    assert!(p >= 2, "--ranks must be at least 2");
+
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = std::env::temp_dir().join(format!("wp-ranks-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create report dir");
+    println!(
+        "launching {} × {:?}: {} microbatches, {} iters, {} ring",
+        p,
+        opts.strategy,
+        opts.microbatches,
+        opts.iters,
+        if opts.overlap {
+            "overlapped"
+        } else {
+            "blocking"
+        }
+    );
+
+    // Spawn every worker; stderr is inherited so failures are visible.
+    let mut workers: Vec<Worker> = (0..p)
+        .map(|r| {
+            let report_path = dir.join(format!("rank{r}.txt"));
+            let _ = std::fs::remove_file(&report_path);
+            let child = Command::new(&exe)
+                .arg("--worker")
+                .arg("--rank")
+                .arg(r.to_string())
+                .arg("--out")
+                .arg(&report_path)
+                .args(opts.forward_args())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn worker");
+            Worker {
+                child,
+                report_path,
+                killed: false,
+                status: None,
+            }
+        })
+        .collect();
+
+    // Collect each worker's listener port, then broadcast the full list.
+    let mut ports = Vec::with_capacity(p);
+    for (r, w) in workers.iter_mut().enumerate() {
+        let stdout = w.child.stdout.take().expect("worker stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read PORT line");
+        let port = line
+            .trim()
+            .strip_prefix("PORT ")
+            .unwrap_or_else(|| panic!("worker {r} sent {line:?} instead of PORT (eof={})", n == 0))
+            .to_string();
+        ports.push(port);
+    }
+    let ports_line = format!("PORTS {}\n", ports.join(" "));
+    for w in workers.iter_mut() {
+        let mut stdin = w.child.stdin.take().expect("worker stdin");
+        stdin
+            .write_all(ports_line.as_bytes())
+            .expect("send PORTS line");
+        // stdin drops (closes) here; workers have read their one line.
+    }
+
+    // Watchdog loop: reap workers, fire the scheduled SIGKILL, and bound
+    // the whole run — a hang is the one outcome chaos runs must never see.
+    let start = Instant::now();
+    loop {
+        if let Some(kr) = kill_rank {
+            if !workers[kr].killed && start.elapsed() >= kill_after {
+                eprintln!("killing rank {kr} after {:?}", start.elapsed());
+                let _ = workers[kr].child.kill();
+                workers[kr].killed = true;
+            }
+        }
+        for w in workers.iter_mut() {
+            if w.status.is_none() {
+                w.status = w.child.try_wait().expect("try_wait");
+            }
+        }
+        if workers.iter().all(|w| w.status.is_some()) {
+            break;
+        }
+        if start.elapsed() > deadline {
+            for w in workers.iter_mut() {
+                let _ = w.child.kill();
+            }
+            println!("HANG: workers still running after {deadline:?}");
+            return 2;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Parse every report; a worker that died without writing one (e.g. the
+    // SIGKILL target, or one killed mid-write) yields a synthetic entry.
+    let reports: Vec<RankReport> = workers
+        .iter()
+        .enumerate()
+        .map(|(r, w)| {
+            std::fs::read_to_string(&w.report_path)
+                .ok()
+                .and_then(|t| RankReport::from_text(&t))
+                .filter(|rep| rep.rank == r)
+                .unwrap_or_else(|| {
+                    let kind = if w.killed { "killed" } else { "no-report" };
+                    RankReport::missing(r, kind, &format!("exit status {:?}", w.status))
+                })
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let meter = TrafficMeter::new(p);
+    for rep in &reports {
+        meter.merge_rank(rep.rank, &rep.traffic);
+    }
+    for rep in &reports {
+        match &rep.status {
+            ReportStatus::Ok => println!(
+                "rank {}: ok in {:.3}s, sent {} B, final loss {:?}",
+                rep.rank,
+                rep.wall_seconds,
+                rep.traffic.total_bytes(),
+                rep.losses.last()
+            ),
+            ReportStatus::Err { kind, detail } => {
+                println!("rank {}: FAILED [{kind}] {detail}", rep.rank);
+            }
+        }
+    }
+    println!(
+        "world traffic: {} B sent, {} B received, {} faults injected",
+        meter.total_bytes(),
+        meter.total_recv_bytes(),
+        meter.total_faults()
+    );
+
+    let failed = reports
+        .iter()
+        .filter(|r| r.status != ReportStatus::Ok)
+        .count();
+    let mut violations: Vec<String> = Vec::new();
+    if failed == 0 {
+        check_world(&opts, &reports, &meter, compare_inprocess, &mut violations);
+        if let Some(path) = &trace_out {
+            emit_drift_report(&opts, &reports, path, &mut violations);
+        }
+    }
+
+    if !violations.is_empty() {
+        for v in &violations {
+            println!("CONFORMANCE VIOLATION: {v}");
+        }
+        return 3;
+    }
+    if failed > 0 {
+        println!("{failed}/{p} ranks failed (typed) in {:?}", start.elapsed());
+        return 1;
+    }
+    println!("all {p} ranks trained in {:?}", start.elapsed());
+    0
+}
+
+fn f32_bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Invariants of a healthy multi-process run: every rank assembled the
+/// bit-identical model, traffic is conserved per class world-wide, and —
+/// under `--compare-inprocess` — the whole run is bit-identical to the
+/// same setup on in-process channels.
+fn check_world(
+    opts: &Opts,
+    reports: &[RankReport],
+    meter: &TrafficMeter,
+    compare_inprocess: bool,
+    violations: &mut Vec<String>,
+) {
+    let r0 = &reports[0];
+    for rep in &reports[1..] {
+        let same = f32_bits_eq(&rep.losses, &r0.losses)
+            && f32_bits_eq(&rep.embed, &r0.embed)
+            && f32_bits_eq(&rep.head, &r0.head)
+            && rep.blocks.len() == r0.blocks.len()
+            && rep
+                .blocks
+                .iter()
+                .zip(&r0.blocks)
+                .all(|(a, b)| f32_bits_eq(a, b));
+        if !same {
+            violations.push(format!(
+                "rank {} disagrees with rank 0 on losses or assembled weights",
+                rep.rank
+            ));
+        }
+    }
+
+    let all = meter.all();
+    let p2p_sent: u64 = all.iter().map(|t| t.p2p_bytes).sum();
+    let p2p_recv: u64 = all.iter().map(|t| t.p2p_recv_bytes).sum();
+    let coll_sent: u64 = all.iter().map(|t| t.collective_bytes).sum();
+    let coll_recv: u64 = all.iter().map(|t| t.collective_recv_bytes).sum();
+    if p2p_sent != p2p_recv || coll_sent != coll_recv {
+        violations.push(format!(
+            "traffic not conserved: p2p {p2p_sent}->{p2p_recv} B, collective {coll_sent}->{coll_recv} B"
+        ));
+    }
+
+    if compare_inprocess {
+        let setup = opts.setup();
+        let schedule = build_schedule(opts.strategy, opts.ranks, &setup);
+        let (outs, local_meter) = World::builder(opts.ranks)
+            .link(setup.link)
+            .config(setup.comm)
+            .maybe_faults(setup.faults.clone())
+            .try_run(|comm| run_rank(&setup, &schedule, comm));
+        let reference = match outs.into_iter().next().expect("rank 0") {
+            Ok(out) => out,
+            Err(e) => {
+                violations.push(format!("in-process reference run failed: {e}"));
+                return;
+            }
+        };
+        let same = f32_bits_eq(&reference.losses, &r0.losses)
+            && f32_bits_eq(&reference.embed, &r0.embed)
+            && f32_bits_eq(&reference.head, &r0.head)
+            && reference.blocks.len() == r0.blocks.len()
+            && reference
+                .blocks
+                .iter()
+                .zip(&r0.blocks)
+                .all(|(a, b)| f32_bits_eq(a, b));
+        if !same {
+            violations.push("TCP run is not bit-identical to the in-process run".into());
+        }
+        for rep in reports {
+            let local = local_meter.rank(rep.rank);
+            if local != rep.traffic {
+                violations.push(format!(
+                    "rank {} traffic differs across transports: in-process {:?}, tcp {:?}",
+                    rep.rank, local, rep.traffic
+                ));
+            }
+        }
+        println!("in-process comparison: bit-identical losses, weights, and traffic");
+    }
+}
+
+/// Merge the workers' span tracks into one world trace, print the
+/// measured-vs-simulated drift report, and write validated Chrome JSON.
+///
+/// Each worker records against its own process-local epoch, so tracks are
+/// re-based to start at zero; cross-rank skew (the few ms between process
+/// starts) is dropped, which is fine for the per-phase bubble and busy-share
+/// numbers the drift report compares.
+fn emit_drift_report(
+    opts: &Opts,
+    reports: &[RankReport],
+    path: &str,
+    violations: &mut Vec<String>,
+) {
+    let tracks: Vec<RankTrack> = reports
+        .iter()
+        .map(|rep| {
+            let base = rep.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+            let spans = rep
+                .spans
+                .iter()
+                .map(|s| {
+                    let mut s = *s;
+                    s.start_ns -= base;
+                    s.end_ns -= base;
+                    s
+                })
+                .collect();
+            RankTrack {
+                rank: rep.rank,
+                spans,
+                overwritten: rep.overwritten,
+            }
+        })
+        .collect();
+    let trace = Trace { tracks };
+    if trace.span_count() == 0 {
+        violations.push("trace requested but no spans were recorded".into());
+        return;
+    }
+    let measured = measured_result(&trace);
+
+    let spec = PipelineSpec::new(opts.ranks, opts.microbatches)
+        .without_recompute()
+        .with_overlap(opts.overlap);
+    let sched = build(opts.strategy, spec);
+    let dims = ModelDims::paper(1024, opts.ranks, 4096, opts.microbatches);
+    let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
+    let cluster = ClusterSpec {
+        ranks: opts.ranks,
+        node_size: opts.ranks,
+        ..ClusterSpec::nvlink_16()
+    };
+    let sim = simulate(&sched, &cost, &cluster, SimOptions::default()).expect("fits");
+
+    println!(
+        "measured timeline ({} spans from {} processes):",
+        trace.span_count(),
+        opts.ranks
+    );
+    println!("{}", ascii_timeline(&measured, 96));
+    println!("simulated timeline:");
+    println!("{}", ascii_timeline(&sim, 96));
+    println!(
+        "{}",
+        wp_bench::drift::drift_report(
+            &format!(
+                "Measured (multi-process TCP) vs simulated — {:?}, P={}",
+                opts.strategy, opts.ranks
+            ),
+            &sim,
+            &measured
+        )
+    );
+
+    let json = wp_trace::export_chrome_json(&trace);
+    match wp_trace::validate_chrome_json(&json) {
+        Ok(stats) => println!(
+            "validated export: {} events ({} spans, {} instants) on {} tracks",
+            stats.events, stats.spans, stats.instants, stats.tracks
+        ),
+        Err(e) => violations.push(format!("trace export failed validation: {e}")),
+    }
+    std::fs::write(path, &json).expect("write trace file");
+    println!("wrote {path} — open at https://ui.perfetto.dev or chrome://tracing");
+}

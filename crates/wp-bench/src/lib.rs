@@ -4,6 +4,7 @@
 
 pub mod ci;
 pub mod drift;
+pub mod ranks;
 
 use wp_sim::experiments::{CellResult, RowConfig, ScalingPoint};
 

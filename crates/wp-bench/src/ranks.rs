@@ -1,0 +1,345 @@
+//! Report codec for the `ranks` multi-process launcher.
+//!
+//! Each worker process trains one rank of a WeiPipe world over a real TCP
+//! endpoint and writes its outcome to a small line-oriented text file; the
+//! launcher parses the files back, merges the per-process traffic meters
+//! and trace tracks, and checks cross-transport bit-identity. Every float
+//! travels as its IEEE-754 bit pattern in hex, so the round trip is exact —
+//! the conformance suite compares multi-process results against in-process
+//! results bit-for-bit.
+
+use wp_comm::{CommError, RankTraffic};
+use wp_sched::Strategy;
+use wp_trace::{SpanKind, SpanRecord};
+
+/// How a worker's run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportStatus {
+    /// The rank trained to completion.
+    Ok,
+    /// The rank unwound with a typed [`CommError`]; `kind` is the stable
+    /// short label from [`err_kind`], `detail` the error's display string.
+    Err {
+        /// Stable variant label (`peer-dead`, `timeout`, …).
+        kind: String,
+        /// Human-readable error text.
+        detail: String,
+    },
+}
+
+/// One worker's run outcome, as serialized to its `--out` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankReport {
+    /// The rank this report belongs to.
+    pub rank: usize,
+    /// Outcome.
+    pub status: ReportStatus,
+    /// Wall-clock seconds the training loop took.
+    pub wall_seconds: f64,
+    /// Per-iteration mean losses (empty on error).
+    pub losses: Vec<f32>,
+    /// Assembled embedding parameters (empty on error).
+    pub embed: Vec<f32>,
+    /// Assembled per-block parameters (empty on error).
+    pub blocks: Vec<Vec<f32>>,
+    /// Assembled head parameters (empty on error).
+    pub head: Vec<f32>,
+    /// This rank's traffic counters, snapshotted from the worker's meter.
+    pub traffic: RankTraffic,
+    /// Trace records lost to ring overwrite before the snapshot.
+    pub overwritten: u64,
+    /// This rank's trace spans (empty when tracing was off).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Stable short label for a [`CommError`] variant, used in reports and
+/// asserted on by the chaos-parity tests ("fails typed, never hangs").
+pub fn err_kind(e: &CommError) -> &'static str {
+    match e {
+        CommError::PeerDead { .. } => "peer-dead",
+        CommError::Timeout { .. } => "timeout",
+        CommError::Corrupt { .. } => "corrupt",
+        CommError::Aborted { .. } => "aborted",
+        CommError::InvalidTag { .. } => "invalid-tag",
+    }
+}
+
+/// Parse a strategy by its table label (case-insensitive), e.g. `weipipe`,
+/// `1f1b`, `gpipe`. Only runtime-executable strategies are accepted.
+pub fn parse_strategy(name: &str) -> Option<Strategy> {
+    [
+        Strategy::GPipe,
+        Strategy::OneFOneB,
+        Strategy::Zb1,
+        Strategy::Zb2,
+        Strategy::Fsdp,
+        Strategy::Ddp,
+        Strategy::WeiPipeNaive,
+        Strategy::WeiPipeInterleave,
+    ]
+    .into_iter()
+    .find(|s| s.label().eq_ignore_ascii_case(name))
+}
+
+fn push_f32_line(out: &mut String, key: &str, xs: &[f32]) {
+    out.push_str(key);
+    for x in xs {
+        out.push_str(&format!(" {:08x}", x.to_bits()));
+    }
+    out.push('\n');
+}
+
+fn parse_f32s(rest: &str) -> Option<Vec<f32>> {
+    rest.split_whitespace()
+        .map(|w| u32::from_str_radix(w, 16).ok().map(f32::from_bits))
+        .collect()
+}
+
+impl RankReport {
+    /// An all-empty report for a rank that never produced one (e.g. it was
+    /// SIGKILLed mid-step). `kind` labels what happened to it.
+    pub fn missing(rank: usize, kind: &str, detail: &str) -> RankReport {
+        RankReport {
+            rank,
+            status: ReportStatus::Err {
+                kind: kind.to_string(),
+                detail: detail.to_string(),
+            },
+            wall_seconds: 0.0,
+            losses: Vec::new(),
+            embed: Vec::new(),
+            blocks: Vec::new(),
+            head: Vec::new(),
+            traffic: RankTraffic::default(),
+            overwritten: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Serialize to the line-oriented text format (exact float round trip).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("rank {}\n", self.rank));
+        match &self.status {
+            ReportStatus::Ok => out.push_str("status ok\n"),
+            ReportStatus::Err { kind, detail } => {
+                out.push_str(&format!("status err {kind} {detail}\n"));
+            }
+        }
+        out.push_str(&format!("wall {:016x}\n", self.wall_seconds.to_bits()));
+        push_f32_line(&mut out, "loss", &self.losses);
+        push_f32_line(&mut out, "embed", &self.embed);
+        for b in &self.blocks {
+            push_f32_line(&mut out, "block", b);
+        }
+        push_f32_line(&mut out, "head", &self.head);
+        let t = &self.traffic;
+        out.push_str(&format!(
+            "traffic {} {} {} {} {} {} {} {} {}\n",
+            t.p2p_bytes,
+            t.p2p_msgs,
+            t.collective_bytes,
+            t.collective_msgs,
+            t.p2p_recv_bytes,
+            t.collective_recv_bytes,
+            t.recv_bytes,
+            t.recv_msgs,
+            t.faults_injected,
+        ));
+        out.push_str(&format!("overwritten {}\n", self.overwritten));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span {} {} {} {} {} {} {}\n",
+                s.kind as u8, s.start_ns, s.end_ns, s.mb, s.chunk, s.bytes, s.aux
+            ));
+        }
+        out
+    }
+
+    /// Parse a report back from [`Self::to_text`] output. `None` on any
+    /// malformed or truncated line — a worker killed mid-write must not
+    /// parse as a clean result.
+    pub fn from_text(text: &str) -> Option<RankReport> {
+        let mut rank = None;
+        let mut status = None;
+        let mut wall = 0.0f64;
+        let mut losses = Vec::new();
+        let mut embed = Vec::new();
+        let mut blocks = Vec::new();
+        let mut head = Vec::new();
+        let mut traffic = RankTraffic::default();
+        let mut overwritten = 0u64;
+        let mut spans = Vec::new();
+        for line in text.lines() {
+            let (key, rest) = match line.split_once(' ') {
+                Some((k, r)) => (k, r),
+                None => (line, ""),
+            };
+            match key {
+                "rank" => rank = Some(rest.parse::<usize>().ok()?),
+                "status" => {
+                    status = Some(if rest == "ok" {
+                        ReportStatus::Ok
+                    } else {
+                        let rest = rest.strip_prefix("err ")?;
+                        let (kind, detail) = rest.split_once(' ').unwrap_or((rest, ""));
+                        ReportStatus::Err {
+                            kind: kind.to_string(),
+                            detail: detail.to_string(),
+                        }
+                    });
+                }
+                "wall" => wall = f64::from_bits(u64::from_str_radix(rest, 16).ok()?),
+                "loss" => losses = parse_f32s(rest)?,
+                "embed" => embed = parse_f32s(rest)?,
+                "block" => blocks.push(parse_f32s(rest)?),
+                "head" => head = parse_f32s(rest)?,
+                "traffic" => {
+                    let v: Vec<u64> = rest
+                        .split_whitespace()
+                        .map(|w| w.parse().ok())
+                        .collect::<Option<_>>()?;
+                    if v.len() != 9 {
+                        return None;
+                    }
+                    traffic = RankTraffic {
+                        p2p_bytes: v[0],
+                        p2p_msgs: v[1],
+                        collective_bytes: v[2],
+                        collective_msgs: v[3],
+                        p2p_recv_bytes: v[4],
+                        collective_recv_bytes: v[5],
+                        recv_bytes: v[6],
+                        recv_msgs: v[7],
+                        faults_injected: v[8],
+                    };
+                }
+                "overwritten" => overwritten = rest.parse().ok()?,
+                "span" => {
+                    let v: Vec<u64> = rest
+                        .split_whitespace()
+                        .map(|w| w.parse().ok())
+                        .collect::<Option<_>>()?;
+                    if v.len() != 7 {
+                        return None;
+                    }
+                    spans.push(SpanRecord {
+                        start_ns: v[1],
+                        end_ns: v[2],
+                        kind: SpanKind::from_u8(u8::try_from(v[0]).ok()?)?,
+                        mb: u32::try_from(v[3]).ok()?,
+                        chunk: u32::try_from(v[4]).ok()?,
+                        bytes: v[5],
+                        aux: v[6],
+                    });
+                }
+                _ => return None,
+            }
+        }
+        Some(RankReport {
+            rank: rank?,
+            status: status?,
+            wall_seconds: wall,
+            losses,
+            embed,
+            blocks,
+            head,
+            traffic,
+            overwritten,
+            spans,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_trace::NO_ID;
+
+    fn sample() -> RankReport {
+        RankReport {
+            rank: 1,
+            status: ReportStatus::Ok,
+            wall_seconds: 0.125,
+            losses: vec![1.5, std::f32::consts::PI, -0.0],
+            embed: vec![0.1, -2.5e-8],
+            blocks: vec![vec![1.0, 2.0], vec![]],
+            head: vec![f32::MAX],
+            traffic: RankTraffic {
+                p2p_bytes: 10,
+                p2p_msgs: 2,
+                collective_bytes: 30,
+                collective_msgs: 4,
+                p2p_recv_bytes: 10,
+                collective_recv_bytes: 30,
+                recv_bytes: 40,
+                recv_msgs: 6,
+                faults_injected: 1,
+            },
+            overwritten: 3,
+            spans: vec![SpanRecord {
+                start_ns: 5,
+                end_ns: 9,
+                kind: SpanKind::Send,
+                mb: 1,
+                chunk: NO_ID,
+                bytes: 64,
+                aux: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let r = sample();
+        let parsed = RankReport::from_text(&r.to_text()).expect("parses");
+        assert_eq!(parsed, r);
+        // -0.0 == 0.0 under PartialEq; check the sign bit survived too.
+        assert_eq!(parsed.losses[2].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn error_report_round_trips() {
+        let e = CommError::PeerDead { rank: 2 };
+        let mut r = RankReport::missing(0, err_kind(&e), &e.to_string());
+        r.wall_seconds = 1.0;
+        let parsed = RankReport::from_text(&r.to_text()).expect("parses");
+        assert_eq!(parsed, r);
+        match parsed.status {
+            ReportStatus::Err { kind, .. } => assert_eq!(kind, "peer-dead"),
+            ReportStatus::Ok => panic!("expected err"),
+        }
+    }
+
+    #[test]
+    fn truncated_reports_do_not_parse() {
+        let r = sample();
+        let text = r.to_text();
+        // Cut mid-line: a worker killed while writing must not parse.
+        let cut = &text[..text.len() - 3];
+        assert_eq!(RankReport::from_text(cut), None);
+        // Missing status line.
+        assert_eq!(RankReport::from_text("rank 0\n"), None);
+        // Unknown key.
+        assert_eq!(RankReport::from_text("rank 0\nstatus ok\nbogus 1\n"), None);
+    }
+
+    #[test]
+    fn strategy_labels_parse_back() {
+        assert_eq!(parse_strategy("weipipe"), Some(Strategy::WeiPipeInterleave));
+        assert_eq!(parse_strategy("1F1B"), Some(Strategy::OneFOneB));
+        assert_eq!(parse_strategy("wzb1"), None, "simulator-only");
+    }
+
+    #[test]
+    fn err_kinds_are_stable() {
+        assert_eq!(err_kind(&CommError::PeerDead { rank: 0 }), "peer-dead");
+        assert_eq!(
+            err_kind(&CommError::Aborted {
+                origin: 0,
+                reason: "x".into()
+            }),
+            "aborted"
+        );
+    }
+}

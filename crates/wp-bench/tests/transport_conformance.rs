@@ -1,0 +1,318 @@
+//! Cross-transport conformance suite.
+//!
+//! Everything above the `Transport` trait — Request handles, tag matching,
+//! collectives, fault injection, timeouts, the abort protocol, traffic
+//! accounting — must behave byte-identically whether frames move over
+//! in-process channels or real TCP sockets. These tests re-run the overlap
+//! bit-identity battery over each transport, assert bit-for-bit agreement
+//! *across* transports, and drive the `ranks` launcher to prove the same
+//! guarantees over genuinely separate OS processes.
+//!
+//! Socket-backed tests are `#[ignore]`d so plain `cargo test -q` stays
+//! fast; the transport-tcp CI job runs them with `-- --ignored`.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use weipipe::{
+    run_distributed, run_distributed_per_rank, run_single, CommConfig, CommError, FaultPlan,
+    Strategy, TrainSetup, TransportKind,
+};
+
+fn f32_bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn assert_bit_identical(a: &weipipe::RunOutput, b: &weipipe::RunOutput, what: &str) {
+    assert!(f32_bits_eq(&a.losses, &b.losses), "{what}: losses differ");
+    assert!(f32_bits_eq(&a.embed, &b.embed), "{what}: embed differs");
+    assert!(f32_bits_eq(&a.head, &b.head), "{what}: head differs");
+    assert_eq!(a.blocks.len(), b.blocks.len(), "{what}: block count");
+    for (i, (x, y)) in a.blocks.iter().zip(&b.blocks).enumerate() {
+        assert!(f32_bits_eq(x, y), "{what}: block {i} differs");
+    }
+}
+
+/// The overlap-equivalence battery over one transport: the overlapped and
+/// blocking weight rings compute the exact same floats, both match the
+/// single-process reference within reduction tolerance, and overlap does
+/// not change the bytes on the wire.
+fn conformance_battery(kind: TransportKind, p: usize, layers: usize, n: usize) {
+    for strat in [Strategy::WeiPipeNaive, Strategy::WeiPipeInterleave] {
+        let setup = TrainSetup::tiny(layers, n).with_transport(kind);
+        let overlapped = run_distributed(strat, p, &setup.clone().with_overlap(true))
+            .unwrap_or_else(|e| panic!("{strat:?} {kind:?} P={p} overlapped: {e:?}"));
+        let blocking = run_distributed(strat, p, &setup.clone().with_overlap(false))
+            .unwrap_or_else(|e| panic!("{strat:?} {kind:?} P={p} blocking: {e:?}"));
+        assert_bit_identical(
+            &overlapped,
+            &blocking,
+            &format!("{strat:?} {kind:?} P={p} overlap vs blocking"),
+        );
+        assert_eq!(
+            overlapped.bytes_sent, blocking.bytes_sent,
+            "{strat:?} {kind:?} P={p}: overlap changed the traffic volume"
+        );
+
+        let reference = run_single(&setup);
+        let dl = overlapped.max_loss_diff(&reference);
+        let dp = overlapped.max_param_diff(&reference);
+        assert!(dl < 2e-4, "{strat:?} {kind:?} P={p}: loss diff {dl}");
+        assert!(dp < 2e-3, "{strat:?} {kind:?} P={p}: param diff {dp}");
+    }
+}
+
+/// The headline guarantee: the same setup trains to bit-identical results
+/// with bit-identical traffic volume on every transport.
+fn cross_transport_identical(p: usize, layers: usize, n: usize) {
+    for strat in [Strategy::WeiPipeNaive, Strategy::WeiPipeInterleave] {
+        let setup = TrainSetup::tiny(layers, n);
+        let inproc = run_distributed(
+            strat,
+            p,
+            &setup.clone().with_transport(TransportKind::InProcess),
+        )
+        .unwrap_or_else(|e| panic!("{strat:?} P={p} in-process: {e:?}"));
+        let tcp = run_distributed(
+            strat,
+            p,
+            &setup.clone().with_transport(TransportKind::TcpLocalhost),
+        )
+        .unwrap_or_else(|e| panic!("{strat:?} P={p} tcp: {e:?}"));
+        assert_bit_identical(&inproc, &tcp, &format!("{strat:?} P={p} in-process vs tcp"));
+        assert_eq!(
+            inproc.bytes_sent, tcp.bytes_sent,
+            "{strat:?} P={p}: transports moved different byte volumes"
+        );
+    }
+}
+
+#[test]
+fn inprocess_battery_small() {
+    conformance_battery(TransportKind::InProcess, 2, 2, 4);
+}
+
+#[test]
+#[ignore = "sockets: run in the transport-tcp CI job with --ignored"]
+fn tcp_battery_small() {
+    conformance_battery(TransportKind::TcpLocalhost, 2, 2, 4);
+}
+
+#[test]
+#[ignore = "sockets: run in the transport-tcp CI job with --ignored"]
+fn tcp_battery_wide() {
+    conformance_battery(TransportKind::TcpLocalhost, 4, 4, 8);
+}
+
+#[test]
+fn tcp_matches_inprocess_bit_for_bit_small() {
+    // The one socket test in tier-1: a single tiny P=2 world over localhost
+    // TCP proving the trait seam end to end (everything heavier is tagged).
+    cross_transport_identical(2, 2, 4);
+}
+
+#[test]
+#[ignore = "sockets: run in the transport-tcp CI job with --ignored"]
+fn tcp_matches_inprocess_bit_for_bit_wide() {
+    cross_transport_identical(4, 4, 8);
+}
+
+/// Chaos parity at the training level: a dead-rank plan over sockets must
+/// fail every rank typed — PeerDead or the abort wrapper naming the victim
+/// — within a hard deadline, exactly like in-process channels.
+#[test]
+#[ignore = "sockets: run in the transport-tcp CI job with --ignored"]
+fn tcp_dead_rank_fails_typed_within_deadline() {
+    let victim = 1;
+    let setup = TrainSetup::tiny(2, 4)
+        .with_transport(TransportKind::TcpLocalhost)
+        .with_fault_plan(FaultPlan::new(5).with_dead_rank(victim, 20))
+        .with_comm_config(CommConfig::fail_fast(Duration::from_millis(500)));
+    let started = Instant::now();
+    let results = run_distributed_per_rank(Strategy::WeiPipeInterleave, 2, &setup);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "chaos must fail typed, never hang"
+    );
+    for (rank, r) in results.iter().enumerate() {
+        match r {
+            Err(CommError::PeerDead { rank: dead }) => assert_eq!(*dead, victim),
+            Err(CommError::Aborted { .. }) => {}
+            other => panic!("rank {rank}: expected typed failure, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-process: drive the `ranks` launcher binary, each rank its own
+// OS process over localhost sockets.
+// ---------------------------------------------------------------------
+
+/// Run the launcher under an *outer* watchdog (belt and braces over the
+/// launcher's own `--deadline-ms`): kill and fail the test if it outlives
+/// `hard_deadline`. Returns (exit code, combined stdout).
+fn run_launcher(args: &[&str], hard_deadline: Duration) -> (i32, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ranks"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn launcher");
+    let started = Instant::now();
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("try_wait") {
+            break s;
+        }
+        if started.elapsed() > hard_deadline {
+            let _ = child.kill();
+            panic!("launcher hung past {hard_deadline:?} — chaos must never hang");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut out)
+        .expect("read launcher output");
+    (status.code().unwrap_or(-1), out)
+}
+
+#[test]
+#[ignore = "spawns worker processes: run in the transport-tcp CI job with --ignored"]
+fn multiprocess_run_is_bit_identical_to_inprocess() {
+    for p in ["2", "4"] {
+        let (code, out) = run_launcher(
+            &[
+                "--ranks",
+                p,
+                "--compare-inprocess",
+                "--deadline-ms",
+                "60000",
+            ],
+            Duration::from_secs(120),
+        );
+        assert_eq!(code, 0, "P={p} launcher failed:\n{out}");
+        assert!(
+            out.contains("bit-identical losses, weights, and traffic"),
+            "P={p} comparison did not run:\n{out}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "spawns worker processes: run in the transport-tcp CI job with --ignored"]
+fn multiprocess_trace_out_emits_valid_drift_report() {
+    let path =
+        std::env::temp_dir().join(format!("wp-conformance-trace-{}.json", std::process::id()));
+    let path_s = path.to_str().expect("utf8 temp path");
+    let (code, out) = run_launcher(
+        &[
+            "--ranks",
+            "2",
+            "--trace-out",
+            path_s,
+            "--deadline-ms",
+            "60000",
+        ],
+        Duration::from_secs(120),
+    );
+    assert_eq!(code, 0, "launcher failed:\n{out}");
+    assert!(
+        out.contains("validated export"),
+        "no validated export:\n{out}"
+    );
+    assert!(
+        out.contains("Measured (multi-process TCP) vs simulated"),
+        "no drift report:\n{out}"
+    );
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(!json.is_empty(), "trace file is empty");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+#[ignore = "spawns worker processes: run in the transport-tcp CI job with --ignored"]
+fn sigkilled_worker_fails_survivors_typed_never_hangs() {
+    // SIGKILL rank 1 mid-step. The survivor must observe the unclean socket
+    // close as PeerDead and the launcher must exit 1 (typed failure) —
+    // never 2 (hang), never a clean 0.
+    let (code, out) = run_launcher(
+        &[
+            "--ranks",
+            "2",
+            "--iters",
+            "300",
+            "--kill-rank",
+            "1",
+            "--kill-after-ms",
+            "40",
+            "--recv-timeout-ms",
+            "500",
+            "--deadline-ms",
+            "60000",
+        ],
+        Duration::from_secs(90),
+    );
+    assert_eq!(code, 1, "expected typed failure exit:\n{out}");
+    assert!(
+        out.contains("peer-dead") || out.contains("aborted"),
+        "survivor must fail typed:\n{out}"
+    );
+    assert!(
+        out.contains("[killed]"),
+        "victim must be reported killed:\n{out}"
+    );
+}
+
+#[test]
+#[ignore = "spawns worker processes: run in the transport-tcp CI job with --ignored"]
+fn dead_rank_fault_plan_is_typed_across_processes() {
+    // The same seeded fault spec the in-process chaos tests use, forwarded
+    // to the workers over the command line: identical typed taxonomy.
+    let (code, out) = run_launcher(
+        &[
+            "--ranks",
+            "2",
+            "--faults",
+            "seed=3;dead=1,40",
+            "--recv-timeout-ms",
+            "400",
+            "--deadline-ms",
+            "60000",
+        ],
+        Duration::from_secs(90),
+    );
+    assert_eq!(code, 1, "expected typed failure exit:\n{out}");
+    assert!(
+        out.contains("peer-dead"),
+        "expected PeerDead taxonomy:\n{out}"
+    );
+}
+
+#[test]
+#[ignore = "spawns worker processes: run in the transport-tcp CI job with --ignored"]
+fn delay_only_faults_are_transparent_across_processes() {
+    let (code, out) = run_launcher(
+        &[
+            "--ranks",
+            "2",
+            "--faults",
+            "seed=7;jitter_ns=200000;reorder_bits=3fd0000000000000",
+            "--compare-inprocess",
+            "--deadline-ms",
+            "60000",
+        ],
+        Duration::from_secs(120),
+    );
+    assert_eq!(
+        code, 0,
+        "delay-only plan must not change the result:\n{out}"
+    );
+    assert!(
+        out.contains("bit-identical losses, weights, and traffic"),
+        "comparison did not run:\n{out}"
+    );
+}

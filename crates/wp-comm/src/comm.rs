@@ -1,12 +1,15 @@
 //! The communicator: NCCL-flavoured point-to-point and ring collectives
-//! over OS threads.
+//! over a pluggable [`Transport`].
 //!
-//! One [`Communicator`] per rank; each ordered pair of ranks gets its own
-//! unbounded channel, so per-source FIFO ordering holds (the guarantee NCCL
-//! P2P gives within a stream) and sends never block (the runtime's analogue
-//! of buffered `isend`). Tag matching with a per-source reorder buffer lets
-//! a rank post receives out of arrival order, which the interleaved WeiPipe
-//! schedules rely on.
+//! One [`Communicator`] per rank, layered over one transport endpoint. The
+//! transport only promises per-source FIFO framed delivery (the guarantee
+//! NCCL P2P gives within a stream) and non-blocking sends (the runtime's
+//! analogue of buffered `isend`); everything else — tag matching with a
+//! per-source reorder buffer (which the interleaved WeiPipe schedules rely
+//! on), timeouts, fault injection, abort, metering, pacing — lives here and
+//! is byte-identical whether the frames cross an in-process channel
+//! ([`TransportKind::InProcess`]) or a localhost TCP socket
+//! ([`TransportKind::TcpLocalhost`], possibly between OS processes).
 //!
 //! Collectives are built on the ring algorithms NCCL uses in the paper's
 //! setting ("tree algorithms were not adopted"): all-reduce is
@@ -35,10 +38,11 @@ use crate::error::CommError;
 use crate::fault::{FaultPlan, RankInjector};
 use crate::link::LinkModel;
 use crate::meter::{TrafficClass, TrafficMeter};
+use crate::transport::{
+    checksum_of, AbortCell, ChannelTransport, Frame, RecvPoll, RecvWait, Transport, TransportKind,
+};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wp_tensor::dtype::quantize_slice;
 use wp_tensor::DType;
@@ -102,88 +106,6 @@ impl CommConfig {
     }
 }
 
-/// FNV-1a over the payload's f32 bit patterns.
-fn checksum_of(data: &[f32]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for x in data {
-        for b in x.to_bits().to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-#[derive(Debug)]
-struct Msg {
-    tag: u64,
-    data: Vec<f32>,
-    /// Earliest wall-clock instant the receiver may consume this message
-    /// (link-model pacing plus injected delay). `None` when instant.
-    deliver_at: Option<Instant>,
-    /// FNV-1a over the payload bits, computed at send time (before any
-    /// injected corruption).
-    checksum: u64,
-    /// Wire size the sender was charged (element count × storage dtype
-    /// width). Carried so the *receiver* can charge the same size without
-    /// knowing the wire dtype.
-    wire_bytes: u64,
-    /// Whether this message is a collective hop, so the receiver charges the
-    /// same traffic class the sender was charged.
-    collective: bool,
-}
-
-impl Msg {
-    fn verify(&self) -> bool {
-        checksum_of(&self.data) == self.checksum
-    }
-}
-
-/// The world-wide poison pill: the first fatal error trips the flag and
-/// records `(origin, cause)`; every rank polls the flag from its blocking
-/// operations and unwinds with the propagated cause.
-#[derive(Debug, Default)]
-struct AbortCell {
-    tripped: AtomicBool,
-    cause: Mutex<Option<(usize, CommError)>>,
-}
-
-impl AbortCell {
-    /// Record a fatal failure. First cause wins; later trips are no-ops.
-    fn trip(&self, origin: usize, cause: CommError) {
-        let mut guard = self.cause.lock().unwrap_or_else(|e| e.into_inner());
-        if guard.is_none() {
-            *guard = Some((origin, cause));
-        }
-        drop(guard);
-        self.tripped.store(true, Ordering::Release);
-    }
-
-    fn is_tripped(&self) -> bool {
-        self.tripped.load(Ordering::Acquire)
-    }
-
-    /// The error rank `me` should unwind with. The origin rank gets its own
-    /// error back; `PeerDead` propagates verbatim so every survivor learns
-    /// who died; anything else surfaces as `Aborted` naming the origin.
-    fn cause_for(&self, me: usize) -> CommError {
-        let guard = self.cause.lock().unwrap_or_else(|e| e.into_inner());
-        match &*guard {
-            Some((origin, e)) if *origin == me => e.clone(),
-            Some((_, e @ CommError::PeerDead { .. })) => e.clone(),
-            Some((_, e @ CommError::Aborted { .. })) => e.clone(),
-            Some((origin, e)) => CommError::Aborted {
-                origin: *origin,
-                reason: e.to_string(),
-            },
-            None => CommError::Aborted {
-                origin: me,
-                reason: "world aborted".into(),
-            },
-        }
-    }
-}
-
 /// Per-rank endpoint of a [`World`].
 ///
 /// Not `Clone`: exactly one thread owns each rank, mirroring one process per
@@ -192,12 +114,11 @@ impl AbortCell {
 pub struct Communicator {
     rank: usize,
     world: usize,
-    /// `outbox[dst]` sends into dst's `inbox[self.rank]`.
-    outbox: Vec<Sender<Msg>>,
-    /// `inbox[src]` receives messages sent by `src`.
-    inbox: Vec<Receiver<Msg>>,
-    /// Tag-mismatched messages parked per source.
-    pending: Vec<VecDeque<Msg>>,
+    /// The substrate moving frames between ranks. Everything this struct
+    /// does on top of it is transport-agnostic.
+    transport: Box<dyn Transport>,
+    /// Tag-mismatched frames parked per source.
+    pending: Vec<VecDeque<Frame>>,
     link: LinkModel,
     meter: TrafficMeter,
     /// Sequence number for collectives; advances identically on every rank
@@ -208,7 +129,7 @@ pub struct Communicator {
     faults: Option<RankInjector>,
     /// One-slot reorder buffer per destination: a held message is delivered
     /// after the *next* message on the same link (see [`crate::fault`]).
-    held: Vec<Option<Msg>>,
+    held: Vec<Option<Frame>>,
     /// Per-destination link availability: when the directed link
     /// `self.rank → dst` finishes its current transfer. Mirrors the
     /// simulator's one-DMA-path-per-directed-link model, so back-to-back
@@ -218,6 +139,9 @@ pub struct Communicator {
     link_busy: Vec<Option<Instant>>,
     /// Span recorder for this rank's track, when the world is traced.
     tracer: Option<RankTracer>,
+    /// Whether this rank has already forwarded the world's abort cause to
+    /// its peers (see [`Communicator::standing_cause`]).
+    abort_relayed: bool,
 }
 
 /// A nonblocking operation in flight, returned by [`Communicator::isend`]
@@ -329,17 +253,40 @@ impl Communicator {
     }
 
     /// Record a fatal failure: poison the world so every other rank unwinds.
-    fn fail(&self, e: &CommError) {
+    /// When peers live in other processes (the TCP transport) the trip is
+    /// additionally forwarded over the wire.
+    fn fail(&mut self, e: &CommError) {
         if e.is_fatal() {
             self.abort.trip(self.rank, e.clone());
+            self.transport.propagate_abort(self.rank, e);
+            self.abort_relayed = true;
         }
+    }
+
+    /// The error to unwind with when the world's abort cell is already
+    /// tripped — relaying the root cause to the peers first. The trip may
+    /// have come from this endpoint's own reader thread (a TCP endpoint
+    /// observing a peer's unclean EOF trips only the *local* cell), in
+    /// which case remote ranks have not heard yet: without the relay a
+    /// peer blocked on *this* rank could observe this rank's clean
+    /// teardown first and misreport it as the failure, instead of the
+    /// real victim. A no-op relay for the in-process transport, whose
+    /// cell is already world-shared.
+    fn standing_cause(&mut self) -> CommError {
+        if !self.abort_relayed {
+            self.abort_relayed = true;
+            if let Some((origin, cause)) = self.abort.cause() {
+                self.transport.propagate_abort(origin, &cause);
+            }
+        }
+        self.abort.cause_for(self.rank)
     }
 
     /// Gate every communication operation: first honour a standing abort,
     /// then let the fault plan kill this rank at its scheduled operation.
     fn precheck(&mut self) -> Result<(), CommError> {
         if self.abort.is_tripped() {
-            return Err(self.abort.cause_for(self.rank));
+            return Err(self.standing_cause());
         }
         if let Some(inj) = self.faults.as_mut() {
             if inj.op_kills_rank() {
@@ -495,7 +442,7 @@ impl Communicator {
         }
         // Checksum the honest payload, then corrupt — the receiver must see
         // the mismatch.
-        let mut msg = Msg {
+        let mut msg = Frame {
             tag,
             checksum: checksum_of(&payload),
             data: payload,
@@ -521,16 +468,15 @@ impl Communicator {
         Ok(())
     }
 
-    /// Put one message on the wire; a closed channel means the peer's
-    /// thread is gone.
-    fn wire_send(&mut self, dst: usize, msg: Msg) -> Result<(), CommError> {
-        if self.outbox[dst].send(msg).is_ok() {
+    /// Put one frame on the wire; a closed endpoint means the peer is gone.
+    fn wire_send(&mut self, dst: usize, msg: Frame) -> Result<(), CommError> {
+        if self.transport.send(dst, msg).is_ok() {
             return Ok(());
         }
         if self.abort.is_tripped() {
             // The peer exited because the world is unwinding; report the
             // root cause rather than a secondary symptom.
-            return Err(self.abort.cause_for(self.rank));
+            return Err(self.standing_cause());
         }
         let e = CommError::PeerDead { rank: dst };
         self.fail(&e);
@@ -640,12 +586,12 @@ impl Communicator {
             ReqInner::Recv { src, tag, .. } => (src, tag),
         };
         if self.abort.is_tripped() {
-            return Err(self.abort.cause_for(self.rank));
+            return Err(self.standing_cause());
         }
         self.flush_held()?;
         loop {
-            match self.inbox[src].try_recv() {
-                Ok(msg) => {
+            match self.transport.try_recv(src) {
+                RecvPoll::Frame(msg) => {
                     if !msg.verify() {
                         let e = CommError::Corrupt { src, tag: msg.tag };
                         self.fail(&e);
@@ -653,13 +599,13 @@ impl Communicator {
                     }
                     self.pending[src].push_back(msg);
                 }
-                Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                RecvPoll::Empty => break,
+                RecvPoll::Closed => {
                     if self.pending[src].iter().any(|m| m.tag == tag) {
                         break;
                     }
                     if self.abort.is_tripped() {
-                        return Err(self.abort.cause_for(self.rank));
+                        return Err(self.standing_cause());
                     }
                     let e = CommError::PeerDead { rank: src };
                     self.fail(&e);
@@ -718,14 +664,14 @@ impl Communicator {
             let deadline = Instant::now() + window;
             loop {
                 if self.abort.is_tripped() {
-                    return Err(self.abort.cause_for(self.rank));
+                    return Err(self.standing_cause());
                 }
                 let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                     break;
                 };
                 let slice = remaining.min(self.config.poll_interval);
-                match self.inbox[src].recv_timeout(slice) {
-                    Ok(msg) => {
+                match self.transport.recv_timeout(src, slice) {
+                    RecvWait::Frame(msg) => {
                         if !msg.verify() {
                             let e = CommError::Corrupt { src, tag: msg.tag };
                             self.fail(&e);
@@ -736,10 +682,10 @@ impl Communicator {
                         }
                         self.pending[src].push_back(msg);
                     }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => {
+                    RecvWait::TimedOut => {}
+                    RecvWait::Closed => {
                         if self.abort.is_tripped() {
-                            return Err(self.abort.cause_for(self.rank));
+                            return Err(self.standing_cause());
                         }
                         let e = CommError::PeerDead { rank: src };
                         self.fail(&e);
@@ -762,7 +708,7 @@ impl Communicator {
     }
 
     /// Sleep until the link model says the message has fully arrived.
-    fn pace(msg: &Msg) {
+    fn pace(msg: &Frame) {
         if let Some(at) = msg.deliver_at {
             let now = Instant::now();
             if at > now {
@@ -774,7 +720,7 @@ impl Communicator {
     /// Consume a matched message: charge the receive-side meter, close the
     /// blocked-wait span (post → match), pace out the link-model transfer
     /// under its own span (match → fully arrived), and hand back the payload.
-    fn deliver(&mut self, src: usize, depth: usize, t0: Option<u64>, msg: Msg) -> Vec<f32> {
+    fn deliver(&mut self, src: usize, depth: usize, t0: Option<u64>, msg: Frame) -> Vec<f32> {
         let class = if msg.collective {
             TrafficClass::Collective
         } else {
@@ -1081,13 +1027,17 @@ impl Drop for Communicator {
     fn drop(&mut self) {
         // A held (reorder-delayed) message must still reach its receiver
         // even if this rank finishes without another operation on that
-        // link. Errors are moot here: a closed channel means the receiver
+        // link. Errors are moot here: a closed endpoint means the receiver
         // is already gone.
         for dst in 0..self.world {
             if let Some(m) = self.held[dst].take() {
-                let _ = self.outbox[dst].send(m);
+                let _ = self.transport.send(dst, m);
             }
         }
+        // Announce the close so remote peers can tell this clean exit from
+        // a crash (a no-op for the in-process transport, whose dropped
+        // channels already read as a quiescent disconnect).
+        self.transport.shutdown();
     }
 }
 
@@ -1130,12 +1080,21 @@ pub struct WorldBuilder {
     config: CommConfig,
     faults: Option<FaultPlan>,
     trace: Option<TraceCollector>,
+    transport: TransportKind,
 }
 
 impl WorldBuilder {
     /// Pace deliveries with `link`.
     pub fn link(mut self, link: LinkModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Move frames over the given substrate (defaults to
+    /// [`TransportKind::InProcess`]). Everything above the transport is
+    /// byte-identical across kinds; the conformance suite enforces it.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 
@@ -1173,61 +1132,71 @@ impl WorldBuilder {
         self
     }
 
+    /// Wrap one transport endpoint in a [`Communicator`] carrying this
+    /// builder's link, timeout, fault, and trace policy, charging `meter`.
+    fn make_endpoint(&self, transport: Box<dyn Transport>, meter: TrafficMeter) -> Communicator {
+        let rank = transport.rank();
+        let p = transport.world_size();
+        let abort = transport.abort_cell().clone();
+        Communicator {
+            rank,
+            world: p,
+            transport,
+            pending: (0..p).map(|_| VecDeque::new()).collect(),
+            link: self.link,
+            meter,
+            coll_seq: 0,
+            config: self.config,
+            abort,
+            faults: self
+                .faults
+                .clone()
+                .map(|plan| RankInjector::new(plan, rank, p)),
+            held: (0..p).map(|_| None).collect(),
+            link_busy: (0..p).map(|_| None).collect(),
+            tracer: self.trace.as_ref().map(|tc| tc.tracer(rank)),
+            abort_relayed: false,
+        }
+    }
+
+    /// Wrap an externally-established transport endpoint — e.g. a
+    /// [`TcpTransport`](crate::tcp::TcpTransport) living in its own worker
+    /// process — in a [`Communicator`] with this builder's policy. The
+    /// endpoint gets its own [`TrafficMeter`]; a multi-process launcher
+    /// merges the per-process meters afterwards (see
+    /// [`TrafficMeter::merge_rank`]).
+    ///
+    /// # Panics
+    /// Panics if the endpoint's world size disagrees with the builder's.
+    pub fn endpoint(self, transport: Box<dyn Transport>) -> Communicator {
+        assert_eq!(
+            transport.world_size(),
+            self.p,
+            "endpoint world size must match the builder's"
+        );
+        let meter = TrafficMeter::new(self.p);
+        self.make_endpoint(transport, meter)
+    }
+
     /// Materialise the communicators without running anything.
     pub fn build(self) -> Vec<Communicator> {
         let p = self.p;
         assert!(p >= 1, "world size must be at least 1");
         let meter = TrafficMeter::new(p);
-        let abort = Arc::new(AbortCell::default());
-        // channels[src][dst]
-        let mut senders: Vec<Vec<Option<Sender<Msg>>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        for src in 0..p {
-            for dst in 0..p {
-                if src == dst {
-                    continue;
-                }
-                let (tx, rx) = channel();
-                senders[src][dst] = Some(tx);
-                // dst's inbox, indexed by src.
-                receivers[dst][src] = Some(rx);
-            }
-        }
-        let mut comms = Vec::with_capacity(p);
-        for (rank, (outs, ins)) in senders.into_iter().zip(receivers).enumerate() {
-            // Self-channels are never used; fill with a dummy pair so
-            // indexing stays direct.
-            let outbox: Vec<Sender<Msg>> = outs
+        let transports: Vec<Box<dyn Transport>> = match self.transport {
+            TransportKind::InProcess => ChannelTransport::mesh(p)
                 .into_iter()
-                .map(|o| o.unwrap_or_else(|| channel().0))
-                .collect();
-            let inbox: Vec<Receiver<Msg>> = ins
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect(),
+            TransportKind::TcpLocalhost => crate::tcp::local_mesh(p)
                 .into_iter()
-                .map(|i| i.unwrap_or_else(|| channel().1))
-                .collect();
-            comms.push(Communicator {
-                rank,
-                world: p,
-                outbox,
-                inbox,
-                pending: (0..p).map(|_| VecDeque::new()).collect(),
-                link: self.link,
-                meter: meter.clone(),
-                coll_seq: 0,
-                config: self.config,
-                abort: abort.clone(),
-                faults: self
-                    .faults
-                    .clone()
-                    .map(|plan| RankInjector::new(plan, rank, p)),
-                held: (0..p).map(|_| None).collect(),
-                link_busy: (0..p).map(|_| None).collect(),
-                tracer: self.trace.as_ref().map(|tc| tc.tracer(rank)),
-            });
-        }
-        comms
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect(),
+        };
+        transports
+            .into_iter()
+            .map(|t| self.make_endpoint(t, meter.clone()))
+            .collect()
     }
 
     /// Run one fallible closure per rank on its own OS thread and collect
@@ -1324,6 +1293,7 @@ impl World {
             config: CommConfig::default(),
             faults: None,
             trace: None,
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -1600,7 +1570,7 @@ mod tests {
 
     #[test]
     fn test_polls_without_consuming() {
-        use std::sync::atomic::AtomicBool;
+        use std::sync::atomic::{AtomicBool, Ordering};
         let sent = AtomicBool::new(false);
         let (vals, _) = World::run(2, LinkModel::instant(), |mut c| {
             if c.rank() == 0 {

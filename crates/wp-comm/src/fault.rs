@@ -157,6 +157,88 @@ impl FaultPlan {
             || self.dead.is_some()
             || !self.corruptions.is_empty()
     }
+
+    /// Render the plan as a compact spec string a multi-process launcher
+    /// can pass on a worker's command line. Exact: [`from_spec`](Self::from_spec)
+    /// reconstructs a plan that injects byte-identically (the reorder
+    /// probability travels as f64 bits, not decimal).
+    pub fn to_spec(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!("seed={}", self.seed);
+        if let Some(j) = self.delay_jitter {
+            let _ = write!(s, ";jitter_ns={}", j.as_nanos());
+        }
+        if self.reorder_prob > 0.0 {
+            let _ = write!(s, ";reorder_bits={:016x}", self.reorder_prob.to_bits());
+        }
+        for st in &self.stalls {
+            let _ = write!(
+                s,
+                ";stall={},{},{},{},{}",
+                st.src,
+                st.dst,
+                st.after,
+                st.count,
+                st.extra.as_nanos()
+            );
+        }
+        if let Some(d) = self.dead {
+            let _ = write!(s, ";dead={},{}", d.rank, d.at_op);
+        }
+        for c in &self.corruptions {
+            let _ = write!(s, ";corrupt={},{},{}", c.src, c.dst, c.msg);
+        }
+        s
+    }
+
+    /// Parse a spec produced by [`to_spec`](Self::to_spec). Returns `None`
+    /// on any malformed field.
+    pub fn from_spec(spec: &str) -> Option<FaultPlan> {
+        fn nums<const N: usize>(v: &str) -> Option<[u64; N]> {
+            let parts: Vec<u64> = v
+                .split(',')
+                .map(|x| x.parse().ok())
+                .collect::<Option<_>>()?;
+            parts.try_into().ok()
+        }
+        let mut plan: Option<FaultPlan> = None;
+        for field in spec.split(';') {
+            let (key, val) = field.split_once('=')?;
+            if key == "seed" {
+                plan = Some(FaultPlan::new(val.parse().ok()?));
+                continue;
+            }
+            // Every other key follows the seed.
+            let p = plan?;
+            plan = Some(match key {
+                "jitter_ns" => p.with_delay_jitter(Duration::from_nanos(val.parse().ok()?)),
+                "reorder_bits" => {
+                    let bits = u64::from_str_radix(val, 16).ok()?;
+                    p.with_reorder(f64::from_bits(bits))
+                }
+                "stall" => {
+                    let [src, dst, after, count, extra_ns] = nums::<5>(val)?;
+                    p.with_stall(
+                        src as usize,
+                        dst as usize,
+                        after,
+                        count,
+                        Duration::from_nanos(extra_ns),
+                    )
+                }
+                "dead" => {
+                    let [rank, at_op] = nums::<2>(val)?;
+                    p.with_dead_rank(rank as usize, at_op)
+                }
+                "corrupt" => {
+                    let [src, dst, msg] = nums::<3>(val)?;
+                    p.with_corruption(src as usize, dst as usize, msg)
+                }
+                _ => return None,
+            });
+        }
+        plan
+    }
 }
 
 /// SplitMix64 step.
@@ -350,6 +432,41 @@ mod tests {
         let mut other = RankInjector::new(plan, 1, 4);
         for _ in 0..100 {
             assert!(!other.op_kills_rank());
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        let plans = [
+            FaultPlan::new(42),
+            FaultPlan::new(7)
+                .with_delay_jitter(Duration::from_micros(500))
+                .with_reorder(0.3),
+            FaultPlan::new(99)
+                .with_stall(0, 1, 2, 3, Duration::from_millis(7))
+                .with_stall(2, 3, 0, 1, Duration::from_nanos(1))
+                .with_dead_rank(2, 5)
+                .with_corruption(0, 1, 4)
+                .with_corruption(3, 0, 9),
+        ];
+        for plan in plans {
+            let spec = plan.to_spec();
+            let back =
+                FaultPlan::from_spec(&spec).unwrap_or_else(|| panic!("spec must parse: {spec}"));
+            assert_eq!(back, plan, "round trip through {spec}");
+        }
+        // An exact f64 round trip, not a decimal approximation.
+        let p = FaultPlan::new(1).with_reorder(0.1 + 0.2);
+        assert_eq!(FaultPlan::from_spec(&p.to_spec()).unwrap(), p);
+        // Malformed specs are rejected, not misparsed.
+        for bad in [
+            "",
+            "jitter_ns=5",
+            "seed=1;stall=1,2",
+            "seed=x",
+            "seed=1;what=3",
+        ] {
+            assert!(FaultPlan::from_spec(bad).is_none(), "{bad:?}");
         }
     }
 

@@ -6,7 +6,9 @@
 //! The paper's cluster is ranks connected by NVLink inside a server and
 //! PCIe / 10 Gb Ethernet between servers, exchanging fp16/bf16 buffers via
 //! NCCL P2P (`batch_isend_irecv`) and ring collectives. Here each rank is an
-//! OS thread, each directed rank pair an unbounded channel, and each message
+//! OS thread (or, over the TCP transport, an OS process) owning one
+//! [`Transport`] endpoint — an in-process channel mesh by default, real
+//! localhost sockets via [`TransportKind::TcpLocalhost`] — and each message
 //! is quantized through its declared wire dtype and charged byte-exactly to
 //! a shared [`TrafficMeter`]. A [`LinkModel`] reproduces the bandwidth and
 //! latency of the paper's three interconnects and can pace deliveries in
@@ -34,9 +36,13 @@ pub mod error;
 pub mod fault;
 pub mod link;
 pub mod meter;
+pub mod tcp;
+pub mod transport;
 
 pub use comm::{CommConfig, Communicator, Completion, Request, World, WorldBuilder};
 pub use error::CommError;
 pub use fault::FaultPlan;
 pub use link::LinkModel;
 pub use meter::{RankTraffic, TrafficClass, TrafficMeter};
+pub use tcp::TcpTransport;
+pub use transport::{AbortCell, Frame, Transport, TransportKind};

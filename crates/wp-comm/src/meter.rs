@@ -162,6 +162,25 @@ impl TrafficMeter {
         }
     }
 
+    /// Fold one rank's counters (snapshotted in another process's meter)
+    /// into this meter. A multi-process launcher collects each worker's
+    /// [`RankTraffic`] and merges them into one world-wide meter, so the
+    /// same conservation checks run unchanged against multi-process runs.
+    pub fn merge_rank(&self, rank: usize, t: &RankTraffic) {
+        let c = &self.ranks[rank];
+        c.p2p_bytes.fetch_add(t.p2p_bytes, Ordering::Relaxed);
+        c.p2p_msgs.fetch_add(t.p2p_msgs, Ordering::Relaxed);
+        c.coll_bytes
+            .fetch_add(t.collective_bytes, Ordering::Relaxed);
+        c.coll_msgs.fetch_add(t.collective_msgs, Ordering::Relaxed);
+        c.p2p_recv_bytes
+            .fetch_add(t.p2p_recv_bytes, Ordering::Relaxed);
+        c.coll_recv_bytes
+            .fetch_add(t.collective_recv_bytes, Ordering::Relaxed);
+        c.recv_msgs.fetch_add(t.recv_msgs, Ordering::Relaxed);
+        c.faults.fetch_add(t.faults_injected, Ordering::Relaxed);
+    }
+
     /// Total fault events injected across all ranks.
     pub fn total_faults(&self) -> u64 {
         self.all().iter().map(|r| r.faults_injected).sum()
@@ -238,6 +257,26 @@ mod tests {
         assert_eq!(r.collective_recv_bytes, 40);
         assert_eq!(r.recv_bytes, 100);
         assert_eq!(r.recv_msgs, 2);
+    }
+
+    #[test]
+    fn merge_rank_folds_a_remote_snapshot() {
+        let world = TrafficMeter::new(2);
+        // A worker process metered rank 1 in its own meter...
+        let worker = TrafficMeter::new(2);
+        worker.record_send(1, 100, TrafficClass::P2p);
+        worker.record_recv(1, 40, TrafficClass::Collective);
+        worker.record_faults(1, 2);
+        // ...and the launcher folds the snapshot into the world meter.
+        world.merge_rank(1, &worker.rank(1));
+        let t = world.rank(1);
+        assert_eq!(t.p2p_bytes, 100);
+        assert_eq!(t.p2p_msgs, 1);
+        assert_eq!(t.collective_recv_bytes, 40);
+        assert_eq!(t.recv_bytes, 40);
+        assert_eq!(t.recv_msgs, 1);
+        assert_eq!(t.faults_injected, 2);
+        assert_eq!(world.rank(0), RankTraffic::default());
     }
 
     #[test]

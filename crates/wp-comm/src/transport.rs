@@ -1,0 +1,409 @@
+//! The transport seam under the [`Communicator`](crate::Communicator):
+//! endpoint wiring, framed send, per-source ordered delivery with
+//! deadline-aware blocking receive, and teardown.
+//!
+//! Everything *above* this trait is transport-agnostic and byte-identical
+//! across implementations: the `Request`-handle API, tag matching and the
+//! per-source reorder buffer, [`FaultPlan`](crate::FaultPlan) injection,
+//! [`CommConfig`](crate::CommConfig) timeout/retry policy, the poison-pill
+//! abort protocol, link-model pacing, checksums, and per-class
+//! [`TrafficMeter`](crate::TrafficMeter) accounting. A transport only moves
+//! opaque [`Frame`]s and promises:
+//!
+//! 1. **Non-blocking send** — [`Transport::send`] queues the frame and
+//!    returns immediately (buffered-isend semantics). The only error is
+//!    [`TransportClosed`]: the destination endpoint is gone.
+//! 2. **Per-source FIFO** — frames from one source are delivered in the
+//!    order they were sent (the guarantee NCCL P2P gives within a stream).
+//!    No ordering is promised *across* sources.
+//! 3. **Deadline-aware receive** — [`Transport::recv_timeout`] blocks at
+//!    most the given duration, so the layer above can poll the abort cell
+//!    between slices and honour its receive budget exactly.
+//! 4. **Abort propagation** — [`Transport::propagate_abort`] makes a fatal
+//!    local failure visible to every peer's [`AbortCell`] even when the
+//!    peers share no memory with this endpoint (the TCP transport forwards
+//!    it as a control frame; the in-process transport's cell is already
+//!    shared).
+//! 5. **Clean teardown** — [`Transport::shutdown`] announces a deliberate
+//!    close, so peers can tell a finished endpoint from a crashed one.
+//!
+//! Two implementations ship: [`ChannelTransport`] (the original in-process
+//! `mpsc` mesh, one OS thread per rank) and
+//! [`TcpTransport`](crate::tcp::TcpTransport) (one OS *process* per rank
+//! over localhost sockets). The cross-transport conformance suite runs the
+//! full bit-identity battery over both.
+
+use crate::error::CommError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which substrate a [`WorldBuilder`](crate::WorldBuilder) wires its ranks
+/// over. The layers above the [`Transport`] trait behave byte-identically
+/// across kinds; the cross-transport conformance suite enforces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The in-process `mpsc` mesh: one OS thread per rank, one unbounded
+    /// channel per directed pair. The default.
+    #[default]
+    InProcess,
+    /// Real localhost TCP sockets. Via a [`WorldBuilder`](crate::WorldBuilder)
+    /// the ranks are still threads of one process (each owning a genuine
+    /// socket endpoint); `wp-bench ranks` runs the same transport with one
+    /// OS *process* per rank.
+    TcpLocalhost,
+}
+
+/// FNV-1a over a payload's f32 bit patterns — the end-to-end checksum
+/// carried by every [`Frame`].
+pub fn checksum_of(data: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in data {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One framed message: the tag/class envelope plus payload that every
+/// transport carries verbatim. The fields are decided *above* the trait
+/// (quantization, checksumming, fault corruption, link pacing) — a
+/// transport never inspects or alters them, it only preserves them.
+#[derive(Debug)]
+pub struct Frame {
+    /// User or collective tag (matching happens above the transport).
+    pub tag: u64,
+    /// Payload, already quantized through its wire dtype.
+    pub data: Vec<f32>,
+    /// Earliest wall-clock instant the receiver may consume this frame
+    /// (link-model pacing plus injected delay). `None` when instant.
+    /// Transports that cross a process boundary carry the *remaining*
+    /// delay on the wire and re-anchor it on arrival.
+    pub deliver_at: Option<Instant>,
+    /// FNV-1a over the payload bits, computed at send time (before any
+    /// injected corruption).
+    pub checksum: u64,
+    /// Wire size the sender was charged (element count × storage dtype
+    /// width). Carried so the *receiver* can charge the same size without
+    /// knowing the wire dtype.
+    pub wire_bytes: u64,
+    /// Whether this frame is a collective hop, so the receiver charges the
+    /// same traffic class the sender was charged.
+    pub collective: bool,
+}
+
+impl Frame {
+    /// Whether the payload still matches its send-time checksum.
+    pub fn verify(&self) -> bool {
+        checksum_of(&self.data) == self.checksum
+    }
+}
+
+/// The destination endpoint is gone: its rank exited, crashed, or tore the
+/// connection down. The layer above maps this to
+/// [`CommError::PeerDead`](crate::CommError::PeerDead) (or the standing
+/// abort cause when the world is already unwinding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportClosed;
+
+/// Outcome of a non-blocking receive probe ([`Transport::try_recv`]).
+#[derive(Debug)]
+pub enum RecvPoll {
+    /// The next frame from this source, in per-source FIFO order.
+    Frame(Frame),
+    /// Nothing buffered right now; the source is still connected.
+    Empty,
+    /// The source endpoint is gone and nothing more will arrive from it.
+    Closed,
+}
+
+/// Outcome of a bounded blocking receive ([`Transport::recv_timeout`]).
+#[derive(Debug)]
+pub enum RecvWait {
+    /// The next frame from this source, in per-source FIFO order.
+    Frame(Frame),
+    /// The timeout elapsed with nothing buffered; the source is still
+    /// connected.
+    TimedOut,
+    /// The source endpoint is gone and nothing more will arrive from it.
+    Closed,
+}
+
+/// The world-wide poison pill: the first fatal error trips the flag and
+/// records `(origin, cause)`; every rank polls the flag from its blocking
+/// operations and unwinds with the propagated cause.
+///
+/// In the in-process world one cell is shared by every rank. Across
+/// processes each rank owns a cell and transports trip it remotely: an
+/// abort control frame — or an unclean disconnect — observed by a
+/// transport's delivery machinery trips the local cell, so blocking
+/// operations unwind within one poll interval exactly as they do in
+/// process.
+#[derive(Debug, Default)]
+pub struct AbortCell {
+    tripped: AtomicBool,
+    cause: Mutex<Option<(usize, CommError)>>,
+}
+
+impl AbortCell {
+    /// Record a fatal failure. First cause wins; later trips are no-ops.
+    pub fn trip(&self, origin: usize, cause: CommError) {
+        let mut guard = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some((origin, cause));
+        }
+        drop(guard);
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    /// Whether any fatal failure has been recorded.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// The recorded failure, verbatim: the origin rank and the root cause.
+    /// `None` until the cell trips.
+    pub fn cause(&self) -> Option<(usize, CommError)> {
+        let guard = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+        guard.clone()
+    }
+
+    /// The error rank `me` should unwind with. The origin rank gets its own
+    /// error back; `PeerDead` propagates verbatim so every survivor learns
+    /// who died; anything else surfaces as `Aborted` naming the origin.
+    pub fn cause_for(&self, me: usize) -> CommError {
+        let guard = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+        match &*guard {
+            Some((origin, e)) if *origin == me => e.clone(),
+            Some((_, e @ CommError::PeerDead { .. })) => e.clone(),
+            Some((_, e @ CommError::Aborted { .. })) => e.clone(),
+            Some((origin, e)) => CommError::Aborted {
+                origin: *origin,
+                reason: e.to_string(),
+            },
+            None => CommError::Aborted {
+                origin: me,
+                reason: "world aborted".into(),
+            },
+        }
+    }
+}
+
+/// One rank's endpoint of a message-moving substrate.
+///
+/// Implementations must be [`Send`] (each endpoint is owned by exactly one
+/// rank thread or process) but need not be `Sync`. See the module docs for
+/// the contract; the cross-transport conformance suite is the executable
+/// form of it.
+pub trait Transport: Send + std::fmt::Debug {
+    /// This endpoint's rank in `0..world_size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn world_size(&self) -> usize;
+
+    /// The abort cell this endpoint's rank polls. In-process transports
+    /// share one cell world-wide; cross-process transports own a local
+    /// cell and trip it when a peer's abort reaches them.
+    fn abort_cell(&self) -> &Arc<AbortCell>;
+
+    /// Queue `frame` for delivery to `dst` and return without blocking
+    /// (buffered-isend semantics: the payload is on the wire — or in a
+    /// writer's queue — when this returns).
+    ///
+    /// # Errors
+    /// [`TransportClosed`] when `dst`'s endpoint is gone.
+    fn send(&mut self, dst: usize, frame: Frame) -> Result<(), TransportClosed>;
+
+    /// Non-blocking probe for the next frame from `src`.
+    fn try_recv(&mut self, src: usize) -> RecvPoll;
+
+    /// Block up to `timeout` for the next frame from `src`. Never blocks
+    /// longer: the caller slices its receive budget into poll intervals so
+    /// it can honour aborts and deadlines between slices.
+    fn recv_timeout(&mut self, src: usize, timeout: Duration) -> RecvWait;
+
+    /// Make a fatal local failure visible to every peer (best-effort). The
+    /// in-process mesh shares its abort cell, so this is a no-op there; the
+    /// TCP transport forwards an abort control frame to each peer.
+    fn propagate_abort(&mut self, _origin: usize, _cause: &CommError) {}
+
+    /// Deliberate teardown: announce a clean close to every peer so they
+    /// can distinguish a finished endpoint (quiescent disconnect) from a
+    /// crashed one (abort). Idempotent; also invoked on drop.
+    fn shutdown(&mut self) {}
+}
+
+/// The original in-process transport: each directed rank pair is an
+/// unbounded `mpsc` channel, every rank an OS thread in one process. Sends
+/// never block, per-source FIFO holds per channel, and the abort cell is
+/// shared by the whole mesh, so `propagate_abort` has nothing to do.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    rank: usize,
+    world: usize,
+    /// `outbox[dst]` sends into dst's `inbox[self.rank]`.
+    outbox: Vec<Sender<Frame>>,
+    /// `inbox[src]` receives frames sent by `src`.
+    inbox: Vec<Receiver<Frame>>,
+    abort: Arc<AbortCell>,
+}
+
+impl ChannelTransport {
+    /// Wire up a full mesh of `p` endpoints sharing one abort cell.
+    pub fn mesh(p: usize) -> Vec<ChannelTransport> {
+        assert!(p >= 1, "world size must be at least 1");
+        let abort = Arc::new(AbortCell::default());
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Option<Sender<Frame>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Frame>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        for src in 0..p {
+            for dst in 0..p {
+                if src == dst {
+                    continue;
+                }
+                let (tx, rx) = channel();
+                senders[src][dst] = Some(tx);
+                // dst's inbox, indexed by src.
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (outs, ins))| {
+                // Self-channels are never used; fill with a dummy pair so
+                // indexing stays direct.
+                ChannelTransport {
+                    rank,
+                    world: p,
+                    outbox: outs
+                        .into_iter()
+                        .map(|o| o.unwrap_or_else(|| channel().0))
+                        .collect(),
+                    inbox: ins
+                        .into_iter()
+                        .map(|i| i.unwrap_or_else(|| channel().1))
+                        .collect(),
+                    abort: abort.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn abort_cell(&self) -> &Arc<AbortCell> {
+        &self.abort
+    }
+
+    fn send(&mut self, dst: usize, frame: Frame) -> Result<(), TransportClosed> {
+        self.outbox[dst].send(frame).map_err(|_| TransportClosed)
+    }
+
+    fn try_recv(&mut self, src: usize) -> RecvPoll {
+        match self.inbox[src].try_recv() {
+            Ok(f) => RecvPoll::Frame(f),
+            Err(TryRecvError::Empty) => RecvPoll::Empty,
+            Err(TryRecvError::Disconnected) => RecvPoll::Closed,
+        }
+    }
+
+    fn recv_timeout(&mut self, src: usize, timeout: Duration) -> RecvWait {
+        match self.inbox[src].recv_timeout(timeout) {
+            Ok(f) => RecvWait::Frame(f),
+            Err(RecvTimeoutError::Timeout) => RecvWait::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvWait::Closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u64, data: Vec<f32>) -> Frame {
+        Frame {
+            tag,
+            checksum: checksum_of(&data),
+            wire_bytes: (data.len() * 4) as u64,
+            data,
+            deliver_at: None,
+            collective: false,
+        }
+    }
+
+    #[test]
+    fn mesh_routes_per_source_fifo() {
+        let mut m = ChannelTransport::mesh(3);
+        let mut c = m.remove(2);
+        let mut a = m.remove(0);
+        let mut b = m.remove(0);
+        a.send(2, frame(1, vec![1.0])).unwrap();
+        a.send(2, frame(2, vec![2.0])).unwrap();
+        b.send(2, frame(9, vec![9.0])).unwrap();
+        // Per-source FIFO: a's frames arrive in order regardless of b's.
+        match c.try_recv(0) {
+            RecvPoll::Frame(f) => assert_eq!(f.tag, 1),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match c.recv_timeout(0, Duration::from_millis(50)) {
+            RecvWait::Frame(f) => assert_eq!(f.tag, 2),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match c.try_recv(1) {
+            RecvPoll::Frame(f) => assert_eq!(f.tag, 9),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(c.try_recv(0), RecvPoll::Empty));
+    }
+
+    #[test]
+    fn dropped_endpoint_reads_as_closed() {
+        let mut m = ChannelTransport::mesh(2);
+        let mut b = m.remove(1);
+        drop(m); // rank 0's endpoint gone
+        assert!(matches!(b.try_recv(0), RecvPoll::Closed));
+        assert!(matches!(
+            b.recv_timeout(0, Duration::from_millis(1)),
+            RecvWait::Closed
+        ));
+        assert_eq!(b.send(0, frame(0, vec![])), Err(TransportClosed));
+    }
+
+    #[test]
+    fn mesh_shares_one_abort_cell() {
+        let m = ChannelTransport::mesh(3);
+        m[0].abort_cell().trip(0, CommError::PeerDead { rank: 0 });
+        for t in &m {
+            assert!(t.abort_cell().is_tripped());
+            assert_eq!(
+                t.abort_cell().cause_for(t.rank()),
+                CommError::PeerDead { rank: 0 }
+            );
+        }
+    }
+
+    #[test]
+    fn frame_checksum_round_trips() {
+        let f = frame(7, vec![1.0, -0.0, 3.5]);
+        assert!(f.verify());
+        let mut bad = frame(7, vec![1.0, -0.0, 3.5]);
+        bad.data[1] = 0.0; // different bit pattern, same value
+        assert!(!bad.verify());
+    }
+}

@@ -3,10 +3,12 @@
 //! P2P receive bytes and collective send bytes equal collective receive
 //! bytes — receives are charged at delivery with the sender's wire size and
 //! class, so any double-charge, dropped charge, or class mix-up breaks the
-//! equality.
+//! equality. The property must hold on every transport: the in-process
+//! proptest runs in tier-1, the TCP twin (tagged `#[ignore]`) runs over
+//! real sockets in the transport-tcp CI job.
 
 use proptest::prelude::*;
-use wp_comm::{LinkModel, World};
+use wp_comm::{LinkModel, TransportKind, World};
 use wp_tensor::DType;
 
 /// Sum the world's per-class send and receive counters.
@@ -20,21 +22,24 @@ fn class_totals(meter: &wp_comm::TrafficMeter) -> (u64, u64, u64, u64) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn sent_bytes_equal_received_bytes_per_class(
-        p in 2usize..6,
-        n in 1usize..64,
-        rounds in 1usize..4,
-    ) {
-        let (_, meter) = World::run(p, LinkModel::instant(), move |mut c| {
+/// One conservation case: a mixed P2P/collective workload over the given
+/// transport, then the world-wide per-class equalities — including the
+/// split-receive accounting (`recv_bytes == p2p_recv + collective_recv`
+/// on every rank).
+fn check_conservation(kind: TransportKind, p: usize, n: usize, rounds: usize) {
+    let (_, meter) = World::builder(p)
+        .link(LinkModel::instant())
+        .transport(kind)
+        .run(move |mut c| {
             let me = c.rank() as f32;
             for round in 0..rounds {
                 // P2P: circulate a weight-sized buffer around the ring (the
                 // WeiPipe primitive), in a mix of wire dtypes.
-                let dtype = if round % 2 == 0 { DType::F32 } else { DType::F16 };
+                let dtype = if round % 2 == 0 {
+                    DType::F32
+                } else {
+                    DType::F16
+                };
                 let buf = vec![me + round as f32; n];
                 let _ = c.ring_exchange(round as u64, &buf, dtype).unwrap();
 
@@ -47,23 +52,54 @@ proptest! {
             c.barrier().unwrap();
         });
 
-        let (p2p_sent, p2p_recvd, coll_sent, coll_recvd) = class_totals(&meter);
-        prop_assert!(p2p_sent > 0, "run must exercise p2p traffic");
-        prop_assert!(coll_sent > 0, "run must exercise collective traffic");
-        prop_assert_eq!(
-            p2p_sent, p2p_recvd,
-            "p2p bytes must be conserved across the world"
-        );
-        prop_assert_eq!(
-            coll_sent, coll_recvd,
-            "collective bytes must be conserved across the world"
-        );
-        // The combined counters agree with the class split.
-        let all = meter.all();
-        for r in &all {
-            prop_assert_eq!(r.recv_bytes, r.p2p_recv_bytes + r.collective_recv_bytes);
-        }
-        prop_assert_eq!(meter.total_bytes(), meter.total_recv_bytes());
+    let (p2p_sent, p2p_recvd, coll_sent, coll_recvd) = class_totals(&meter);
+    assert!(p2p_sent > 0, "{kind:?}: run must exercise p2p traffic");
+    assert!(
+        coll_sent > 0,
+        "{kind:?}: run must exercise collective traffic"
+    );
+    assert_eq!(
+        p2p_sent, p2p_recvd,
+        "{kind:?}: p2p bytes must be conserved across the world"
+    );
+    assert_eq!(
+        coll_sent, coll_recvd,
+        "{kind:?}: collective bytes must be conserved across the world"
+    );
+    // The combined counters agree with the class split.
+    let all = meter.all();
+    for r in &all {
+        assert_eq!(r.recv_bytes, r.p2p_recv_bytes + r.collective_recv_bytes);
+    }
+    assert_eq!(meter.total_bytes(), meter.total_recv_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sent_bytes_equal_received_bytes_per_class(
+        p in 2usize..6,
+        n in 1usize..64,
+        rounds in 1usize..4,
+    ) {
+        check_conservation(TransportKind::InProcess, p, n, rounds);
+    }
+}
+
+proptest! {
+    // Fewer cases and smaller worlds than the in-process twin: each case
+    // stands up a real socket mesh with per-peer reader/writer threads.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    #[ignore = "sockets: run in the transport-tcp CI job with --ignored"]
+    fn sent_bytes_equal_received_bytes_per_class_over_tcp(
+        p in 2usize..5,
+        n in 1usize..64,
+        rounds in 1usize..4,
+    ) {
+        check_conservation(TransportKind::TcpLocalhost, p, n, rounds);
     }
 }
 

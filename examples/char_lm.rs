@@ -92,6 +92,7 @@ fn main() {
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
         overlap: true,
+        transport: weipipe::TransportKind::InProcess,
     };
 
     println!(

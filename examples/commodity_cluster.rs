@@ -80,6 +80,7 @@ fn main() {
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
         overlap: true,
+        transport: weipipe::TransportKind::InProcess,
     };
     for strategy in [Strategy::OneFOneB, Strategy::WeiPipeInterleave] {
         let t0 = Instant::now();

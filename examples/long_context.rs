@@ -33,6 +33,7 @@ fn traffic_for(seq: usize, strategy: Strategy) -> u64 {
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
         overlap: true,
+        transport: weipipe::TransportKind::InProcess,
     };
     run_distributed(strategy, 4, &setup)
         .expect("healthy world")

@@ -52,6 +52,7 @@ fn main() {
             weipipe::TraceConfig::off()
         },
         overlap: true,
+        transport: weipipe::TransportKind::InProcess,
     };
 
     println!("training 4-layer model on 4 ranks with WeiPipe-Interleave…\n");
