@@ -26,6 +26,7 @@
 use crate::setup::TrainSetup;
 use std::collections::HashMap;
 use wp_comm::{CommError, Communicator, Request};
+use wp_metrics::{Counter, Gauge, Hist, RankMetrics};
 use wp_nn::block::{
     block_backward_data, block_backward_full, block_backward_recompute, block_backward_weight,
     block_forward, BPassCtx, BlockCtx,
@@ -478,6 +479,7 @@ impl RankRuntime {
     fn exec_update(&mut self, chunk: usize) {
         let lr = self.lr();
         let tracer = self.comm.tracer().cloned();
+        let metrics = self.comm.metrics().cloned();
         if self.strategy == Strategy::Fsdp {
             let mut grads = self
                 .shard_grads
@@ -493,7 +495,14 @@ impl RankRuntime {
                     optim.build(shard.len()),
                 )
             });
-            master.step_traced(opt.as_mut(), shard, &grads, lr, tracer.as_ref());
+            master.step_observed(
+                opt.as_mut(),
+                shard,
+                &grads,
+                lr,
+                tracer.as_ref(),
+                metrics.as_ref(),
+            );
             return;
         }
         let key = self.weight_slot_key(&[], chunk, FLOW_FWD);
@@ -509,7 +518,14 @@ impl RankRuntime {
             .chunk_opt
             .entry(chunk)
             .or_insert_with(|| (MasterWeights::capture(slot, wire), optim.build(slot.len())));
-        master.step_traced(opt.as_mut(), slot, &grads, lr, tracer.as_ref());
+        master.step_observed(
+            opt.as_mut(),
+            slot,
+            &grads,
+            lr,
+            tracer.as_ref(),
+            metrics.as_ref(),
+        );
     }
 
     // ---- communication ops --------------------------------------------------
@@ -662,17 +678,48 @@ impl RankRuntime {
 
     // ---- driver --------------------------------------------------------------
 
-    /// Close a compute span on this rank's track (no-op when untraced).
-    fn trace_compute(
+    /// The histogram a compute span's duration lands in. `BwdFull` and
+    /// `BwdData` are both "B" work; `BwdWeight` is the split-backward "W".
+    fn hist_for(kind: SpanKind) -> Hist {
+        match kind {
+            SpanKind::Fwd => Hist::FwdNs,
+            SpanKind::BwdFull | SpanKind::BwdData => Hist::BwdNs,
+            SpanKind::BwdWeight => Hist::WgradNs,
+            SpanKind::Update => Hist::UpdateNs,
+            other => unreachable!("not a compute op: {other:?}"),
+        }
+    }
+
+    /// Close a compute span on this rank's track and/or observe its duration
+    /// into the matching metrics histogram (no-op when neither is attached).
+    ///
+    /// When both sinks are attached the histogram observes the *identical*
+    /// duration the span records (returned by `end_span`), so the trace's
+    /// `busy_ns` equals the compute histograms' mass exactly — the
+    /// consistency suite asserts it. `t0` is from the tracer's clock when
+    /// tracing, else from the metrics clock.
+    fn observe_compute(
         tracer: &Option<RankTracer>,
+        metrics: &Option<RankMetrics>,
         kind: SpanKind,
         t0: Option<u64>,
         mb: usize,
         chunk: usize,
     ) {
-        if let (Some(tr), Some(start)) = (tracer.as_ref(), t0) {
-            let mb = if mb >= NO_MB - 15 { NO_ID } else { mb as u32 };
-            tr.end_span(kind, start, mb, chunk as u32, 0, 0);
+        match (tracer.as_ref(), t0) {
+            (Some(tr), Some(start)) => {
+                let mb = if mb >= NO_MB - 15 { NO_ID } else { mb as u32 };
+                let dur = tr.end_span(kind, start, mb, chunk as u32, 0, 0);
+                if let Some(m) = metrics {
+                    m.observe(Self::hist_for(kind), dur);
+                }
+            }
+            (None, Some(start)) => {
+                if let Some(m) = metrics {
+                    m.observe_since(Self::hist_for(kind), start);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -692,34 +739,46 @@ impl RankRuntime {
         self.loss_sum = 0.0;
         self.loss_count = 0;
 
-        // One cheap clone of the rank's tracer handle up front: compute ops
-        // close their spans here, comm ops record inside wp-comm.
+        // One cheap clone of the rank's tracer and metrics handles up front:
+        // compute ops close their spans here, comm ops record inside wp-comm.
         let tracer = self.comm.tracer().cloned();
+        let metrics = self.comm.metrics().cloned();
         let iter_t0 = tracer.as_ref().map(|t| t.now_ns());
+        let iter_m0 = metrics.as_ref().map(|m| m.now_ns());
 
         let ops = schedule.ops[self.rank].clone();
         for op in &ops {
-            let t0 = tracer.as_ref().map(|t| t.now_ns());
+            // Compute-op start stamp: tracer clock when tracing (so the
+            // metrics histogram can mirror the span exactly), else the
+            // metrics clock. `None` when the op is untimed.
+            let t0 = match (&tracer, &metrics) {
+                (Some(t), _) => Some(t.now_ns()),
+                (None, Some(m)) => Some(m.now_ns()),
+                (None, None) => None,
+            };
             match &op.kind {
                 OpKind::Fwd { mb, chunk } => {
                     self.exec_fwd(*mb, *chunk, &op.needs, schedule.recompute);
-                    Self::trace_compute(&tracer, SpanKind::Fwd, t0, *mb, *chunk);
+                    Self::observe_compute(&tracer, &metrics, SpanKind::Fwd, t0, *mb, *chunk);
+                    if let Some(m) = &metrics {
+                        m.incr(Counter::MicrobatchesFwd);
+                    }
                 }
                 OpKind::BwdFull { mb, chunk } => {
                     self.exec_bwd_full(*mb, *chunk, &op.needs);
-                    Self::trace_compute(&tracer, SpanKind::BwdFull, t0, *mb, *chunk);
+                    Self::observe_compute(&tracer, &metrics, SpanKind::BwdFull, t0, *mb, *chunk);
                 }
                 OpKind::BwdData { mb, chunk } => {
                     self.exec_bwd_data(*mb, *chunk, &op.needs);
-                    Self::trace_compute(&tracer, SpanKind::BwdData, t0, *mb, *chunk);
+                    Self::observe_compute(&tracer, &metrics, SpanKind::BwdData, t0, *mb, *chunk);
                 }
                 OpKind::BwdWeight { mb, chunk } => {
                     self.exec_bwd_weight(*mb, *chunk);
-                    Self::trace_compute(&tracer, SpanKind::BwdWeight, t0, *mb, *chunk);
+                    Self::observe_compute(&tracer, &metrics, SpanKind::BwdWeight, t0, *mb, *chunk);
                 }
                 OpKind::Update { chunk } => {
                     self.exec_update(*chunk);
-                    Self::trace_compute(&tracer, SpanKind::Update, t0, NO_MB, *chunk);
+                    Self::observe_compute(&tracer, &metrics, SpanKind::Update, t0, NO_MB, *chunk);
                 }
                 OpKind::Send(k) => self.exec_send(k)?,
                 OpKind::Recv(k) => self.exec_recv(k)?,
@@ -755,12 +814,38 @@ impl RankRuntime {
                 optim.build(embed.len()),
             )
         });
-        master.step_traced(opt.as_mut(), embed, &eg, lr, tracer.as_ref());
+        master.step_observed(
+            opt.as_mut(),
+            embed,
+            &eg,
+            lr,
+            tracer.as_ref(),
+            metrics.as_ref(),
+        );
         let head = &mut self.head;
         let (master, opt) = self
             .head_opt
             .get_or_insert_with(|| (MasterWeights::capture(head, wire), optim.build(head.len())));
-        master.step_traced(opt.as_mut(), head, &hg, lr, tracer.as_ref());
+        master.step_observed(
+            opt.as_mut(),
+            head,
+            &hg,
+            lr,
+            tracer.as_ref(),
+            metrics.as_ref(),
+        );
+
+        // Replicated-parameter gradient norm (embed + head, post-reduce,
+        // unscaled) — a cheap per-iteration training-health signal. Computed
+        // only when metered; a pure read, so it cannot perturb the result.
+        if let Some(m) = &metrics {
+            let sq: f64 = eg
+                .iter()
+                .chain(hg.iter())
+                .map(|&g| g as f64 * g as f64)
+                .sum();
+            m.set(Gauge::GradNorm, sq.sqrt());
+        }
 
         // Mean loss across ranks.
         let mut stats = [self.loss_sum as f32, self.loss_count as f32];
@@ -774,7 +859,19 @@ impl RankRuntime {
         if let (Some(tr), Some(t0)) = (tracer.as_ref(), iter_t0) {
             tr.end_span(SpanKind::Iteration, t0, iter as u32, NO_ID, 0, 0);
         }
-        Ok(stats[0] / stats[1])
+        let mean_loss = stats[0] / stats[1];
+        if let (Some(m), Some(start)) = (metrics.as_ref(), iter_m0) {
+            let dur = m.now_ns().saturating_sub(start);
+            m.observe(Hist::StepWallNs, dur);
+            m.incr(Counter::StepsCompleted);
+            let tokens = self.setup.tokens_per_iter() as u64;
+            m.add(Counter::TokensProcessed, tokens);
+            m.set(Gauge::Loss, mean_loss as f64);
+            if dur > 0 {
+                m.set(Gauge::TokensPerSec, tokens as f64 / (dur as f64 * 1e-9));
+            }
+        }
+        Ok(mean_loss)
     }
 
     /// Re-seed the backward-flow weight copy for the next iteration: the

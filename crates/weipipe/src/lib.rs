@@ -56,5 +56,6 @@ pub use runner::{
 pub use setup::{DataSource, OptimKind, RunOutput, TrainSetup};
 pub use single::run_single;
 pub use wp_comm::{CommConfig, CommError, FaultPlan, TransportKind};
+pub use wp_metrics::{MetricsConfig, MetricsSnapshot};
 pub use wp_sched::Strategy;
 pub use wp_trace::{Trace, TraceConfig};

@@ -5,6 +5,7 @@ use crate::interp::RankRuntime;
 use crate::setup::{RunOutput, TrainSetup};
 use crate::single::run_single;
 use wp_comm::{CommError, Communicator, World};
+use wp_metrics::MetricsRegistry;
 use wp_sched::{build, validate, PipelineSpec, Schedule, Strategy};
 use wp_trace::TraceCollector;
 
@@ -44,22 +45,27 @@ pub fn run_distributed_per_rank(
         .trace
         .enabled
         .then(|| TraceCollector::new(ranks, setup.trace.capacity_per_rank));
+    let registry = setup.metrics.enabled.then(|| MetricsRegistry::new(ranks));
     let (outs, meter) = World::builder(ranks)
         .link(setup.link)
         .config(setup.comm)
         .transport(setup.transport)
         .maybe_faults(setup.faults.clone())
         .maybe_trace(collector.clone())
+        .maybe_metrics(registry.clone())
         .try_run(|comm| run_rank(setup, &schedule, comm));
     let bytes = meter.total_bytes();
     // Snapshot once after every rank thread has joined (the race-free
-    // protocol); each successful rank carries the same world-wide trace.
+    // protocol); each successful rank carries the same world-wide trace
+    // and metrics view.
     let trace = collector.map(|c| c.snapshot());
+    let metrics = registry.map(|r| r.snapshot());
     outs.into_iter()
         .map(|r| {
             r.map(|mut out| {
                 out.bytes_sent = bytes;
                 out.trace = trace.clone();
+                out.metrics = metrics.clone();
                 out
             })
         })
@@ -127,6 +133,7 @@ pub fn run_rank(
         bytes_sent: 0,
         wall_seconds,
         trace: None,
+        metrics: None,
     })
 }
 

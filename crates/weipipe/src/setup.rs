@@ -1,6 +1,7 @@
 //! Run configuration and results.
 
 use wp_comm::{CommConfig, FaultPlan, LinkModel, TransportKind};
+use wp_metrics::{MetricsConfig, MetricsSnapshot};
 use wp_nn::ModelConfig;
 use wp_optim::{AdamConfig, AdamW, LrSchedule, Optimizer, Sgd, SgdConfig};
 use wp_tensor::DType;
@@ -152,6 +153,12 @@ pub struct TrainSetup {
     /// compute/comm spans into a pre-sized ring buffer and the run's
     /// [`RunOutput::trace`] carries the snapshot.
     pub trace: TraceConfig,
+    /// Metrics policy (default off). When enabled, every rank records
+    /// counters/gauges/histograms into a fixed-slot lock-free registry and
+    /// the run's [`RunOutput::metrics`] carries the snapshot. Metrics are
+    /// strictly off the numeric path: an enabled run trains bit-identically
+    /// to a disabled one.
+    pub metrics: MetricsConfig,
 }
 
 impl TrainSetup {
@@ -177,6 +184,7 @@ impl TrainSetup {
             comm: CommConfig::default(),
             transport: TransportKind::InProcess,
             trace: TraceConfig::off(),
+            metrics: MetricsConfig::off(),
         }
     }
 
@@ -221,6 +229,20 @@ impl TrainSetup {
     /// ```
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Enable metrics collection with the given policy.
+    ///
+    /// ```
+    /// use weipipe::TrainSetup;
+    /// use wp_metrics::MetricsConfig;
+    ///
+    /// let setup = TrainSetup::tiny(2, 4).with_metrics(MetricsConfig::on());
+    /// assert!(setup.metrics.enabled);
+    /// ```
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -295,6 +317,10 @@ pub struct RunOutput {
     /// [`TrainSetup::trace`] was enabled (`None` otherwise, and always
     /// `None` for the single-process reference).
     pub trace: Option<Trace>,
+    /// Metrics snapshot of the whole world, when [`TrainSetup::metrics`]
+    /// was enabled (`None` otherwise, and always `None` for the
+    /// single-process reference).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunOutput {

@@ -79,6 +79,7 @@ pub fn run_single(setup: &TrainSetup) -> RunOutput {
         bytes_sent: 0,
         wall_seconds: t0.elapsed().as_secs_f64(),
         trace: None,
+        metrics: None,
     }
 }
 

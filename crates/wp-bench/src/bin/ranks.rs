@@ -14,8 +14,8 @@
 //! cargo run --release -p wp-bench --bin ranks -- --ranks 2 \
 //!     [--strategy weipipe] [--microbatches N] [--iters I] [--blocking] \
 //!     [--faults SPEC] [--recv-timeout-ms MS] [--compare-inprocess] \
-//!     [--trace] [--trace-out FILE] [--kill-rank R --kill-after-ms MS] \
-//!     [--deadline-ms MS]
+//!     [--trace] [--trace-out FILE] [--metrics] [--metrics-out FILE] \
+//!     [--kill-rank R --kill-after-ms MS] [--deadline-ms MS]
 //! ```
 //!
 //! `--trace-out` merges the workers' span tracks into one trace, prints the
@@ -23,6 +23,17 @@
 //! trace-event JSON. `--kill-rank R --kill-after-ms MS` SIGKILLs one worker
 //! mid-run — the chaos-parity check that survivors fail typed instead of
 //! hanging.
+//!
+//! `--metrics` meters every worker and turns the launcher into a live
+//! dashboard: each worker's heartbeat thread ships its rank's metric
+//! snapshot over stdout every few tens of milliseconds, and the launcher
+//! prints a progress line (world step, loss, tokens/s, per-rank liveness)
+//! while the run is in flight. A rank whose heartbeats stop — SIGKILLed,
+//! wedged — is flagged `STALLED` well before its peers unwind with a typed
+//! error. At the end the launcher merges every rank's final snapshot (or
+//! its last heartbeat, for a rank that died without a report), prints a
+//! world rollup, and — with `--metrics-out` — writes the validated
+//! Prometheus (or `.json`) export.
 //!
 //! Exit codes: `0` trained and every check passed; `1` at least one rank
 //! failed with a typed `CommError` (or was killed); `2` the watchdog fired
@@ -34,12 +45,17 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use weipipe::{build_schedule, run_rank, CommConfig, FaultPlan, Strategy, TraceConfig, TrainSetup};
 use wp_bench::ranks::{err_kind, parse_strategy, RankReport, ReportStatus};
 use wp_comm::tcp::{bind_localhost, LOCAL_ESTABLISH_TIMEOUT};
 use wp_comm::{TcpTransport, TrafficMeter, World};
+use wp_metrics::{
+    Counter, Gauge, Hist, MetricsConfig, MetricsRegistry, MetricsSnapshot, RankSnapshot,
+};
 use wp_sched::{build, PipelineSpec};
 use wp_sim::{
     measured_result, render::ascii_timeline, simulate, ClusterSpec, CostModel, GpuSpec, ModelDims,
@@ -68,7 +84,17 @@ struct Opts {
     faults: Option<String>,
     recv_timeout_ms: Option<u64>,
     trace: bool,
+    metrics: bool,
 }
+
+/// How often a metered worker emits a `METRICS` heartbeat line on stdout.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(25);
+/// Heartbeat age beyond which the launcher flags a rank as stalled. Far
+/// below any recv timeout, so a killed rank is visible in the live
+/// telemetry before its peers surface typed failures.
+const STALL_AFTER: Duration = Duration::from_millis(250);
+/// How often the launcher repaints the live progress line.
+const PROGRESS_EVERY: Duration = Duration::from_millis(250);
 
 impl Opts {
     fn parse(args: &[String]) -> Opts {
@@ -87,6 +113,7 @@ impl Opts {
             recv_timeout_ms: flag_value(args, "--recv-timeout-ms")
                 .map(|v| v.parse().expect("--recv-timeout-ms")),
             trace: args.iter().any(|a| a == "--trace"),
+            metrics: args.iter().any(|a| a == "--metrics"),
         }
     }
 
@@ -103,6 +130,9 @@ impl Opts {
         }
         if self.trace {
             setup = setup.with_trace(TraceConfig::on());
+        }
+        if self.metrics {
+            setup = setup.with_metrics(MetricsConfig::on());
         }
         setup
     }
@@ -132,6 +162,9 @@ impl Opts {
         }
         if self.trace {
             v.push("--trace".into());
+        }
+        if self.metrics {
+            v.push("--metrics".into());
         }
         v
     }
@@ -182,10 +215,39 @@ fn worker_main(args: &[String]) -> i32 {
         .iter()
         .map(|&p| SocketAddr::from(([127, 0, 0, 1], p)))
         .collect();
+    let setup = opts.setup();
+    let registry = setup
+        .metrics
+        .enabled
+        .then(|| MetricsRegistry::new(opts.ranks));
+    // Heartbeat: ship this rank's metric snapshot to the launcher over
+    // stdout every few tens of milliseconds, starting before the mesh is
+    // established so a rank wedged in `establish` is already visible as
+    // stalled. A closed pipe means the launcher is gone — stop quietly
+    // rather than crash the rank over telemetry.
+    let heartbeat = registry.as_ref().map(|reg| {
+        let reg = reg.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut out = std::io::stdout();
+            while !flag.load(Ordering::Relaxed) {
+                let line = reg.snapshot_rank(rank).to_line();
+                if writeln!(out, "METRICS {line}")
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                std::thread::sleep(HEARTBEAT_EVERY);
+            }
+        });
+        (stop, handle)
+    });
+
     let transport = TcpTransport::establish(rank, &addrs, listener, LOCAL_ESTABLISH_TIMEOUT)
         .expect("establish TCP mesh");
 
-    let setup = opts.setup();
     let collector = setup
         .trace
         .enabled
@@ -196,10 +258,15 @@ fn worker_main(args: &[String]) -> i32 {
         .config(setup.comm)
         .maybe_faults(setup.faults.clone())
         .maybe_trace(collector.clone())
+        .maybe_metrics(registry.clone())
         .endpoint(Box::new(transport));
     let meter = comm.meter().clone();
 
     let result = run_rank(&setup, &schedule, comm);
+    if let Some((stop, handle)) = heartbeat {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
 
     let track = collector.map(|c| {
         c.snapshot()
@@ -220,6 +287,7 @@ fn worker_main(args: &[String]) -> i32 {
             traffic: meter.rank(rank),
             overwritten: 0,
             spans: Vec::new(),
+            metrics: None,
         },
         Err(e) => {
             let mut r = RankReport::missing(rank, err_kind(e), &e.to_string());
@@ -231,6 +299,9 @@ fn worker_main(args: &[String]) -> i32 {
         report.overwritten = t.overwritten;
         report.spans = t.spans;
     }
+    // The authoritative snapshot: taken after the heartbeat thread has
+    // stopped, so it supersedes anything the launcher saw live.
+    report.metrics = registry.as_ref().map(|r| r.snapshot_rank(rank));
     std::fs::write(&out_path, report.to_text()).expect("write report file");
     i32::from(result.is_err())
 }
@@ -246,15 +317,28 @@ struct Worker {
     status: Option<std::process::ExitStatus>,
 }
 
+/// The launcher's live view of one rank: the latest heartbeat snapshot
+/// shipped over the worker's stdout, when it arrived, and whether a stall
+/// warning has been printed for it already.
+#[derive(Default)]
+struct RankBeat {
+    last: Option<Instant>,
+    snap: Option<RankSnapshot>,
+    stalled: bool,
+}
+
 fn launcher_main(args: &[String]) -> i32 {
     let opts = {
         let mut o = Opts::parse(args);
-        // A drift report needs spans; --trace-out implies tracing.
+        // A drift report needs spans; --trace-out implies tracing. Same
+        // for the metrics export.
         o.trace = o.trace || args.iter().any(|a| a == "--trace-out");
+        o.metrics = o.metrics || args.iter().any(|a| a == "--metrics-out");
         o
     };
     let compare_inprocess = args.iter().any(|a| a == "--compare-inprocess");
     let trace_out = flag_value(args, "--trace-out");
+    let metrics_out = flag_value(args, "--metrics-out");
     let kill_rank: Option<usize> =
         flag_value(args, "--kill-rank").map(|v| v.parse().expect("--kill-rank"));
     let kill_after = Duration::from_millis(
@@ -310,6 +394,7 @@ fn launcher_main(args: &[String]) -> i32 {
 
     // Collect each worker's listener port, then broadcast the full list.
     let mut ports = Vec::with_capacity(p);
+    let mut readers = Vec::with_capacity(p);
     for (r, w) in workers.iter_mut().enumerate() {
         let stdout = w.child.stdout.take().expect("worker stdout");
         let mut reader = BufReader::new(stdout);
@@ -321,6 +406,7 @@ fn launcher_main(args: &[String]) -> i32 {
             .unwrap_or_else(|| panic!("worker {r} sent {line:?} instead of PORT (eof={})", n == 0))
             .to_string();
         ports.push(port);
+        readers.push(reader);
     }
     let ports_line = format!("PORTS {}\n", ports.join(" "));
     for w in workers.iter_mut() {
@@ -331,9 +417,37 @@ fn launcher_main(args: &[String]) -> i32 {
         // stdin drops (closes) here; workers have read their one line.
     }
 
-    // Watchdog loop: reap workers, fire the scheduled SIGKILL, and bound
-    // the whole run — a hang is the one outcome chaos runs must never see.
+    // Keep draining every worker's stdout on its own thread: heartbeat
+    // `METRICS` lines update the shared telemetry table (and the drain
+    // keeps the pipe from ever filling). Threads end at EOF — i.e. when
+    // their worker exits or is killed.
+    let telemetry: Arc<Mutex<Vec<RankBeat>>> =
+        Arc::new(Mutex::new((0..p).map(|_| RankBeat::default()).collect()));
+    let reader_threads: Vec<_> = readers
+        .into_iter()
+        .enumerate()
+        .map(|(r, reader)| {
+            let tel = Arc::clone(&telemetry);
+            std::thread::spawn(move || {
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if let Some(rest) = line.strip_prefix("METRICS ") {
+                        if let Some(snap) = RankSnapshot::from_line(rest) {
+                            let mut tel = tel.lock().expect("telemetry lock");
+                            tel[r].last = Some(Instant::now());
+                            tel[r].snap = Some(snap);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Watchdog loop: reap workers, fire the scheduled SIGKILL, repaint the
+    // live telemetry, and bound the whole run — a hang is the one outcome
+    // chaos runs must never see.
     let start = Instant::now();
+    let mut last_progress = Instant::now();
     loop {
         if let Some(kr) = kill_rank {
             if !workers[kr].killed && start.elapsed() >= kill_after {
@@ -347,6 +461,18 @@ fn launcher_main(args: &[String]) -> i32 {
                 w.status = w.child.try_wait().expect("try_wait");
             }
         }
+        if opts.metrics {
+            let mut beats = telemetry.lock().expect("telemetry lock");
+            // Stall checks run every tick — and before the all-exited
+            // break, so a killed rank is flagged even when its peers
+            // unwind within the same tick — while the progress line
+            // stays rate-limited.
+            note_stalls(&workers, &mut beats);
+            if last_progress.elapsed() >= PROGRESS_EVERY {
+                last_progress = Instant::now();
+                print_live(&opts, &workers, &beats);
+            }
+        }
         if workers.iter().all(|w| w.status.is_some()) {
             break;
         }
@@ -358,6 +484,9 @@ fn launcher_main(args: &[String]) -> i32 {
             return 2;
         }
         std::thread::sleep(Duration::from_millis(5));
+    }
+    for t in reader_threads {
+        let _ = t.join();
     }
 
     // Parse every report; a worker that died without writing one (e.g. the
@@ -403,11 +532,32 @@ fn launcher_main(args: &[String]) -> i32 {
         meter.total_faults()
     );
 
+    let mut violations: Vec<String> = Vec::new();
+    if opts.metrics {
+        // Merge every rank's final snapshot into the world view. A rank
+        // that died without writing a report still contributes its last
+        // live heartbeat, so the rollup (and the export) reflect how far
+        // it actually got.
+        let beats = telemetry.lock().expect("telemetry lock");
+        let mut world = MetricsSnapshot::empty(p);
+        for (r, rep) in reports.iter().enumerate() {
+            if let Some(m) = &rep.metrics {
+                world.merge_rank(m.clone());
+            } else if let Some(snap) = &beats[r].snap {
+                world.merge_rank(snap.clone());
+            }
+        }
+        drop(beats);
+        print_rollup(&world);
+        if let Some(path) = &metrics_out {
+            write_metrics_export(&world, path, &mut violations);
+        }
+    }
+
     let failed = reports
         .iter()
         .filter(|r| r.status != ReportStatus::Ok)
         .count();
-    let mut violations: Vec<String> = Vec::new();
     if failed == 0 {
         check_world(&opts, &reports, &meter, compare_inprocess, &mut violations);
         if let Some(path) = &trace_out {
@@ -431,6 +581,111 @@ fn launcher_main(args: &[String]) -> i32 {
 
 fn f32_bits_eq(a: &[f32], b: &[f32]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 20) as f64
+}
+
+/// One-time stall warnings: a rank whose heartbeats stopped (SIGKILLed,
+/// wedged) or that died without even writing its report is flagged the
+/// moment the watchdog notices — before its peers hit a recv timeout or
+/// peer-dead error and unwind with a typed failure. A rank that exits
+/// nonzero but delivers its report failed *typed*, which is not a stall.
+fn note_stalls(workers: &[Worker], beats: &mut [RankBeat]) {
+    for (r, beat) in beats.iter_mut().enumerate() {
+        if beat.stalled || workers[r].status.as_ref().is_some_and(|s| s.success()) {
+            continue;
+        }
+        let age = beat.last.map(|l| l.elapsed());
+        let died_silent = workers[r].status.is_some() && !workers[r].report_path.exists();
+        if died_silent || age.is_some_and(|a| a > STALL_AFTER) {
+            beat.stalled = true;
+            let ms = age.map_or(0, |a| a.as_millis());
+            println!(
+                "[live] rank {r} STALLED (no heartbeat for {ms} ms); \
+                 peers should surface a typed failure shortly"
+            );
+        }
+    }
+}
+
+/// Repaint the live dashboard: one progress line from the latest
+/// heartbeats (world step, loss, throughput, per-rank liveness).
+fn print_live(opts: &Opts, workers: &[Worker], beats: &[RankBeat]) {
+    let mut states = String::new();
+    for (r, beat) in beats.iter().enumerate() {
+        let state = if workers[r].status.as_ref().is_some_and(|s| s.success()) {
+            "done"
+        } else if beat.stalled {
+            "STALLED"
+        } else if beat.last.is_none() {
+            "wait"
+        } else {
+            "ok"
+        };
+        states.push_str(&format!(" {r}:{state}"));
+    }
+    let snaps = || beats.iter().filter_map(|b| b.snap.as_ref());
+    let Some(step) = snaps().map(|s| s.counter(Counter::StepsCompleted)).min() else {
+        println!("[live] waiting for first heartbeat |{states}");
+        return;
+    };
+    // Loss from the furthest-along rank (gauges start at 0 until the
+    // first completed iteration); throughput summed across ranks.
+    let loss = snaps()
+        .max_by_key(|s| s.counter(Counter::StepsCompleted))
+        .map_or(0.0, |s| s.gauge(Gauge::Loss));
+    let tok_s: f64 = snaps().map(|s| s.gauge(Gauge::TokensPerSec)).sum();
+    println!(
+        "[live] step {step}/{} | loss {loss:.4} | {:.1}k tok/s |{states}",
+        opts.iters,
+        tok_s / 1e3
+    );
+}
+
+/// End-of-run world rollup from the merged per-rank snapshots.
+fn print_rollup(world: &MetricsSnapshot) {
+    let steps = world.hist_total(Hist::StepWallNs);
+    let mean_step_ms = if steps.count > 0 {
+        steps.sum as f64 / steps.count as f64 / 1e6
+    } else {
+        0.0
+    };
+    println!(
+        "metrics rollup: {} rank-steps (mean {:.2} ms), {} tokens, \
+         {:.2} MiB p2p + {:.2} MiB collective sent, \
+         {} retries, {} timeouts, {} overflow-skipped",
+        world.total(Counter::StepsCompleted),
+        mean_step_ms,
+        world.total(Counter::TokensProcessed),
+        mib(world.total(Counter::P2pBytesSent)),
+        mib(world.total(Counter::CollBytesSent)),
+        world.total(Counter::RecvRetries),
+        world.total(Counter::RecvTimeouts),
+        world.total(Counter::OverflowSkipped),
+    );
+}
+
+/// Write the aggregated export (`.json` → JSON, anything else →
+/// Prometheus text), validating it first — an export that fails its own
+/// validator is a conformance violation, not a warning.
+fn write_metrics_export(world: &MetricsSnapshot, path: &str, violations: &mut Vec<String>) {
+    let text = if path.ends_with(".json") {
+        let json = wp_metrics::export_json(world);
+        if let Err(e) = wp_metrics::validate_json(&json) {
+            violations.push(format!("metrics JSON export failed validation: {e}"));
+        }
+        json
+    } else {
+        let prom = wp_metrics::export_prometheus(world);
+        if let Err(e) = wp_metrics::validate_prometheus(&prom) {
+            violations.push(format!("metrics Prometheus export failed validation: {e}"));
+        }
+        prom
+    };
+    std::fs::write(path, &text).expect("write metrics file");
+    println!("wrote metrics for {} ranks to {path}", world.world_size());
 }
 
 /// Invariants of a healthy multi-process run: every rank assembled the
@@ -472,6 +727,57 @@ fn check_world(
         violations.push(format!(
             "traffic not conserved: p2p {p2p_sent}->{p2p_recv} B, collective {coll_sent}->{coll_recv} B"
         ));
+    }
+
+    // The metrics registry and the traffic meter count the same wire
+    // independently; across process boundaries they must still agree
+    // per rank and per class.
+    for rep in reports {
+        if let Some(m) = &rep.metrics {
+            let t = &rep.traffic;
+            let pairs = [
+                (
+                    "p2p bytes sent",
+                    m.counter(Counter::P2pBytesSent),
+                    t.p2p_bytes,
+                ),
+                ("p2p msgs sent", m.counter(Counter::P2pMsgsSent), t.p2p_msgs),
+                (
+                    "collective bytes sent",
+                    m.counter(Counter::CollBytesSent),
+                    t.collective_bytes,
+                ),
+                (
+                    "collective msgs sent",
+                    m.counter(Counter::CollMsgsSent),
+                    t.collective_msgs,
+                ),
+                (
+                    "p2p bytes received",
+                    m.counter(Counter::P2pBytesRecv),
+                    t.p2p_recv_bytes,
+                ),
+                (
+                    "collective bytes received",
+                    m.counter(Counter::CollBytesRecv),
+                    t.collective_recv_bytes,
+                ),
+                ("msgs received", m.counter(Counter::MsgsRecv), t.recv_msgs),
+                (
+                    "faults injected",
+                    m.counter(Counter::FaultsInjected),
+                    t.faults_injected,
+                ),
+            ];
+            for (what, counted, metered) in pairs {
+                if counted != metered {
+                    violations.push(format!(
+                        "rank {}: metrics {what} counter {counted} != traffic meter {metered}",
+                        rep.rank
+                    ));
+                }
+            }
+        }
     }
 
     if compare_inprocess {

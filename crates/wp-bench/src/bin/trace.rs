@@ -16,7 +16,7 @@
 //! the process if it is malformed — the CI smoke check.
 
 use weipipe::{run_distributed, Strategy, TraceConfig, TrainSetup};
-use wp_bench::drift::drift_report;
+use wp_bench::drift::{drift_report, truncation_warning};
 use wp_sched::{build, PipelineSpec};
 use wp_sim::{
     measured_result, render::ascii_timeline, simulate, ClusterSpec, CostModel, GpuSpec, ModelDims,
@@ -71,6 +71,9 @@ fn main() {
     };
     let sim = simulate(&sched, &cost, &cluster, SimOptions::default()).expect("fits");
 
+    if let Some(warn) = truncation_warning(trace) {
+        eprintln!("{warn}\n");
+    }
     println!("measured timeline ({} spans):", trace.span_count());
     println!("{}", ascii_timeline(&measured, 96));
     println!("simulated timeline:");

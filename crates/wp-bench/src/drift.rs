@@ -93,6 +93,32 @@ pub fn profile(result: &SimResult) -> TimelineProfile {
     }
 }
 
+/// Warning text when a measured trace lost spans to ring overwrites, else
+/// `None`. A truncated ring undercounts busy time, so every bubble and
+/// busy-share figure derived from it is skewed low — the drift report must
+/// say so instead of printing silently-wrong numbers.
+pub fn truncation_warning(trace: &wp_trace::Trace) -> Option<String> {
+    let dropped: Vec<(usize, u64)> = trace
+        .tracks
+        .iter()
+        .filter(|t| t.overwritten > 0)
+        .map(|t| (t.rank, t.overwritten))
+        .collect();
+    if dropped.is_empty() {
+        return None;
+    }
+    let detail = dropped
+        .iter()
+        .map(|(r, n)| format!("rank {r} dropped {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    Some(format!(
+        "WARNING: trace ring overwrote spans ({detail}); measured bubbles and \
+         busy shares undercount real work — raise TraceConfig::capacity_per_rank \
+         before trusting this report"
+    ))
+}
+
 fn pct(x: f64) -> String {
     format!("{:>9.1}%", x * 100.0)
 }
@@ -251,6 +277,33 @@ mod tests {
         for line in report.lines().filter(|l| l.ends_with("pp")) {
             assert!(line.trim_end().ends_with("+0.0pp"), "nonzero drift: {line}");
         }
+    }
+
+    #[test]
+    fn truncation_warning_fires_only_when_spans_dropped() {
+        use wp_trace::{SpanKind, SpanRecord, TraceCollector};
+        let span = |i: u64| SpanRecord {
+            start_ns: i * 10,
+            end_ns: i * 10 + 5,
+            kind: SpanKind::Fwd,
+            mb: 0,
+            chunk: 0,
+            bytes: 0,
+            aux: 0,
+        };
+        let c = TraceCollector::new(1, 4);
+        for i in 0..4 {
+            c.tracer(0).record(span(i));
+        }
+        assert!(
+            truncation_warning(&c.snapshot()).is_none(),
+            "within capacity: no warning"
+        );
+        for i in 4..9 {
+            c.tracer(0).record(span(i));
+        }
+        let warn = truncation_warning(&c.snapshot()).expect("overwritten ring must warn");
+        assert!(warn.contains("rank 0 dropped 5"), "got: {warn}");
     }
 
     #[test]

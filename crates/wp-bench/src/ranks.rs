@@ -9,6 +9,7 @@
 //! results bit-for-bit.
 
 use wp_comm::{CommError, RankTraffic};
+use wp_metrics::RankSnapshot;
 use wp_sched::Strategy;
 use wp_trace::{SpanKind, SpanRecord};
 
@@ -50,6 +51,8 @@ pub struct RankReport {
     pub overwritten: u64,
     /// This rank's trace spans (empty when tracing was off).
     pub spans: Vec<SpanRecord>,
+    /// This rank's final metrics snapshot (`None` when metrics were off).
+    pub metrics: Option<RankSnapshot>,
 }
 
 /// Stable short label for a [`CommError`] variant, used in reports and
@@ -113,6 +116,7 @@ impl RankReport {
             traffic: RankTraffic::default(),
             overwritten: 0,
             spans: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -147,6 +151,9 @@ impl RankReport {
             t.faults_injected,
         ));
         out.push_str(&format!("overwritten {}\n", self.overwritten));
+        if let Some(m) = &self.metrics {
+            out.push_str(&format!("metrics {}\n", m.to_line()));
+        }
         for s in &self.spans {
             out.push_str(&format!(
                 "span {} {} {} {} {} {} {}\n",
@@ -170,6 +177,7 @@ impl RankReport {
         let mut traffic = RankTraffic::default();
         let mut overwritten = 0u64;
         let mut spans = Vec::new();
+        let mut metrics = None;
         for line in text.lines() {
             let (key, rest) = match line.split_once(' ') {
                 Some((k, r)) => (k, r),
@@ -215,6 +223,7 @@ impl RankReport {
                     };
                 }
                 "overwritten" => overwritten = rest.parse().ok()?,
+                "metrics" => metrics = Some(RankSnapshot::from_line(rest)?),
                 "span" => {
                     let v: Vec<u64> = rest
                         .split_whitespace()
@@ -247,6 +256,7 @@ impl RankReport {
             traffic,
             overwritten,
             spans,
+            metrics,
         })
     }
 }
@@ -255,6 +265,16 @@ impl RankReport {
 mod tests {
     use super::*;
     use wp_trace::NO_ID;
+
+    fn sample_metrics() -> RankSnapshot {
+        use wp_metrics::{Counter, Gauge, Hist, MetricsRegistry};
+        let reg = MetricsRegistry::new(2);
+        let m = reg.handle(1);
+        m.add(Counter::P2pBytesSent, 10);
+        m.set(Gauge::Loss, -0.0); // sign bit must survive the report file
+        m.observe(Hist::StepWallNs, 12345);
+        reg.snapshot_rank(1)
+    }
 
     fn sample() -> RankReport {
         RankReport {
@@ -286,6 +306,7 @@ mod tests {
                 bytes: 64,
                 aux: 7,
             }],
+            metrics: Some(sample_metrics()),
         }
     }
 
@@ -294,8 +315,39 @@ mod tests {
         let r = sample();
         let parsed = RankReport::from_text(&r.to_text()).expect("parses");
         assert_eq!(parsed, r);
-        // -0.0 == 0.0 under PartialEq; check the sign bit survived too.
+        // -0.0 == 0.0 under PartialEq; check the sign bits survived too.
         assert_eq!(parsed.losses[2].to_bits(), (-0.0f32).to_bits());
+        let m = parsed.metrics.expect("metrics line survives");
+        assert_eq!(
+            m.gauge(wp_metrics::Gauge::Loss).to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn metrics_free_report_round_trips_without_a_metrics_line() {
+        let mut r = sample();
+        r.metrics = None;
+        let text = r.to_text();
+        assert!(!text.contains("metrics"), "no metrics line when off");
+        assert_eq!(RankReport::from_text(&text), Some(r));
+    }
+
+    #[test]
+    fn malformed_metrics_line_rejects_the_report() {
+        let r = sample();
+        let text = r.to_text();
+        let truncated: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("metrics ") {
+                    format!("metrics {}\n", &rest[..rest.len() / 2])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert_eq!(RankReport::from_text(&truncated), None);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::transport::{
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wp_metrics::{Counter, Gauge, MetricsRegistry, RankMetrics};
 use wp_tensor::dtype::quantize_slice;
 use wp_tensor::DType;
 use wp_trace::{
@@ -139,6 +140,10 @@ pub struct Communicator {
     link_busy: Vec<Option<Instant>>,
     /// Span recorder for this rank's track, when the world is traced.
     tracer: Option<RankTracer>,
+    /// Metric recorder for this rank's slots, when the world is metered.
+    /// Byte/message counters mirror the [`TrafficMeter`] calls exactly —
+    /// the consistency suite asserts equality per class.
+    metrics: Option<RankMetrics>,
     /// Whether this rank has already forwarded the world's abort cause to
     /// its peers (see [`Communicator::standing_cause`]).
     abort_relayed: bool,
@@ -252,6 +257,23 @@ impl Communicator {
         self.tracer.as_ref()
     }
 
+    /// This rank's metric recorder, when the world was built with a
+    /// [`MetricsRegistry`] (see [`WorldBuilder::metrics`]). Runtimes layered
+    /// on top clone this handle to record their own step/compute metrics in
+    /// the same rank's slots.
+    pub fn metrics(&self) -> Option<&RankMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Sample the reorder-buffer depth for `src` into the depth gauges.
+    fn note_reorder_depth(&self, src: usize) {
+        if let Some(m) = &self.metrics {
+            let d = self.pending[src].len() as f64;
+            m.set(Gauge::ReorderDepth, d);
+            m.set_max(Gauge::ReorderDepthMax, d);
+        }
+    }
+
     /// Record a fatal failure: poison the world so every other rank unwinds.
     /// When peers live in other processes (the TCP transport) the trip is
     /// additionally forwarded over the wire.
@@ -292,6 +314,9 @@ impl Communicator {
             if inj.op_kills_rank() {
                 let e = CommError::PeerDead { rank: self.rank };
                 self.meter.record_faults(self.rank, 1);
+                if let Some(m) = &self.metrics {
+                    m.incr(Counter::FaultsInjected);
+                }
                 if let Some(tr) = self.tracer.as_ref() {
                     tr.instant(
                         SpanKind::Fault,
@@ -400,6 +425,18 @@ impl Communicator {
         quantize_slice(&mut payload, dtype);
         let bytes = (payload.len() * dtype.size_bytes()) as u64;
         self.meter.record_send(self.rank, bytes, class);
+        if let Some(m) = &self.metrics {
+            match class {
+                TrafficClass::P2p => {
+                    m.add(Counter::P2pBytesSent, bytes);
+                    m.incr(Counter::P2pMsgsSent);
+                }
+                TrafficClass::Collective => {
+                    m.add(Counter::CollBytesSent, bytes);
+                    m.incr(Counter::CollMsgsSent);
+                }
+            }
+        }
         let mut deliver_at = if self.link.is_instant() {
             None
         } else {
@@ -422,6 +459,9 @@ impl Communicator {
             let f = inj.on_send(dst);
             if f.injected > 0 {
                 self.meter.record_faults(self.rank, f.injected);
+                if let Some(m) = &self.metrics {
+                    m.add(Counter::FaultsInjected, f.injected);
+                }
                 if let Some(tr) = self.tracer.as_ref() {
                     tr.instant(
                         SpanKind::Fault,
@@ -506,6 +546,7 @@ impl Communicator {
     pub fn irecv(&self, src: usize, tag: u64) -> Request {
         assert!(src < self.world, "src {src} out of range");
         assert_ne!(src, self.rank, "self-recv is not supported");
+        self.note_reorder_depth(src);
         Request {
             inner: ReqInner::Recv {
                 src,
@@ -598,6 +639,7 @@ impl Communicator {
                         return Err(e);
                     }
                     self.pending[src].push_back(msg);
+                    self.note_reorder_depth(src);
                 }
                 RecvPoll::Empty => break,
                 RecvPoll::Closed => {
@@ -681,6 +723,7 @@ impl Communicator {
                             return Ok(self.deliver(src, depth, t0, msg));
                         }
                         self.pending[src].push_back(msg);
+                        self.note_reorder_depth(src);
                     }
                     RecvWait::TimedOut => {}
                     RecvWait::Closed => {
@@ -699,20 +742,31 @@ impl Communicator {
                     tag,
                     waited_ms: started.elapsed().as_millis() as u64,
                 };
+                if let Some(m) = &self.metrics {
+                    m.incr(Counter::RecvTimeouts);
+                }
                 self.fail(&e);
                 return Err(e);
             }
             attempt += 1;
+            if let Some(m) = &self.metrics {
+                m.incr(Counter::RecvRetries);
+            }
             window = window.mul_f64(self.config.backoff.max(1.0));
         }
     }
 
-    /// Sleep until the link model says the message has fully arrived.
-    fn pace(msg: &Frame) {
+    /// Sleep until the link model says the message has fully arrived,
+    /// charging the slept nanoseconds to the pacing-stall counter.
+    fn pace(&self, msg: &Frame) {
         if let Some(at) = msg.deliver_at {
             let now = Instant::now();
             if at > now {
-                std::thread::sleep(at - now);
+                let stall = at - now;
+                std::thread::sleep(stall);
+                if let Some(m) = &self.metrics {
+                    m.add(Counter::PacingStallNs, stall.as_nanos() as u64);
+                }
             }
         }
     }
@@ -727,6 +781,13 @@ impl Communicator {
             TrafficClass::P2p
         };
         self.meter.record_recv(self.rank, msg.wire_bytes, class);
+        if let Some(m) = &self.metrics {
+            match class {
+                TrafficClass::P2p => m.add(Counter::P2pBytesRecv, msg.wire_bytes),
+                TrafficClass::Collective => m.add(Counter::CollBytesRecv, msg.wire_bytes),
+            }
+            m.incr(Counter::MsgsRecv);
+        }
         match self.tracer.as_ref() {
             Some(tr) => {
                 let aux = recv_aux(src, depth);
@@ -734,10 +795,10 @@ impl Communicator {
                     tr.end_span(SpanKind::RecvWait, start, NO_ID, NO_ID, msg.wire_bytes, aux);
                 }
                 let x0 = tr.now_ns();
-                Self::pace(&msg);
+                self.pace(&msg);
                 tr.end_span(SpanKind::RecvXfer, x0, NO_ID, NO_ID, msg.wire_bytes, aux);
             }
-            None => Self::pace(&msg),
+            None => self.pace(&msg),
         }
         msg.data
     }
@@ -1080,6 +1141,7 @@ pub struct WorldBuilder {
     config: CommConfig,
     faults: Option<FaultPlan>,
     trace: Option<TraceCollector>,
+    metrics: Option<MetricsRegistry>,
     transport: TransportKind,
 }
 
@@ -1132,12 +1194,38 @@ impl WorldBuilder {
         self
     }
 
+    /// Record every rank's communication metrics into `registry` (must
+    /// cover at least `p` ranks). Each rank writes its own slots; the caller
+    /// keeps the registry and snapshots it after the run. The transport
+    /// endpoint is instrumented too, so transport-internal accounting (wire
+    /// frames, writer queue depth) lands in the same slots.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Attach a metrics registry if one is provided (convenience for
+    /// callers holding an `Option`).
+    pub fn maybe_metrics(mut self, registry: Option<MetricsRegistry>) -> Self {
+        self.metrics = registry;
+        self
+    }
+
     /// Wrap one transport endpoint in a [`Communicator`] carrying this
-    /// builder's link, timeout, fault, and trace policy, charging `meter`.
-    fn make_endpoint(&self, transport: Box<dyn Transport>, meter: TrafficMeter) -> Communicator {
+    /// builder's link, timeout, fault, trace, and metrics policy, charging
+    /// `meter`.
+    fn make_endpoint(
+        &self,
+        mut transport: Box<dyn Transport>,
+        meter: TrafficMeter,
+    ) -> Communicator {
         let rank = transport.rank();
         let p = transport.world_size();
         let abort = transport.abort_cell().clone();
+        let metrics = self.metrics.as_ref().map(|reg| reg.handle(rank));
+        if let Some(m) = &metrics {
+            transport.instrument(m.clone());
+        }
         Communicator {
             rank,
             world: p,
@@ -1155,6 +1243,7 @@ impl WorldBuilder {
             held: (0..p).map(|_| None).collect(),
             link_busy: (0..p).map(|_| None).collect(),
             tracer: self.trace.as_ref().map(|tc| tc.tracer(rank)),
+            metrics,
             abort_relayed: false,
         }
     }
@@ -1293,6 +1382,7 @@ impl World {
             config: CommConfig::default(),
             faults: None,
             trace: None,
+            metrics: None,
             transport: TransportKind::InProcess,
         }
     }
@@ -1867,9 +1957,57 @@ mod tests {
     fn untraced_world_records_nothing() {
         let (_, _) = World::run(2, LinkModel::instant(), |mut c| {
             assert!(c.tracer().is_none());
+            assert!(c.metrics().is_none());
             let mut buf = [0.0f32; 2];
             c.all_reduce_sum(&mut buf, DType::F32).unwrap();
         });
+    }
+
+    #[test]
+    fn metered_world_counters_match_the_traffic_meter() {
+        let registry = MetricsRegistry::new(2);
+        let (_, meter) = World::builder(2).metrics(registry.clone()).run(|mut c| {
+            if c.rank() == 0 {
+                c.send(1, 7, &[1.0, 2.0], DType::F32).unwrap();
+            } else {
+                c.recv(0, 7).unwrap();
+            }
+            let mut buf = vec![1.0f32; 4];
+            c.all_reduce_sum(&mut buf, DType::F32).unwrap();
+        });
+        let snap = registry.snapshot();
+        for r in 0..2 {
+            let t = meter.rank(r);
+            let s = &snap.ranks[r];
+            assert_eq!(s.counter(Counter::P2pBytesSent), t.p2p_bytes, "rank {r}");
+            assert_eq!(s.counter(Counter::P2pMsgsSent), t.p2p_msgs, "rank {r}");
+            assert_eq!(
+                s.counter(Counter::CollBytesSent),
+                t.collective_bytes,
+                "rank {r}"
+            );
+            assert_eq!(
+                s.counter(Counter::CollMsgsSent),
+                t.collective_msgs,
+                "rank {r}"
+            );
+            assert_eq!(
+                s.counter(Counter::P2pBytesRecv),
+                t.p2p_recv_bytes,
+                "rank {r}"
+            );
+            assert_eq!(
+                s.counter(Counter::CollBytesRecv),
+                t.collective_recv_bytes,
+                "rank {r}"
+            );
+            assert_eq!(s.counter(Counter::MsgsRecv), t.recv_msgs, "rank {r}");
+            assert_eq!(
+                s.counter(Counter::FaultsInjected),
+                t.faults_injected,
+                "rank {r}"
+            );
+        }
     }
 
     #[test]

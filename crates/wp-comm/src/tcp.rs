@@ -38,11 +38,18 @@ use crate::error::CommError;
 use crate::transport::{AbortCell, Frame, RecvPoll, RecvWait, Transport, TransportClosed};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use wp_metrics::{Counter, Gauge, RankMetrics};
+
+/// Metrics handle shared with the per-peer reader/writer threads. The
+/// threads spawn at establish time, before any `instrument` call, so they
+/// watch a `OnceLock` instead of owning the handle directly; until (unless)
+/// a handle is attached, every probe is one relaxed load.
+type MetricsCell = Arc<OnceLock<RankMetrics>>;
 
 const MAGIC: u32 = 0x5750_5452; // "WPTR"
 const PROTO_VERSION: u8 = 1;
@@ -236,6 +243,26 @@ struct PeerLink {
     /// Kept to force-shutdown the socket at teardown, unblocking a reader
     /// parked in `read_exact`.
     sock: TcpStream,
+    /// Commands enqueued but not yet written by the writer thread.
+    /// Incremented *before* the enqueue and decremented by the writer after
+    /// the dequeue, so it can never transiently underflow; sampled into the
+    /// per-peer send-queue-depth gauges at `send` time.
+    depth: Arc<AtomicU64>,
+}
+
+impl PeerLink {
+    /// Enqueue a command with depth accounting. Returns the queue depth
+    /// including this command, or `Err` if the writer is gone.
+    fn enqueue(&self, cmd: WriterCmd) -> Result<u64, ()> {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.cmd.send(cmd) {
+            Ok(()) => Ok(d),
+            Err(_) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(())
+            }
+        }
+    }
 }
 
 /// One rank's endpoint of a localhost TCP mesh. See the module docs for
@@ -257,6 +284,8 @@ pub struct TcpTransport {
     /// Set before teardown so reader threads treat the socket shutdown as
     /// deliberate rather than a peer crash.
     closing: Arc<AtomicBool>,
+    /// Shared with the reader/writer threads; armed by [`Transport::instrument`].
+    metrics: MetricsCell,
     shut: bool,
 }
 
@@ -340,6 +369,7 @@ impl TcpTransport {
 
         let abort = Arc::new(AbortCell::default());
         let closing = Arc::new(AtomicBool::new(false));
+        let metrics: MetricsCell = Arc::new(OnceLock::new());
         let mut links = Vec::with_capacity(world);
         let mut inbox = Vec::with_capacity(world);
         for (peer, slot) in streams.into_iter().enumerate() {
@@ -353,21 +383,28 @@ impl TcpTransport {
             sock.set_nodelay(true)?;
             let (frame_tx, frame_rx) = channel::<Frame>();
             let (cmd_tx, cmd_rx) = channel::<WriterCmd>();
+            let depth = Arc::new(AtomicU64::new(0));
             let writer = {
                 let sock = sock.try_clone()?;
-                std::thread::spawn(move || writer_loop(sock, cmd_rx))
+                let depth = depth.clone();
+                let metrics = metrics.clone();
+                std::thread::spawn(move || writer_loop(sock, cmd_rx, depth, metrics))
             };
             let reader = {
                 let sock = sock.try_clone()?;
                 let abort = abort.clone();
                 let closing = closing.clone();
-                std::thread::spawn(move || reader_loop(sock, peer, frame_tx, abort, closing))
+                let metrics = metrics.clone();
+                std::thread::spawn(move || {
+                    reader_loop(sock, peer, frame_tx, abort, closing, metrics)
+                })
             };
             links.push(Some(PeerLink {
                 cmd: cmd_tx,
                 writer: Some(writer),
                 reader: Some(reader),
                 sock,
+                depth,
             }));
             inbox.push(frame_rx);
         }
@@ -378,6 +415,7 @@ impl TcpTransport {
             links,
             inbox,
             closing,
+            metrics,
             shut: false,
         })
     }
@@ -388,17 +426,25 @@ impl TcpTransport {
         }
         self.shut = true;
         self.closing.store(true, Ordering::Release);
+        let mut relays = 0u64;
         for link in self.links.iter().flatten() {
             // A closed queue means the writer already exited; nothing to
             // announce to a peer that is gone.
             if let WriterCmd::Abort(o, e) = &announce {
-                let _ = link.cmd.send(WriterCmd::Abort(*o, e.clone()));
+                if link.enqueue(WriterCmd::Abort(*o, e.clone())).is_ok() {
+                    relays += 1;
+                }
             }
             // Goodbye always follows (even after an abort announcement):
             // it is the only command that makes the writer thread exit, and
             // teardown joins the writer next — an abort without a trailing
             // goodbye would deadlock that join.
-            let _ = link.cmd.send(WriterCmd::Goodbye);
+            let _ = link.enqueue(WriterCmd::Goodbye);
+        }
+        if relays > 0 {
+            if let Some(m) = self.metrics.get() {
+                m.add(Counter::TcpAbortRelays, relays);
+            }
         }
         for link in self.links.iter_mut().flatten() {
             if let Some(w) = link.writer.take() {
@@ -430,9 +476,14 @@ impl Transport for TcpTransport {
 
     fn send(&mut self, dst: usize, frame: Frame) -> Result<(), TransportClosed> {
         let link = self.links[dst].as_ref().ok_or(TransportClosed)?;
-        link.cmd
-            .send(WriterCmd::Data(frame))
-            .map_err(|_| TransportClosed)
+        let depth = link
+            .enqueue(WriterCmd::Data(frame))
+            .map_err(|()| TransportClosed)?;
+        if let Some(m) = self.metrics.get() {
+            m.set(Gauge::TcpSendQueueDepth, depth as f64);
+            m.set_max(Gauge::TcpSendQueueDepthMax, depth as f64);
+        }
+        Ok(())
     }
 
     fn try_recv(&mut self, src: usize) -> RecvPoll {
@@ -452,9 +503,26 @@ impl Transport for TcpTransport {
     }
 
     fn propagate_abort(&mut self, origin: usize, cause: &CommError) {
+        let mut relays = 0u64;
         for link in self.links.iter().flatten() {
-            let _ = link.cmd.send(WriterCmd::Abort(origin, cause.clone()));
+            if link
+                .enqueue(WriterCmd::Abort(origin, cause.clone()))
+                .is_ok()
+            {
+                relays += 1;
+            }
         }
+        if relays > 0 {
+            if let Some(m) = self.metrics.get() {
+                m.add(Counter::TcpAbortRelays, relays);
+            }
+        }
+    }
+
+    fn instrument(&mut self, metrics: RankMetrics) {
+        // First attach wins; the reader/writer threads pick the handle up
+        // on their next frame.
+        let _ = self.metrics.set(metrics);
     }
 
     fn shutdown(&mut self) {
@@ -487,9 +555,15 @@ fn write_frame(sock: &mut TcpStream, buf: &[u8]) -> std::io::Result<()> {
     sock.flush()
 }
 
-fn writer_loop(mut sock: TcpStream, cmd_rx: Receiver<WriterCmd>) {
+fn writer_loop(
+    mut sock: TcpStream,
+    cmd_rx: Receiver<WriterCmd>,
+    depth: Arc<AtomicU64>,
+    metrics: MetricsCell,
+) {
     let mut buf = Vec::new();
     while let Ok(cmd) = cmd_rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
         match cmd {
             WriterCmd::Data(frame) => {
                 // The delivery deadline crosses the boundary as remaining
@@ -503,6 +577,9 @@ fn writer_loop(mut sock: TcpStream, cmd_rx: Receiver<WriterCmd>) {
                     // next send reports TransportClosed (→ PeerDead).
                     return;
                 }
+                if let Some(m) = metrics.get() {
+                    m.incr(Counter::TcpDataFramesSent);
+                }
             }
             WriterCmd::Abort(origin, err) => {
                 buf.clear();
@@ -515,9 +592,16 @@ fn writer_loop(mut sock: TcpStream, cmd_rx: Receiver<WriterCmd>) {
                 if write_frame(&mut sock, &buf).is_err() {
                     return;
                 }
+                if let Some(m) = metrics.get() {
+                    m.incr(Counter::TcpAbortFramesSent);
+                }
             }
             WriterCmd::Goodbye => {
-                let _ = write_frame(&mut sock, &[1, 0, 0, 0, KIND_GOODBYE]);
+                if write_frame(&mut sock, &[1, 0, 0, 0, KIND_GOODBYE]).is_ok() {
+                    if let Some(m) = metrics.get() {
+                        m.incr(Counter::TcpGoodbyeFramesSent);
+                    }
+                }
                 let _ = sock.shutdown(Shutdown::Write);
                 return;
             }
@@ -531,6 +615,7 @@ fn reader_loop(
     frame_tx: Sender<Frame>,
     abort: Arc<AbortCell>,
     closing: Arc<AtomicBool>,
+    metrics: MetricsCell,
 ) {
     let mut header = [0u8; 4];
     let mut body = Vec::new();
@@ -562,6 +647,9 @@ fn reader_loop(
                 // A receiver gone just means this endpoint stopped
                 // consuming; keep draining so the peer can finish sending.
                 Some(f) => {
+                    if let Some(m) = metrics.get() {
+                        m.incr(Counter::TcpDataFramesRecv);
+                    }
                     let _ = frame_tx.send(f);
                 }
                 None => {
@@ -572,6 +660,9 @@ fn reader_loop(
                 }
             },
             KIND_ABORT => {
+                if let Some(m) = metrics.get() {
+                    m.incr(Counter::TcpAbortFramesRecv);
+                }
                 let mut c = Cursor::new(&body[1..]);
                 if let (Some(origin), Some(err)) = (c.u32(), decode_err(&mut c)) {
                     abort.trip(origin as usize, err);
@@ -585,6 +676,9 @@ fn reader_loop(
                 // Clean close: dropping frame_tx makes further receives
                 // from this source read as Closed (→ PeerDead upstream,
                 // matching the in-process disconnect semantics).
+                if let Some(m) = metrics.get() {
+                    m.incr(Counter::TcpGoodbyeFramesRecv);
+                }
                 return;
             }
             _ => {
@@ -825,6 +919,66 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(b.abort_cell().cause_for(0), cause);
+    }
+
+    #[test]
+    fn instrumented_endpoints_count_wire_frames() {
+        use wp_metrics::MetricsRegistry;
+        let registry = MetricsRegistry::new(2);
+        let mut mesh = local_mesh(2);
+        let mut b = mesh.remove(1);
+        let mut a = mesh.remove(0);
+        a.instrument(registry.handle(0));
+        b.instrument(registry.handle(1));
+        a.send(1, frame(7, vec![1.0, 2.0])).unwrap();
+        a.send(1, frame(8, vec![3.0])).unwrap();
+        for want in [7u64, 8] {
+            match b.recv_timeout(0, Duration::from_secs(5)) {
+                RecvWait::Frame(f) => assert_eq!(f.tag, want),
+                other => panic!("expected frame {want}, got {other:?}"),
+            }
+        }
+        // Clean closes join the reader/writer threads, so the counters are
+        // final once both endpoints are dropped.
+        drop(a);
+        drop(b);
+        let snap = registry.snapshot();
+        assert_eq!(snap.ranks[0].counter(Counter::TcpDataFramesSent), 2);
+        assert_eq!(snap.ranks[1].counter(Counter::TcpDataFramesRecv), 2);
+        assert_eq!(snap.ranks[0].counter(Counter::TcpGoodbyeFramesSent), 1);
+        assert_eq!(snap.ranks[1].counter(Counter::TcpGoodbyeFramesRecv), 1);
+        assert!(
+            snap.ranks[0].gauge(Gauge::TcpSendQueueDepthMax) >= 1.0,
+            "send must sample the per-peer queue depth"
+        );
+        assert_eq!(snap.ranks[0].counter(Counter::TcpAbortRelays), 0);
+    }
+
+    #[test]
+    fn abort_relays_are_counted() {
+        use wp_metrics::MetricsRegistry;
+        let registry = MetricsRegistry::new(2);
+        let b = mesh_pair_b_only(&registry);
+        drop(b);
+        let snap = registry.snapshot();
+        assert_eq!(snap.ranks[0].counter(Counter::TcpAbortRelays), 1);
+    }
+
+    /// Build a 2-mesh, instrument rank 0, fire `propagate_abort` from it,
+    /// wait for the cell to trip on rank 1, and return rank 1's endpoint
+    /// (rank 0 is dropped cleanly here).
+    fn mesh_pair_b_only(registry: &wp_metrics::MetricsRegistry) -> TcpTransport {
+        let mut mesh = local_mesh(2);
+        let b = mesh.remove(1);
+        let mut a = mesh.remove(0);
+        a.instrument(registry.handle(0));
+        a.propagate_abort(0, &CommError::Corrupt { src: 1, tag: 9 });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !b.abort_cell().is_tripped() {
+            assert!(Instant::now() < deadline, "abort frame never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        b
     }
 
     /// Regression: an abort-announcing teardown (the panic-unwind path)

@@ -1,0 +1,136 @@
+//! Property tests for the exporters: for arbitrary registry contents, the
+//! Prometheus and JSON documents must validate under their own strict
+//! parsers, and parse-back must reconstruct the snapshot exactly —
+//! counters and histogram sums to the bit (`u64`), gauges to the bit for
+//! every finite value (shortest-round-trip `Display`). The hex line codec
+//! the multi-process launcher ships snapshots over gets the same treatment.
+
+use proptest::prelude::*;
+use wp_metrics::{
+    export_json, export_prometheus, parse_json, parse_prometheus, validate_json,
+    validate_prometheus, Counter, Gauge, Hist, HistSnapshot, MetricsSnapshot, RankSnapshot,
+    HIST_BUCKETS,
+};
+
+/// Deterministic splitmix64 — fills snapshots from one seed without
+/// depending on any RNG crate's distribution details.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn arbitrary_snapshot(seed: u64, ranks: usize, dense: bool) -> MetricsSnapshot {
+    let mut s = seed;
+    let mut snap = MetricsSnapshot::empty(ranks);
+    for r in &mut snap.ranks {
+        for c in r.counters.iter_mut() {
+            // Mix tiny and huge values; exercise > 2^53 (f64-unsafe) often.
+            *c = match splitmix(&mut s) % 4 {
+                0 => 0,
+                1 => splitmix(&mut s) % 100,
+                2 => splitmix(&mut s) >> (splitmix(&mut s) % 40),
+                _ => splitmix(&mut s),
+            };
+        }
+        for g in r.gauges.iter_mut() {
+            let bits = splitmix(&mut s);
+            let v = f64::from_bits(bits);
+            // Finite values only: NaN breaks equality, and infinities are
+            // covered by a dedicated unit test.
+            *g = if v.is_finite() {
+                v
+            } else {
+                (bits >> 11) as f64
+            };
+        }
+        for h in r.hists.iter_mut() {
+            let observations = if dense {
+                40
+            } else {
+                splitmix(&mut s) as usize % 8
+            };
+            let mut hist = HistSnapshot::default();
+            for _ in 0..observations {
+                let shift = splitmix(&mut s) % 64;
+                let bucket = wp_metrics_bucket(splitmix(&mut s) >> shift);
+                hist.buckets[bucket] += 1;
+                hist.count += 1;
+            }
+            hist.sum = splitmix(&mut s); // sum is independent of buckets
+            *h = hist;
+        }
+    }
+    snap
+}
+
+/// The crate's bucket rule, restated so the test does not depend on
+/// private internals: 0 → 0, else min(64 − leading_zeros, 63).
+fn wp_metrics_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prometheus_roundtrips_exactly(seed in 0u64..u64::MAX, ranks in 1usize..5) {
+        let snap = arbitrary_snapshot(seed, ranks, seed % 3 == 0);
+        let text = export_prometheus(&snap);
+        let stats = validate_prometheus(&text).expect("export must validate");
+        prop_assert_eq!(stats.ranks, ranks);
+        prop_assert_eq!(stats.counters, Counter::COUNT);
+        prop_assert_eq!(stats.gauges, Gauge::COUNT);
+        prop_assert_eq!(stats.histograms, Hist::COUNT);
+        let (back, _) = parse_prometheus(&text).expect("export must parse");
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_roundtrips_exactly(seed in 0u64..u64::MAX, ranks in 1usize..5) {
+        let snap = arbitrary_snapshot(seed, ranks, seed % 3 == 1);
+        let text = export_json(&snap);
+        let stats = validate_json(&text).expect("export must validate");
+        prop_assert_eq!(stats.ranks, ranks);
+        let (back, _) = parse_json(&text).expect("export must parse");
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn line_codec_roundtrips_exactly(seed in 0u64..u64::MAX, ranks in 1usize..5) {
+        let snap = arbitrary_snapshot(seed, ranks, false);
+        for r in &snap.ranks {
+            let line = r.to_line();
+            prop_assert!(!line.contains('\n'));
+            let back = RankSnapshot::from_line(&line).expect("line must parse");
+            prop_assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn truncated_documents_never_parse_silently(seed in 0u64..u64::MAX) {
+        let snap = arbitrary_snapshot(seed, 2, true);
+        // Cutting a JSON document anywhere inside must fail, not yield a
+        // quietly different snapshot.
+        let json = export_json(&snap);
+        let cut = json.len() / 2;
+        prop_assert!(parse_json(&json[..cut]).is_err());
+        // A Prometheus doc cut mid-line must fail too (histograms lose
+        // their _sum/_count tail or end on a half sample).
+        let prom = export_prometheus(&snap);
+        let half = &prom[..prom.len() / 2];
+        match parse_prometheus(half) {
+            Err(_) => {}
+            Ok((back, _)) => prop_assert!(
+                back != snap,
+                "truncation must not reproduce the full snapshot"
+            ),
+        }
+    }
+}

@@ -214,7 +214,10 @@ impl RankTracer {
     }
 
     /// Record a span that started at `start_ns` (from [`now_ns`](Self::now_ns))
-    /// and ends now.
+    /// and ends now. Returns the recorded duration in nanoseconds so a
+    /// caller mirroring the span into a second sink (e.g. a metrics
+    /// histogram) observes the *identical* value the trace holds — the
+    /// busy-time/histogram-mass consistency suite depends on this.
     #[inline]
     pub fn end_span(
         &self,
@@ -224,7 +227,7 @@ impl RankTracer {
         chunk: u32,
         bytes: u64,
         aux: u64,
-    ) {
+    ) -> u64 {
         let end = self.now_ns().max(start_ns);
         self.record(SpanRecord {
             start_ns,
@@ -235,6 +238,7 @@ impl RankTracer {
             bytes,
             aux,
         });
+        end - start_ns
     }
 
     /// Record an instant event (zero-duration span) happening now.

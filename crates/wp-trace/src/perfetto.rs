@@ -38,10 +38,14 @@ pub fn export_chrome_json(trace: &Trace) -> String {
     );
     for track in &trace.tracks {
         let mut ev = String::new();
+        // `dropped_spans` rides in the thread metadata so a consumer (and
+        // the validator) can see how many spans the ring overwrote — a
+        // truncated track must not read as a complete one.
         let _ = write!(
             ev,
-            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"rank {}\"}}}}",
-            track.rank, track.rank
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"rank {}\",\"dropped_spans\":{}}}}}",
+            track.rank, track.rank, track.overwritten
         );
         push(&mut out, &ev);
     }
@@ -144,6 +148,10 @@ pub struct TraceStats {
     pub instants: usize,
     /// Distinct thread ids (ranks) that carry at least one timed event.
     pub tracks: usize,
+    /// Spans the per-rank ring buffers overwrote before the snapshot
+    /// (summed across ranks, from the `dropped_spans` thread metadata).
+    /// Non-zero means the exported timeline is incomplete.
+    pub dropped_spans: u64,
 }
 
 /// Validate a Chrome trace-event JSON document: it must parse, hold a
@@ -166,6 +174,7 @@ pub fn validate_chrome_json(json: &str) -> Result<TraceStats, String> {
         spans: 0,
         instants: 0,
         tracks: 0,
+        dropped_spans: 0,
     };
     // (tid, last_ts) per track, small-world so a vec beats a map.
     let mut last_ts: Vec<(f64, f64)> = Vec::new();
@@ -178,6 +187,18 @@ pub fn validate_chrome_json(json: &str) -> Result<TraceStats, String> {
             .and_then(Json::as_str)
             .ok_or_else(|| format!("event {i} lacks a ph string"))?;
         if ph == "M" {
+            if let Some(args) = field("args").and_then(Json::as_obj) {
+                if let Some(dropped) = args
+                    .iter()
+                    .find(|(k, _)| k == "dropped_spans")
+                    .and_then(|(_, v)| v.as_num())
+                {
+                    if dropped < 0.0 {
+                        return Err(format!("event {i} has negative dropped_spans {dropped}"));
+                    }
+                    stats.dropped_spans += dropped as u64;
+                }
+            }
             continue;
         }
         field("name")
@@ -512,6 +533,32 @@ mod tests {
             "3 metadata + 4 timed, got {}",
             stats.events
         );
+    }
+
+    #[test]
+    fn dropped_spans_ride_the_metadata_into_stats() {
+        // A 4-slot ring fed 9 spans overwrites 5; the export must carry the
+        // loss and the validator must surface it.
+        let c = TraceCollector::new(1, 4);
+        for i in 0..9u64 {
+            c.tracer(0).record(SpanRecord {
+                start_ns: i * 10,
+                end_ns: i * 10 + 5,
+                kind: SpanKind::Fwd,
+                mb: 0,
+                chunk: 0,
+                bytes: 0,
+                aux: 0,
+            });
+        }
+        let json = export_chrome_json(&c.snapshot());
+        assert!(json.contains("\"dropped_spans\":5"));
+        let stats = validate_chrome_json(&json).expect("valid");
+        assert_eq!(stats.dropped_spans, 5);
+
+        // And a lossless trace reports zero.
+        let stats = validate_chrome_json(&export_chrome_json(&sample_trace())).expect("valid");
+        assert_eq!(stats.dropped_spans, 0);
     }
 
     #[test]

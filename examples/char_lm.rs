@@ -91,6 +91,7 @@ fn main() {
         faults: None,
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
+        metrics: weipipe::MetricsConfig::off(),
         overlap: true,
         transport: weipipe::TransportKind::InProcess,
     };

@@ -32,6 +32,7 @@ fn traffic_for(seq: usize, strategy: Strategy) -> u64 {
         faults: None,
         comm: wp_comm::CommConfig::default(),
         trace: weipipe::TraceConfig::off(),
+        metrics: weipipe::MetricsConfig::off(),
         overlap: true,
         transport: weipipe::TransportKind::InProcess,
     };

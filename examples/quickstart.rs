@@ -11,6 +11,12 @@
 //! <https://ui.perfetto.dev> (or `chrome://tracing`). The traced run also
 //! injects benign (delay-only) faults so the fault instant events are
 //! visible on the timeline; delay-only faults never change the result.
+//!
+//! Pass `--metrics-out <path>` to meter the run (counters, gauges,
+//! latency histograms on every rank) and export the world snapshot:
+//! Prometheus text exposition by default, JSON when the path ends in
+//! `.json`. Metrics are strictly observational — the metered run trains
+//! bit-identically to an unmetered one.
 
 use weipipe::{run_distributed, run_single, OptimKind, Strategy, TrainSetup};
 use wp_comm::{FaultPlan, LinkModel};
@@ -23,6 +29,10 @@ fn main() {
         .iter()
         .position(|a| a == "--trace-out")
         .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .map(|i| args.get(i + 1).expect("--metrics-out needs a path").clone());
 
     // A 4-layer model small enough to train on threads in seconds, but
     // structurally a real Llama block stack (RMSNorm, RoPE attention,
@@ -50,6 +60,11 @@ fn main() {
             weipipe::TraceConfig::on()
         } else {
             weipipe::TraceConfig::off()
+        },
+        metrics: if metrics_out.is_some() {
+            weipipe::MetricsConfig::on()
+        } else {
+            weipipe::MetricsConfig::off()
         },
         overlap: true,
         transport: weipipe::TransportKind::InProcess,
@@ -96,6 +111,28 @@ fn main() {
             trace.bubble_ratio() * 100.0
         );
         println!("open it at https://ui.perfetto.dev or chrome://tracing");
+    }
+
+    if let Some(path) = metrics_out {
+        use wp_metrics::Counter;
+        let snap = wp.metrics.as_ref().expect("metrics were enabled");
+        let text = if path.ends_with(".json") {
+            let json = wp_metrics::export_json(snap);
+            wp_metrics::validate_json(&json).expect("JSON export must validate");
+            json
+        } else {
+            let prom = wp_metrics::export_prometheus(snap);
+            wp_metrics::validate_prometheus(&prom).expect("Prometheus export must validate");
+            prom
+        };
+        std::fs::write(&path, &text).expect("write metrics file");
+        println!(
+            "\nwrote metrics for {} ranks to {path}: {} steps, {} P2P bytes, {} collective bytes",
+            snap.world_size(),
+            snap.total(Counter::StepsCompleted) / snap.world_size() as u64,
+            snap.total(Counter::P2pBytesSent),
+            snap.total(Counter::CollBytesSent),
+        );
     }
 
     println!("\nWeiPipe trained the model to the same trajectory as one process. ✓");
