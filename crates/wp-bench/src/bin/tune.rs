@@ -50,6 +50,9 @@ fn point(label: &'static str, cluster: ClusterSpec, dims: ModelDims, global_batc
         microbatches: vec![p, 2 * p, 4 * p],
         w_lags: vec![1, 2, p / 2, p],
         chunk_counts: vec![2, p / 2, 2 * p],
+        // Flat vs grouped: the cluster's own island size plus a half-world
+        // split (enumerate drops whichever does not divide P).
+        group_sizes: vec![cluster.node_size, p / 2],
         overlap: vec![true, false],
     };
     Point {

@@ -237,6 +237,7 @@ mod tests {
             peak_mem: vec![0; p],
             p2p_bytes: vec![0; p],
             collective_bytes: vec![0; p],
+            cross_node_p2p_bytes: 0,
             timeline,
         }
     }

@@ -318,6 +318,14 @@ pub enum Strategy {
     Wzb1,
     /// Weight-passing zero-bubble 2 (§4.2.3.2).
     Wzb2,
+    /// Topology-aware hierarchical WeiPipe (TawPipe-style): ranks are split
+    /// into groups of `group` (typically one NVLink island each); every
+    /// group runs the interleaved weight ring on its fast intra-group links
+    /// over a full model replica sharded `group` ways, and gradients are
+    /// reconciled across groups once per iteration via one designated
+    /// bridge rank per group — the only traffic that rides the slow
+    /// inter-group link.
+    WeiPipeHier,
 }
 
 impl Strategy {
@@ -334,6 +342,7 @@ impl Strategy {
             Strategy::WeiPipeInterleave => "WeiPipe",
             Strategy::Wzb1 => "WZB1",
             Strategy::Wzb2 => "WZB2",
+            Strategy::WeiPipeHier => "WeiPipe-Hier",
         }
     }
 
@@ -342,7 +351,11 @@ impl Strategy {
     pub fn is_weight_passing(&self) -> bool {
         matches!(
             self,
-            Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave | Strategy::Wzb1 | Strategy::Wzb2
+            Strategy::WeiPipeNaive
+                | Strategy::WeiPipeInterleave
+                | Strategy::Wzb1
+                | Strategy::Wzb2
+                | Strategy::WeiPipeHier
         )
     }
 }

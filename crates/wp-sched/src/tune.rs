@@ -41,6 +41,9 @@ pub struct Candidate {
     pub w_lag: Option<usize>,
     /// Collective chunk-count override (FSDP/DDP only).
     pub chunks: Option<usize>,
+    /// Hierarchical group size (WeiPipe-Hier only): ranks per replica ring.
+    /// `None` means one flat world-spanning ring.
+    pub group: Option<usize>,
 }
 
 impl Candidate {
@@ -54,6 +57,7 @@ impl Candidate {
             overlap: true,
             w_lag: None,
             chunks: None,
+            group: None,
         }
     }
 
@@ -73,6 +77,7 @@ impl Candidate {
             self.strategy,
             Strategy::WeiPipeNaive
                 | Strategy::WeiPipeInterleave
+                | Strategy::WeiPipeHier
                 | Strategy::Wzb1
                 | Strategy::Wzb2
                 | Strategy::Fsdp
@@ -101,6 +106,17 @@ impl Candidate {
         if self.chunks == Some(0) {
             return Err("chunk count must be >= 1".into());
         }
+        if let Some(g) = self.group {
+            if self.strategy != Strategy::WeiPipeHier {
+                return Err(format!("{} takes no group knob", self.strategy.label()));
+            }
+            if g < 2 {
+                return Err(format!("group size must be >= 2 (g={g})"));
+            }
+            if !p.is_multiple_of(g) {
+                return Err(format!("group size must divide P (g={g}, P={p})"));
+            }
+        }
         Ok(())
     }
 
@@ -119,6 +135,9 @@ impl Candidate {
         if let Some(chunks) = self.chunks {
             spec = spec.with_chunks(chunks);
         }
+        if let Some(group) = self.group {
+            spec = spec.with_group(group);
+        }
         spec
     }
 
@@ -130,6 +149,9 @@ impl Candidate {
         }
         if let Some(chunks) = self.chunks {
             s.push_str(&format!(" chunks={chunks}"));
+        }
+        if let Some(group) = self.group {
+            s.push_str(&format!(" g={group}"));
         }
         s.push_str(if self.overlap {
             " overlap"
@@ -156,6 +178,9 @@ pub struct TuneSpace {
     /// Collective chunk counts to sweep on FSDP/DDP. The default (`None`,
     /// i.e. `P`) is always included.
     pub chunk_counts: Vec<usize>,
+    /// Hierarchical group sizes to sweep on WeiPipe-Hier. The flat default
+    /// (`None`) is always included, so the search compares flat vs grouped.
+    pub group_sizes: Vec<usize>,
     /// Overlap settings to sweep.
     pub overlap: Vec<bool>,
 }
@@ -170,6 +195,7 @@ impl TuneSpace {
             microbatches: vec![microbatches],
             w_lags: Vec::new(),
             chunk_counts: Vec::new(),
+            group_sizes: Vec::new(),
             overlap: vec![true],
         }
     }
@@ -196,19 +222,29 @@ impl TuneSpace {
             } else {
                 vec![None]
             };
+            let groupings: Vec<Option<usize>> = if strategy == Strategy::WeiPipeHier {
+                std::iter::once(None)
+                    .chain(self.group_sizes.iter().copied().map(Some))
+                    .collect()
+            } else {
+                vec![None]
+            };
             for &n in &self.microbatches {
                 for &w_lag in &lags {
                     for &chunks in &chunking {
-                        for &overlap in &self.overlap {
-                            let c = Candidate {
-                                strategy,
-                                microbatches: n,
-                                overlap,
-                                w_lag,
-                                chunks,
-                            };
-                            if c.check(self.ranks).is_ok() {
-                                out.push(c);
+                        for &group in &groupings {
+                            for &overlap in &self.overlap {
+                                let c = Candidate {
+                                    strategy,
+                                    microbatches: n,
+                                    overlap,
+                                    w_lag,
+                                    chunks,
+                                    group,
+                                };
+                                if c.check(self.ranks).is_ok() {
+                                    out.push(c);
+                                }
                             }
                         }
                     }
@@ -439,6 +475,7 @@ mod tests {
             microbatches: vec![4, 8],
             w_lags: vec![1, 4],
             chunk_counts: vec![2],
+            group_sizes: vec![2],
             overlap: vec![true, false],
         }
     }
@@ -466,6 +503,30 @@ mod tests {
         assert!(cands
             .iter()
             .all(|c| c.chunks.is_none() || matches!(c.strategy, Strategy::Fsdp | Strategy::Ddp)));
+        assert!(cands
+            .iter()
+            .all(|c| c.group.is_none() || c.strategy == Strategy::WeiPipeHier));
+        // g=2 does not divide P=3, so only flat hier candidates survive.
+        assert!(cands
+            .iter()
+            .all(|c| !(c.strategy == Strategy::WeiPipeHier && c.group.is_some())));
+    }
+
+    #[test]
+    fn group_knob_is_hier_only_and_must_divide_ranks() {
+        let mut c = Candidate::default_for(Strategy::WeiPipeHier, 8);
+        assert!(c.check(8).is_ok());
+        c.group = Some(4);
+        assert!(c.check(8).is_ok());
+        assert_eq!(c.spec(8).group, Some(4));
+        assert!(c.label().contains("g=4"));
+        c.group = Some(3);
+        assert!(c.check(8).is_err(), "3 does not divide 8");
+        c.group = Some(1);
+        assert!(c.check(8).is_err(), "singleton groups are degenerate");
+        let mut flat = Candidate::default_for(Strategy::WeiPipeInterleave, 8);
+        flat.group = Some(4);
+        assert!(flat.check(8).is_err(), "group knob is hier-only");
     }
 
     #[test]
@@ -529,6 +590,7 @@ mod tests {
             overlap: false,
             w_lag: Some(3),
             chunks: None,
+            group: None,
         };
         let spec = c.spec(4);
         assert_eq!(spec.ranks, 4);

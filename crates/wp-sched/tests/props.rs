@@ -114,4 +114,54 @@ proptest! {
             prop_assert_eq!(fwd, n * p, "{:?}", strategy);
         }
     }
+
+    /// Traffic conservation on grouped hierarchical schedules: every send
+    /// has exactly one matching recv posting world-wide, and per-class
+    /// byte totals balance — nothing is lost or duplicated at the bridge
+    /// store-and-forward hops.
+    #[test]
+    fn grouped_hier_traffic_conserves_per_class(
+        shape in 0usize..4,
+        mult in 1usize..4,
+        overlap in any::<bool>()
+    ) {
+        use std::collections::{HashMap, HashSet};
+        use wp_sched::{MsgKey, MsgKind, OpKind};
+
+        let (p, g) = [(4, 2), (6, 3), (8, 2), (8, 4)][shape];
+        let n = p * mult;
+        let spec = PipelineSpec::new(p, n).with_overlap(overlap).with_group(g);
+        let s = build(Strat::WeiPipeHier, spec);
+        prop_assert!(validate(&s).is_ok(), "P={} g={} N={}", p, g, n);
+
+        let bm = ByteModel {
+            weight_chunk: 1_000, grad_chunk: 7,
+            act_boundary: 100_000, act_grad_boundary: 3_000_000,
+        };
+        let class_bytes = |k: &MsgKey| match k.kind {
+            MsgKind::Weights => bm.weight_chunk,
+            MsgKind::WeightGrads => bm.grad_chunk,
+            MsgKind::Act => bm.act_boundary,
+            MsgKind::ActGrad => bm.act_grad_boundary,
+        };
+        let mut sent: HashMap<MsgKind, u64> = HashMap::new();
+        let mut recvd: HashMap<MsgKind, u64> = HashMap::new();
+        let mut sent_keys: HashSet<MsgKey> = HashSet::new();
+        let mut recv_keys: HashSet<MsgKey> = HashSet::new();
+        for (_, op) in s.iter_ops() {
+            match &op.kind {
+                OpKind::Send(k) => {
+                    *sent.entry(k.kind).or_default() += class_bytes(k);
+                    prop_assert!(sent_keys.insert(*k), "duplicate send {:?}", k);
+                }
+                OpKind::Recv(k) | OpKind::PrePost(k) => {
+                    *recvd.entry(k.kind).or_default() += class_bytes(k);
+                    prop_assert!(recv_keys.insert(*k), "duplicate recv posting {:?}", k);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(sent, recvd, "per-class send/recv bytes diverge");
+        prop_assert_eq!(sent_keys, recv_keys, "send/recv key sets diverge");
+    }
 }

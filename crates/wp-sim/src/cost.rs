@@ -360,10 +360,13 @@ impl CostModel {
                     (total_chunks * (chunk_w + chunk_g + opt_per_chunk)) / ranks as u64
                 }
                 Strategy::Ddp => total_chunks * (chunk_w + chunk_g + opt_per_chunk),
-                Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave => {
+                Strategy::WeiPipeNaive | Strategy::WeiPipeInterleave | Strategy::WeiPipeHier => {
                     // Two circulating weight copies + one gradient chunk, each
                     // double-buffered for the in-flight recv, plus owned
-                    // optimizer state for one chunk.
+                    // optimizer state for one chunk. Under WeiPipe-Hier the
+                    // chunk is 1/group of the model rather than 1/P — that
+                    // larger `chunk_w` (already reflected in `self.chunks`)
+                    // is the memory the hierarchy trades for slow-link bytes.
                     2 * (2 * chunk_w) + 2 * chunk_g + opt_per_chunk
                 }
                 Strategy::Wzb1 => 2 * (2 * chunk_w) + 2 * chunk_g + opt_per_chunk,

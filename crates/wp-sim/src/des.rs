@@ -399,7 +399,10 @@ impl Component for RankComp<'_> {
                 }
                 OpKind::Send(k) => {
                     let bytes = msg_bytes(sh.cost, k);
-                    let link_spec = sh.cluster.ring_link(k.src);
+                    // Resolve the link from both endpoints: grouped schedules
+                    // send between non-adjacent ranks (bridge hops, intra-node
+                    // fan-out), so src's ring successor is not enough.
+                    let link_spec = sh.cluster.link_between(k.src, k.dst);
                     let mut ready = needs_t;
                     if op.after_compute {
                         ready = ready.max(sh.last_compute_end[r]);
@@ -518,6 +521,9 @@ pub(crate) fn simulate_des(
 ) -> Result<SimResult, SimError> {
     let p = schedule.ranks;
     assert_eq!(cluster.ranks, p, "cluster size must match schedule");
+    if let Err(e) = cluster.validate() {
+        return Err(SimError(e.to_string()));
+    }
 
     let sends: usize = schedule
         .ops
@@ -595,6 +601,7 @@ pub(crate) fn simulate_des(
     Ok(finalize_result(
         schedule,
         cost,
+        cluster,
         makespan,
         busy,
         p2p_bytes,

@@ -425,6 +425,110 @@ pub fn fig5_bubble_vs_microbatches(p: usize) -> Vec<(usize, Vec<(Strategy, f64)>
         .collect()
 }
 
+/// One cluster row of the flat-vs-grouped WeiPipe comparison.
+#[derive(Debug, Clone)]
+pub struct HierCell {
+    /// Cluster label.
+    pub label: &'static str,
+    /// Ranks per node on this cluster (the natural group size).
+    pub node_size: usize,
+    /// Flat WeiPipe-interleave iteration seconds.
+    pub flat_s: f64,
+    /// Grouped WeiPipe-Hier (one ring per island) iteration seconds.
+    pub grouped_s: f64,
+    /// Flat cross-node P2P bytes per iteration.
+    pub flat_xnode_bytes: u64,
+    /// Grouped cross-node P2P bytes per iteration.
+    pub grouped_xnode_bytes: u64,
+}
+
+impl HierCell {
+    /// Iteration-time speedup of grouped over flat.
+    pub fn speedup(&self) -> f64 {
+        self.flat_s / self.grouped_s
+    }
+
+    /// Cross-node byte reduction factor (flat / grouped).
+    pub fn xnode_reduction(&self) -> f64 {
+        if self.grouped_xnode_bytes == 0 {
+            if self.flat_xnode_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.flat_xnode_bytes as f64 / self.grouped_xnode_bytes as f64
+        }
+    }
+}
+
+/// Flat-vs-grouped WeiPipe across the paper's three calibrated clusters:
+/// the TawPipe-style comparison. The grouped schedule runs one interleaved
+/// ring per island (`group = node_size`) so weight hops stay on fast
+/// links; only bridge-carried gradient reconciliation crosses nodes. On
+/// the single-island `nvlink_8` control, grouping degenerates to the flat
+/// ring and must change nothing.
+pub fn hier_flat_vs_grouped() -> Vec<HierCell> {
+    let points: [(&'static str, ClusterSpec, RowConfig); 3] = [
+        (
+            "ethernet_16",
+            ClusterSpec::ethernet_16(),
+            RowConfig {
+                hidden: 4096,
+                seq: 16384,
+                microbatch: 4,
+            },
+        ),
+        (
+            "nvlink_16",
+            ClusterSpec::nvlink_16(),
+            RowConfig {
+                hidden: 4096,
+                seq: 16384,
+                microbatch: 4,
+            },
+        ),
+        (
+            "nvlink_8",
+            ClusterSpec::nvlink_8(),
+            RowConfig {
+                hidden: 2048,
+                seq: 65536,
+                microbatch: 1,
+            },
+        ),
+    ];
+    points
+        .into_iter()
+        .map(|(label, cluster, row)| {
+            let p = cluster.ranks;
+            let n = 4 * p;
+            let dims = ModelDims::paper(row.hidden, 32, row.seq, row.microbatch);
+            let run = |strategy: Strategy, group: Option<usize>| {
+                let mut spec = PipelineSpec::new(p, n);
+                if let Some(g) = group {
+                    spec = spec.with_group(g);
+                }
+                let sched = build(strategy, spec);
+                let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
+                simulate(&sched, &cost, &cluster, sim_options(strategy))
+                    .unwrap_or_else(|e| panic!("{label} {strategy:?}: {e}"))
+            };
+            let flat = run(Strategy::WeiPipeInterleave, None);
+            let group = (cluster.groups() > 1).then_some(cluster.node_size);
+            let grouped = run(Strategy::WeiPipeHier, group);
+            HierCell {
+                label,
+                node_size: cluster.node_size,
+                flat_s: flat.makespan,
+                grouped_s: grouped.makespan,
+                flat_xnode_bytes: flat.cross_node_p2p_bytes,
+                grouped_xnode_bytes: grouped.cross_node_p2p_bytes,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +543,28 @@ mod tests {
     #[test]
     fn grid_is_nine_rows() {
         assert_eq!(table_grid().len(), 9);
+    }
+
+    #[test]
+    fn hier_beats_flat_on_multi_node_clusters() {
+        let cells = hier_flat_vs_grouped();
+        assert_eq!(cells.len(), 3);
+        for cell in &cells {
+            match cell.label {
+                "nvlink_8" => {
+                    // Single island: grouping degenerates to the flat ring.
+                    assert_eq!(cell.flat_xnode_bytes, 0, "{cell:?}");
+                    assert_eq!(cell.grouped_xnode_bytes, 0, "{cell:?}");
+                }
+                _ => {
+                    assert!(cell.speedup() > 1.0, "{cell:?}");
+                    assert!(
+                        cell.xnode_reduction() >= cell.node_size as f64 * 0.9,
+                        "{cell:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

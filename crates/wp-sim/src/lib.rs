@@ -32,7 +32,7 @@ pub mod measured;
 pub mod render;
 pub mod tune;
 
-pub use cluster::{ClusterSpec, Link};
+pub use cluster::{ClusterError, ClusterSpec, Link};
 pub use cost::{CostModel, GpuSpec, ModelDims, TpOverlay};
 pub use engine::{simulate, SimOptions, SimResult, TimedOp};
 pub use measured::measured_result;

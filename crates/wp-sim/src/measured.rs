@@ -63,6 +63,9 @@ pub fn measured_result(trace: &Trace) -> SimResult {
         bubble_ratio: trace.bubble_ratio(),
         peak_mem: vec![0; ranks],
         p2p_bytes,
+        // Measured traces carry no topology, so cross-node attribution is
+        // not available for real runs.
+        cross_node_p2p_bytes: 0,
         collective_bytes,
         timeline,
     }

@@ -70,12 +70,18 @@ impl DesOracle {
 
     /// Analytic cost model for `c` without building a schedule (the
     /// builders structurally fix `chunks = P` except for the FSDP/DDP
-    /// override, and split-backward strategies force recompute off).
+    /// override and WeiPipe-Hier's `chunks = group`, and split-backward
+    /// strategies force recompute off).
     fn cost_for(&self, c: &Candidate, dims: ModelDims) -> CostModel {
+        let chunks = if c.strategy == Strategy::WeiPipeHier {
+            c.group.unwrap_or(self.cluster.ranks)
+        } else {
+            c.chunks.unwrap_or(self.cluster.ranks)
+        };
         CostModel {
             dims,
             gpu: self.gpu,
-            chunks: c.chunks.unwrap_or(self.cluster.ranks),
+            chunks,
             recompute: !c.split_backward(),
             flash_attention: true,
             tp: TpOverlay::off(),
@@ -110,22 +116,29 @@ impl CostOracle for DesOracle {
 
         // Fill/drain bubble as a fraction of (P−1) stage times — the
         // classic pipeline ramp, discounted per strategy's schedule shape.
+        // WeiPipe-Hier ramps over its local ring of `group` ranks, not the
+        // whole world, so its ramp shrinks with the group size.
         let ramp = (pf - 1.0) * (t_f + t_b);
+        let g = c.group.unwrap_or(p);
         let bubble = ramp
             * match c.strategy {
                 Strategy::GPipe | Strategy::OneFOneB => 1.0,
                 Strategy::WeiPipeNaive => 0.5,
                 Strategy::Zb1 | Strategy::WeiPipeInterleave => 0.3,
+                Strategy::WeiPipeHier => 0.3 * (g as f64 - 1.0) / (pf - 1.0).max(1.0),
                 Strategy::Zb2 | Strategy::Wzb1 => 0.1,
                 Strategy::Wzb2 => 0.05,
                 Strategy::Fsdp | Strategy::Ddp => 0.0,
             };
 
-        // Per-rank wire bytes through the slowest link on the ring.
+        // Per-rank wire time through the slowest link each byte actually
+        // crosses (the ring's bottleneck, except WeiPipe-Hier which keeps
+        // its rings on intra-group links and only grad bundles on inter).
         let bm = cost.byte_model();
-        let bytes = match c.strategy {
+        let bneck = |bytes: u64| self.cluster.bottleneck().transfer_s(bytes);
+        let wire = match c.strategy {
             Strategy::GPipe | Strategy::OneFOneB | Strategy::Zb1 | Strategy::Zb2 => {
-                n as u64 * (bm.act_boundary + bm.act_grad_boundary)
+                bneck(n as u64 * (bm.act_boundary + bm.act_grad_boundary))
             }
             Strategy::WeiPipeNaive
             | Strategy::WeiPipeInterleave
@@ -134,19 +147,28 @@ impl CostOracle for DesOracle {
                 // ≈ (N/P + 2)·P ring turns × ~3 weight-sized chunks each
                 // (paper §3: 36H² per turn).
                 let turns = (c.microbatches / p + 2) * p;
-                turns as u64 * 3 * bm.weight_chunk
+                bneck(turns as u64 * 3 * bm.weight_chunk)
+            }
+            Strategy::WeiPipeHier => {
+                // Each group ring turns over its 1/groups of the batch on
+                // intra links; a bridge forwards (groups−1)·g grad chunks
+                // over its inter hop once per iteration.
+                let groups = p / g;
+                let turns = (c.microbatches / p + 2) * g;
+                let ring = turns as u64 * 3 * bm.weight_chunk;
+                let bundle = ((groups - 1) * g) as u64 * bm.grad_chunk;
+                self.cluster.intra.transfer_s(ring) + self.cluster.inter.transfer_s(bundle)
             }
             Strategy::Fsdp => {
                 // Two all-gathers plus one reduce-scatter of the model.
                 let model = bm.weight_chunk * cost.chunks as u64;
-                3 * model * (p as u64 - 1) / p as u64
+                bneck(3 * model * (p as u64 - 1) / p as u64)
             }
             Strategy::Ddp => {
                 let grads = bm.grad_chunk * cost.chunks as u64;
-                2 * grads * (p as u64 - 1) / p as u64
+                bneck(2 * grads * (p as u64 - 1) / p as u64)
             }
         };
-        let wire = self.cluster.bottleneck().transfer_s(bytes);
         // Overlap hides most wire time behind compute; keep a residual so
         // comm-bound points still rank worse.
         let comm = if c.overlap { 0.25 * wire } else { wire };
@@ -200,6 +222,7 @@ mod tests {
             microbatches: vec![8, 16, 32],
             w_lags: vec![1, 4],
             chunk_counts: vec![2, 16],
+            group_sizes: vec![2, 4],
             overlap: vec![true, false],
         }
     }

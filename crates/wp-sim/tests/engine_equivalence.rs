@@ -67,6 +67,7 @@ fn assert_engines_agree(
             prop_assert_eq!(d.peak_mem, r.peak_mem);
             prop_assert_eq!(d.p2p_bytes, r.p2p_bytes);
             prop_assert_eq!(d.collective_bytes, r.collective_bytes);
+            prop_assert_eq!(d.cross_node_p2p_bytes, r.cross_node_p2p_bytes);
             prop_assert_eq!(d.timeline, r.timeline, "per-rank timelines diverged");
         }
         (d, r) => {
@@ -142,6 +143,34 @@ proptest! {
         let seq = [4096, 16384, 65536][seq_sel];
         let dims = ModelDims::paper(2048, 2 * p, seq, 1);
         assert_engines_agree(variant, spec, &cluster, opts, dims);
+    }
+
+    /// Grouped hierarchical schedules — intra-group rings plus bridge
+    /// store-and-forward — must also reproduce bit-identically across
+    /// hierarchical cluster shapes, overlap settings and stragglers.
+    #[test]
+    fn grouped_hier_schedules_agree_bit_identically(
+        p_exp in 1usize..4,
+        group_shift in 0usize..3,
+        mult in 1usize..4,
+        overlap_build in any::<bool>(),
+        overlap_sim in any::<bool>(),
+        cluster_kind in 0usize..3,
+        straggle in any::<bool>()
+    ) {
+        let p = 1 << p_exp;
+        let g = (p >> group_shift).max(2); // divides P, spans flat..deepest
+        let n = p * mult;
+        let spec = PipelineSpec::new(p, n)
+            .with_overlap(overlap_build)
+            .with_group(g);
+        let cluster = cluster(cluster_kind, p);
+        let opts = SimOptions {
+            overlap: overlap_sim,
+            straggler: straggle.then_some((p - 1, 1.7)),
+        };
+        let dims = ModelDims::paper(2048, 2 * p, 16384, 2);
+        assert_engines_agree(Strat::WeiPipeHier, spec, &cluster, opts, dims);
     }
 }
 

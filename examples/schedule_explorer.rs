@@ -7,7 +7,10 @@
 //! ```
 //!
 //! Strategies: gpipe | 1f1b | zb1 | zb2 | fsdp | ddp | naive | weipipe |
-//! wzb1 | wzb2.
+//! wzb1 | wzb2 | hier. The hierarchical ring takes `--group <g>` (ranks
+//! per replica ring, default `ranks / 2`) and prices on the multi-node
+//! `ClusterSpec::scaling` layout so its inter-group hops cross real node
+//! boundaries.
 //!
 //! To *search* the schedule space instead of inspecting one point, use the
 //! autotuner this explorer grew into: `cargo run --release -p wp-bench
@@ -31,6 +34,7 @@ fn parse_strategy(name: &str) -> Strategy {
         "weipipe" => Strategy::WeiPipeInterleave,
         "wzb1" => Strategy::Wzb1,
         "wzb2" => Strategy::Wzb2,
+        "hier" => Strategy::WeiPipeHier,
         other => panic!("unknown strategy '{other}'"),
     }
 }
@@ -52,12 +56,25 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
 
-    let spec = match strategy {
+    let group: Option<usize> = if strategy == Strategy::WeiPipeHier {
+        Some(
+            arg(&args, "--group")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| (ranks / 2).max(2)),
+        )
+    } else {
+        None
+    };
+
+    let mut spec = match strategy {
         Strategy::Zb1 | Strategy::Zb2 | Strategy::Wzb1 | Strategy::Wzb2 => {
             PipelineSpec::new(ranks, n).without_recompute()
         }
         _ => PipelineSpec::new(ranks, n),
     };
+    if let Some(g) = group {
+        spec = spec.with_group(g);
+    }
     let sched = build(strategy, spec);
     validate(&sched).expect("schedule is valid");
     let st = sched.stats();
@@ -71,7 +88,13 @@ fn main() {
     println!("compute balance per rank: {:?}\n", sched.compute_balance());
     let dims = ModelDims::paper(2048, 32, 4096, 4);
     let cost = CostModel::for_schedule(dims, GpuSpec::a800(), &sched);
-    let cluster = ClusterSpec::nvlink_island(ranks);
+    // The hierarchical ring only makes sense on a multi-node layout: price
+    // it with one node per replica group so the inter-group gradient hops
+    // cross a genuinely slow link.
+    let cluster = match group {
+        Some(g) if g < ranks => ClusterSpec::scaling(ranks, g),
+        _ => ClusterSpec::nvlink_island(ranks),
+    };
     let result = simulate(&sched, &cost, &cluster, SimOptions::default()).expect("simulates");
     println!("{}", ascii_timeline(&result, 120));
     println!("legend: F forward · B fused backward · b B-pass · w W-pass · U update · '·' idle");
