@@ -35,6 +35,7 @@ use wp_nn::config::ModelConfig;
 use wp_nn::embed::{embed_backward, embed_forward, head_forward, head_loss_backward, HeadCtx};
 use wp_nn::params::{init_block, init_embed, init_head, BlockLayout};
 use wp_nn::scratch::{Scratch, ScratchBuf};
+use wp_nn::{ComponentState, TrainState};
 use wp_optim::{MasterWeights, Optimizer};
 use wp_sched::{MsgKey, MsgKind, OpKind, Schedule, Strategy, NO_MB};
 use wp_tensor::ops::RopeTable;
@@ -137,6 +138,11 @@ pub struct RankRuntime {
 
 impl RankRuntime {
     /// Initialise a rank: deterministic weights, strategy-specific seeding.
+    /// When the setup carries a [`TrainState`] snapshot, weights, fp32
+    /// masters, and optimizer moments are restored from it instead — the
+    /// snapshot's per-*layer* granularity re-concatenates into whatever
+    /// chunking this world uses, so a checkpoint taken at `P` ranks seeds a
+    /// `P'`-rank world as long as the layer count divides both.
     pub fn new(setup: &TrainSetup, schedule: &Schedule, comm: Communicator) -> Self {
         let rank = comm.rank();
         let p = comm.world_size();
@@ -145,10 +151,14 @@ impl RankRuntime {
         let lpc = cfg.layers.div_ceil(chunks);
         assert_eq!(lpc * chunks, cfg.layers, "layers must divide into chunks");
         let block_len = BlockLayout::new(&cfg).len();
+        let resume = setup.resume.as_deref();
         let chunk_buf = |c: usize| -> Vec<f32> {
             let mut buf = Vec::with_capacity(lpc * block_len);
             for l in 0..lpc {
-                buf.extend(init_block(&cfg, setup.seed, c * lpc + l));
+                match resume {
+                    Some(st) => buf.extend_from_slice(&st.blocks[c * lpc + l].weights),
+                    None => buf.extend(init_block(&cfg, setup.seed, c * lpc + l)),
+                }
             }
             buf
         };
@@ -193,14 +203,78 @@ impl RankRuntime {
             }
         }
 
+        // Restore optimizer state from the snapshot: per-layer moments and
+        // fp32 masters re-concatenate into this world's chunks (or re-slice
+        // into FSDP shards), so the first post-resume step continues the
+        // moment history exactly where the snapshot left it.
+        let mut chunk_opt = HashMap::new();
+        let mut shard_opt = HashMap::new();
+        let mut embed_opt = None;
+        let mut head_opt = None;
+        if let Some(st) = resume {
+            let wire = setup.wire;
+            let restore = |master: Vec<f32>, t: u64, bufs: &[Vec<f32>]| -> OptState {
+                let mut opt = setup.optim.build(master.len());
+                opt.import_state(t, bufs)
+                    .expect("snapshot optimizer state must fit the configured optimizer");
+                (MasterWeights::from_master(master, wire), opt)
+            };
+            embed_opt = Some(restore(
+                st.embed.master.clone(),
+                st.embed.opt_t,
+                &st.embed.opt_bufs,
+            ));
+            head_opt = Some(restore(
+                st.head.master.clone(),
+                st.head.opt_t,
+                &st.head.opt_bufs,
+            ));
+            for c in 0..chunks {
+                let first = &st.blocks[c * lpc];
+                let mut master = Vec::with_capacity(lpc * block_len);
+                let mut bufs: Vec<Vec<f32>> = vec![Vec::new(); first.opt_bufs.len()];
+                for l in 0..lpc {
+                    let layer = &st.blocks[c * lpc + l];
+                    master.extend_from_slice(&layer.master);
+                    for (acc, b) in bufs.iter_mut().zip(&layer.opt_bufs) {
+                        acc.extend_from_slice(b);
+                    }
+                }
+                if schedule.strategy == Strategy::Fsdp {
+                    let slice = |full: &[f32]| -> Vec<f32> {
+                        let mut s = vec![0.0f32; shard_len];
+                        let start = rank * shard_len;
+                        if start < full.len() {
+                            let end = (start + shard_len).min(full.len());
+                            s[..end - start].copy_from_slice(&full[start..end]);
+                        }
+                        s
+                    };
+                    let sbufs: Vec<Vec<f32>> = bufs
+                        .iter()
+                        .map(|b| if b.is_empty() { Vec::new() } else { slice(b) })
+                        .collect();
+                    shard_opt.insert(c, restore(slice(&master), first.opt_t, &sbufs));
+                } else {
+                    chunk_opt.insert(c, restore(master, first.opt_t, &bufs));
+                }
+            }
+        }
+
         RankRuntime {
             rank,
             chunks,
             lpc,
             block_len,
             rope: cfg.rope_table(),
-            embed: init_embed(&cfg, setup.seed),
-            head: init_head(&cfg, setup.seed),
+            embed: match resume {
+                Some(st) => st.embed.weights.clone(),
+                None => init_embed(&cfg, setup.seed),
+            },
+            head: match resume {
+                Some(st) => st.head.weights.clone(),
+                None => init_head(&cfg, setup.seed),
+            },
             cfg,
             setup: setup.clone(),
             strategy: schedule.strategy,
@@ -208,10 +282,10 @@ impl RankRuntime {
             slots,
             shards,
             shard_len,
-            chunk_opt: HashMap::new(),
-            shard_opt: HashMap::new(),
-            embed_opt: None,
-            head_opt: None,
+            chunk_opt,
+            shard_opt,
+            embed_opt,
+            head_opt,
             scratch: Scratch::new(),
             acts: HashMap::new(),
             fwd_saved: HashMap::new(),
@@ -947,19 +1021,9 @@ impl RankRuntime {
         let mut blocks = Vec::with_capacity(self.cfg.layers);
         for chunk in 0..self.chunks {
             let full = if self.strategy == Strategy::Fsdp {
-                let shard = self.shards.get(&chunk).expect("shard").clone();
-                let mut full = self.comm.all_gather(&shard, wire)?;
-                full.truncate(self.lpc * self.block_len);
-                full
+                self.gather_full(&self.shards.get(&chunk).expect("shard").clone())?
             } else {
-                let updater = schedule
-                    .ops
-                    .iter()
-                    .position(|ops| {
-                        ops.iter()
-                            .any(|op| matches!(op.kind, OpKind::Update { chunk: c } if c == chunk))
-                    })
-                    .expect("every chunk has an updater");
+                let updater = Self::updater_of(schedule, chunk);
                 let mut buf = if self.rank == updater {
                     let key = self.weight_slot_key(&[], chunk, FLOW_FWD);
                     self.slots.get(&key).expect("slot").clone()
@@ -974,5 +1038,158 @@ impl RankRuntime {
             }
         }
         Ok((self.embed.clone(), blocks, self.head.clone()))
+    }
+
+    /// The rank whose schedule carries `Update` for `chunk` (broadcast root
+    /// for assembly and snapshots).
+    fn updater_of(schedule: &Schedule, chunk: usize) -> usize {
+        schedule
+            .ops
+            .iter()
+            .position(|ops| {
+                ops.iter()
+                    .any(|op| matches!(op.kind, OpKind::Update { chunk: c } if c == chunk))
+            })
+            .expect("every chunk has an updater")
+    }
+
+    /// All-gather a per-rank part into the full chunk-length buffer (FSDP
+    /// shards are zero-padded; the gather truncates the padding back off).
+    fn gather_full(&mut self, part: &[f32]) -> Result<Vec<f32>, CommError> {
+        let mut full = self.comm.all_gather(part, wp_tensor::DType::F32)?;
+        full.truncate(self.lpc * self.block_len);
+        Ok(full)
+    }
+
+    /// Capture a full [`TrainState`] snapshot at an iteration boundary: the
+    /// model weights, fp32 masters, and optimizer moments of every chunk,
+    /// split to per-*layer* [`ComponentState`]s so the snapshot re-shards
+    /// onto any world size that divides the layer count. This is a
+    /// collective (each chunk's updater broadcasts its state; FSDP worlds
+    /// all-gather their shards), and every rank returns the bit-identical
+    /// state. Exact: the wire format is f32 regardless of the training wire
+    /// dtype.
+    ///
+    /// Must run after at least one completed iteration (so every chunk's
+    /// optimizer state exists). `next_iter` is the absolute iteration a
+    /// resumed run continues from.
+    ///
+    /// # Errors
+    /// Propagates any [`CommError`] from the snapshot collectives.
+    pub fn capture_state(
+        &mut self,
+        schedule: &Schedule,
+        next_iter: u64,
+    ) -> Result<TrainState, CommError> {
+        let wire = wp_tensor::DType::F32; // snapshots are exact
+        let n = self.lpc * self.block_len;
+        let mut blocks: Vec<ComponentState> = Vec::with_capacity(self.cfg.layers);
+        for chunk in 0..self.chunks {
+            let (weights, master, opt_t, opt_bufs) = if self.strategy == Strategy::Fsdp {
+                let shard = self.shards.get(&chunk).expect("shard").clone();
+                let weights = self.gather_full(&shard)?;
+                let (master_shard, t, buf_shards) = {
+                    let (m, o) = self
+                        .shard_opt
+                        .get(&chunk)
+                        .expect("capture requires a completed iteration");
+                    let (t, bufs) = o.export_state();
+                    (m.master().to_vec(), t, bufs)
+                };
+                let master = self.gather_full(&master_shard)?;
+                let mut bufs = Vec::with_capacity(buf_shards.len());
+                for b in &buf_shards {
+                    bufs.push(if b.is_empty() {
+                        Vec::new()
+                    } else {
+                        self.gather_full(b)?
+                    });
+                }
+                (weights, master, t, bufs)
+            } else {
+                let updater = Self::updater_of(schedule, chunk);
+                let mut weights = if self.rank == updater {
+                    let key = self.weight_slot_key(&[], chunk, FLOW_FWD);
+                    self.slots.get(&key).expect("slot").clone()
+                } else {
+                    Vec::new()
+                };
+                self.comm.broadcast(updater, &mut weights, wire)?;
+                // One flat payload for the optimizer state:
+                // [t, nbufs, master(n), (len, buf)...] — all values either
+                // exact small integers or raw f32 state, so the broadcast
+                // is lossless.
+                let mut payload = if self.rank == updater {
+                    let (m, o) = self
+                        .chunk_opt
+                        .get(&chunk)
+                        .expect("capture requires a completed iteration");
+                    let (t, bufs) = o.export_state();
+                    let mut p = vec![t as f32, bufs.len() as f32];
+                    p.extend_from_slice(m.master());
+                    for b in &bufs {
+                        p.push(b.len() as f32);
+                        p.extend_from_slice(b);
+                    }
+                    p
+                } else {
+                    Vec::new()
+                };
+                self.comm.broadcast(updater, &mut payload, wire)?;
+                let t = payload[0] as u64;
+                let nbufs = payload[1] as usize;
+                let master = payload[2..2 + n].to_vec();
+                let mut off = 2 + n;
+                let mut bufs = Vec::with_capacity(nbufs);
+                for _ in 0..nbufs {
+                    let len = payload[off] as usize;
+                    off += 1;
+                    bufs.push(payload[off..off + len].to_vec());
+                    off += len;
+                }
+                (weights, master, t, bufs)
+            };
+            for l in 0..self.lpc {
+                let r = l * self.block_len..(l + 1) * self.block_len;
+                blocks.push(ComponentState {
+                    weights: weights[r.clone()].to_vec(),
+                    master: master[r.clone()].to_vec(),
+                    opt_t,
+                    opt_bufs: opt_bufs
+                        .iter()
+                        .map(|b| {
+                            if b.is_empty() {
+                                Vec::new()
+                            } else {
+                                b[r.clone()].to_vec()
+                            }
+                        })
+                        .collect(),
+                });
+            }
+        }
+        let local = |weights: &[f32], opt: &Option<OptState>| -> ComponentState {
+            let (m, o) = opt
+                .as_ref()
+                .expect("capture requires a completed iteration");
+            let (opt_t, opt_bufs) = o.export_state();
+            ComponentState {
+                weights: weights.to_vec(),
+                master: m.master().to_vec(),
+                opt_t,
+                opt_bufs,
+            }
+        };
+        let state = TrainState {
+            config: self.cfg.clone(),
+            seed: self.setup.seed,
+            next_iter,
+            loss_scale: self.setup.loss_scale,
+            embed: local(&self.embed, &self.embed_opt),
+            blocks,
+            head: local(&self.head, &self.head_opt),
+        };
+        debug_assert!(state.validate().is_ok(), "captured state must validate");
+        Ok(state)
     }
 }

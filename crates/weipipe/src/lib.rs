@@ -45,17 +45,21 @@
 
 #![warn(missing_docs)]
 
+pub mod elastic;
 pub mod interp;
 pub mod runner;
 pub mod setup;
 pub mod single;
 
+pub use elastic::{run_elastic, ElasticOptions, ElasticReport, EpochOutcome};
 pub use runner::{
-    build_schedule, run, run_distributed, run_distributed_per_rank, run_rank, runtime_strategies,
+    build_schedule, run, run_distributed, run_distributed_per_rank, run_rank, run_rank_elastic,
+    runtime_strategies,
 };
 pub use setup::{DataSource, OptimKind, RunOutput, TrainSetup};
 pub use single::run_single;
-pub use wp_comm::{CommConfig, CommError, FaultPlan, TransportKind};
+pub use wp_comm::{CommConfig, CommError, FaultPlan, Membership, TransportKind};
 pub use wp_metrics::{MetricsConfig, MetricsSnapshot};
+pub use wp_nn::{load_train_state, save_train_state, CheckpointError, TrainState};
 pub use wp_sched::Strategy;
 pub use wp_trace::{Trace, TraceConfig};

@@ -4,8 +4,9 @@
 use crate::interp::RankRuntime;
 use crate::setup::{RunOutput, TrainSetup};
 use crate::single::run_single;
-use wp_comm::{CommError, Communicator, World};
+use wp_comm::{agree_membership, CommError, Communicator, Membership, World};
 use wp_metrics::MetricsRegistry;
+use wp_nn::TrainState;
 use wp_sched::{build, validate, PipelineSpec, Schedule, Strategy};
 use wp_trace::TraceCollector;
 
@@ -90,12 +91,30 @@ pub fn build_schedule(strategy: Strategy, ranks: usize, setup: &TrainSetup) -> S
         !matches!(strategy, Strategy::Wzb1 | Strategy::Wzb2),
         "WZB variants are simulator-only (as in the paper)"
     );
+    if let Some(state) = &setup.resume {
+        assert_eq!(
+            state.config, setup.model,
+            "resume snapshot config must match the setup"
+        );
+        state
+            .check_world(ranks)
+            .expect("resume snapshot must re-shard onto this world size");
+    }
     let spec = if setup.recompute {
         PipelineSpec::new(ranks, setup.microbatches)
     } else {
         PipelineSpec::new(ranks, setup.microbatches).without_recompute()
     };
-    let spec = spec.with_overlap(setup.overlap);
+    let mut spec = spec.with_overlap(setup.overlap);
+    if let Some(lag) = setup.w_lag {
+        spec = spec.with_w_lag(lag);
+    }
+    if let Some(chunks) = setup.chunks {
+        spec = spec.with_chunks(chunks);
+    }
+    if let Some(group) = setup.group {
+        spec = spec.with_group(group);
+    }
     let schedule = build(strategy, spec);
     validate(&schedule).expect("builder produced an invalid schedule");
     schedule
@@ -114,12 +133,45 @@ pub fn run_rank(
     schedule: &Schedule,
     comm: Communicator,
 ) -> Result<RunOutput, CommError> {
+    run_rank_elastic(setup, schedule, comm, None, 0, |_| {})
+}
+
+/// [`run_rank`] with the elastic hooks exposed: an optional membership
+/// handshake before training and periodic full-state snapshots during it.
+///
+/// * `membership` — when `Some`, every rank first runs
+///   [`agree_membership`] so a shrunk world trains only after all
+///   survivors proved they agree on (epoch, members). Pass `None` for a
+///   non-elastic run.
+/// * `checkpoint_every` — capture a [`TrainState`] snapshot after every
+///   `k`-th completed iteration (`0` disables). Each snapshot is handed to
+///   `on_checkpoint`; capture is a collective, so every rank observes the
+///   bit-identical state.
+///
+/// # Errors
+/// The typed [`CommError`] this rank unwound with, if the world failed.
+pub fn run_rank_elastic(
+    setup: &TrainSetup,
+    schedule: &Schedule,
+    mut comm: Communicator,
+    membership: Option<&Membership>,
+    checkpoint_every: usize,
+    mut on_checkpoint: impl FnMut(&TrainState),
+) -> Result<RunOutput, CommError> {
+    if let Some(m) = membership {
+        agree_membership(&mut comm, m)?;
+    }
     let mut rt = RankRuntime::new(setup, schedule, comm);
     let mut losses = Vec::with_capacity(setup.iters);
     let t0 = std::time::Instant::now();
-    for iter in 0..setup.iters {
+    let end = setup.start_iter + setup.iters;
+    for iter in setup.start_iter..end {
         losses.push(rt.run_iteration(schedule, iter)?);
-        if iter + 1 < setup.iters {
+        let done = iter + 1 - setup.start_iter;
+        if checkpoint_every > 0 && done.is_multiple_of(checkpoint_every) && iter + 1 < end {
+            on_checkpoint(&rt.capture_state(schedule, iter as u64 + 1)?);
+        }
+        if iter + 1 < end {
             rt.reseed_bwd_flow(schedule, iter)?;
         }
     }

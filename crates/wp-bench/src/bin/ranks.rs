@@ -12,10 +12,12 @@
 //!
 //! ```text
 //! cargo run --release -p wp-bench --bin ranks -- --ranks 2 \
-//!     [--strategy weipipe] [--microbatches N] [--iters I] [--blocking] \
-//!     [--faults SPEC] [--recv-timeout-ms MS] [--compare-inprocess] \
-//!     [--trace] [--trace-out FILE] [--metrics] [--metrics-out FILE] \
-//!     [--kill-rank R --kill-after-ms MS] [--deadline-ms MS]
+//!     [--strategy weipipe] [--layers L] [--microbatches N] [--iters I] \
+//!     [--blocking] [--faults SPEC] [--recv-timeout-ms MS] \
+//!     [--compare-inprocess] [--trace] [--trace-out FILE] \
+//!     [--metrics] [--metrics-out FILE] \
+//!     [--kill-rank R --kill-after-ms MS] [--recover] [--ckpt-every K] \
+//!     [--deadline-ms MS]
 //! ```
 //!
 //! `--trace-out` merges the workers' span tracks into one trace, prints the
@@ -23,6 +25,18 @@
 //! trace-event JSON. `--kill-rank R --kill-after-ms MS` SIGKILLs one worker
 //! mid-run — the chaos-parity check that survivors fail typed instead of
 //! hanging.
+//!
+//! `--recover` turns the SIGKILL chaos run into an elastic one: workers
+//! write a full training-state snapshot every `--ckpt-every` iterations
+//! (default 1), and when the killed rank takes the world down the launcher
+//! re-forms the survivors as a smaller world at configuration epoch 1 —
+//! membership handshake, epoch-stamped frames — resumed from the newest
+//! snapshot present and byte-identical on *every* survivor (a snapshot the
+//! SIGKILL left truncated fails the hardened loader and is skipped). The
+//! final rollup merges the recovered epoch's metrics with the recovery
+//! markers: the `recovery_epochs` counter and the re-shard duration
+//! histogram. Pick `--layers`/`--microbatches` divisible by both world
+//! sizes (e.g. `--ranks 4 --layers 12 --microbatches 12`).
 //!
 //! `--metrics` meters every worker and turns the launcher into a live
 //! dashboard: each worker's heartbeat thread ships its rank's metric
@@ -35,21 +49,25 @@
 //! world rollup, and — with `--metrics-out` — writes the validated
 //! Prometheus (or `.json`) export.
 //!
-//! Exit codes: `0` trained and every check passed; `1` at least one rank
-//! failed with a typed `CommError` (or was killed); `2` the watchdog fired
-//! — a hang, the outcome the chaos suite asserts never happens; `3` ranks
-//! trained but a conformance check failed (bit mismatch, traffic
-//! non-conservation, invalid trace export).
+//! Exit codes: `0` trained and every check passed (including a successful
+//! `--recover` continuation); `1` at least one rank failed with a typed
+//! `CommError` (or was killed) and no recovery was requested or possible;
+//! `2` the watchdog fired — a hang, the outcome the chaos suite asserts
+//! never happens; `3` ranks trained but a conformance check failed (bit
+//! mismatch, traffic non-conservation, invalid trace export).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use weipipe::{build_schedule, run_rank, CommConfig, FaultPlan, Strategy, TraceConfig, TrainSetup};
+use weipipe::{
+    build_schedule, load_train_state, run_rank_elastic, save_train_state, CommConfig, FaultPlan,
+    Membership, Strategy, TraceConfig, TrainSetup,
+};
 use wp_bench::ranks::{err_kind, parse_strategy, RankReport, ReportStatus};
 use wp_comm::tcp::{bind_localhost, LOCAL_ESTABLISH_TIMEOUT};
 use wp_comm::{TcpTransport, TrafficMeter, World};
@@ -78,6 +96,7 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 struct Opts {
     ranks: usize,
     strategy: Strategy,
+    layers: usize,
     microbatches: usize,
     iters: usize,
     overlap: bool,
@@ -105,6 +124,10 @@ impl Opts {
         Opts {
             ranks,
             strategy,
+            // Layers default to the world size (one layer per rank) but are
+            // an independent knob: an elastic run needs a layer count both
+            // world sizes divide.
+            layers: flag_value(args, "--layers").map_or(ranks, |v| v.parse().expect("--layers")),
             microbatches: flag_value(args, "--microbatches")
                 .map_or(2 * ranks, |v| v.parse().expect("--microbatches")),
             iters: flag_value(args, "--iters").map_or(2, |v| v.parse().expect("--iters")),
@@ -118,7 +141,7 @@ impl Opts {
     }
 
     fn setup(&self) -> TrainSetup {
-        let mut setup = TrainSetup::tiny(self.ranks, self.microbatches).with_overlap(self.overlap);
+        let mut setup = TrainSetup::tiny(self.layers, self.microbatches).with_overlap(self.overlap);
         setup.iters = self.iters;
         if let Some(spec) = &self.faults {
             let plan = FaultPlan::from_spec(spec)
@@ -144,6 +167,8 @@ impl Opts {
             self.ranks.to_string(),
             "--strategy".into(),
             self.strategy.label().to_string(),
+            "--layers".into(),
+            self.layers.to_string(),
             "--microbatches".into(),
             self.microbatches.to_string(),
             "--iters".into(),
@@ -191,6 +216,19 @@ fn worker_main(args: &[String]) -> i32 {
         .parse()
         .expect("--rank");
     let out_path = flag_value(args, "--out").expect("--worker needs --out");
+    // Elastic extensions: periodic snapshot files, a resume anchor, and the
+    // configuration epoch + membership of a re-formed world.
+    let ckpt_dir = flag_value(args, "--ckpt-dir").map(PathBuf::from);
+    let ckpt_every: usize =
+        flag_value(args, "--ckpt-every").map_or(0, |v| v.parse().expect("--ckpt-every"));
+    let epoch: u64 = flag_value(args, "--epoch").map_or(0, |v| v.parse().expect("--epoch"));
+    let membership: Option<Membership> = flag_value(args, "--members").map(|csv| Membership {
+        epoch,
+        members: csv
+            .split(',')
+            .map(|w| w.parse().expect("--members takes comma-separated rank ids"))
+            .collect(),
+    });
 
     // Bind first, then tell the launcher our port: every peer's listener is
     // live before anyone learns an address, so connects cannot race binds.
@@ -215,7 +253,13 @@ fn worker_main(args: &[String]) -> i32 {
         .iter()
         .map(|&p| SocketAddr::from(([127, 0, 0, 1], p)))
         .collect();
-    let setup = opts.setup();
+    let mut setup = opts.setup();
+    if let Some(path) = flag_value(args, "--resume") {
+        let state = load_train_state(&path).expect("load resume snapshot");
+        let total = setup.iters;
+        setup = setup.with_resume(state);
+        setup.iters = total.saturating_sub(setup.start_iter);
+    }
     let registry = setup
         .metrics
         .enabled
@@ -256,13 +300,30 @@ fn worker_main(args: &[String]) -> i32 {
     let comm = World::builder(opts.ranks)
         .link(setup.link)
         .config(setup.comm)
+        .epoch(epoch)
         .maybe_faults(setup.faults.clone())
         .maybe_trace(collector.clone())
         .maybe_metrics(registry.clone())
         .endpoint(Box::new(transport));
     let meter = comm.meter().clone();
 
-    let result = run_rank(&setup, &schedule, comm);
+    let result = run_rank_elastic(
+        &setup,
+        &schedule,
+        comm,
+        membership.as_ref(),
+        ckpt_every,
+        |st| {
+            if let Some(dir) = &ckpt_dir {
+                // Direct write, no tempfile dance: a worker SIGKILLed
+                // mid-write leaves a truncated file the hardened loader
+                // rejects, which is exactly how the launcher skips
+                // half-captured snapshots.
+                let path = dir.join(format!("ckpt-r{rank}-i{}.wpckpt", st.next_iter));
+                save_train_state(&path, st).expect("write checkpoint snapshot");
+            }
+        },
+    );
     if let Some((stop, handle)) = heartbeat {
         stop.store(true, Ordering::Relaxed);
         let _ = handle.join();
@@ -327,57 +388,39 @@ struct RankBeat {
     stalled: bool,
 }
 
-fn launcher_main(args: &[String]) -> i32 {
-    let opts = {
-        let mut o = Opts::parse(args);
-        // A drift report needs spans; --trace-out implies tracing. Same
-        // for the metrics export.
-        o.trace = o.trace || args.iter().any(|a| a == "--trace-out");
-        o.metrics = o.metrics || args.iter().any(|a| a == "--metrics-out");
-        o
-    };
-    let compare_inprocess = args.iter().any(|a| a == "--compare-inprocess");
-    let trace_out = flag_value(args, "--trace-out");
-    let metrics_out = flag_value(args, "--metrics-out");
-    let kill_rank: Option<usize> =
-        flag_value(args, "--kill-rank").map(|v| v.parse().expect("--kill-rank"));
-    let kill_after = Duration::from_millis(
-        flag_value(args, "--kill-after-ms").map_or(50, |v| v.parse().expect("--kill-after-ms")),
-    );
-    let deadline = Duration::from_millis(
-        flag_value(args, "--deadline-ms").map_or(120_000, |v| v.parse().expect("--deadline-ms")),
-    );
+/// What one spawned world produced: every rank's report and, for ranks
+/// that died without writing one, their last live heartbeat snapshot.
+struct EpochRun {
+    reports: Vec<RankReport>,
+    live_snaps: Vec<Option<RankSnapshot>>,
+}
+
+/// Spawn `opts.ranks` worker processes (passing `extra_args` through to
+/// each), wire the TCP mesh, optionally SIGKILL one rank after a delay,
+/// watchdog the whole run, and collect every report. `Err(2)` when the
+/// watchdog fired — the hang outcome.
+fn run_world(
+    exe: &Path,
+    dir: &Path,
+    opts: &Opts,
+    extra_args: &[String],
+    kill: Option<(usize, Duration)>,
+    deadline: Duration,
+) -> Result<EpochRun, i32> {
     let p = opts.ranks;
-    assert!(p >= 2, "--ranks must be at least 2");
-
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = std::env::temp_dir().join(format!("wp-ranks-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("create report dir");
-    println!(
-        "launching {} × {:?}: {} microbatches, {} iters, {} ring",
-        p,
-        opts.strategy,
-        opts.microbatches,
-        opts.iters,
-        if opts.overlap {
-            "overlapped"
-        } else {
-            "blocking"
-        }
-    );
-
     // Spawn every worker; stderr is inherited so failures are visible.
     let mut workers: Vec<Worker> = (0..p)
         .map(|r| {
             let report_path = dir.join(format!("rank{r}.txt"));
             let _ = std::fs::remove_file(&report_path);
-            let child = Command::new(&exe)
+            let child = Command::new(exe)
                 .arg("--worker")
                 .arg("--rank")
                 .arg(r.to_string())
                 .arg("--out")
                 .arg(&report_path)
                 .args(opts.forward_args())
+                .args(extra_args)
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit())
@@ -449,8 +492,8 @@ fn launcher_main(args: &[String]) -> i32 {
     let start = Instant::now();
     let mut last_progress = Instant::now();
     loop {
-        if let Some(kr) = kill_rank {
-            if !workers[kr].killed && start.elapsed() >= kill_after {
+        if let Some((kr, after)) = kill {
+            if !workers[kr].killed && start.elapsed() >= after {
                 eprintln!("killing rank {kr} after {:?}", start.elapsed());
                 let _ = workers[kr].child.kill();
                 workers[kr].killed = true;
@@ -470,7 +513,7 @@ fn launcher_main(args: &[String]) -> i32 {
             note_stalls(&workers, &mut beats);
             if last_progress.elapsed() >= PROGRESS_EVERY {
                 last_progress = Instant::now();
-                print_live(&opts, &workers, &beats);
+                print_live(opts, &workers, &beats);
             }
         }
         if workers.iter().all(|w| w.status.is_some()) {
@@ -481,7 +524,7 @@ fn launcher_main(args: &[String]) -> i32 {
                 let _ = w.child.kill();
             }
             println!("HANG: workers still running after {deadline:?}");
-            return 2;
+            return Err(2);
         }
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -505,13 +548,26 @@ fn launcher_main(args: &[String]) -> i32 {
                 })
         })
         .collect();
-    let _ = std::fs::remove_dir_all(&dir);
+    let live_snaps = telemetry
+        .lock()
+        .expect("telemetry lock")
+        .iter()
+        .map(|b| b.snap.clone())
+        .collect();
+    Ok(EpochRun {
+        reports,
+        live_snaps,
+    })
+}
 
-    let meter = TrafficMeter::new(p);
-    for rep in &reports {
+/// Print every rank's outcome and the merged world traffic; return the
+/// merged meter.
+fn print_epoch(reports: &[RankReport]) -> TrafficMeter {
+    let meter = TrafficMeter::new(reports.len());
+    for rep in reports {
         meter.merge_rank(rep.rank, &rep.traffic);
     }
-    for rep in &reports {
+    for rep in reports {
         match &rep.status {
             ReportStatus::Ok => println!(
                 "rank {}: ok in {:.3}s, sent {} B, final loss {:?}",
@@ -531,51 +587,265 @@ fn launcher_main(args: &[String]) -> i32 {
         meter.total_recv_bytes(),
         meter.total_faults()
     );
+    meter
+}
 
-    let mut violations: Vec<String> = Vec::new();
-    if opts.metrics {
-        // Merge every rank's final snapshot into the world view. A rank
-        // that died without writing a report still contributes its last
-        // live heartbeat, so the rollup (and the export) reflect how far
-        // it actually got.
-        let beats = telemetry.lock().expect("telemetry lock");
-        let mut world = MetricsSnapshot::empty(p);
-        for (r, rep) in reports.iter().enumerate() {
-            if let Some(m) = &rep.metrics {
-                world.merge_rank(m.clone());
-            } else if let Some(snap) = &beats[r].snap {
-                world.merge_rank(snap.clone());
+/// Merge an epoch's final metric snapshots (report snapshots, falling back
+/// to the last live heartbeat for ranks that died report-less).
+fn merge_world_metrics(run: &EpochRun, p: usize) -> MetricsSnapshot {
+    let mut world = MetricsSnapshot::empty(p);
+    for (r, rep) in run.reports.iter().enumerate() {
+        if let Some(m) = &rep.metrics {
+            world.merge_rank(m.clone());
+        } else if let Some(snap) = &run.live_snaps[r] {
+            world.merge_rank(snap.clone());
+        }
+    }
+    world
+}
+
+/// The newest snapshot iteration whose checkpoint file is present,
+/// loadable, and byte-identical on *every* survivor. A worker SIGKILLed
+/// mid-write leaves a truncated file the hardened loader rejects, so
+/// half-captured iterations are skipped — recovery anchors only on state
+/// the whole shrunk world agrees on.
+fn find_common_checkpoint(dir: &Path, members: &[usize]) -> Option<(PathBuf, u64)> {
+    let first = *members.first()?;
+    let prefix = format!("ckpt-r{first}-i");
+    let mut iters: Vec<u64> = std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix(&prefix)?
+                .strip_suffix(".wpckpt")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    iters.sort_unstable();
+    'outer: for &k in iters.iter().rev() {
+        let mut bytes: Option<Vec<u8>> = None;
+        for &m in members {
+            let path = dir.join(format!("ckpt-r{m}-i{k}.wpckpt"));
+            let Ok(b) = std::fs::read(&path) else {
+                continue 'outer;
+            };
+            if load_train_state(&path).is_err() {
+                continue 'outer;
+            }
+            match &bytes {
+                None => bytes = Some(b),
+                Some(prev) if *prev != b => continue 'outer,
+                Some(_) => {}
             }
         }
-        drop(beats);
+        return Some((dir.join(format!("ckpt-r{first}-i{k}.wpckpt")), k));
+    }
+    None
+}
+
+fn launcher_main(args: &[String]) -> i32 {
+    let opts = {
+        let mut o = Opts::parse(args);
+        // A drift report needs spans; --trace-out implies tracing. Same
+        // for the metrics export.
+        o.trace = o.trace || args.iter().any(|a| a == "--trace-out");
+        o.metrics = o.metrics || args.iter().any(|a| a == "--metrics-out");
+        o
+    };
+    let compare_inprocess = args.iter().any(|a| a == "--compare-inprocess");
+    let trace_out = flag_value(args, "--trace-out");
+    let metrics_out = flag_value(args, "--metrics-out");
+    let kill_rank: Option<usize> =
+        flag_value(args, "--kill-rank").map(|v| v.parse().expect("--kill-rank"));
+    let kill_after = Duration::from_millis(
+        flag_value(args, "--kill-after-ms").map_or(50, |v| v.parse().expect("--kill-after-ms")),
+    );
+    let deadline = Duration::from_millis(
+        flag_value(args, "--deadline-ms").map_or(120_000, |v| v.parse().expect("--deadline-ms")),
+    );
+    let recover = args.iter().any(|a| a == "--recover");
+    let ckpt_every: usize = flag_value(args, "--ckpt-every")
+        .map_or(usize::from(recover), |v| v.parse().expect("--ckpt-every"));
+    let p = opts.ranks;
+    assert!(p >= 2, "--ranks must be at least 2");
+
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = std::env::temp_dir().join(format!("wp-ranks-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create report dir");
+    println!(
+        "launching {} × {:?}: {} layers, {} microbatches, {} iters, {} ring",
+        p,
+        opts.strategy,
+        opts.layers,
+        opts.microbatches,
+        opts.iters,
+        if opts.overlap {
+            "overlapped"
+        } else {
+            "blocking"
+        }
+    );
+
+    let mut extra: Vec<String> = Vec::new();
+    if ckpt_every > 0 {
+        extra.extend([
+            "--ckpt-dir".into(),
+            dir.display().to_string(),
+            "--ckpt-every".into(),
+            ckpt_every.to_string(),
+        ]);
+    }
+    let start = Instant::now();
+    let run0 = match run_world(
+        &exe,
+        &dir,
+        &opts,
+        &extra,
+        kill_rank.map(|r| (r, kill_after)),
+        deadline,
+    ) {
+        Ok(r) => r,
+        Err(code) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return code;
+        }
+    };
+    let meter = print_epoch(&run0.reports);
+
+    let mut violations: Vec<String> = Vec::new();
+    let failed = run0
+        .reports
+        .iter()
+        .filter(|r| r.status != ReportStatus::Ok)
+        .count();
+    if (failed == 0 || !recover) && opts.metrics {
+        let world = merge_world_metrics(&run0, p);
         print_rollup(&world);
         if let Some(path) = &metrics_out {
             write_metrics_export(&world, path, &mut violations);
         }
     }
+    if failed == 0 {
+        check_world(
+            &opts,
+            &run0.reports,
+            &meter,
+            compare_inprocess,
+            &mut violations,
+        );
+        if let Some(path) = &trace_out {
+            emit_drift_report(&opts, &run0.reports, path, &mut violations);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        if !violations.is_empty() {
+            for v in &violations {
+                println!("CONFORMANCE VIOLATION: {v}");
+            }
+            return 3;
+        }
+        println!("all {p} ranks trained in {:?}", start.elapsed());
+        return 0;
+    }
 
-    let failed = reports
+    if !recover || kill_rank.is_none() || p - 1 < 2 {
+        let _ = std::fs::remove_dir_all(&dir);
+        if !violations.is_empty() {
+            for v in &violations {
+                println!("CONFORMANCE VIOLATION: {v}");
+            }
+            return 3;
+        }
+        println!("{failed}/{p} ranks failed (typed) in {:?}", start.elapsed());
+        return 1;
+    }
+
+    // ----- Elastic recovery: re-form the survivors as a smaller world. ---
+    let victim = kill_rank.expect("checked above");
+    let members: Vec<usize> = (0..p).filter(|&r| r != victim).collect();
+    println!(
+        "recovering: survivors {members:?} re-form as a {}-rank world at epoch 1",
+        members.len()
+    );
+    let reshard_started = Instant::now();
+    let anchor = find_common_checkpoint(&dir, &members);
+    let mut ropts = opts.clone();
+    ropts.ranks = members.len();
+    let csv = members
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut rextra: Vec<String> = vec!["--epoch".into(), "1".into(), "--members".into(), csv];
+    match &anchor {
+        Some((path, k)) => {
+            println!("recovery anchor: iteration {k} snapshot agreed on by every survivor");
+            rextra.extend(["--resume".into(), path.display().to_string()]);
+        }
+        None => {
+            println!("no common snapshot survived; restarting the shrunk world from iteration 0");
+        }
+    }
+    let run1 = match run_world(&exe, &dir, &ropts, &rextra, None, deadline) {
+        Ok(r) => r,
+        Err(code) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return code;
+        }
+    };
+    let reshard = reshard_started.elapsed();
+    let meter1 = print_epoch(&run1.reports);
+    let failed1 = run1
+        .reports
         .iter()
         .filter(|r| r.status != ReportStatus::Ok)
         .count();
-    if failed == 0 {
-        check_world(&opts, &reports, &meter, compare_inprocess, &mut violations);
-        if let Some(path) = &trace_out {
-            emit_drift_report(&opts, &reports, path, &mut violations);
+    if opts.metrics {
+        // Merged rollup: the recovered epoch's metrics plus the recovery
+        // markers the launcher itself owns — the recovery-epoch counter and
+        // the re-shard duration (kill detection through re-formed world).
+        let mut world = merge_world_metrics(&run1, ropts.ranks);
+        let markers = MetricsRegistry::new(ropts.ranks);
+        let h = markers.handle(0);
+        h.incr(Counter::RecoveryEpochs);
+        h.observe(Hist::ReshardNs, reshard.as_nanos() as u64);
+        world.merge_rank(markers.snapshot_rank(0));
+        print_rollup(&world);
+        println!(
+            "recovery rollup: {} recovery epoch(s), re-shard took {reshard:?}",
+            world.total(Counter::RecoveryEpochs)
+        );
+        if let Some(path) = &metrics_out {
+            write_metrics_export(&world, path, &mut violations);
         }
     }
-
+    if failed1 == 0 {
+        check_world(&ropts, &run1.reports, &meter1, false, &mut violations);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     if !violations.is_empty() {
         for v in &violations {
             println!("CONFORMANCE VIOLATION: {v}");
         }
         return 3;
     }
-    if failed > 0 {
-        println!("{failed}/{p} ranks failed (typed) in {:?}", start.elapsed());
+    if failed1 > 0 {
+        println!(
+            "recovery FAILED: {failed1}/{} ranks of the shrunk world in {:?}",
+            ropts.ranks,
+            start.elapsed()
+        );
         return 1;
     }
-    println!("all {p} ranks trained in {:?}", start.elapsed());
+    let resumed = anchor.map_or("from iteration 0".to_string(), |(_, k)| {
+        format!("from iteration {k}")
+    });
+    println!(
+        "recovered: {p} → {} ranks resumed {resumed} and trained in {:?}",
+        ropts.ranks,
+        start.elapsed()
+    );
     0
 }
 
@@ -787,7 +1057,7 @@ fn check_world(
             .link(setup.link)
             .config(setup.comm)
             .maybe_faults(setup.faults.clone())
-            .try_run(|comm| run_rank(&setup, &schedule, comm));
+            .try_run(|comm| weipipe::run_rank(&setup, &schedule, comm));
         let reference = match outs.into_iter().next().expect("rank 0") {
             Ok(out) => out,
             Err(e) => {

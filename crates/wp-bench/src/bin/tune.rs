@@ -13,6 +13,13 @@
 //! (b) it strictly beats the default builder schedule's simulated cost,
 //! and (c) the DES engine prices a 2048-simulated-rank grid point in
 //! under five seconds. Failures exit nonzero with a one-line reason.
+//!
+//! `--emit-setup` closes the loop from tuner to runtime: it grid-tunes a
+//! runtime-sized point restricted to executable strategies, hands the
+//! winning `Candidate` to `TrainSetup::from_candidate`, asserts the
+//! runtime rebuilds the tuned schedule op-for-op, and then *trains* it —
+//! distributed vs single-process reference — with the traffic and
+//! closeness guard rails the conformance suite uses.
 
 use std::time::Instant;
 
@@ -131,6 +138,82 @@ fn fleet_point(ranks: usize, microbatches: usize, report: &mut Report) -> f64 {
     sim_s
 }
 
+/// The tuner→runtime round trip behind `--emit-setup`: tune a
+/// runtime-executable point, turn the winner into a `TrainSetup` via
+/// `from_candidate`, prove schedule parity with the tuner's own spec, and
+/// train it end-to-end against the single-process reference.
+fn emit_setup_check(report: &mut Report) {
+    let p = 4;
+    let oracle = DesOracle::new(
+        ModelDims::paper(1024, 12, 2048, 4),
+        GpuSpec::a800(),
+        ClusterSpec::nvlink_island(p),
+        16,
+    );
+    // Only knobs the runtime executes: every strategy in the space has an
+    // interpreter, and layer/microbatch counts fit the tiny train model.
+    let space = TuneSpace {
+        ranks: p,
+        strategies: weipipe::runtime_strategies(),
+        microbatches: vec![p, 2 * p],
+        w_lags: vec![1, 2],
+        chunk_counts: vec![2],
+        group_sizes: vec![p, p / 2],
+        overlap: vec![true],
+    };
+    let out = match GridScheduler.tune(&space, &oracle) {
+        Some(out) => out,
+        None => ci::fail(BENCH, "emit-setup: no feasible runtime candidate"),
+    };
+    let winner = out.best;
+    if let Err(e) = winner.check(p) {
+        ci::fail(BENCH, &format!("emit-setup: winner fails check: {e}"));
+    }
+    let setup = weipipe::TrainSetup::from_candidate(&winner);
+    let from_setup = weipipe::build_schedule(winner.strategy, p, &setup);
+    let from_tuner = build(winner.strategy, winner.spec(p));
+    ci::check(
+        BENCH,
+        "emit-setup: runtime rebuilds the tuned schedule op-for-op",
+        if format!("{:?}", from_setup.ops) == format!("{:?}", from_tuner.ops) {
+            Ok(())
+        } else {
+            Err(format!("{}: op streams differ", winner.label()))
+        },
+    );
+    let reference = weipipe::run_single(&setup);
+    let trained = match weipipe::run_distributed(winner.strategy, p, &setup) {
+        Ok(out) => out,
+        Err(e) => ci::fail(
+            BENCH,
+            &format!("emit-setup: tuned setup failed to train: {e}"),
+        ),
+    };
+    let loss_diff = trained.max_loss_diff(&reference);
+    ci::check(
+        BENCH,
+        "emit-setup: tuned setup trains to the reference",
+        if loss_diff < 2e-4 && trained.bytes_sent > 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "loss diff {loss_diff:.2e}, {} B sent",
+                trained.bytes_sent
+            ))
+        },
+    );
+    println!(
+        "emit-setup     winner {:<28} trained {} iters on {p} ranks: loss diff {loss_diff:.2e}, {} B sent",
+        winner.label(),
+        setup.iters,
+        trained.bytes_sent,
+    );
+    report
+        .metric("emit_setup_loss_diff", f64::from(loss_diff))
+        .metric("emit_setup_bytes_sent", trained.bytes_sent as f64)
+        .note("emit_setup_winner", &winner.label());
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let seed: u64 = arg_value("--seed")
@@ -205,6 +288,10 @@ fn main() {
         }
     }
     report.metric("tuned_gain", worst_gain);
+
+    if std::env::args().any(|a| a == "--emit-setup") {
+        emit_setup_check(&mut report);
+    }
 
     // Fleet-scale point: 2048 simulated ranks through the DES engine. The
     // microbatch count is sized so CI hardware prices it well under the

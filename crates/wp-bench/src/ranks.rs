@@ -64,6 +64,7 @@ pub fn err_kind(e: &CommError) -> &'static str {
         CommError::Corrupt { .. } => "corrupt",
         CommError::Aborted { .. } => "aborted",
         CommError::InvalidTag { .. } => "invalid-tag",
+        CommError::MembershipMismatch { .. } => "membership-mismatch",
     }
 }
 
@@ -392,6 +393,13 @@ mod tests {
                 reason: "x".into()
             }),
             "aborted"
+        );
+        assert_eq!(
+            err_kind(&CommError::MembershipMismatch {
+                rank: 1,
+                detail: "x".into()
+            }),
+            "membership-mismatch"
         );
     }
 }

@@ -147,6 +147,11 @@ pub struct Communicator {
     /// Whether this rank has already forwarded the world's abort cause to
     /// its peers (see [`Communicator::standing_cause`]).
     abort_relayed: bool,
+    /// Configuration epoch this rank belongs to. Stamped on every outgoing
+    /// frame; arriving frames stamped with any *other* epoch are silently
+    /// dropped (counted in [`Counter::StaleFramesDropped`]), so traffic
+    /// from a pre-reconfiguration world can never match a current receive.
+    epoch: u64,
 }
 
 /// A nonblocking operation in flight, returned by [`Communicator::isend`]
@@ -239,6 +244,13 @@ impl Communicator {
         (self.rank + self.world - 1) % self.world
     }
 
+    /// The configuration epoch this rank operates in (see
+    /// [`WorldBuilder::epoch`]).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The traffic meter shared by the whole world.
     pub fn meter(&self) -> &TrafficMeter {
         &self.meter
@@ -265,6 +277,21 @@ impl Communicator {
         self.metrics.as_ref()
     }
 
+    /// Whether an arriving frame belongs to another configuration epoch.
+    /// Stale frames are dropped before checksum verification or tag
+    /// matching — a straggler from the pre-fault world must not complete a
+    /// current receive, and its (possibly injected) corruption must not
+    /// fail the new world either.
+    fn stale(&self, msg: &Frame) -> bool {
+        if msg.epoch == self.epoch {
+            return false;
+        }
+        if let Some(m) = &self.metrics {
+            m.incr(Counter::StaleFramesDropped);
+        }
+        true
+    }
+
     /// Sample the reorder-buffer depth for `src` into the depth gauges.
     fn note_reorder_depth(&self, src: usize) {
         if let Some(m) = &self.metrics {
@@ -283,6 +310,15 @@ impl Communicator {
             self.transport.propagate_abort(self.rank, e);
             self.abort_relayed = true;
         }
+    }
+
+    /// Report a fatal failure detected *above* the communicator (e.g. a
+    /// membership disagreement during elastic reconfiguration) into the
+    /// abort protocol: the world is poisoned so every peer's next blocking
+    /// operation unwinds with a typed error instead of timing out.
+    /// Non-fatal errors are ignored.
+    pub fn abort_with(&mut self, e: &CommError) {
+        self.fail(e);
     }
 
     /// The error to unwind with when the world's abort cell is already
@@ -304,12 +340,15 @@ impl Communicator {
         self.abort.cause_for(self.rank)
     }
 
-    /// Gate every communication operation: first honour a standing abort,
-    /// then let the fault plan kill this rank at its scheduled operation.
+    /// Gate every communication operation: let the fault plan kill this
+    /// rank at its scheduled operation, then honour a standing abort. The
+    /// kill check runs *first* because a fault plan models hardware death —
+    /// a dying node is not rescued by somebody else's abort landing a
+    /// microsecond earlier. This keeps multi-victim plans (two simultaneous
+    /// deaths for an 8 → 6 elastic shrink) deterministic: every scheduled
+    /// victim that reaches its operation dies as its own `PeerDead`, not as
+    /// a bystander of the first death.
     fn precheck(&mut self) -> Result<(), CommError> {
-        if self.abort.is_tripped() {
-            return Err(self.standing_cause());
-        }
         if let Some(inj) = self.faults.as_mut() {
             if inj.op_kills_rank() {
                 let e = CommError::PeerDead { rank: self.rank };
@@ -331,6 +370,9 @@ impl Communicator {
                 self.fail(&e);
                 return Err(e);
             }
+        }
+        if self.abort.is_tripped() {
+            return Err(self.standing_cause());
         }
         Ok(())
     }
@@ -489,6 +531,7 @@ impl Communicator {
             deliver_at,
             wire_bytes: bytes,
             collective: class == TrafficClass::Collective,
+            epoch: self.epoch,
         };
         if corrupt {
             match msg.data.first_mut() {
@@ -633,6 +676,9 @@ impl Communicator {
         loop {
             match self.transport.try_recv(src) {
                 RecvPoll::Frame(msg) => {
+                    if self.stale(&msg) {
+                        continue;
+                    }
                     if !msg.verify() {
                         let e = CommError::Corrupt { src, tag: msg.tag };
                         self.fail(&e);
@@ -714,6 +760,9 @@ impl Communicator {
                 let slice = remaining.min(self.config.poll_interval);
                 match self.transport.recv_timeout(src, slice) {
                     RecvWait::Frame(msg) => {
+                        if self.stale(&msg) {
+                            continue;
+                        }
                         if !msg.verify() {
                             let e = CommError::Corrupt { src, tag: msg.tag };
                             self.fail(&e);
@@ -1143,6 +1192,7 @@ pub struct WorldBuilder {
     trace: Option<TraceCollector>,
     metrics: Option<MetricsRegistry>,
     transport: TransportKind,
+    epoch: u64,
 }
 
 impl WorldBuilder {
@@ -1163,6 +1213,16 @@ impl WorldBuilder {
     /// Use the given timeout/retry policy.
     pub fn config(mut self, config: CommConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Stamp every frame this world sends with the given configuration
+    /// epoch (default 0). After an elastic reconfiguration the survivors
+    /// build their shrunk world with the next epoch; any straggler frame
+    /// from the previous epoch is dropped on arrival instead of matching a
+    /// receive.
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
         self
     }
 
@@ -1245,6 +1305,7 @@ impl WorldBuilder {
             tracer: self.trace.as_ref().map(|tc| tc.tracer(rank)),
             metrics,
             abort_relayed: false,
+            epoch: self.epoch,
         }
     }
 
@@ -1384,6 +1445,7 @@ impl World {
             trace: None,
             metrics: None,
             transport: TransportKind::InProcess,
+            epoch: 0,
         }
     }
 
@@ -2008,6 +2070,49 @@ mod tests {
                 "rank {r}"
             );
         }
+    }
+
+    #[test]
+    fn cross_epoch_frames_are_dropped_not_delivered() {
+        // Two endpoints of one mesh, deliberately built at different
+        // configuration epochs: the receiver must silently drop the
+        // straggler frame (counting it) and time out, never deliver it.
+        let registry = MetricsRegistry::new(2);
+        let mut ts = ChannelTransport::mesh(2).into_iter();
+        let t0 = Box::new(ts.next().unwrap()) as Box<dyn Transport>;
+        let t1 = Box::new(ts.next().unwrap()) as Box<dyn Transport>;
+        let mut old = World::builder(2).epoch(0).endpoint(t0);
+        let mut new = World::builder(2)
+            .epoch(1)
+            .config(CommConfig::fail_fast(Duration::from_millis(40)))
+            .metrics(registry.clone())
+            .endpoint(t1);
+        old.send(1, 7, &[1.0, 2.0], DType::F32).unwrap();
+        match new.recv(0, 7) {
+            Err(CommError::Timeout { src: 0, tag: 7, .. }) => {}
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert_eq!(
+            registry
+                .snapshot_rank(1)
+                .counter(Counter::StaleFramesDropped),
+            1,
+            "the epoch-0 frame must be counted as stale"
+        );
+    }
+
+    #[test]
+    fn same_epoch_frames_flow_normally() {
+        let (vals, _) = World::builder(2).epoch(3).run(|mut c| {
+            assert_eq!(c.epoch(), 3);
+            if c.rank() == 0 {
+                c.send(1, 7, &[42.0], DType::F32).unwrap();
+                0.0
+            } else {
+                c.recv(0, 7).unwrap()[0]
+            }
+        });
+        assert_eq!(vals[1], 42.0);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   unwound by the poison-pill abort protocol rather than failing itself.
 //! * [`CommError::InvalidTag`] — caller used a tag reserved for
 //!   collectives (API misuse, reported as an error so tests can assert it).
+//! * [`CommError::MembershipMismatch`] — survivors of a fault proposed
+//!   conflicting views of the shrunk world during the elastic
+//!   reconfiguration handshake.
 
 use std::fmt;
 
@@ -55,6 +58,15 @@ pub enum CommError {
         /// The offending tag.
         tag: u64,
     },
+    /// The elastic reconfiguration handshake failed: a survivor proposed a
+    /// different (epoch, members) view than this rank, so the shrunk world
+    /// cannot be formed consistently.
+    MembershipMismatch {
+        /// The rank whose proposal disagreed with ours.
+        rank: usize,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -77,6 +89,9 @@ impl fmt::Display for CommError {
             }
             CommError::InvalidTag { tag } => {
                 write!(f, "tag {tag} is reserved for collectives")
+            }
+            CommError::MembershipMismatch { rank, detail } => {
+                write!(f, "membership disagreement with rank {rank}: {detail}")
             }
         }
     }
@@ -114,5 +129,10 @@ mod tests {
         assert!(CommError::PeerDead { rank: 0 }.is_fatal());
         assert!(CommError::Corrupt { src: 0, tag: 0 }.is_fatal());
         assert!(!CommError::InvalidTag { tag: 1 << 48 }.is_fatal());
+        assert!(CommError::MembershipMismatch {
+            rank: 2,
+            detail: "epoch 1 vs 2".into()
+        }
+        .is_fatal());
     }
 }

@@ -74,7 +74,7 @@ pub struct FaultPlan {
     delay_jitter: Option<Duration>,
     reorder_prob: f64,
     stalls: Vec<StallSpec>,
-    dead: Option<DeadRankSpec>,
+    dead: Vec<DeadRankSpec>,
     corruptions: Vec<CorruptSpec>,
 }
 
@@ -86,7 +86,7 @@ impl FaultPlan {
             delay_jitter: None,
             reorder_prob: 0.0,
             stalls: Vec::new(),
-            dead: None,
+            dead: Vec::new(),
             corruptions: Vec::new(),
         }
     }
@@ -126,8 +126,10 @@ impl FaultPlan {
     }
 
     /// Kill `rank` after it completes `at_op` communication operations.
+    /// Call repeatedly to schedule several victims (e.g. two simultaneous
+    /// deaths for an 8 → 6 elastic shrink).
     pub fn with_dead_rank(mut self, rank: usize, at_op: u64) -> Self {
-        self.dead = Some(DeadRankSpec { rank, at_op });
+        self.dead.push(DeadRankSpec { rank, at_op });
         self
     }
 
@@ -146,7 +148,7 @@ impl FaultPlan {
     /// of plans under which training must be bit-identical to a fault-free
     /// run.
     pub fn is_delay_only(&self) -> bool {
-        self.dead.is_none() && self.corruptions.is_empty()
+        self.dead.is_empty() && self.corruptions.is_empty()
     }
 
     /// True when the plan injects anything at all.
@@ -154,7 +156,7 @@ impl FaultPlan {
         self.delay_jitter.is_some()
             || self.reorder_prob > 0.0
             || !self.stalls.is_empty()
-            || self.dead.is_some()
+            || !self.dead.is_empty()
             || !self.corruptions.is_empty()
     }
 
@@ -182,7 +184,7 @@ impl FaultPlan {
                 st.extra.as_nanos()
             );
         }
-        if let Some(d) = self.dead {
+        for d in &self.dead {
             let _ = write!(s, ";dead={},{}", d.rank, d.at_op);
         }
         for c in &self.corruptions {
@@ -314,14 +316,13 @@ impl RankInjector {
         if self.dead {
             return true;
         }
-        if let Some(d) = self.plan.dead {
-            if d.rank == self.rank {
-                if self.ops >= d.at_op {
-                    self.dead = true;
-                    return true;
-                }
-                self.ops += 1;
+        let spec = self.plan.dead.iter().find(|d| d.rank == self.rank).copied();
+        if let Some(d) = spec {
+            if self.ops >= d.at_op {
+                self.dead = true;
+                return true;
             }
+            self.ops += 1;
         }
         false
     }
@@ -446,6 +447,7 @@ mod tests {
                 .with_stall(0, 1, 2, 3, Duration::from_millis(7))
                 .with_stall(2, 3, 0, 1, Duration::from_nanos(1))
                 .with_dead_rank(2, 5)
+                .with_dead_rank(5, 9)
                 .with_corruption(0, 1, 4)
                 .with_corruption(3, 0, 9),
         ];

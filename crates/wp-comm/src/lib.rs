@@ -35,6 +35,7 @@ pub mod comm;
 pub mod error;
 pub mod fault;
 pub mod link;
+pub mod membership;
 pub mod meter;
 pub mod tcp;
 pub mod transport;
@@ -43,6 +44,7 @@ pub use comm::{CommConfig, Communicator, Completion, Request, World, WorldBuilde
 pub use error::CommError;
 pub use fault::FaultPlan;
 pub use link::LinkModel;
+pub use membership::{agree_membership, Membership};
 pub use meter::{RankTraffic, TrafficClass, TrafficMeter};
 pub use tcp::TcpTransport;
 pub use transport::{AbortCell, Frame, Transport, TransportKind};

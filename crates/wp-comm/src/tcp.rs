@@ -11,11 +11,12 @@
 //!   rank `u32`. The accepting side learns who is at the other end.
 //! * `DATA` (kind 1): `tag u64`, `checksum u64`, `wire_bytes u64`,
 //!   `flags u8` (bit 0 = collective hop, bit 1 = delivery delay present),
-//!   `delay_ns u64`, `n u32`, then `n` f32 bit patterns (`u32` each). The
-//!   tag/class envelope of [`Frame`] verbatim; the link-model delivery
-//!   deadline crosses the process boundary as a *remaining* delay, captured
-//!   when the frame hits the wire and re-anchored to the receiver's clock
-//!   on arrival (wall clocks of different processes never compare).
+//!   `delay_ns u64`, `epoch u64`, `n u32`, then `n` f32 bit patterns
+//!   (`u32` each). The tag/class/epoch envelope of [`Frame`] verbatim; the
+//!   link-model delivery deadline crosses the process boundary as a
+//!   *remaining* delay, captured when the frame hits the wire and
+//!   re-anchored to the receiver's clock on arrival (wall clocks of
+//!   different processes never compare).
 //! * `ABORT` (kind 2): origin rank `u32` plus an encoded
 //!   [`CommError`] — the poison pill crossing a process boundary. The
 //!   reader thread trips the local [`AbortCell`], so blocked receives
@@ -52,7 +53,10 @@ use wp_metrics::{Counter, Gauge, RankMetrics};
 type MetricsCell = Arc<OnceLock<RankMetrics>>;
 
 const MAGIC: u32 = 0x5750_5452; // "WPTR"
-const PROTO_VERSION: u8 = 1;
+                                // Version 2 added the per-frame configuration epoch to the DATA body and
+                                // the MembershipMismatch error variant; mixed-version meshes are rejected
+                                // at HELLO time rather than mis-parsed mid-stream.
+const PROTO_VERSION: u8 = 2;
 const KIND_DATA: u8 = 1;
 const KIND_ABORT: u8 = 2;
 const KIND_GOODBYE: u8 = 3;
@@ -127,6 +131,7 @@ fn encode_data(frame: &Frame, delay: Option<Duration>, buf: &mut Vec<u8>) {
     }
     buf.push(flags);
     put_u64(buf, delay.map_or(0, |d| d.as_nanos() as u64));
+    put_u64(buf, frame.epoch);
     put_u32(buf, frame.data.len() as u32);
     for x in &frame.data {
         put_u32(buf, x.to_bits());
@@ -144,6 +149,7 @@ fn decode_data(body: &[u8]) -> Option<Frame> {
     let wire_bytes = c.u64()?;
     let flags = c.u8()?;
     let delay_ns = c.u64()?;
+    let epoch = c.u64()?;
     let n = c.u32()? as usize;
     let raw = c.bytes(n * 4)?;
     let data = raw
@@ -159,6 +165,7 @@ fn decode_data(body: &[u8]) -> Option<Frame> {
         checksum,
         wire_bytes,
         collective: flags & FLAG_COLLECTIVE != 0,
+        epoch,
     })
 }
 
@@ -195,6 +202,12 @@ fn encode_err(e: &CommError, buf: &mut Vec<u8>) {
             buf.push(4);
             put_u64(buf, *tag);
         }
+        CommError::MembershipMismatch { rank, detail } => {
+            buf.push(5);
+            put_u64(buf, *rank as u64);
+            put_u32(buf, detail.len() as u32);
+            buf.extend_from_slice(detail.as_bytes());
+        }
     }
 }
 
@@ -220,6 +233,12 @@ fn decode_err(c: &mut Cursor<'_>) -> Option<CommError> {
             CommError::Aborted { origin, reason }
         }
         4 => CommError::InvalidTag { tag: c.u64()? },
+        5 => {
+            let rank = c.u64()? as usize;
+            let n = c.u32()? as usize;
+            let detail = String::from_utf8(c.bytes(n)?.to_vec()).ok()?;
+            CommError::MembershipMismatch { rank, detail }
+        }
         _ => return None,
     })
 }
@@ -797,6 +816,7 @@ mod tests {
             data,
             deliver_at: None,
             collective: false,
+            epoch: 0,
         }
     }
 
@@ -804,6 +824,7 @@ mod tests {
     fn data_frame_round_trips() {
         let mut f = frame(42, vec![1.5, -0.0, f32::MIN_POSITIVE]);
         f.collective = true;
+        f.epoch = 3;
         let mut buf = Vec::new();
         encode_data(&f, None, &mut buf);
         assert_eq!(
@@ -815,6 +836,7 @@ mod tests {
         assert_eq!(g.tag, 42);
         assert_eq!(g.checksum, f.checksum);
         assert_eq!(g.wire_bytes, f.wire_bytes);
+        assert_eq!(g.epoch, 3, "epoch must survive the wire");
         assert!(g.collective);
         assert!(g.deliver_at.is_none());
         assert_eq!(
@@ -852,6 +874,10 @@ mod tests {
                 reason: "rank panicked: éü".into(),
             },
             CommError::InvalidTag { tag: 1 << 48 },
+            CommError::MembershipMismatch {
+                rank: 2,
+                detail: "epoch 1 vs 2".into(),
+            },
         ];
         for e in errs {
             let mut buf = Vec::new();

@@ -93,6 +93,13 @@ pub struct Frame {
     /// Whether this frame is a collective hop, so the receiver charges the
     /// same traffic class the sender was charged.
     pub collective: bool,
+    /// Configuration epoch the sender belonged to when it sent this frame.
+    /// After an elastic reconfiguration the surviving world bumps its epoch;
+    /// the receive path silently drops frames stamped with any other epoch,
+    /// so a straggler from the pre-fault world can never be mistaken for
+    /// current traffic. Stamped above the trait; transports carry it
+    /// verbatim.
+    pub epoch: u64,
 }
 
 impl Frame {
@@ -351,6 +358,7 @@ mod tests {
             data,
             deliver_at: None,
             collective: false,
+            epoch: 0,
         }
     }
 

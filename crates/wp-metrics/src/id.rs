@@ -104,6 +104,12 @@ metric_enum! {
         TokensProcessed => "wp_train_tokens_total",
         /// Optimizer steps skipped because the scaled gradient overflowed.
         OverflowSkipped => "wp_optim_overflow_skipped_steps_total",
+        /// Frames dropped on arrival because they carried another
+        /// configuration epoch (stragglers from a pre-fault world).
+        StaleFramesDropped => "wp_comm_stale_frames_dropped_total",
+        /// Elastic recovery epochs this rank has survived into (one per
+        /// successful re-form-and-resume after a fault).
+        RecoveryEpochs => "wp_elastic_recovery_epochs_total",
     }
 }
 
@@ -144,6 +150,9 @@ metric_enum! {
         UpdateNs => "wp_train_update_ns",
         /// Optimizer (master-weight) step time.
         OptimStepNs => "wp_optim_step_ns",
+        /// Wall time to re-shard checkpointed weights onto a shrunk world
+        /// and rebuild runtime state (one observation per recovery).
+        ReshardNs => "wp_elastic_reshard_ns",
     }
 }
 

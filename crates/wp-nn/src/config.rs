@@ -17,7 +17,7 @@ pub enum AttnKind {
 }
 
 /// Llama-style decoder configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
     /// Hidden dimension `H`.
     pub hidden: usize,

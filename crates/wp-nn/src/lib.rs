@@ -33,6 +33,9 @@ pub mod model;
 pub mod params;
 pub mod scratch;
 
+pub use checkpoint::{
+    load_train_state, save_train_state, CheckpointError, ComponentState, TrainState,
+};
 pub use config::{AttnKind, ModelConfig};
 pub use model::{Model, ModelGrads};
 pub use scratch::{Scratch, ScratchBuf};

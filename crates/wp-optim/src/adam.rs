@@ -91,6 +91,28 @@ impl Optimizer for AdamW {
     fn state_elems(&self) -> usize {
         self.m.len() + self.v.len()
     }
+
+    fn export_state(&self) -> (u64, Vec<Vec<f32>>) {
+        (self.t, vec![self.m.clone(), self.v.clone()])
+    }
+
+    fn import_state(&mut self, t: u64, bufs: &[Vec<f32>]) -> Result<(), String> {
+        if bufs.len() != 2 {
+            return Err(format!("AdamW expects 2 state buffers, got {}", bufs.len()));
+        }
+        if bufs[0].len() != self.m.len() || bufs[1].len() != self.v.len() {
+            return Err(format!(
+                "AdamW state sized for {} params, got m={} v={}",
+                self.m.len(),
+                bufs[0].len(),
+                bufs[1].len()
+            ));
+        }
+        self.m.copy_from_slice(&bufs[0]);
+        self.v.copy_from_slice(&bufs[1]);
+        self.t = t;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

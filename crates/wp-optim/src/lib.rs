@@ -40,4 +40,18 @@ pub trait Optimizer {
 
     /// Optimizer state size in f32 elements (for the memory ledger).
     fn state_elems(&self) -> usize;
+
+    /// Snapshot the optimizer's mutable state for checkpointing: the step
+    /// count and the state buffers, in a fixed per-optimizer order. The
+    /// buffer count is deterministic for a given configuration, so every
+    /// rank of a replicated world exports the same shape.
+    fn export_state(&self) -> (u64, Vec<Vec<f32>>);
+
+    /// Restore state captured by [`export_state`](Self::export_state) into a
+    /// freshly-built optimizer of the same configuration.
+    ///
+    /// # Errors
+    /// A description of the mismatch when the buffer count or any buffer
+    /// length disagrees with this optimizer's shape.
+    fn import_state(&mut self, t: u64, bufs: &[Vec<f32>]) -> Result<(), String>;
 }

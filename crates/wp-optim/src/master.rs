@@ -30,6 +30,17 @@ impl MasterWeights {
         }
     }
 
+    /// Rebuild from a previously-captured fp32 master buffer — the
+    /// checkpoint-restore counterpart of [`capture`](Self::capture), which
+    /// would otherwise re-quantize an already-quantized working copy and
+    /// lose the fp32 truth.
+    pub fn from_master(master: Vec<f32>, working_dtype: DType) -> Self {
+        MasterWeights {
+            master,
+            working_dtype,
+        }
+    }
+
     /// The fp32 master values.
     pub fn master(&self) -> &[f32] {
         &self.master

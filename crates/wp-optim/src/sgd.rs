@@ -70,6 +70,27 @@ impl Optimizer for Sgd {
     fn state_elems(&self) -> usize {
         self.velocity.len()
     }
+
+    fn export_state(&self) -> (u64, Vec<Vec<f32>>) {
+        // Exactly one buffer either way: empty when momentum is off, so the
+        // exported shape is deterministic from the config alone.
+        (0, vec![self.velocity.clone()])
+    }
+
+    fn import_state(&mut self, _t: u64, bufs: &[Vec<f32>]) -> Result<(), String> {
+        if bufs.len() != 1 {
+            return Err(format!("Sgd expects 1 state buffer, got {}", bufs.len()));
+        }
+        if bufs[0].len() != self.velocity.len() {
+            return Err(format!(
+                "Sgd velocity sized {}, got {}",
+                self.velocity.len(),
+                bufs[0].len()
+            ));
+        }
+        self.velocity.copy_from_slice(&bufs[0]);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,11 @@ fn main() {
         metrics: weipipe::MetricsConfig::off(),
         overlap: true,
         transport: weipipe::TransportKind::InProcess,
+        w_lag: None,
+        chunks: None,
+        group: None,
+        resume: None,
+        start_iter: 0,
     };
     for strategy in [Strategy::OneFOneB, Strategy::WeiPipeInterleave] {
         let t0 = Instant::now();

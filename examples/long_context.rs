@@ -35,6 +35,11 @@ fn traffic_for(seq: usize, strategy: Strategy) -> u64 {
         metrics: weipipe::MetricsConfig::off(),
         overlap: true,
         transport: weipipe::TransportKind::InProcess,
+        w_lag: None,
+        chunks: None,
+        group: None,
+        resume: None,
+        start_iter: 0,
     };
     run_distributed(strategy, 4, &setup)
         .expect("healthy world")

@@ -68,6 +68,11 @@ fn main() {
         },
         overlap: true,
         transport: weipipe::TransportKind::InProcess,
+        w_lag: None,
+        chunks: None,
+        group: None,
+        resume: None,
+        start_iter: 0,
     };
 
     println!("training 4-layer model on 4 ranks with WeiPipe-Interleave…\n");
